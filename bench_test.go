@@ -1,0 +1,255 @@
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation, plus the DESIGN.md ablations and microbenchmarks of
+// the simulation substrates.
+//
+// The figure benchmarks run the real experiment pipeline at the reduced
+// QuickScale (1M instructions, 50K-instruction sense intervals) over a
+// three-benchmark core set (one per class: applu, fpppp, gcc) so that
+// `go test -bench=. -benchmem` finishes in minutes; the cmd/ tools run the
+// same experiments at full scale over all fifteen benchmarks. Each target
+// reports the figure's headline quantity as a custom metric.
+package dricache
+
+import (
+	"sync"
+	"testing"
+
+	"dricache/internal/circuit"
+	"dricache/internal/exp"
+	"dricache/internal/isa"
+	"dricache/internal/trace"
+)
+
+// coreSet returns one representative benchmark per class.
+func coreSet(b *testing.B) []trace.Program {
+	b.Helper()
+	var out []trace.Program
+	for _, name := range []string{"applu", "fpppp", "gcc"} {
+		p, err := trace.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// sharedBase caches the QuickScale Figure 3 search that Figures 4–6 and
+// the sweeps perturb.
+var (
+	baseOnce sync.Once
+	baseRows []exp.Fig3Row
+)
+
+func sharedBase(b *testing.B) ([]exp.Fig3Row, *exp.Runner) {
+	b.Helper()
+	r := exp.NewRunner(exp.QuickScale())
+	baseOnce.Do(func() {
+		var progs []trace.Program
+		for _, name := range []string{"applu", "fpppp", "gcc"} {
+			p, err := trace.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			progs = append(progs, p)
+		}
+		baseRows = r.Figure3(exp.QuickSpace(r.Scale), progs)
+	})
+	return baseRows, r
+}
+
+// BenchmarkTable2 regenerates the paper's Table 2 from the circuit model
+// (E1 in DESIGN.md).
+func BenchmarkTable2(b *testing.B) {
+	tech := circuit.Default018()
+	var standby float64
+	for i := 0; i < b.N; i++ {
+		rows := circuit.Table2(tech)
+		standby = rows[2].StandbyLeakE9NJ
+	}
+	b.ReportMetric(standby, "standby-e9nJ")
+}
+
+// BenchmarkFig3 runs the best-case energy-delay search (E2/E3) over the
+// core set and reports the mean constrained relative ED.
+func BenchmarkFig3(b *testing.B) {
+	progs := coreSet(b)
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		r := exp.NewRunner(exp.QuickScale())
+		rows := r.Figure3(exp.QuickSpace(r.Scale), progs)
+		sum := 0.0
+		for _, row := range rows {
+			sum += row.Constrained.Cmp.RelativeED
+		}
+		mean = sum / float64(len(rows))
+	}
+	b.ReportMetric(mean, "mean-ED(C)")
+}
+
+// BenchmarkFig4 measures the miss-bound sensitivity study (E4).
+func BenchmarkFig4(b *testing.B) {
+	base, r := sharedBase(b)
+	var spread float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := r.Figure4(base)
+		lo, hi := rows[0].Variants[0].Cmp.RelativeED, rows[0].Variants[0].Cmp.RelativeED
+		for _, v := range rows[0].Variants {
+			if v.Cmp.RelativeED < lo {
+				lo = v.Cmp.RelativeED
+			}
+			if v.Cmp.RelativeED > hi {
+				hi = v.Cmp.RelativeED
+			}
+		}
+		spread = hi - lo
+	}
+	b.ReportMetric(spread, "applu-ED-spread")
+}
+
+// BenchmarkFig5 measures the size-bound sensitivity study (E5).
+func BenchmarkFig5(b *testing.B) {
+	base, r := sharedBase(b)
+	var ed float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := r.Figure5(base)
+		ed = rows[0].Variants[0].Cmp.RelativeED // applu at 2x size-bound
+	}
+	b.ReportMetric(ed, "applu-ED-2xSB")
+}
+
+// BenchmarkFig6 measures the conventional-cache-parameter study (E6).
+func BenchmarkFig6(b *testing.B) {
+	base, r := sharedBase(b)
+	var ed128 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := r.Figure6(base)
+		ed128 = rows[0].Variants[2].Cmp.RelativeED // applu on 128K DM
+	}
+	b.ReportMetric(ed128, "applu-ED-128K")
+}
+
+// BenchmarkIntervalSweep runs the §5.6 sense-interval study (E7).
+func BenchmarkIntervalSweep(b *testing.B) {
+	base, r := sharedBase(b)
+	var maxVar float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := r.IntervalSweep(base)
+		maxVar = rows[0].MaxVariationPct
+	}
+	b.ReportMetric(maxVar, "applu-maxvar%")
+}
+
+// BenchmarkDivisibilitySweep runs the §5.6 divisibility study (E8).
+func BenchmarkDivisibilitySweep(b *testing.B) {
+	base, r := sharedBase(b)
+	var ed4 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := r.DivisibilitySweep(base)
+		ed4 = rows[0].Values[1] // applu at divisibility 4
+	}
+	b.ReportMetric(ed4, "applu-ED-div4")
+}
+
+// BenchmarkEnergyRatios evaluates the §5.2.1 worked ratios (E9).
+func BenchmarkEnergyRatios(b *testing.B) {
+	var r1, r2 float64
+	for i := 0; i < b.N; i++ {
+		m := Default64KEnergyModel()
+		r1 = m.ExtraL1OverLeakageRatio(5, 0.5)
+		r2 = m.ExtraL2OverLeakageRatio(0.5, 0.01)
+	}
+	b.ReportMetric(r1, "extraL1-ratio")
+	b.ReportMetric(r2, "extraL2-ratio")
+}
+
+// BenchmarkAblationThrottle measures the oscillation-damper ablation.
+func BenchmarkAblationThrottle(b *testing.B) {
+	base, r := sharedBase(b)
+	var dED float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := r.AblationThrottle(base)
+		dED = rows[2].Variants[1].Cmp.RelativeED - rows[2].Variants[0].Cmp.RelativeED // gcc
+	}
+	b.ReportMetric(dED, "gcc-noThrottle-dED")
+}
+
+// BenchmarkAblationFlush measures the resizing-tags vs flush-on-resize
+// ablation (the paper's §2.2 argument).
+func BenchmarkAblationFlush(b *testing.B) {
+	base, r := sharedBase(b)
+	var dSlow float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := r.FlushAblation(base)
+		dSlow = rows[2].Variants[1].Cmp.SlowdownPct - rows[2].Variants[0].Cmp.SlowdownPct // gcc
+	}
+	b.ReportMetric(dSlow, "gcc-flush-dSlow%")
+}
+
+// BenchmarkAblationWays measures the §2 set-vs-way resizing ablation on a
+// 64K 4-way cache.
+func BenchmarkAblationWays(b *testing.B) {
+	base, r := sharedBase(b)
+	var dED float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := r.WaysAblation(base)
+		dED = rows[0].Variants[1].Cmp.RelativeED - rows[0].Variants[0].Cmp.RelativeED // applu
+	}
+	b.ReportMetric(dED, "applu-ways-dED")
+}
+
+// --- Microbenchmarks of the substrates ---
+
+// BenchmarkFullSystemSimulation measures whole-stack simulation speed
+// (instructions per second drives every experiment's wall time).
+func BenchmarkFullSystemSimulation(b *testing.B) {
+	bench, err := BenchmarkByName("applu")
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := DefaultParams(50_000)
+	cfg := NewDRI(64<<10, 1, params)
+	const instrs = 200_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(cfg, bench, instrs)
+	}
+	b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkTraceGeneration measures the synthetic workload generator alone.
+func BenchmarkTraceGeneration(b *testing.B) {
+	prog, err := trace.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ins isa.Instr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := prog.Stream(100_000)
+		for s.Next(&ins) {
+		}
+	}
+	b.ReportMetric(100_000*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkStackSolver measures the gated-Vdd stacking-effect fixed-point
+// solver.
+func BenchmarkStackSolver(b *testing.B) {
+	tech := circuit.Default018()
+	cell := circuit.Transistor{Vt: 0.2, Width: 1}
+	gate := circuit.Transistor{Vt: 0.4, Width: 2.25}
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = tech.StackedLeakage(cell, gate).NodeV
+	}
+	b.ReportMetric(v, "virtualGnd-V")
+}

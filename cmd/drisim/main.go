@@ -1,0 +1,206 @@
+// Command drisim runs a single benchmark through the simulated system with
+// either a conventional or a DRI L1 i-cache and reports timing, cache, and
+// energy results. It is the workhorse CLI behind the figure regenerators.
+//
+// Examples:
+//
+//	drisim -bench applu -n 4000000                 # conventional baseline
+//	drisim -bench applu -dri -missbound 256 -sizebound 2048
+//	drisim -bench gcc -dri -compare -timeline      # DRI vs baseline + resize log
+//	drisim -config                                 # print the Table 1 system
+//	drisim -all                                    # conventional IPC/missrate survey
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"dricache/internal/dri"
+	"dricache/internal/isa"
+	"dricache/internal/sim"
+	"dricache/internal/stats"
+	"dricache/internal/trace"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "applu", "benchmark name (see -list)")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		all       = flag.Bool("all", false, "survey all benchmarks with the conventional cache")
+		config    = flag.Bool("config", false, "print the simulated system configuration (Table 1)")
+		n         = flag.Uint64("n", 4_000_000, "dynamic instruction budget")
+		size      = flag.Int("size", 64<<10, "L1 i-cache size in bytes")
+		assoc     = flag.Int("assoc", 1, "L1 i-cache associativity")
+		useDRI    = flag.Bool("dri", false, "enable DRI resizing")
+		missBound = flag.Uint64("missbound", 256, "misses per sense-interval before upsizing")
+		sizeBound = flag.Int("sizebound", 1<<10, "minimum cache size in bytes")
+		interval  = flag.Uint64("interval", 100_000, "sense-interval length in instructions")
+		div       = flag.Int("divisibility", 2, "resizing factor")
+		compare   = flag.Bool("compare", false, "also run the conventional baseline and report energy")
+		timeline  = flag.Bool("timeline", false, "print the resize event log")
+		curve     = flag.Bool("curve", false, "print the benchmark's miss rate vs fixed cache size")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, b := range trace.Benchmarks() {
+			fmt.Printf("%-10s %s\n", b.Name, b.Class)
+		}
+		return
+	case *config:
+		printConfig()
+		return
+	case *all:
+		survey(*n)
+		return
+	}
+
+	prog, err := trace.ByName(*benchName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *curve {
+		printCurve(prog, *n)
+		return
+	}
+
+	l1i := dri.Config{SizeBytes: *size, BlockBytes: 32, Assoc: *assoc, AddrBits: 32}
+	if *useDRI {
+		l1i.Params = dri.Params{
+			Enabled:            true,
+			MissBound:          *missBound,
+			SizeBoundBytes:     *sizeBound,
+			SenseInterval:      *interval,
+			Divisibility:       *div,
+			ThrottleSaturation: 7,
+			ThrottleIntervals:  10,
+		}
+	}
+	if err := l1i.Check(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *compare && *useDRI {
+		cmp := sim.Compare(l1i, prog, *n, nil)
+		printRun("conventional", cmp.Conv)
+		printRun("DRI", cmp.DRI)
+		fmt.Printf("\nenergy (vs conventional):\n")
+		fmt.Printf("  L1 leakage          %12.1f nJ\n", cmp.L1LeakageNJ)
+		fmt.Printf("  extra L1 dynamic    %12.1f nJ\n", cmp.ExtraL1DynamicNJ)
+		fmt.Printf("  extra L2 dynamic    %12.1f nJ\n", cmp.ExtraL2DynamicNJ)
+		fmt.Printf("  effective           %12.1f nJ\n", cmp.EffectiveNJ)
+		fmt.Printf("  conventional        %12.1f nJ\n", cmp.ConvLeakageNJ)
+		fmt.Printf("  relative energy     %12.3f\n", cmp.RelativeEnergy)
+		fmt.Printf("  relative E-D        %12.3f  (leakage %.3f + dynamic %.3f)\n",
+			cmp.RelativeED, cmp.LeakageShareOfED, cmp.DynamicShareOfED)
+		fmt.Printf("  slowdown            %12.2f %%\n", cmp.SlowdownPct)
+		if *timeline {
+			printTimeline(cmp.DRI)
+		}
+		return
+	}
+
+	res := sim.Run(sim.Default(l1i, *n), prog)
+	printRun(prog.Name, res)
+	if *timeline {
+		printTimeline(res)
+	}
+}
+
+func printRun(label string, r sim.Result) {
+	fmt.Printf("%s:\n", label)
+	fmt.Printf("  instructions  %12d\n", r.CPU.Instructions)
+	fmt.Printf("  cycles        %12d   (IPC %.2f)\n", r.CPU.Cycles, r.CPU.IPC())
+	fmt.Printf("  i-accesses    %12d   miss rate %.4f\n", r.ICache.Accesses, r.MissRate())
+	fmt.Printf("  i-misses      %12d   stall cycles %d\n", r.ICache.Misses, r.CPU.ICacheStalls)
+	fmt.Printf("  branches      %12d   mispredict rate %.4f\n",
+		r.CPU.Branches, r.CPU.BPredStats.MispredictRate())
+	fmt.Printf("  L2 accesses   %12d   (from I: %d, from D: %d)\n",
+		r.Mem.L2Accesses(), r.Mem.L2AccessesFromI, r.Mem.L2AccessesFromD)
+	fmt.Printf("  avg active    %12.3f   (resizes: %d up, %d down; throttles %d)\n",
+		r.AvgActiveFraction, r.ICache.Upsizes, r.ICache.Downsizes, r.ICache.ThrottleTrips)
+	if len(r.SizeResidency) > 0 {
+		sizes := make([]int, 0, len(r.SizeResidency))
+		for s := range r.SizeResidency {
+			sizes = append(sizes, s)
+		}
+		sort.Ints(sizes)
+		fmt.Printf("  residency    ")
+		for _, s := range sizes {
+			fmt.Printf(" %dK:%d", s>>10, r.SizeResidency[s])
+		}
+		fmt.Println()
+	}
+}
+
+func printTimeline(r sim.Result) {
+	fmt.Println("\nresize timeline:")
+	for _, ev := range r.Events {
+		fmt.Printf("  interval %4d  %-8s  %4dK -> %4dK  (interval misses %d)\n",
+			ev.Interval, ev.Direction,
+			ev.FromSets*32>>10, ev.ToSets*32>>10, ev.Misses)
+	}
+}
+
+func survey(n uint64) {
+	t := stats.NewTable("bench", "class", "IPC", "missrate", "bpred-miss", "L2-from-I")
+	for _, b := range trace.Benchmarks() {
+		res := sim.Run(sim.Default(sim.Conventional64K(), n), b)
+		t.AddRow(b.Name, fmt.Sprint(int(b.Class)),
+			fmt.Sprintf("%.2f", res.CPU.IPC()),
+			fmt.Sprintf("%.4f", res.MissRate()),
+			fmt.Sprintf("%.4f", res.CPU.BPredStats.MispredictRate()),
+			fmt.Sprint(res.Mem.L2AccessesFromI))
+	}
+	fmt.Print(t.String())
+}
+
+// printCurve runs the benchmark's PC stream through fixed-size i-caches
+// from 1K to 64K — the working-set curve the DRI controller walks.
+func printCurve(prog trace.Program, n uint64) {
+	sizes := []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10}
+	caches := make([]*dri.Cache, len(sizes))
+	for i, s := range sizes {
+		caches[i] = dri.New(dri.Config{SizeBytes: s, BlockBytes: 32, Assoc: 1, AddrBits: 32})
+	}
+	stream := prog.Stream(n)
+	var ins isa.Instr
+	last := ^uint64(0)
+	for stream.Next(&ins) {
+		if b := ins.PC >> 5; b != last {
+			last = b
+			for _, c := range caches {
+				c.AccessBlock(b)
+			}
+		}
+	}
+	fmt.Printf("%s: i-cache miss rate per access vs fixed size (%d instrs)\n", prog.Name, n)
+	for i, s := range sizes {
+		rate := caches[i].Stats().MissRate()
+		bar := int(rate * 400)
+		if bar > 60 {
+			bar = 60
+		}
+		fmt.Printf("  %4dK  %7.3f%%  %s\n", s>>10, 100*rate, strings.Repeat("#", bar))
+	}
+}
+
+func printConfig() {
+	t := stats.NewTable("parameter", "value")
+	t.AddRow("issue/decode width", "8 per cycle")
+	t.AddRow("L1 i-cache", "64K direct-mapped, 32B blocks, 1-cycle")
+	t.AddRow("L1 d-cache", "64K 2-way LRU, 32B blocks, 1-cycle")
+	t.AddRow("L2", "1M 4-way unified, 64B blocks, 12-cycle")
+	t.AddRow("memory", "80 cycles + 4 per 8 bytes")
+	t.AddRow("reorder buffer", "128 entries")
+	t.AddRow("LSQ", "128 entries")
+	t.AddRow("branch predictor", "2-level hybrid (bimodal+gshare+meta), 2K BTB, 32 RAS")
+	fmt.Print(t.String())
+}

@@ -1,0 +1,83 @@
+// Command fig3 regenerates Figure 3 of the paper: the best-case relative
+// leakage energy-delay products (left panel, with the leakage vs extra-
+// dynamic breakdown) and average cache sizes (right panel) for all fifteen
+// benchmarks, under the performance-constrained (slowdown ≤ 4%) and
+// performance-unconstrained searches.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"dricache/internal/exp"
+	"dricache/internal/stats"
+	"dricache/internal/trace"
+)
+
+func main() {
+	var (
+		instrs   = flag.Uint64("n", 4_000_000, "instructions per run")
+		interval = flag.Uint64("interval", 100_000, "sense-interval in instructions")
+		quick    = flag.Bool("quick", false, "use the reduced search grid")
+		bench    = flag.String("bench", "", "restrict to one benchmark")
+		chart    = flag.Bool("chart", false, "render the figure's bar charts")
+	)
+	flag.Parse()
+
+	scale := exp.Scale{Instructions: *instrs, SenseInterval: *interval}
+	runner := exp.NewRunner(scale)
+	space := exp.DefaultSpace(scale)
+	if *quick {
+		space = exp.QuickSpace(scale)
+	}
+
+	benchmarks := trace.Benchmarks()
+	if *bench != "" {
+		p, err := trace.ByName(*bench)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		benchmarks = []trace.Program{p}
+	}
+
+	rows := runner.Figure3(space, benchmarks)
+	fmt.Printf("Figure 3: best-case energy-delay and average cache size (%d instrs, interval %d)\n",
+		*instrs, *interval)
+	fmt.Printf("search: miss-bounds %v, size-bounds %v\n\n", space.MissBounds, space.SizeBounds)
+	fmt.Print(exp.FormatFig3(rows))
+
+	if *chart {
+		// The paper's left panel: stacked relative energy-delay (solid =
+		// leakage share, light = extra dynamic share), constrained case.
+		ed := stats.NewBarChart(50)
+		size := stats.NewBarChart(50)
+		for _, r := range rows {
+			c := r.Constrained.Cmp
+			note := ""
+			if u := r.Unconstrained.Cmp; u.SlowdownPct > 4 {
+				note = fmt.Sprintf("U: %.2f @ %.0f%% slower", u.RelativeED, u.SlowdownPct)
+			}
+			ed.Add(r.Bench, c.LeakageShareOfED, c.DynamicShareOfED, note)
+			size.Add(r.Bench, c.DRI.AvgActiveFraction, 0,
+				fmt.Sprintf("%.0f%%", 100*c.DRI.AvgActiveFraction))
+		}
+		fmt.Println("\nrelative energy-delay, constrained (█ leakage, ░ extra dynamic):")
+		fmt.Print(ed.String())
+		fmt.Println("\naverage cache size, constrained:")
+		fmt.Print(size.String())
+	}
+
+	// Summary in the paper's terms.
+	fmt.Println()
+	var sumC, sumU, sizeC float64
+	for _, r := range rows {
+		sumC += r.Constrained.Cmp.RelativeED
+		sumU += r.Unconstrained.Cmp.RelativeED
+		sizeC += r.Constrained.Cmp.DRI.AvgActiveFraction
+	}
+	n := float64(len(rows))
+	fmt.Printf("mean relative ED: constrained %.2f (paper ~0.38), unconstrained %.2f (paper ~0.33)\n",
+		sumC/n, sumU/n)
+	fmt.Printf("mean average size: constrained %.2f (paper ~0.38)\n", sizeC/n)
+}

@@ -1,0 +1,37 @@
+// Command fig4 regenerates Figure 4 of the paper: the effect of halving
+// and doubling the miss-bound around each benchmark's base performance-
+// constrained pick, with the size-bound held fixed. The paper's finding:
+// energy-delay is robust across a 4x miss-bound range for most benchmarks,
+// while gcc, go, perl, and tomcatv trade extra slowdown for smaller sizes
+// at high bounds.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"dricache/internal/exp"
+	"dricache/internal/trace"
+)
+
+func main() {
+	var (
+		instrs   = flag.Uint64("n", 4_000_000, "instructions per run")
+		interval = flag.Uint64("interval", 100_000, "sense-interval in instructions")
+		quick    = flag.Bool("quick", false, "use the reduced search grid for the base picks")
+	)
+	flag.Parse()
+
+	scale := exp.Scale{Instructions: *instrs, SenseInterval: *interval}
+	runner := exp.NewRunner(scale)
+	space := exp.DefaultSpace(scale)
+	if *quick {
+		space = exp.QuickSpace(scale)
+	}
+
+	base := runner.Figure3(space, trace.Benchmarks())
+	rows := runner.Figure4(base)
+	fmt.Println("Figure 4: impact of varying the miss-bound (0.5x / base / 2x)")
+	fmt.Println()
+	fmt.Print(exp.FormatVariations(rows))
+}

@@ -1,0 +1,37 @@
+// Command fig5 regenerates Figure 5 of the paper: the effect of doubling
+// and halving the size-bound around each benchmark's base performance-
+// constrained pick, with the miss-bound held fixed. The paper's finding:
+// class-1 benchmarks sit at the size-bound, so doubling it directly wastes
+// energy and halving it risks thrashing; a poor choice (fpppp at 32K) can
+// push energy-delay past the conventional cache.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"dricache/internal/exp"
+	"dricache/internal/trace"
+)
+
+func main() {
+	var (
+		instrs   = flag.Uint64("n", 4_000_000, "instructions per run")
+		interval = flag.Uint64("interval", 100_000, "sense-interval in instructions")
+		quick    = flag.Bool("quick", false, "use the reduced search grid for the base picks")
+	)
+	flag.Parse()
+
+	scale := exp.Scale{Instructions: *instrs, SenseInterval: *interval}
+	runner := exp.NewRunner(scale)
+	space := exp.DefaultSpace(scale)
+	if *quick {
+		space = exp.QuickSpace(scale)
+	}
+
+	base := runner.Figure3(space, trace.Benchmarks())
+	rows := runner.Figure5(base)
+	fmt.Println("Figure 5: impact of varying the size-bound (2x / base / 0.5x)")
+	fmt.Println()
+	fmt.Print(exp.FormatVariations(rows))
+}

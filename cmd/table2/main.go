@@ -1,0 +1,44 @@
+// Command table2 regenerates Table 2 of the paper — the energy, speed, and
+// area trade-off of threshold-voltage scaling and gated-Vdd — from the
+// analytical circuit model. With -all it adds the gated-Vdd design-space
+// variants the paper discusses but does not tabulate.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"dricache/internal/circuit"
+)
+
+func main() {
+	var (
+		all     = flag.Bool("all", false, "include PMOS / single-Vt / no-charge-pump variants")
+		temp    = flag.Float64("temp", 110, "operating temperature in °C")
+		vdd     = flag.Float64("vdd", 1.0, "supply voltage in volts")
+		scaling = flag.Bool("scaling", false, "print the technology-generation leakage study instead")
+	)
+	flag.Parse()
+
+	tech := circuit.Default018()
+	tech.TempK = *temp + 273.15
+	tech.Vdd = *vdd
+
+	if *scaling {
+		fmt.Println("Technology scaling study (the paper's §1/§3 motivation):")
+		fmt.Println()
+		fmt.Print(circuit.FormatScaling(circuit.ScalingStudy(tech)))
+		fmt.Println("\npaper claims: ~5x leakage energy per generation (Borkar [3]);")
+		fmt.Println("gated-Vdd keeps reducing standby leakage at every generation")
+		return
+	}
+
+	fmt.Printf("Table 2: SRAM cell energy/speed/area at %.0f°C, Vdd=%.1fV (0.18µ)\n\n", *temp, *vdd)
+	rows := circuit.Table2(tech)
+	if *all {
+		rows = circuit.Table2Extended(tech)
+	}
+	fmt.Print(circuit.FormatTable2(rows))
+	fmt.Println("\npaper anchors: read time 2.22/1.00/1.08, active leakage 50/1740/1740,")
+	fmt.Println("standby 53 (x10^-9 nJ), savings 97%, area +5%")
+}

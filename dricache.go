@@ -1,0 +1,159 @@
+// Package dricache is a library reproduction of the HPCA 2001 paper
+// "An Integrated Circuit/Architecture Approach to Reducing Leakage in
+// Deep-Submicron High-Performance I-Caches" (Yang, Powell, Falsafi, Roy,
+// Vijaykumar): the Dynamically ResIzable instruction cache (DRI i-cache)
+// with gated-Vdd supply gating.
+//
+// The package is a facade over the simulation stack:
+//
+//   - a transistor-level model of subthreshold leakage, the stacking
+//     effect, and gated-Vdd SRAM cells (Table 2 of the paper),
+//   - a CACTI-style cache energy/area model,
+//   - the DRI i-cache controller (sense intervals, miss-bound, size-bound,
+//     divisibility, throttling, resizing tag bits),
+//   - an out-of-order core timing model with the paper's Table 1 system,
+//   - synthetic SPEC95 stand-in workloads, and
+//   - the §5.2 energy accounting and §5 experiment harness.
+//
+// Quick start:
+//
+//	bench, _ := dricache.BenchmarkByName("applu")
+//	cfg := dricache.NewDRI(64<<10, 1, dricache.DefaultParams(100_000))
+//	cmp := dricache.Compare(cfg, bench, 4_000_000)
+//	fmt.Printf("relative energy-delay %.2f at %.1f%% slowdown\n",
+//		cmp.RelativeED, cmp.SlowdownPct)
+//
+// The cmd/ directory holds regenerators for every table and figure in the
+// paper's evaluation; EXPERIMENTS.md records paper-vs-measured results.
+package dricache
+
+import (
+	"dricache/internal/circuit"
+	"dricache/internal/dri"
+	"dricache/internal/energy"
+	"dricache/internal/exp"
+	"dricache/internal/sim"
+	"dricache/internal/trace"
+)
+
+// Core configuration types (see the internal packages for full docs).
+type (
+	// CacheParams are the DRI adaptive parameters: miss-bound, size-bound,
+	// sense-interval, divisibility, and throttle settings.
+	CacheParams = dri.Params
+	// CacheConfig is an L1 i-cache configuration (geometry plus params).
+	CacheConfig = dri.Config
+	// ResizeEvent records one resize for timelines.
+	ResizeEvent = dri.ResizeEvent
+	// Benchmark is a synthetic SPEC95 stand-in program.
+	Benchmark = trace.Program
+	// BenchmarkPhase is one phase of a Benchmark.
+	BenchmarkPhase = trace.Phase
+	// Result carries all observables of a single simulation.
+	Result = sim.Result
+	// Comparison pairs a DRI run with its conventional baseline and the
+	// §5.2 energy breakdown.
+	Comparison = sim.Comparison
+	// CellConfig is an SRAM cell implementation point (gated-Vdd design
+	// space).
+	CellConfig = circuit.CellConfig
+	// CellMetrics is the circuit-level evaluation of a CellConfig.
+	CellMetrics = circuit.CellMetrics
+	// Tech is a fabrication technology operating point.
+	Tech = circuit.Tech
+	// Experiments runs the paper's evaluation studies at a given scale.
+	Experiments = exp.Runner
+	// Scale fixes instruction budget and sense-interval for experiments.
+	Scale = exp.Scale
+	// EnergyModel holds the §5.2 technology constants and equations.
+	EnergyModel = energy.Model
+)
+
+// Default64KEnergyModel returns the §5.2 constants for the paper's base
+// system (0.91 nJ/cycle leakage, 0.0022 nJ per resizing bitline, 3.6 nJ
+// per L2 access), derived from the CACTI-lite model.
+func Default64KEnergyModel() EnergyModel { return energy.Default64K() }
+
+// Benchmarks returns the fifteen SPEC95 stand-ins in the paper's class
+// order.
+func Benchmarks() []Benchmark { return trace.Benchmarks() }
+
+// BenchmarkByName looks a benchmark up by its SPEC95 name.
+func BenchmarkByName(name string) (Benchmark, error) { return trace.ByName(name) }
+
+// BenchmarkNames lists the benchmark names in class order.
+func BenchmarkNames() []string { return trace.Names() }
+
+// DefaultParams returns the paper's base adaptive parameters scaled to the
+// given sense-interval length (in dynamic instructions): divisibility 2,
+// 1K size-bound, 3-bit throttle counter with a 10-interval block, and a
+// miss-bound of 1% of the interval.
+func DefaultParams(senseInterval uint64) CacheParams {
+	return dri.DefaultParams(senseInterval)
+}
+
+// NewConventional returns a conventional (non-resizing) i-cache
+// configuration with 32-byte blocks.
+func NewConventional(sizeBytes, assoc int) CacheConfig {
+	return CacheConfig{SizeBytes: sizeBytes, BlockBytes: 32, Assoc: assoc, AddrBits: 32}
+}
+
+// NewDRI returns a DRI i-cache configuration with 32-byte blocks and the
+// given adaptive parameters.
+func NewDRI(sizeBytes, assoc int, params CacheParams) CacheConfig {
+	cfg := NewConventional(sizeBytes, assoc)
+	cfg.Params = params
+	return cfg
+}
+
+// Run simulates one benchmark on the paper's Table 1 system with the given
+// L1 i-cache for the given number of dynamic instructions.
+func Run(cfg CacheConfig, bench Benchmark, instructions uint64) Result {
+	return sim.Run(sim.Default(cfg, instructions), bench)
+}
+
+// Compare runs bench under both cfg and a conventional cache of the same
+// geometry and returns the paired results with the §5.2 energy breakdown
+// (relative energy-delay, leakage/dynamic split, slowdown).
+func Compare(cfg CacheConfig, bench Benchmark, instructions uint64) Comparison {
+	return sim.Compare(cfg, bench, instructions, nil)
+}
+
+// NewExperiments returns the experiment harness at the given scale; use it
+// for the Figure 3 search and the Figure 4–6 and §5.6 studies.
+func NewExperiments(scale Scale) *Experiments { return exp.NewRunner(scale) }
+
+// DefaultScale is the cmd-tool experiment scale: 4M instructions with
+// 100K-instruction sense intervals.
+func DefaultScale() Scale { return exp.DefaultScale() }
+
+// Table2 evaluates the paper's three cell configurations (base high-Vt,
+// base low-Vt, NMOS gated-Vdd) at the default 0.18µ/110°C operating point.
+func Table2() []circuit.Table2Row { return circuit.Table2(circuit.Default018()) }
+
+// EvaluateCell evaluates one SRAM cell configuration at the default
+// operating point.
+func EvaluateCell(c CellConfig) CellMetrics {
+	return circuit.Evaluate(circuit.Default018(), c)
+}
+
+// EvaluateCellAt evaluates one SRAM cell configuration at an arbitrary
+// operating point (temperature, supply, thresholds).
+func EvaluateCellAt(t Tech, c CellConfig) CellMetrics {
+	return circuit.Evaluate(t, c)
+}
+
+// DefaultTech returns the calibrated 0.18µ, 1.0V, 110°C operating point.
+func DefaultTech() Tech { return circuit.Default018() }
+
+// Standard cell configurations.
+var (
+	// CellBaseHighVt is the conservative-threshold conventional cell.
+	CellBaseHighVt = circuit.BaseHighVt
+	// CellBaseLowVt is the aggressively-scaled conventional cell.
+	CellBaseLowVt = circuit.BaseLowVt
+	// CellNMOSGatedVdd is the paper's preferred gated design.
+	CellNMOSGatedVdd = circuit.NMOSGatedVdd
+	// CellPMOSGatedVdd gates the supply side instead.
+	CellPMOSGatedVdd = circuit.PMOSGatedVdd
+)

@@ -1,0 +1,72 @@
+package dricache
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBenchmarkRegistry(t *testing.T) {
+	if len(Benchmarks()) != 15 || len(BenchmarkNames()) != 15 {
+		t.Fatal("benchmark registry wrong")
+	}
+	if _, err := BenchmarkByName("compress"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BenchmarkByName("quake"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	bench, err := BenchmarkByName("applu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams(50_000)
+	params.MissBound = 300
+	cfg := NewDRI(64<<10, 1, params)
+	cmp := Compare(cfg, bench, 600_000)
+	if cmp.RelativeED <= 0 || cmp.RelativeED >= 1 {
+		t.Fatalf("applu relative ED = %v, want in (0,1)", cmp.RelativeED)
+	}
+	if cmp.DRI.AvgActiveFraction >= 1 {
+		t.Fatal("DRI run should have downsized")
+	}
+}
+
+func TestConventionalRun(t *testing.T) {
+	bench, _ := BenchmarkByName("mgrid")
+	res := Run(NewConventional(64<<10, 1), bench, 300_000)
+	if res.CPU.Instructions != 300_000 || res.AvgActiveFraction != 1 {
+		t.Fatalf("conventional run wrong: %+v", res.CPU)
+	}
+}
+
+func TestTable2Facade(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 3 {
+		t.Fatalf("Table2 rows = %d", len(rows))
+	}
+	if math.Abs(rows[2].StandbyLeakE9NJ-53) > 6 {
+		t.Fatalf("gated standby = %v, want ~53", rows[2].StandbyLeakE9NJ)
+	}
+	m := EvaluateCell(CellNMOSGatedVdd())
+	if m.EnergySavingsPct < 95 {
+		t.Fatalf("gated savings = %v%%, want ~97%%", m.EnergySavingsPct)
+	}
+	if DefaultTech().Vdd != 1.0 {
+		t.Fatal("default tech should be the 1.0V point")
+	}
+}
+
+func TestExperimentsFacade(t *testing.T) {
+	r := NewExperiments(Scale{Instructions: 400_000, SenseInterval: 50_000})
+	bench, _ := BenchmarkByName("mgrid")
+	base := r.Baseline(bench, 64<<10, 1)
+	if base.CPU.Cycles == 0 {
+		t.Fatal("baseline did not run")
+	}
+	if DefaultScale().Instructions == 0 {
+		t.Fatal("default scale empty")
+	}
+}

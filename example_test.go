@@ -1,0 +1,68 @@
+package dricache_test
+
+import (
+	"fmt"
+
+	"dricache"
+)
+
+// Compare a DRI i-cache against the conventional baseline on one benchmark
+// and report the paper's headline metrics.
+func Example() {
+	bench, err := dricache.BenchmarkByName("mgrid")
+	if err != nil {
+		panic(err)
+	}
+	params := dricache.DefaultParams(100_000)
+	params.MissBound = 100
+	params.SizeBoundBytes = 2 << 10
+
+	cmp := dricache.Compare(dricache.NewDRI(64<<10, 1, params), bench, 2_000_000)
+	fmt.Printf("downsized below a quarter: %v\n", cmp.DRI.AvgActiveFraction < 0.25)
+	fmt.Printf("energy-delay reduced: %v\n", cmp.RelativeED < 0.5)
+	fmt.Printf("within 4%% slowdown: %v\n", cmp.SlowdownPct <= 4)
+	// Output:
+	// downsized below a quarter: true
+	// energy-delay reduced: true
+	// within 4% slowdown: true
+}
+
+// Evaluate the gated-Vdd SRAM cell design space (the paper's Table 2).
+func ExampleTable2() {
+	rows := dricache.Table2()
+	for _, r := range rows {
+		fmt.Printf("%-14s read %.2fx\n", r.Technique, r.RelativeReadTime)
+	}
+	// Output:
+	// base high-Vt   read 2.22x
+	// base low-Vt    read 1.00x
+	// NMOS gated-Vdd read 1.08x
+}
+
+// Inspect a custom cell configuration at a custom operating point.
+func ExampleEvaluateCellAt() {
+	tech := dricache.DefaultTech()
+	tech.TempK = 273.15 + 25 // room temperature
+
+	cell := dricache.CellNMOSGatedVdd()
+	m := dricache.EvaluateCellAt(tech, cell)
+	fmt.Printf("standby well below active: %v\n",
+		m.StandbyLeakageW < m.ActiveLeakageW/10)
+	// Output:
+	// standby well below active: true
+}
+
+// Run a single simulation and inspect the resize timeline.
+func ExampleRun() {
+	bench, _ := dricache.BenchmarkByName("hydro2d")
+	params := dricache.DefaultParams(100_000)
+	params.MissBound = 1600
+	params.SizeBoundBytes = 2 << 10
+
+	res := dricache.Run(dricache.NewDRI(64<<10, 1, params), bench, 2_000_000)
+	fmt.Printf("resized at least 5 times: %v\n", len(res.Events) >= 5)
+	fmt.Printf("ends at 2K: %v\n", res.Events[len(res.Events)-1].ToSets*32 == 2<<10)
+	// Output:
+	// resized at least 5 times: true
+	// ends at 2K: true
+}

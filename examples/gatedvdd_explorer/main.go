@@ -1,0 +1,60 @@
+// Gated-Vdd design-space exploration: sweep the gating transistor width
+// and plot the standby-leakage vs read-time trade-off the paper's §5.1
+// discusses ("presenting a trade-off among area overhead, leakage
+// reduction, and impact on performance"), for both NMOS and PMOS gating,
+// with and without the charge pump.
+package main
+
+import (
+	"fmt"
+
+	"dricache"
+)
+
+func main() {
+	// Table 2 first, as the anchor.
+	fmt.Println("Table 2 (from the analytical circuit model):")
+	for _, r := range dricache.Table2() {
+		fmt.Printf("  %-16s read %.2fx  active %4.0f  standby ",
+			r.Technique, r.RelativeReadTime, r.ActiveLeakE9NJ)
+		if r.StandbyLeakE9NJ < 0 {
+			fmt.Println("  N/A")
+		} else {
+			fmt.Printf("%4.0f  (x10^-9 nJ)\n", r.StandbyLeakE9NJ)
+		}
+	}
+
+	fmt.Println("\ngating-width sweep (per-cell width ratio -> standby nJx1e-9, read time, area%):")
+	fmt.Printf("%8s  %28s  %28s\n", "width", "NMOS dual-Vt + pump", "PMOS dual-Vt + pump")
+	for _, w := range []float64{0.5, 1, 2, 2.25, 4, 8, 16} {
+		n := dricache.CellNMOSGatedVdd()
+		n.GateWidthRatio = w
+		p := dricache.CellPMOSGatedVdd()
+		p.GateWidthRatio = w
+		mn := dricache.EvaluateCell(n)
+		mp := dricache.EvaluateCell(p)
+		fmt.Printf("%8.2f  %8.1f %6.3fx %5.1f%%  %10.1f %6.3fx %5.1f%%\n",
+			w,
+			mn.StandbyLeakageNJ*1e9, mn.RelativeReadTime, mn.AreaIncreasePct,
+			mp.StandbyLeakageNJ*1e9, mp.RelativeReadTime, mp.AreaIncreasePct)
+	}
+
+	fmt.Println("\ncharge pump ablation (NMOS dual-Vt, width 2.25):")
+	withPump := dricache.CellNMOSGatedVdd()
+	noPump := withPump
+	noPump.GateBoost = 0
+	noPump.Name = "no pump"
+	for _, c := range []dricache.CellConfig{withPump, noPump} {
+		m := dricache.EvaluateCell(c)
+		fmt.Printf("  %-16s read %.3fx  standby %.1f x10^-9 nJ\n",
+			c.Name, m.RelativeReadTime, m.StandbyLeakageNJ*1e9)
+	}
+
+	fmt.Println("\ntemperature sensitivity of the low-Vt cell (leakage x10^-9 nJ/cycle):")
+	for _, tC := range []float64{25, 50, 75, 110} {
+		tech := dricache.DefaultTech()
+		tech.TempK = tC + 273.15
+		m := dricache.EvaluateCellAt(tech, dricache.CellBaseLowVt())
+		fmt.Printf("  %5.0f°C  %8.1f\n", tC, m.ActiveLeakageNJ*1e9)
+	}
+}

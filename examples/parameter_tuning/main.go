@@ -1,0 +1,71 @@
+// Parameter tuning: sweep the miss-bound × size-bound grid for one
+// benchmark — the search behind the paper's Figure 3 — and print the
+// energy-delay landscape with the performance-constrained winner.
+//
+// Usage: parameter_tuning [benchmark]   (default: compress)
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dricache"
+)
+
+func main() {
+	name := "compress"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	bench, err := dricache.BenchmarkByName(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	const (
+		instructions = 2_000_000
+		interval     = 100_000
+	)
+	missBounds := []uint64{100, 400, 1600}
+	sizeBounds := []int{1 << 10, 4 << 10, 16 << 10, 64 << 10}
+
+	fmt.Printf("%s: relative energy-delay (slowdown%%) across the parameter grid\n\n", name)
+	fmt.Printf("%12s", "")
+	for _, sb := range sizeBounds {
+		fmt.Printf("  sb=%-10s", fmt.Sprintf("%dK", sb>>10))
+	}
+	fmt.Println()
+
+	type best struct {
+		ed        float64
+		mb        uint64
+		sb        int
+		slowdown  float64
+		haveValid bool
+	}
+	var winner best
+
+	for _, mb := range missBounds {
+		fmt.Printf("  mb=%-7d", mb)
+		for _, sb := range sizeBounds {
+			params := dricache.DefaultParams(interval)
+			params.MissBound = mb
+			params.SizeBoundBytes = sb
+			cmp := dricache.Compare(dricache.NewDRI(64<<10, 1, params), bench, instructions)
+			fmt.Printf("  %5.3f (%4.1f%%)", cmp.RelativeED, cmp.SlowdownPct)
+			if cmp.SlowdownPct <= 4 &&
+				(!winner.haveValid || cmp.RelativeED < winner.ed) {
+				winner = best{cmp.RelativeED, mb, sb, cmp.SlowdownPct, true}
+			}
+		}
+		fmt.Println()
+	}
+
+	if winner.haveValid {
+		fmt.Printf("\nbest within the 4%% constraint: mb=%d sb=%dK -> ED %.3f at %.1f%% slowdown\n",
+			winner.mb, winner.sb>>10, winner.ed, winner.slowdown)
+	} else {
+		fmt.Println("\nno grid point met the 4% performance constraint")
+	}
+}

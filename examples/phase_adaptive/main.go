@@ -1,0 +1,63 @@
+// Phase adaptation: run hydro2d — the paper's example of a benchmark with a
+// crisp phase transition (a full-size initialization phase followed by 2K
+// inner loops) — and visualize how the DRI i-cache tracks the program's
+// instruction working set over time.
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dricache"
+)
+
+func main() {
+	bench, err := dricache.BenchmarkByName("hydro2d")
+	if err != nil {
+		panic(err)
+	}
+
+	params := dricache.DefaultParams(100_000)
+	params.MissBound = 1600
+	params.SizeBoundBytes = 2 << 10
+
+	cfg := dricache.NewDRI(64<<10, 1, params)
+	res := dricache.Run(cfg, bench, 4_000_000)
+
+	fmt.Printf("%s: %d resizes (%d down, %d up), %d throttle trips\n\n",
+		bench.Name, len(res.Events), res.ICache.Downsizes, res.ICache.Upsizes,
+		res.ICache.ThrottleTrips)
+
+	// Size-over-time timeline from the resize log.
+	fmt.Println("active size after each resize (sense-interval, size):")
+	size := 64 << 10
+	printBar(0, size)
+	for _, ev := range res.Events {
+		size = ev.ToSets * 32 // direct-mapped: sets × block bytes
+		printBar(ev.Interval, size)
+	}
+
+	// Residency histogram.
+	fmt.Println("\ncycles spent at each size:")
+	sizes := make([]int, 0, len(res.SizeResidency))
+	for s := range res.SizeResidency {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	var total uint64
+	for _, s := range sizes {
+		total += res.SizeResidency[s]
+	}
+	for _, s := range sizes {
+		frac := float64(res.SizeResidency[s]) / float64(total)
+		fmt.Printf("  %4dK %s %.1f%%\n", s>>10,
+			strings.Repeat("#", int(frac*50)), 100*frac)
+	}
+	fmt.Printf("\naverage active size: %.1f%% of 64K\n", 100*res.AvgActiveFraction)
+}
+
+func printBar(interval uint64, sizeBytes int) {
+	width := sizeBytes / (1 << 10) // one column per KB
+	fmt.Printf("  %4d %6dK |%s\n", interval, sizeBytes>>10, strings.Repeat("█", width))
+}

@@ -1,0 +1,210 @@
+// Package bpred implements the two-level hybrid branch predictor of the
+// simulated core (Table 1: "Branch predictor: 2-level hybrid"), following
+// the SimpleScalar "comb" organization: a bimodal predictor, a gshare-style
+// two-level predictor, and a meta chooser, plus a branch target buffer and a
+// return address stack.
+package bpred
+
+import "fmt"
+
+// Config sizes the predictor tables. All table sizes must be powers of two.
+type Config struct {
+	BimodalEntries int // 2-bit counters indexed by PC
+	PHTEntries     int // 2-bit counters indexed by history XOR PC (gshare)
+	HistoryBits    int // global history length
+	MetaEntries    int // 2-bit chooser counters indexed by PC
+	BTBEntries     int // direct-mapped target buffer
+	RASDepth       int // return address stack
+}
+
+// DefaultConfig returns the SimpleScalar-like sizing used in the paper's
+// system configuration.
+func DefaultConfig() Config {
+	return Config{
+		BimodalEntries: 4096,
+		PHTEntries:     4096,
+		HistoryBits:    12,
+		MetaEntries:    4096,
+		BTBEntries:     2048,
+		RASDepth:       32,
+	}
+}
+
+// Check validates the configuration.
+func (c Config) Check() error {
+	pow2 := func(n int) bool { return n > 0 && n&(n-1) == 0 }
+	switch {
+	case !pow2(c.BimodalEntries):
+		return fmt.Errorf("bpred: bimodal entries %d not a power of two", c.BimodalEntries)
+	case !pow2(c.PHTEntries):
+		return fmt.Errorf("bpred: PHT entries %d not a power of two", c.PHTEntries)
+	case !pow2(c.MetaEntries):
+		return fmt.Errorf("bpred: meta entries %d not a power of two", c.MetaEntries)
+	case !pow2(c.BTBEntries):
+		return fmt.Errorf("bpred: BTB entries %d not a power of two", c.BTBEntries)
+	case c.HistoryBits < 1 || c.HistoryBits > 30:
+		return fmt.Errorf("bpred: history bits %d out of range", c.HistoryBits)
+	case c.RASDepth < 1:
+		return fmt.Errorf("bpred: RAS depth %d < 1", c.RASDepth)
+	}
+	return nil
+}
+
+// Stats counts prediction outcomes.
+type Stats struct {
+	Branches      uint64 // conditional branches seen
+	Mispredicts   uint64 // conditional direction mispredictions
+	BTBLookups    uint64
+	BTBMisses     uint64 // target unknown or wrong
+	Returns       uint64
+	RASMispredict uint64
+}
+
+// MispredictRate returns direction mispredictions per conditional branch.
+func (s Stats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+// Predictor is a hybrid direction predictor with BTB and RAS. It is not
+// safe for concurrent use.
+type Predictor struct {
+	cfg     Config
+	bimodal []uint8
+	pht     []uint8
+	meta    []uint8
+	history uint32
+	histMsk uint32
+
+	btbTags    []uint64
+	btbTargets []uint64
+
+	ras    []uint64
+	rasTop int
+
+	stats Stats
+}
+
+// New builds a predictor; it panics on an invalid configuration.
+func New(cfg Config) *Predictor {
+	if err := cfg.Check(); err != nil {
+		panic(err)
+	}
+	p := &Predictor{
+		cfg:        cfg,
+		bimodal:    make([]uint8, cfg.BimodalEntries),
+		pht:        make([]uint8, cfg.PHTEntries),
+		meta:       make([]uint8, cfg.MetaEntries),
+		histMsk:    (1 << uint(cfg.HistoryBits)) - 1,
+		btbTags:    make([]uint64, cfg.BTBEntries),
+		btbTargets: make([]uint64, cfg.BTBEntries),
+		ras:        make([]uint64, cfg.RASDepth),
+	}
+	// Weakly-taken initial state, the usual convention.
+	for i := range p.bimodal {
+		p.bimodal[i] = 2
+	}
+	for i := range p.pht {
+		p.pht[i] = 2
+	}
+	for i := range p.meta {
+		p.meta[i] = 2 // weakly prefer the two-level predictor
+	}
+	return p
+}
+
+// Stats returns a copy of the counters.
+func (p *Predictor) Stats() Stats { return p.stats }
+
+func taken(counter uint8) bool { return counter >= 2 }
+
+func bump(counter uint8, t bool) uint8 {
+	if t {
+		if counter < 3 {
+			return counter + 1
+		}
+		return counter
+	}
+	if counter > 0 {
+		return counter - 1
+	}
+	return counter
+}
+
+// PredictBranch predicts and immediately trains on a conditional branch
+// with actual outcome `actual`, returning whether the prediction was wrong.
+// (Prediction at fetch and update at commit are collapsed, the standard
+// approximation in trace-driven timing models.)
+func (p *Predictor) PredictBranch(pc uint64, actual bool) (mispredicted bool) {
+	p.stats.Branches++
+	pcIdx := (pc >> 2)
+	bi := int(pcIdx) & (p.cfg.BimodalEntries - 1)
+	gi := int((uint32(pcIdx) ^ p.history) & uint32(p.cfg.PHTEntries-1))
+	mi := int(pcIdx) & (p.cfg.MetaEntries - 1)
+
+	bPred := taken(p.bimodal[bi])
+	gPred := taken(p.pht[gi])
+	var pred bool
+	if taken(p.meta[mi]) {
+		pred = gPred
+	} else {
+		pred = bPred
+	}
+
+	// Train components.
+	p.bimodal[bi] = bump(p.bimodal[bi], actual)
+	p.pht[gi] = bump(p.pht[gi], actual)
+	if bPred != gPred {
+		p.meta[mi] = bump(p.meta[mi], gPred == actual)
+	}
+	p.history = ((p.history << 1) | b2u(actual)) & p.histMsk
+
+	if pred != actual {
+		p.stats.Mispredicts++
+		return true
+	}
+	return false
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// PredictTarget looks up (and trains) the BTB for a taken control
+// instruction with the given actual target, reporting whether the predicted
+// target was wrong (a fetch redirect at execute).
+func (p *Predictor) PredictTarget(pc, actualTarget uint64) (mispredicted bool) {
+	p.stats.BTBLookups++
+	i := int(pc>>2) & (p.cfg.BTBEntries - 1)
+	hit := p.btbTags[i] == pc && p.btbTargets[i] == actualTarget
+	p.btbTags[i] = pc
+	p.btbTargets[i] = actualTarget
+	if !hit {
+		p.stats.BTBMisses++
+		return true
+	}
+	return false
+}
+
+// Call records a call instruction: the return address is pushed on the RAS.
+func (p *Predictor) Call(returnAddr uint64) {
+	p.ras[p.rasTop] = returnAddr
+	p.rasTop = (p.rasTop + 1) % p.cfg.RASDepth
+}
+
+// Return predicts a return target from the RAS, reporting whether the
+// prediction was wrong (stack overflow/underflow or mismatch).
+func (p *Predictor) Return(actualTarget uint64) (mispredicted bool) {
+	p.stats.Returns++
+	p.rasTop = (p.rasTop - 1 + p.cfg.RASDepth) % p.cfg.RASDepth
+	if p.ras[p.rasTop] != actualTarget {
+		p.stats.RASMispredict++
+		return true
+	}
+	return false
+}

@@ -1,0 +1,228 @@
+package bpred
+
+import (
+	"testing"
+
+	"dricache/internal/xrand"
+)
+
+func TestConfigCheck(t *testing.T) {
+	if err := DefaultConfig().Check(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{BimodalEntries: 0, PHTEntries: 4096, HistoryBits: 12, MetaEntries: 4096, BTBEntries: 2048, RASDepth: 8},
+		{BimodalEntries: 4096, PHTEntries: 1000, HistoryBits: 12, MetaEntries: 4096, BTBEntries: 2048, RASDepth: 8},
+		{BimodalEntries: 4096, PHTEntries: 4096, HistoryBits: 0, MetaEntries: 4096, BTBEntries: 2048, RASDepth: 8},
+		{BimodalEntries: 4096, PHTEntries: 4096, HistoryBits: 12, MetaEntries: 4096, BTBEntries: 2048, RASDepth: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Check(); err == nil {
+			t.Errorf("case %d: accepted invalid config", i)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestAlwaysTakenLearned(t *testing.T) {
+	p := New(DefaultConfig())
+	miss := 0
+	for i := 0; i < 1000; i++ {
+		if p.PredictBranch(0x4000, true) {
+			miss++
+		}
+	}
+	if miss > 2 {
+		t.Fatalf("always-taken branch mispredicted %d times", miss)
+	}
+}
+
+func TestAlwaysNotTakenLearned(t *testing.T) {
+	p := New(DefaultConfig())
+	miss := 0
+	for i := 0; i < 1000; i++ {
+		if p.PredictBranch(0x4000, false) {
+			miss++
+		}
+	}
+	if miss > 4 {
+		t.Fatalf("never-taken branch mispredicted %d times", miss)
+	}
+}
+
+func TestAlternatingPatternLearnedByHistory(t *testing.T) {
+	// T,N,T,N... defeats bimodal but is trivial for the global-history
+	// predictor; the hybrid must converge on it.
+	p := New(DefaultConfig())
+	miss := 0
+	for i := 0; i < 2000; i++ {
+		if p.PredictBranch(0x4000, i%2 == 0) {
+			miss++
+		}
+	}
+	if rate := float64(miss) / 2000; rate > 0.1 {
+		t.Fatalf("alternating pattern miss rate %v, want < 0.1", rate)
+	}
+}
+
+func TestLoopPatternLearned(t *testing.T) {
+	// A loop branch: taken 15 times, then not taken, repeated. The 2-level
+	// predictor should get close to the 1-in-16 floor.
+	p := New(DefaultConfig())
+	miss := 0
+	n := 0
+	for rep := 0; rep < 300; rep++ {
+		for i := 0; i < 16; i++ {
+			if p.PredictBranch(0x8000, i != 15) {
+				miss++
+			}
+			n++
+		}
+	}
+	if rate := float64(miss) / float64(n); rate > 0.08 {
+		t.Fatalf("loop pattern miss rate %v, want < 0.08", rate)
+	}
+}
+
+func TestRandomBranchesMispredictHalf(t *testing.T) {
+	p := New(DefaultConfig())
+	rng := xrand.New(5)
+	miss := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if p.PredictBranch(0x4000, rng.Bool(0.5)) {
+			miss++
+		}
+	}
+	rate := float64(miss) / n
+	if rate < 0.4 || rate > 0.6 {
+		t.Fatalf("random branch miss rate %v, want ~0.5", rate)
+	}
+}
+
+func TestBiasedRandomBranches(t *testing.T) {
+	// 90%-taken random branches: the counters should do no worse than the
+	// 10% floor by much.
+	p := New(DefaultConfig())
+	rng := xrand.New(6)
+	miss := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if p.PredictBranch(0x4000, rng.Bool(0.9)) {
+			miss++
+		}
+	}
+	rate := float64(miss) / n
+	if rate > 0.2 {
+		t.Fatalf("biased branch miss rate %v, want < 0.2", rate)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	p := New(DefaultConfig())
+	for i := 0; i < 100; i++ {
+		p.PredictBranch(uint64(i*4), i%3 == 0)
+	}
+	s := p.Stats()
+	if s.Branches != 100 {
+		t.Fatalf("branches = %d, want 100", s.Branches)
+	}
+	if s.Mispredicts == 0 || s.Mispredicts > 100 {
+		t.Fatalf("mispredicts = %d out of range", s.Mispredicts)
+	}
+	if s.MispredictRate() != float64(s.Mispredicts)/100 {
+		t.Fatal("mispredict rate mismatch")
+	}
+	var empty Stats
+	if empty.MispredictRate() != 0 {
+		t.Fatal("empty stats rate should be 0")
+	}
+}
+
+func TestBTBLearnsTargets(t *testing.T) {
+	p := New(DefaultConfig())
+	if !p.PredictTarget(0x1000, 0x2000) {
+		t.Fatal("cold BTB should miss")
+	}
+	if p.PredictTarget(0x1000, 0x2000) {
+		t.Fatal("warm BTB with same target should hit")
+	}
+	if !p.PredictTarget(0x1000, 0x3000) {
+		t.Fatal("changed target should miss")
+	}
+	s := p.Stats()
+	if s.BTBLookups != 3 || s.BTBMisses != 2 {
+		t.Fatalf("BTB stats = %+v", s)
+	}
+}
+
+func TestBTBConflicts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BTBEntries = 2
+	p := New(cfg)
+	p.PredictTarget(0x10, 0x100) // index 0: miss, installs
+	p.PredictTarget(0x14, 0x200) // index 1: miss, installs
+	if p.PredictTarget(0x10, 0x100) {
+		t.Fatal("no conflict: should hit")
+	}
+	p.PredictTarget(0x20, 0x300) // index 0 again: aliases 0x10
+	if !p.PredictTarget(0x10, 0x100) {
+		t.Fatal("conflict evicted the entry: should miss")
+	}
+}
+
+func TestRASMatchedCallsReturns(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Call(0x100)
+	p.Call(0x200)
+	if p.Return(0x200) {
+		t.Fatal("inner return should be predicted")
+	}
+	if p.Return(0x100) {
+		t.Fatal("outer return should be predicted")
+	}
+	if p.Return(0x999) == false {
+		t.Fatal("underflowed/mismatched return must mispredict")
+	}
+	if p.Stats().Returns != 3 || p.Stats().RASMispredict != 1 {
+		t.Fatalf("RAS stats = %+v", p.Stats())
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RASDepth = 2
+	p := New(cfg)
+	p.Call(0x1)
+	p.Call(0x2)
+	p.Call(0x3) // overwrites 0x1
+	if p.Return(0x3) || p.Return(0x2) {
+		t.Fatal("top two returns should still predict")
+	}
+	if !p.Return(0x1) {
+		t.Fatal("overflowed frame must mispredict")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Stats {
+		p := New(DefaultConfig())
+		rng := xrand.New(77)
+		for i := 0; i < 10000; i++ {
+			pc := uint64(rng.Intn(1 << 16))
+			p.PredictBranch(pc, rng.Bool(0.6))
+		}
+		return p.Stats()
+	}
+	if run() != run() {
+		t.Fatal("predictor must be deterministic")
+	}
+}

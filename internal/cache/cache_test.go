@@ -1,0 +1,258 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dricache/internal/xrand"
+)
+
+func small() Config {
+	return Config{Name: "t", SizeBytes: 1 << 10, BlockBytes: 32, Assoc: 2}
+}
+
+func TestConfigCheck(t *testing.T) {
+	if err := small().Check(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{SizeBytes: 0, BlockBytes: 32, Assoc: 1},
+		{SizeBytes: 1000, BlockBytes: 32, Assoc: 1},
+		{SizeBytes: 1024, BlockBytes: 0, Assoc: 1},
+		{SizeBytes: 1024, BlockBytes: 48, Assoc: 1},
+		{SizeBytes: 1024, BlockBytes: 32, Assoc: 0},
+		{SizeBytes: 64, BlockBytes: 64, Assoc: 2},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Check(); err == nil {
+			t.Errorf("case %d: accepted invalid config %+v", i, cfg)
+		}
+	}
+}
+
+func TestConfigGeometry(t *testing.T) {
+	cfg := small()
+	if got := cfg.Sets(); got != 16 {
+		t.Errorf("sets = %d, want 16", got)
+	}
+	if got := cfg.OffsetBits(); got != 5 {
+		t.Errorf("offset bits = %d, want 5", got)
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New should panic on invalid config")
+		}
+	}()
+	New(Config{SizeBytes: 7})
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(small())
+	if r := c.Access(0x1000, false); r.Hit {
+		t.Fatal("cold access should miss")
+	}
+	if r := c.Access(0x1000, false); !r.Hit {
+		t.Fatal("second access should hit")
+	}
+	if r := c.Access(0x101f, false); !r.Hit {
+		t.Fatal("same block should hit")
+	}
+	if r := c.Access(0x1020, false); r.Hit {
+		t.Fatal("next block should miss")
+	}
+	s := c.Stats()
+	if s.Accesses != 4 || s.Misses != 2 {
+		t.Fatalf("stats = %+v, want 4 accesses 2 misses", s)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 2-way cache: three conflicting blocks force the least recent out.
+	c := New(small())
+	sets := uint64(c.Config().Sets())
+	block := func(i uint64) uint64 { return i * sets * 32 } // same set 0
+	c.AccessBlock(c.Block(block(1)), false)
+	c.AccessBlock(c.Block(block(2)), false)
+	c.AccessBlock(c.Block(block(1)), false) // 1 is now MRU
+	c.AccessBlock(c.Block(block(3)), false) // evicts 2
+	if !c.Probe(block(1)) {
+		t.Fatal("block 1 (MRU) should survive")
+	}
+	if c.Probe(block(2)) {
+		t.Fatal("block 2 (LRU) should be evicted")
+	}
+	if !c.Probe(block(3)) {
+		t.Fatal("block 3 should be resident")
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	cfg := Config{Name: "wb", SizeBytes: 64, BlockBytes: 32, Assoc: 1} // 2 sets
+	c := New(cfg)
+	c.Access(0, true) // write-allocate, dirty
+	r := c.Access(128, false)
+	if r.Hit {
+		t.Fatal("conflicting block should miss")
+	}
+	if !r.Writeback || r.WritebackBlock != 0 {
+		t.Fatalf("expected writeback of block 0, got %+v", r)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Stats().Writebacks)
+	}
+}
+
+func TestCleanEvictionNoWriteback(t *testing.T) {
+	cfg := Config{Name: "wb", SizeBytes: 64, BlockBytes: 32, Assoc: 1}
+	c := New(cfg)
+	c.Access(0, false)
+	r := c.Access(128, false)
+	if r.Writeback {
+		t.Fatal("clean victim must not write back")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Stats().Evictions)
+	}
+}
+
+func TestWriteHitMarksDirty(t *testing.T) {
+	cfg := Config{Name: "wb", SizeBytes: 64, BlockBytes: 32, Assoc: 1}
+	c := New(cfg)
+	c.Access(0, false) // clean fill
+	c.Access(0, true)  // write hit dirties it
+	r := c.Access(128, false)
+	if !r.Writeback {
+		t.Fatal("dirtied block must write back on eviction")
+	}
+}
+
+func TestProbeDoesNotDisturbState(t *testing.T) {
+	c := New(small())
+	c.Access(0x40, false)
+	before := c.Stats()
+	if !c.Probe(0x40) || c.Probe(0x8000) {
+		t.Fatal("probe results wrong")
+	}
+	if c.Stats() != before {
+		t.Fatal("probe must not change statistics")
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := New(small())
+	for i := uint64(0); i < 16; i++ {
+		c.Access(i*32, false)
+	}
+	if c.ValidBlocks() != 16 {
+		t.Fatalf("valid blocks = %d, want 16", c.ValidBlocks())
+	}
+	c.InvalidateAll()
+	if c.ValidBlocks() != 0 {
+		t.Fatal("invalidate-all left valid blocks")
+	}
+	if c.Probe(0) {
+		t.Fatal("probe hit after invalidate-all")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Fatal("empty stats miss rate should be 0")
+	}
+	s = Stats{Accesses: 8, Misses: 2}
+	if s.MissRate() != 0.25 {
+		t.Fatalf("miss rate = %v, want 0.25", s.MissRate())
+	}
+}
+
+func TestWorkingSetFitsAfterWarmup(t *testing.T) {
+	// A working set no larger than capacity must stop missing once warm.
+	c := New(Config{Name: "fit", SizeBytes: 4 << 10, BlockBytes: 32, Assoc: 4})
+	blocks := (4 << 10) / 32
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < blocks; i++ {
+			c.Access(uint64(i*32), false)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != uint64(blocks) {
+		t.Fatalf("misses = %d, want %d (cold only)", s.Misses, blocks)
+	}
+}
+
+func TestThrashingDirectMapped(t *testing.T) {
+	// Two blocks mapping to the same DM set alternate: every access misses.
+	cfg := Config{Name: "dm", SizeBytes: 1 << 10, BlockBytes: 32, Assoc: 1}
+	c := New(cfg)
+	a, b := uint64(0), uint64(1<<10)
+	for i := 0; i < 10; i++ {
+		c.Access(a, false)
+		c.Access(b, false)
+	}
+	if s := c.Stats(); s.Misses != s.Accesses {
+		t.Fatalf("ping-pong should always miss: %+v", s)
+	}
+}
+
+func TestAssociativityAbsorbsConflicts(t *testing.T) {
+	// The same ping-pong pattern hits fine with 2 ways.
+	cfg := Config{Name: "2w", SizeBytes: 1 << 10, BlockBytes: 32, Assoc: 2}
+	c := New(cfg)
+	a, b := uint64(0), uint64(1<<10)
+	for i := 0; i < 10; i++ {
+		c.Access(a, false)
+		c.Access(b, false)
+	}
+	if s := c.Stats(); s.Misses != 2 {
+		t.Fatalf("2-way should only cold-miss: %+v", s)
+	}
+}
+
+// TestOccupancyInvariantQuick drives random accesses and checks the
+// structural invariants: hits+misses == accesses and occupancy never
+// exceeds capacity.
+func TestOccupancyInvariantQuick(t *testing.T) {
+	f := func(seed uint64, sizeExp, assocExp uint8) bool {
+		size := 1 << (8 + sizeExp%6) // 256B..8K
+		assoc := 1 << (assocExp % 3) // 1..4
+		if size < 32*assoc {
+			return true
+		}
+		cfg := Config{Name: "q", SizeBytes: size, BlockBytes: 32, Assoc: assoc}
+		c := New(cfg)
+		rng := xrand.New(seed)
+		for i := 0; i < 2000; i++ {
+			addr := uint64(rng.Intn(1 << 16))
+			c.Access(addr, rng.Bool(0.3))
+		}
+		s := c.Stats()
+		if s.Accesses != 2000 {
+			return false
+		}
+		capacity := size / 32
+		return c.ValidBlocks() <= capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterminism verifies that identical access streams produce identical
+// statistics (a requirement for reproducible experiments).
+func TestDeterminism(t *testing.T) {
+	run := func() Stats {
+		c := New(small())
+		rng := xrand.New(42)
+		for i := 0; i < 5000; i++ {
+			c.Access(uint64(rng.Intn(1<<14)), rng.Bool(0.2))
+		}
+		return c.Stats()
+	}
+	if run() != run() {
+		t.Fatal("same stream must give same stats")
+	}
+}

@@ -1,0 +1,80 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dricache/internal/xrand"
+)
+
+// TestLRUMatchesReferenceModel cross-checks the array-based LRU against a
+// straightforward reference implementation (recency list per set) on
+// random access streams.
+func TestLRUMatchesReferenceModel(t *testing.T) {
+	type refSet struct {
+		blocks []uint64 // most recent last
+	}
+	f := func(seed uint64) bool {
+		cfg := Config{Name: "ref", SizeBytes: 1 << 10, BlockBytes: 32, Assoc: 4}
+		c := New(cfg)
+		sets := make([]refSet, cfg.Sets())
+		rng := xrand.New(seed)
+		for i := 0; i < 3000; i++ {
+			block := uint64(rng.Intn(256))
+			setIdx := int(block) % cfg.Sets()
+			rs := &sets[setIdx]
+
+			// Reference: hit if present; move to MRU. Miss: append, evict
+			// LRU if over associativity.
+			refHit := false
+			for j, b := range rs.blocks {
+				if b == block {
+					refHit = true
+					rs.blocks = append(append(rs.blocks[:j], rs.blocks[j+1:]...), block)
+					break
+				}
+			}
+			if !refHit {
+				rs.blocks = append(rs.blocks, block)
+				if len(rs.blocks) > cfg.Assoc {
+					rs.blocks = rs.blocks[1:]
+				}
+			}
+
+			if got := c.AccessBlock(block, false).Hit; got != refHit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWritebackConservation property: every block that was ever dirtied is
+// either still resident (dirty or rewritten) or was written back exactly
+// once per dirty residency.
+func TestWritebackConservation(t *testing.T) {
+	cfg := Config{Name: "wc", SizeBytes: 512, BlockBytes: 32, Assoc: 2}
+	c := New(cfg)
+	rng := xrand.New(5)
+	dirtied := 0
+	for i := 0; i < 20000; i++ {
+		write := rng.Bool(0.4)
+		if write {
+			dirtied++
+		}
+		c.AccessBlock(uint64(rng.Intn(64)), write)
+	}
+	s := c.Stats()
+	if s.Writebacks > uint64(dirtied) {
+		t.Fatalf("more writebacks (%d) than writes (%d)", s.Writebacks, dirtied)
+	}
+	if s.Evictions < s.Writebacks {
+		t.Fatalf("writebacks (%d) exceed evictions (%d)", s.Writebacks, s.Evictions)
+	}
+	if s.Misses > s.Accesses || s.Evictions > s.Misses {
+		t.Fatalf("inconsistent counters: %+v", s)
+	}
+}

@@ -1,0 +1,213 @@
+package circuit
+
+import "math"
+
+// CellConfig describes one SRAM cell implementation point in the gated-Vdd
+// design space (the columns of the paper's Table 2 plus the variants the
+// paper discusses: PMOS gating, single-Vt gating, and no charge pump).
+type CellConfig struct {
+	// Name labels the configuration in tables.
+	Name string
+	// CellVt is the threshold voltage of the SRAM cell transistors.
+	CellVt float64
+	// Gated selects whether a gated-Vdd transistor is present.
+	Gated bool
+	// GateKind is the gating device type: NMOS (between cell and Gnd) or
+	// PMOS (between Vdd and cell).
+	GateKind Kind
+	// GateVt is the gating transistor threshold. Dual-Vt designs use a high
+	// Vt here while the cell stays at low Vt.
+	GateVt float64
+	// GateWidthRatio is the gating transistor width per cell, normalized to
+	// the cell's aggregate leaking width. The paper shares one wide device
+	// across a cache line; this is the per-cell share.
+	GateWidthRatio float64
+	// GateBoost is the charge-pump overdrive applied to the gating
+	// transistor's gate in active mode (the paper's "charge pump" [20]).
+	GateBoost float64
+}
+
+// Standard configurations.
+
+// BaseHighVt is the conventional cell with a conservative threshold
+// (column 1 of Table 2): low leakage, slow reads.
+func BaseHighVt() CellConfig {
+	return CellConfig{Name: "base high-Vt", CellVt: 0.40}
+}
+
+// BaseLowVt is the conventional cell with an aggressively scaled threshold
+// (column 2 of Table 2): fast reads, 30x the leakage.
+func BaseLowVt() CellConfig {
+	return CellConfig{Name: "base low-Vt", CellVt: 0.20}
+}
+
+// NMOSGatedVdd is the paper's preferred design (column 3 of Table 2): low-Vt
+// cell, wide high-Vt NMOS gating transistor with a charge pump.
+func NMOSGatedVdd() CellConfig {
+	return CellConfig{
+		Name:           "NMOS gated-Vdd",
+		CellVt:         0.20,
+		Gated:          true,
+		GateKind:       NMOS,
+		GateVt:         0.40,
+		GateWidthRatio: 2.25,
+		GateBoost:      0.40,
+	}
+}
+
+// PMOSGatedVdd is the PMOS-gating alternative the paper mentions (§3): the
+// gating device sits between Vdd and the cell. Lower drive per width makes
+// the read penalty larger at equal width.
+func PMOSGatedVdd() CellConfig {
+	return CellConfig{
+		Name:           "PMOS gated-Vdd",
+		CellVt:         0.20,
+		Gated:          true,
+		GateKind:       PMOS,
+		GateVt:         0.40,
+		GateWidthRatio: 2.25,
+		GateBoost:      0.40,
+	}
+}
+
+// NMOSGatedVddSingleVt is NMOS gating without dual-Vt (gate at the cell's
+// low Vt): the stacking effect alone, without the high-Vt barrier.
+func NMOSGatedVddSingleVt() CellConfig {
+	c := NMOSGatedVdd()
+	c.Name = "NMOS gated-Vdd single-Vt"
+	c.GateVt = 0.20
+	return c
+}
+
+// NMOSGatedVddNoPump is NMOS dual-Vt gating without the charge pump,
+// trading read time for pump complexity.
+func NMOSGatedVddNoPump() CellConfig {
+	c := NMOSGatedVdd()
+	c.Name = "NMOS gated-Vdd no pump"
+	c.GateBoost = 0
+	return c
+}
+
+// CellMetrics reports the evaluation of one cell configuration, mirroring
+// the rows of Table 2.
+type CellMetrics struct {
+	Config CellConfig
+	// ActiveLeakageW and StandbyLeakageW are leakage power in watts for one
+	// cell in active mode (gating transistor on or absent) and standby mode
+	// (gating transistor off). Standby is +Inf-irrelevant (NaN-free zero
+	// semantics: equal to active) when the config has no gating device.
+	ActiveLeakageW  float64
+	StandbyLeakageW float64
+	// ActiveLeakageNJ and StandbyLeakageNJ are the Table 2 "leakage energy
+	// per cycle" rows in nanojoules (power × cycle time).
+	ActiveLeakageNJ  float64
+	StandbyLeakageNJ float64
+	// RelativeReadTime is the bitline discharge time normalized to the
+	// low-Vt base cell.
+	RelativeReadTime float64
+	// EnergySavingsPct is the standby leakage reduction relative to the
+	// low-Vt base cell's active leakage (the paper's "Energy Savings" row).
+	EnergySavingsPct float64
+	// AreaIncreasePct is the data-array area overhead of the gating device.
+	AreaIncreasePct float64
+	// VirtualRailV is the steady-state self-bias voltage of the internal
+	// node in standby (0 for ungated designs).
+	VirtualRailV float64
+}
+
+// cellTransistor returns the aggregate leaking path of the cell as one
+// normalized-width device. The gating orientation decides which polarity
+// carries the stack, but the model is symmetric, so only Vt matters.
+func (c CellConfig) cellTransistor() Transistor {
+	return Transistor{Kind: NMOS, Vt: c.CellVt, Width: 1.0}
+}
+
+func (c CellConfig) gateTransistor() Transistor {
+	return Transistor{Kind: c.GateKind, Vt: c.GateVt, Width: c.GateWidthRatio}
+}
+
+// Evaluate computes the metrics of a cell configuration under tech t.
+// The low-Vt base cell is the read-time reference, as in Table 2.
+func Evaluate(t Tech, c CellConfig) CellMetrics {
+	m := CellMetrics{Config: c}
+
+	// Leakage in active mode: the gating transistor is on and nearly
+	// transparent, so the cell leaks like an ungated cell at its Vt.
+	iActive := t.OffCurrent(c.cellTransistor(), t.Vdd)
+	m.ActiveLeakageW = iActive * t.Vdd
+	m.ActiveLeakageNJ = m.ActiveLeakageW * t.CycleTimeNs
+
+	// Leakage in standby mode: two off devices in series; solve the stack.
+	if c.Gated {
+		st := t.StackedLeakage(c.cellTransistor(), c.gateTransistor())
+		m.StandbyLeakageW = st.Current * t.Vdd
+		m.StandbyLeakageNJ = m.StandbyLeakageW * t.CycleTimeNs
+		m.VirtualRailV = st.NodeV
+	} else {
+		m.StandbyLeakageW = m.ActiveLeakageW
+		m.StandbyLeakageNJ = m.ActiveLeakageNJ
+	}
+
+	// Read time relative to the low-Vt base cell.
+	ref := t.readCurrent(BaseLowVt())
+	m.RelativeReadTime = ref / t.readCurrent(c)
+
+	// Energy savings relative to the low-Vt base active leakage.
+	base := Evaluate0(t, BaseLowVt())
+	if c.Gated {
+		m.EnergySavingsPct = 100 * (1 - m.StandbyLeakageW/base)
+	}
+
+	// Area overhead of the per-line gating device, amortized per cell.
+	if c.Gated {
+		gateAreaUm2 := c.GateWidthRatio * t.CellLeakWidthUm * t.GateLengthUm * t.GateLayoutFactor
+		m.AreaIncreasePct = 100 * gateAreaUm2 / t.CellAreaUm2
+	}
+	return m
+}
+
+// Evaluate0 returns just the active leakage power of a configuration,
+// breaking the Evaluate→Evaluate recursion for the reference cell.
+func Evaluate0(t Tech, c CellConfig) float64 {
+	return t.OffCurrent(c.cellTransistor(), t.Vdd) * t.Vdd
+}
+
+// readCurrent is the effective bitline discharge current of the cell.
+// Ungated cells discharge through the access/driver pair, modeled as an
+// alpha-power-law device at full gate drive. A gated cell's source node
+// rises until the series on-state gating transistor (linear region) carries
+// the same current, degrading the drive; the fixed point is solved by
+// bisection.
+func (t Tech) readCurrent(c CellConfig) float64 {
+	cell := Transistor{Kind: NMOS, Vt: c.CellVt, Width: 1.0}
+	iFull := t.OnCurrentSat(cell, t.Vdd)
+	if !c.Gated {
+		return iFull
+	}
+	gate := c.gateTransistor()
+	gateVgs := t.Vdd + c.GateBoost
+	iCell := func(vx float64) float64 {
+		// Source rises to vx: less gate drive, body-raised threshold.
+		eff := Transistor{Kind: cell.Kind, Vt: cell.Vt + t.BodyK*vx, Width: cell.Width}
+		return t.OnCurrentSat(eff, t.Vdd-vx)
+	}
+	iGate := func(vx float64) float64 {
+		return t.OnCurrentLin(gate, gateVgs, vx)
+	}
+	lo, hi := 0.0, t.Vdd
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if iCell(mid) > iGate(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	vx := (lo + hi) / 2
+	i := math.Min(iCell(vx), iGate(vx))
+	if i <= 0 {
+		// A pathological configuration (e.g. zero-width gate) cannot read.
+		return math.SmallestNonzeroFloat64
+	}
+	return i
+}

@@ -1,0 +1,187 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestTable2Anchors verifies that the calibrated model reproduces the
+// paper's Table 2 within tight tolerances. Active leakage values are exact
+// calibration anchors; standby leakage, read times, savings and area emerge
+// from the stacking/read fixed points and must land near the published
+// numbers.
+func TestTable2Anchors(t *testing.T) {
+	rows := Table2(Default018())
+	if len(rows) != 3 {
+		t.Fatalf("Table2 returned %d rows, want 3", len(rows))
+	}
+	highVt, lowVt, gated := rows[0], rows[1], rows[2]
+
+	if !almostEqual(highVt.ActiveLeakE9NJ, 50, 0.02) {
+		t.Errorf("high-Vt active leakage = %v, paper 50", highVt.ActiveLeakE9NJ)
+	}
+	if !almostEqual(lowVt.ActiveLeakE9NJ, 1740, 0.02) {
+		t.Errorf("low-Vt active leakage = %v, paper 1740", lowVt.ActiveLeakE9NJ)
+	}
+	if !almostEqual(gated.ActiveLeakE9NJ, 1740, 0.02) {
+		t.Errorf("gated active leakage = %v, paper 1740", gated.ActiveLeakE9NJ)
+	}
+	if !almostEqual(gated.StandbyLeakE9NJ, 53, 0.10) {
+		t.Errorf("gated standby leakage = %v, paper 53", gated.StandbyLeakE9NJ)
+	}
+	if !almostEqual(highVt.RelativeReadTime, 2.22, 0.01) {
+		t.Errorf("high-Vt read time = %v, paper 2.22", highVt.RelativeReadTime)
+	}
+	if !almostEqual(lowVt.RelativeReadTime, 1.00, 1e-9) {
+		t.Errorf("low-Vt read time = %v, paper 1.00", lowVt.RelativeReadTime)
+	}
+	if !almostEqual(gated.RelativeReadTime, 1.08, 0.02) {
+		t.Errorf("gated read time = %v, paper 1.08", gated.RelativeReadTime)
+	}
+	if math.Abs(gated.EnergySavingsPct-97) > 1.5 {
+		t.Errorf("energy savings = %v%%, paper 97%%", gated.EnergySavingsPct)
+	}
+	if math.Abs(gated.AreaIncreasePct-5) > 1 {
+		t.Errorf("area increase = %v%%, paper 5%%", gated.AreaIncreasePct)
+	}
+}
+
+func TestTable2LeakageRatioIs30x(t *testing.T) {
+	rows := Table2(Default018())
+	ratio := rows[1].ActiveLeakE9NJ / rows[0].ActiveLeakE9NJ
+	// The paper: "lowering the cache Vt from 0.4V to 0.2V ... increases the
+	// leakage energy by more than a factor of 30."
+	if ratio < 30 {
+		t.Fatalf("low-Vt/high-Vt leakage ratio = %v, want > 30", ratio)
+	}
+}
+
+func TestStandbyConfinedToHighVtLevels(t *testing.T) {
+	// "Confining the leakage to high-Vt levels while maintaining low-Vt
+	// speeds": standby leakage of the gated design should be on the order
+	// of the high-Vt cell's active leakage.
+	rows := Table2(Default018())
+	highVtActive, gatedStandby := rows[0].ActiveLeakE9NJ, rows[2].StandbyLeakE9NJ
+	if gatedStandby > 2*highVtActive || gatedStandby < highVtActive/4 {
+		t.Fatalf("standby %v not comparable to high-Vt level %v", gatedStandby, highVtActive)
+	}
+}
+
+func TestUngatedCellHasNoStandbyMode(t *testing.T) {
+	m := Evaluate(Default018(), BaseLowVt())
+	if m.StandbyLeakageW != m.ActiveLeakageW {
+		t.Fatal("ungated cell should report standby == active")
+	}
+	if m.VirtualRailV != 0 {
+		t.Fatal("ungated cell has no virtual rail")
+	}
+	if m.EnergySavingsPct != 0 || m.AreaIncreasePct != 0 {
+		t.Fatal("ungated cell should report zero savings and area overhead")
+	}
+}
+
+func TestSingleVtGatingWeakerThanDualVt(t *testing.T) {
+	tech := Default018()
+	dual := Evaluate(tech, NMOSGatedVdd())
+	single := Evaluate(tech, NMOSGatedVddSingleVt())
+	if single.StandbyLeakageW <= dual.StandbyLeakageW {
+		t.Fatal("single-Vt gating should leak more in standby than dual-Vt")
+	}
+	// But stacking alone must still help substantially vs no gating.
+	base := Evaluate(tech, BaseLowVt())
+	if single.StandbyLeakageW >= base.ActiveLeakageW {
+		t.Fatal("even single-Vt stacking should reduce leakage")
+	}
+}
+
+func TestChargePumpReducesReadPenalty(t *testing.T) {
+	tech := Default018()
+	pump := Evaluate(tech, NMOSGatedVdd())
+	noPump := Evaluate(tech, NMOSGatedVddNoPump())
+	if noPump.RelativeReadTime <= pump.RelativeReadTime {
+		t.Fatal("removing the charge pump should slow reads")
+	}
+}
+
+func TestPMOSGatingSlowerAtEqualWidth(t *testing.T) {
+	tech := Default018()
+	nmos := Evaluate(tech, NMOSGatedVdd())
+	pmos := Evaluate(tech, PMOSGatedVdd())
+	if pmos.RelativeReadTime <= nmos.RelativeReadTime {
+		t.Fatal("PMOS gating at equal width should have a larger read penalty")
+	}
+}
+
+func TestWiderGateTradesLeakageForSpeed(t *testing.T) {
+	tech := Default018()
+	narrow := NMOSGatedVdd()
+	narrow.GateWidthRatio = 1.0
+	wide := NMOSGatedVdd()
+	wide.GateWidthRatio = 6.0
+	mn := Evaluate(tech, narrow)
+	mw := Evaluate(tech, wide)
+	if mw.StandbyLeakageW <= mn.StandbyLeakageW {
+		t.Fatal("wider gate should leak more in standby")
+	}
+	if mw.RelativeReadTime >= mn.RelativeReadTime {
+		t.Fatal("wider gate should read faster")
+	}
+	if mw.AreaIncreasePct <= mn.AreaIncreasePct {
+		t.Fatal("wider gate should cost more area")
+	}
+}
+
+func TestEvaluateGatedActiveMatchesBase(t *testing.T) {
+	// In active mode the gated cell must not pay a leakage penalty over the
+	// plain low-Vt cell (Table 2 lists 1740 for both).
+	tech := Default018()
+	base := Evaluate(tech, BaseLowVt())
+	gated := Evaluate(tech, NMOSGatedVdd())
+	if !almostEqual(base.ActiveLeakageW, gated.ActiveLeakageW, 1e-12) {
+		t.Fatalf("gated active %v != base active %v", gated.ActiveLeakageW, base.ActiveLeakageW)
+	}
+}
+
+func TestTable2ExtendedIncludesVariants(t *testing.T) {
+	rows := Table2Extended(Default018())
+	if len(rows) != 6 {
+		t.Fatalf("extended table has %d rows, want 6", len(rows))
+	}
+	names := make(map[string]bool)
+	for _, r := range rows {
+		names[r.Technique] = true
+	}
+	for _, want := range []string{"base high-Vt", "base low-Vt", "NMOS gated-Vdd",
+		"PMOS gated-Vdd", "NMOS gated-Vdd single-Vt", "NMOS gated-Vdd no pump"} {
+		if !names[want] {
+			t.Errorf("missing technique %q", want)
+		}
+	}
+}
+
+func TestFormatTable2(t *testing.T) {
+	out := FormatTable2(Table2(Default018()))
+	for _, want := range []string{
+		"Implementation Technique", "Relative Read Time",
+		"Active Leakage", "Standby Leakage", "Energy Savings", "Area Increase",
+		"base high-Vt", "base low-Vt", "NMOS gated-Vdd", "N/A",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q", want)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 8 {
+		t.Errorf("formatted table has %d lines, want 8", lines)
+	}
+}
+
+func TestReadCurrentDegenerateGate(t *testing.T) {
+	tech := Default018()
+	c := NMOSGatedVdd()
+	c.GateWidthRatio = 0 // pathological: no gate device width
+	m := Evaluate(tech, c)
+	if m.RelativeReadTime <= 0 || math.IsInf(m.RelativeReadTime, 0) == false && m.RelativeReadTime < 1 {
+		t.Fatalf("degenerate gate read time = %v, want >= 1 or Inf", m.RelativeReadTime)
+	}
+}

@@ -1,0 +1,147 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind distinguishes NMOS and PMOS devices. The model treats PMOS as a
+// mirrored NMOS with currents derated by Tech.PMOSFactor.
+type Kind int
+
+const (
+	// NMOS is an n-channel device.
+	NMOS Kind = iota
+	// PMOS is a p-channel device.
+	PMOS
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case NMOS:
+		return "NMOS"
+	case PMOS:
+		return "PMOS"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Transistor is a device instance. Width is normalized so that the aggregate
+// leaking width of one 6-T SRAM cell is 1.0.
+type Transistor struct {
+	Kind  Kind
+	Vt    float64 // threshold voltage magnitude, volts
+	Width float64 // normalized width
+}
+
+func (t Tech) kindFactor(k Kind) float64 {
+	if k == PMOS {
+		return t.PMOSFactor
+	}
+	return 1.0
+}
+
+// SubthresholdCurrent returns the leakage current (amperes) of an off (or
+// weakly driven) transistor with the given gate-source voltage vgs, drain-
+// source voltage vds, and source-body voltage vsb (all magnitudes for PMOS).
+// The model is the standard weak-inversion expression
+//
+//	I = I0·W·exp((Vgs − Vt_eff)/(n·vT))·(1 − exp(−Vds/vT))
+//
+// with Vt_eff = Vt − η·Vds + BodyK·Vsb (DIBL lowers, reverse body bias
+// raises the barrier).
+func (t Tech) SubthresholdCurrent(tr Transistor, vgs, vds, vsb float64) float64 {
+	if vds <= 0 {
+		return 0
+	}
+	vtEff := tr.Vt + t.BodyK*vsb
+	nvt := t.SlopeN * t.VThermal()
+	i := t.I0 * tr.Width * t.kindFactor(tr.Kind) *
+		math.Exp((vgs-vtEff+t.DIBL*vds)/nvt) *
+		(1 - math.Exp(-vds/t.VThermal()))
+	return i
+}
+
+// OffCurrent is SubthresholdCurrent with the gate fully off (Vgs = 0) and
+// the source at the body potential, the leakage state of a powered SRAM
+// cell's off transistor.
+func (t Tech) OffCurrent(tr Transistor, vds float64) float64 {
+	return t.SubthresholdCurrent(tr, 0, vds, 0)
+}
+
+// OnCurrentSat returns the saturation drive current (amperes) via the
+// alpha-power law, used for bitline discharge timing.
+func (t Tech) OnCurrentSat(tr Transistor, vgs float64) float64 {
+	ov := vgs - tr.Vt
+	if ov <= 0 {
+		return 0
+	}
+	return t.KSat * tr.Width * t.kindFactor(tr.Kind) * math.Pow(ov, t.AlphaSat)
+}
+
+// OnCurrentLin returns the linear-region current (amperes) for small Vds,
+// used for the on-state gated-Vdd transistor which operates as a low-valued
+// series resistor.
+func (t Tech) OnCurrentLin(tr Transistor, vgs, vds float64) float64 {
+	ov := vgs - tr.Vt
+	if ov <= 0 || vds <= 0 {
+		return 0
+	}
+	if vds > ov { // clamp at saturation boundary
+		vds = ov
+	}
+	return t.KLin * tr.Width * t.kindFactor(tr.Kind) * (ov*vds - vds*vds/2)
+}
+
+// StackResult reports the self-reverse-biased operating point of two series
+// off transistors (the stacking effect).
+type StackResult struct {
+	// NodeV is the steady-state voltage of the internal node (the "virtual
+	// ground" for NMOS gating, measured from the rail the gating transistor
+	// connects to).
+	NodeV float64
+	// Current is the leakage current through the stack in amperes.
+	Current float64
+}
+
+// StackedLeakage solves for the internal-node voltage of a two-transistor
+// off stack: `cell` is the cache cell's off transistor (source at the
+// internal node, drain at the far rail, gate at the node's own rail — i.e.
+// fully off), and `gate` is the gated-Vdd transistor between the internal
+// node and its rail (gate driven off). At equilibrium the two subthreshold
+// currents match; the node self-biases to the voltage where they do. This
+// self reverse-biasing (Vgs < 0 plus body effect plus reduced DIBL on the
+// cell device) is what cuts stack leakage by orders of magnitude.
+//
+// The same math serves NMOS gating (node = virtual ground above Gnd) and
+// PMOS gating (node = virtual Vdd below Vdd) because the model is symmetric
+// up to the PMOS current derating.
+func (t Tech) StackedLeakage(cell, gate Transistor) StackResult {
+	vdd := t.Vdd
+	// f(vx) = I_cell(vx) − I_gate(vx): strictly decreasing in vx (cell
+	// device loses Vds and gains reverse Vgs and body bias; gate device
+	// gains Vds). Bisection on [0, vdd].
+	iCell := func(vx float64) float64 {
+		// Source at vx: Vgs = −vx, Vds = vdd−vx, Vsb = vx.
+		return t.SubthresholdCurrent(cell, -vx, vdd-vx, vx)
+	}
+	iGate := func(vx float64) float64 {
+		// Source at rail: Vgs = 0, Vds = vx, Vsb = 0.
+		return t.SubthresholdCurrent(gate, 0, vx, 0)
+	}
+	lo, hi := 0.0, vdd
+	for i := 0; i < 128; i++ {
+		mid := (lo + hi) / 2
+		if iCell(mid) > iGate(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	vx := (lo + hi) / 2
+	// Report the conservative (larger) of the two matched currents.
+	cur := math.Max(iCell(vx), iGate(vx))
+	return StackResult{NodeV: vx, Current: cur}
+}

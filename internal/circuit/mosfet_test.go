@@ -1,0 +1,215 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, relTol float64) bool {
+	if a == b {
+		return true
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b)/den <= relTol
+}
+
+func TestVThermal(t *testing.T) {
+	tech := Default018()
+	vt := tech.VThermal()
+	// kT/q at 383.15 K is about 33 mV.
+	if vt < 0.032 || vt > 0.034 {
+		t.Fatalf("thermal voltage at 110C = %v, want ~0.033", vt)
+	}
+}
+
+func TestSubthresholdExponentialInVt(t *testing.T) {
+	tech := Default018()
+	// One decade of leakage per n·vT·ln(10) of threshold.
+	nvt := tech.SlopeN * tech.VThermal()
+	lo := tech.OffCurrent(Transistor{Vt: 0.3, Width: 1}, tech.Vdd)
+	hi := tech.OffCurrent(Transistor{Vt: 0.3 - nvt*math.Log(10), Width: 1}, tech.Vdd)
+	if !almostEqual(hi/lo, 10, 1e-9) {
+		t.Fatalf("decade ratio = %v, want 10", hi/lo)
+	}
+}
+
+func TestSubthresholdMonotonicity(t *testing.T) {
+	tech := Default018()
+	prev := math.Inf(1)
+	for vt := 0.1; vt <= 0.5; vt += 0.05 {
+		i := tech.OffCurrent(Transistor{Vt: vt, Width: 1}, tech.Vdd)
+		if i >= prev {
+			t.Fatalf("leakage not decreasing in Vt at %v: %v >= %v", vt, i, prev)
+		}
+		prev = i
+	}
+}
+
+func TestSubthresholdIncreasesWithTemperature(t *testing.T) {
+	cold := Default018()
+	cold.TempK = 300
+	hot := Default018()
+	hot.TempK = 400
+	tr := Transistor{Vt: 0.3, Width: 1}
+	// With the slope factor held, higher temperature means a larger thermal
+	// voltage, hence a flatter exponential and higher current below Vt.
+	if hot.OffCurrent(tr, hot.Vdd) <= cold.OffCurrent(tr, cold.Vdd) {
+		t.Fatal("leakage should increase with temperature")
+	}
+}
+
+func TestSubthresholdLinearInWidth(t *testing.T) {
+	tech := Default018()
+	i1 := tech.OffCurrent(Transistor{Vt: 0.2, Width: 1}, tech.Vdd)
+	i3 := tech.OffCurrent(Transistor{Vt: 0.2, Width: 3}, tech.Vdd)
+	if !almostEqual(i3, 3*i1, 1e-12) {
+		t.Fatalf("width scaling: %v vs %v", i3, 3*i1)
+	}
+}
+
+func TestSubthresholdZeroVds(t *testing.T) {
+	tech := Default018()
+	if i := tech.OffCurrent(Transistor{Vt: 0.2, Width: 1}, 0); i != 0 {
+		t.Fatalf("current with no drain bias = %v, want 0", i)
+	}
+	if i := tech.SubthresholdCurrent(Transistor{Vt: 0.2, Width: 1}, 0, -0.1, 0); i != 0 {
+		t.Fatalf("current with negative drain bias = %v, want 0", i)
+	}
+}
+
+func TestDIBLRaisesLeakage(t *testing.T) {
+	tech := Default018()
+	tr := Transistor{Vt: 0.3, Width: 1}
+	half := tech.SubthresholdCurrent(tr, 0, tech.Vdd/2, 0)
+	full := tech.SubthresholdCurrent(tr, 0, tech.Vdd, 0)
+	if full <= half {
+		t.Fatal("DIBL should make leakage grow with Vds")
+	}
+}
+
+func TestPMOSDerating(t *testing.T) {
+	tech := Default018()
+	n := tech.OffCurrent(Transistor{Kind: NMOS, Vt: 0.3, Width: 1}, tech.Vdd)
+	p := tech.OffCurrent(Transistor{Kind: PMOS, Vt: 0.3, Width: 1}, tech.Vdd)
+	if !almostEqual(p, n*tech.PMOSFactor, 1e-12) {
+		t.Fatalf("PMOS current %v, want %v", p, n*tech.PMOSFactor)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if NMOS.String() != "NMOS" || PMOS.String() != "PMOS" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if Kind(7).String() != "Kind(7)" {
+		t.Fatalf("unknown kind formatted as %q", Kind(7).String())
+	}
+}
+
+func TestOnCurrentSatAlphaPower(t *testing.T) {
+	tech := Default018()
+	tr := Transistor{Vt: 0.2, Width: 1}
+	i1 := tech.OnCurrentSat(tr, 0.7) // overdrive 0.5
+	i2 := tech.OnCurrentSat(tr, 1.2) // overdrive 1.0
+	want := math.Pow(2, tech.AlphaSat)
+	if !almostEqual(i2/i1, want, 1e-9) {
+		t.Fatalf("alpha-power scaling %v, want %v", i2/i1, want)
+	}
+	if tech.OnCurrentSat(tr, 0.1) != 0 {
+		t.Fatal("no drive below threshold")
+	}
+}
+
+func TestOnCurrentLinClampsAtSaturation(t *testing.T) {
+	tech := Default018()
+	tr := Transistor{Vt: 0.4, Width: 1}
+	// Overdrive is 0.6; beyond Vds=0.6 the current must stop growing.
+	atSat := tech.OnCurrentLin(tr, 1.0, 0.6)
+	beyond := tech.OnCurrentLin(tr, 1.0, 0.9)
+	if !almostEqual(atSat, beyond, 1e-12) {
+		t.Fatalf("linear current should clamp: %v vs %v", atSat, beyond)
+	}
+	if tech.OnCurrentLin(tr, 0.3, 0.1) != 0 {
+		t.Fatal("no linear current below threshold")
+	}
+	if tech.OnCurrentLin(tr, 1.0, 0) != 0 {
+		t.Fatal("no linear current without drain bias")
+	}
+}
+
+func TestStackedLeakageOrdersOfMagnitude(t *testing.T) {
+	tech := Default018()
+	cell := Transistor{Vt: 0.2, Width: 1}
+	gate := Transistor{Vt: 0.4, Width: 2.25}
+	st := tech.StackedLeakage(cell, gate)
+	unstacked := tech.OffCurrent(cell, tech.Vdd)
+	if st.Current >= unstacked/10 {
+		t.Fatalf("stacking effect too weak: %v vs unstacked %v", st.Current, unstacked)
+	}
+	if st.NodeV <= 0 || st.NodeV >= tech.Vdd {
+		t.Fatalf("virtual rail %v out of (0, Vdd)", st.NodeV)
+	}
+}
+
+func TestStackedLeakageBelowEitherDeviceAlone(t *testing.T) {
+	tech := Default018()
+	cell := Transistor{Vt: 0.2, Width: 1}
+	gate := Transistor{Vt: 0.4, Width: 2.25}
+	st := tech.StackedLeakage(cell, gate)
+	iCellAlone := tech.OffCurrent(cell, tech.Vdd)
+	iGateAlone := tech.OffCurrent(gate, tech.Vdd)
+	if st.Current >= math.Min(iCellAlone, iGateAlone) {
+		t.Fatalf("stack current %v not below min of devices (%v, %v)",
+			st.Current, iCellAlone, iGateAlone)
+	}
+}
+
+func TestStackedLeakageEquilibrium(t *testing.T) {
+	tech := Default018()
+	cell := Transistor{Vt: 0.2, Width: 1}
+	gate := Transistor{Vt: 0.4, Width: 2.25}
+	st := tech.StackedLeakage(cell, gate)
+	// At the solved node voltage the two device currents must match.
+	iCell := tech.SubthresholdCurrent(cell, -st.NodeV, tech.Vdd-st.NodeV, st.NodeV)
+	iGate := tech.SubthresholdCurrent(gate, 0, st.NodeV, 0)
+	if !almostEqual(iCell, iGate, 1e-6) {
+		t.Fatalf("stack not at equilibrium: cell %v gate %v", iCell, iGate)
+	}
+}
+
+func TestStackedLeakageWiderGateLeaksMore(t *testing.T) {
+	tech := Default018()
+	cell := Transistor{Vt: 0.2, Width: 1}
+	prev := 0.0
+	for _, w := range []float64{0.5, 1, 2, 4, 8} {
+		st := tech.StackedLeakage(cell, Transistor{Vt: 0.4, Width: w})
+		if st.Current <= prev {
+			t.Fatalf("stack current should grow with gate width (w=%v)", w)
+		}
+		prev = st.Current
+	}
+}
+
+// TestStackedLeakagePropertyQuick checks, over random device parameters,
+// that the stack always leaks less than either device would alone and that
+// the solved node voltage stays inside the rails.
+func TestStackedLeakagePropertyQuick(t *testing.T) {
+	tech := Default018()
+	f := func(cellVtSeed, gateVtSeed, widthSeed uint8) bool {
+		cellVt := 0.1 + 0.4*float64(cellVtSeed)/255
+		gateVt := 0.1 + 0.4*float64(gateVtSeed)/255
+		w := 0.25 + 8*float64(widthSeed)/255
+		cell := Transistor{Vt: cellVt, Width: 1}
+		gate := Transistor{Vt: gateVt, Width: w}
+		st := tech.StackedLeakage(cell, gate)
+		if st.NodeV < 0 || st.NodeV > tech.Vdd {
+			return false
+		}
+		iCell := tech.OffCurrent(cell, tech.Vdd)
+		iGate := tech.OffCurrent(gate, tech.Vdd)
+		return st.Current <= math.Min(iCell, iGate)*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

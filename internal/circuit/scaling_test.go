@@ -1,0 +1,116 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScalingStudyLeakageGrowth(t *testing.T) {
+	points := ScalingStudy(Default018())
+	if len(points) != 4 {
+		t.Fatalf("points = %d, want 4", len(points))
+	}
+	// Borkar's claim, which the paper's introduction leans on: roughly a
+	// five-fold leakage energy increase per generation. Accept 3–10x.
+	for i := 1; i < len(points); i++ {
+		g := points[i].LeakageGrowth
+		if g < 3 || g > 10 {
+			t.Errorf("%s: leakage growth %.1fx, want ~5x (3..10)", points[i].Name, g)
+		}
+	}
+	// Leakage must be strictly increasing across generations.
+	for i := 1; i < len(points); i++ {
+		if points[i].CellLeakageNJ <= points[i-1].CellLeakageNJ {
+			t.Errorf("%s: leakage not increasing", points[i].Name)
+		}
+	}
+}
+
+func TestScalingStudy018MatchesTable2(t *testing.T) {
+	points := ScalingStudy(Default018())
+	var p018 *ScalingPoint
+	for i := range points {
+		if points[i].Name == "0.18um" {
+			p018 = &points[i]
+		}
+	}
+	if p018 == nil {
+		t.Fatal("no 0.18um generation")
+	}
+	// The 0.18µ generation must agree with the Table 2 anchors.
+	if got := p018.CellLeakageNJ * 1e9; got < 1700 || got > 1780 {
+		t.Fatalf("0.18um leakage = %v e-9 nJ, want ~1740", got)
+	}
+	if got := p018.GatedStandbyNJ * 1e9; got < 45 || got > 62 {
+		t.Fatalf("0.18um gated standby = %v e-9 nJ, want ~53", got)
+	}
+}
+
+func TestScalingOverdriveMaintained(t *testing.T) {
+	// The whole point of scaling Vt with Vdd: the overdrive fraction (and
+	// hence switching speed) stays roughly constant across generations
+	// instead of collapsing with the supply.
+	points := ScalingStudy(Default018())
+	for _, p := range points {
+		if p.OverdriveFraction < 0.7 || p.OverdriveFraction > 0.96 {
+			t.Errorf("%s: overdrive fraction %v outside [0.7, 0.96]", p.Name, p.OverdriveFraction)
+		}
+	}
+}
+
+func TestScalingGatedVddKeepsWorking(t *testing.T) {
+	// Gated-Vdd's standby reduction must hold at ~90%+ across generations;
+	// the technique is not specific to 0.18µ.
+	for _, p := range ScalingStudy(Default018()) {
+		if p.GatedReductionPct < 90 {
+			t.Errorf("%s: gated reduction %v%%, want >= 90%%", p.Name, p.GatedReductionPct)
+		}
+	}
+}
+
+func TestVtSweep(t *testing.T) {
+	tech := Default018()
+	vts := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	points := VtSweep(tech, vts)
+	if len(points) != len(vts) {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Leakage strictly decreasing, read time strictly increasing in Vt.
+	for i := 1; i < len(points); i++ {
+		if points[i].LeakageNJ >= points[i-1].LeakageNJ {
+			t.Errorf("leakage not decreasing at Vt=%v", points[i].Vt)
+		}
+		if points[i].RelativeReadTime <= points[i-1].RelativeReadTime {
+			t.Errorf("read time not increasing at Vt=%v", points[i].Vt)
+		}
+	}
+	// The paper's §5.1 anchor: Vt 0.4 vs 0.2 → read time ratio ~2.22,
+	// leakage ratio > 30.
+	var p02, p04 VtPoint
+	for _, p := range points {
+		if p.Vt == 0.2 {
+			p02 = p
+		}
+		if p.Vt == 0.4 {
+			p04 = p
+		}
+	}
+	if ratio := p04.RelativeReadTime / p02.RelativeReadTime; ratio < 2.1 || ratio > 2.4 {
+		t.Errorf("read-time ratio 0.4/0.2 = %v, want ~2.22", ratio)
+	}
+	if ratio := p02.LeakageNJ / p04.LeakageNJ; ratio < 30 {
+		t.Errorf("leakage ratio 0.2/0.4 = %v, want > 30", ratio)
+	}
+	if VtSweep(tech, nil) != nil {
+		t.Error("empty sweep should return nil")
+	}
+}
+
+func TestFormatScaling(t *testing.T) {
+	out := FormatScaling(ScalingStudy(Default018()))
+	for _, want := range []string{"0.25um", "0.18um", "0.13um", "0.10um", "gated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scaling report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package circuit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table2Row is one column of the paper's Table 2 ("Energy, speed, and area
+// trade-off of varying threshold voltage and gated-Vdd"), with the measured
+// model outputs in the paper's units.
+type Table2Row struct {
+	Technique        string
+	GateVt           float64 // NaN semantics: <0 means not applicable
+	SRAMVt           float64
+	RelativeReadTime float64
+	ActiveLeakE9NJ   float64 // active leakage energy ×10⁻⁹ nJ per cycle
+	StandbyLeakE9NJ  float64 // standby leakage energy ×10⁻⁹ nJ per cycle; <0 N/A
+	EnergySavingsPct float64 // <0 means not applicable
+	AreaIncreasePct  float64 // <0 means not applicable
+}
+
+// Table2 evaluates the paper's three configurations — base high-Vt, base
+// low-Vt, and wide NMOS gated-Vdd with dual-Vt and charge pump — and returns
+// them in the paper's row layout.
+func Table2(t Tech) []Table2Row {
+	configs := []CellConfig{BaseHighVt(), BaseLowVt(), NMOSGatedVdd()}
+	rows := make([]Table2Row, 0, len(configs))
+	for _, c := range configs {
+		rows = append(rows, rowFromMetrics(Evaluate(t, c)))
+	}
+	return rows
+}
+
+// Table2Extended adds the design-space variants the paper discusses but does
+// not tabulate: PMOS gating, single-Vt gating, and no charge pump.
+func Table2Extended(t Tech) []Table2Row {
+	configs := []CellConfig{
+		BaseHighVt(), BaseLowVt(), NMOSGatedVdd(),
+		PMOSGatedVdd(), NMOSGatedVddSingleVt(), NMOSGatedVddNoPump(),
+	}
+	rows := make([]Table2Row, 0, len(configs))
+	for _, c := range configs {
+		rows = append(rows, rowFromMetrics(Evaluate(t, c)))
+	}
+	return rows
+}
+
+func rowFromMetrics(m CellMetrics) Table2Row {
+	r := Table2Row{
+		Technique:        m.Config.Name,
+		SRAMVt:           m.Config.CellVt,
+		RelativeReadTime: m.RelativeReadTime,
+		ActiveLeakE9NJ:   m.ActiveLeakageNJ * 1e9,
+		GateVt:           -1,
+		StandbyLeakE9NJ:  -1,
+		EnergySavingsPct: -1,
+		AreaIncreasePct:  -1,
+	}
+	if m.Config.Gated {
+		r.GateVt = m.Config.GateVt
+		r.StandbyLeakE9NJ = m.StandbyLeakageNJ * 1e9
+		r.EnergySavingsPct = m.EnergySavingsPct
+		r.AreaIncreasePct = m.AreaIncreasePct
+	}
+	return r
+}
+
+// FormatTable2 renders rows in the paper's transposed layout (techniques as
+// columns, metrics as rows).
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	cell := func(s string) { fmt.Fprintf(&b, "%-26s", s) }
+	na := func(v float64, format string) string {
+		if v < 0 {
+			return "N/A"
+		}
+		return fmt.Sprintf(format, v)
+	}
+	cell("Implementation Technique")
+	for _, r := range rows {
+		cell(r.Technique)
+	}
+	b.WriteByte('\n')
+	cell("Gated-Vdd Vt (V)")
+	for _, r := range rows {
+		cell(na(r.GateVt, "%.2f"))
+	}
+	b.WriteByte('\n')
+	cell("SRAM Vt (V)")
+	for _, r := range rows {
+		cell(fmt.Sprintf("%.2f", r.SRAMVt))
+	}
+	b.WriteByte('\n')
+	cell("Relative Read Time")
+	for _, r := range rows {
+		cell(fmt.Sprintf("%.2f", r.RelativeReadTime))
+	}
+	b.WriteByte('\n')
+	cell("Active Leakage (e-9 nJ)")
+	for _, r := range rows {
+		cell(fmt.Sprintf("%.0f", r.ActiveLeakE9NJ))
+	}
+	b.WriteByte('\n')
+	cell("Standby Leakage (e-9 nJ)")
+	for _, r := range rows {
+		cell(na(r.StandbyLeakE9NJ, "%.0f"))
+	}
+	b.WriteByte('\n')
+	cell("Energy Savings (%)")
+	for _, r := range rows {
+		cell(na(r.EnergySavingsPct, "%.0f"))
+	}
+	b.WriteByte('\n')
+	cell("Area Increase (%)")
+	for _, r := range rows {
+		cell(na(r.AreaIncreasePct, "%.0f"))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

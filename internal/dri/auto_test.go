@@ -1,0 +1,97 @@
+package dri
+
+import "testing"
+
+// autoCfg returns a 64K DM DRI config with a dynamic miss-bound.
+func autoCfg(interval uint64, factor float64, sizeBound int) Config {
+	p := DefaultParams(interval)
+	p.MissBound = 0 // must be ignored in auto mode
+	p.AutoMissBoundFactor = factor
+	p.SizeBoundBytes = sizeBound
+	return Config{SizeBytes: 64 << 10, BlockBytes: 32, Assoc: 1, AddrBits: 32, Params: p}
+}
+
+func TestAutoBoundDownsizesSmallWorkingSet(t *testing.T) {
+	// A tight 2K loop: the full-size miss count is ~0 after warmup, so the
+	// auto bound is tiny, but the loop also misses ~0 at any size >= 2K —
+	// the cache must walk down to the bound.
+	c := New(autoCfg(10000, 30, 2<<10))
+	cycles := uint64(0)
+	for i := 0; i < 60; i++ {
+		loop(c, 2<<10, 10000)
+		cycles += 10000
+		c.Advance(10000, cycles)
+	}
+	c.Finish(cycles)
+	if c.ActiveBytes() != 2<<10 {
+		t.Fatalf("auto-bound cache at %d, want 2K", c.ActiveBytes())
+	}
+}
+
+func TestAutoBoundHoldsLargeWorkingSet(t *testing.T) {
+	// A full-cache working set: downsizing attempts storm the miss counter
+	// far above factor × full-size misses, so the cache must stay
+	// predominantly large (the fpppp behaviour without hand tuning).
+	c := New(autoCfg(10000, 30, 1<<10))
+	cycles := uint64(0)
+	for i := 0; i < 60; i++ {
+		loop(c, 64<<10, 10000)
+		cycles += 10000
+		c.Advance(10000, cycles)
+	}
+	c.Finish(cycles)
+	if f := c.AverageActiveFraction(); f < 0.5 {
+		t.Fatalf("auto-bound cache average fraction %v, want >= 0.5", f)
+	}
+}
+
+func TestAutoBoundIgnoresStaticBound(t *testing.T) {
+	// With a huge static MissBound but auto mode on, the dynamic bound
+	// must govern: a thrashing workload upsizes even though the static
+	// bound would never trigger.
+	cfg := autoCfg(1000, 2, 1<<10)
+	cfg.Params.MissBound = 1 << 40
+	c := New(cfg)
+	cycles := uint64(0)
+	// Establish a full-size reference with a quiet interval.
+	loop(c, 4<<10, 1000)
+	cycles += 1000
+	c.Advance(1000, cycles)
+	// Now let it downsize, then storm with fresh blocks.
+	fresh := uint64(1 << 22)
+	sawUpsize := false
+	for i := 0; i < 40; i++ {
+		if i%3 == 0 {
+			loop(c, 1<<10, 1000)
+		} else {
+			for j := 0; j < 1000; j++ {
+				c.AccessBlock(fresh)
+				fresh++
+			}
+		}
+		cycles += 1000
+		c.Advance(1000, cycles)
+		if c.Stats().Upsizes > 0 {
+			sawUpsize = true
+		}
+	}
+	if !sawUpsize {
+		t.Fatal("auto bound should trigger upsizes under a miss storm")
+	}
+}
+
+func TestAutoBoundDeterminism(t *testing.T) {
+	run := func() Stats {
+		c := New(autoCfg(1000, 20, 1<<10))
+		cycles := uint64(0)
+		for i := 0; i < 50; i++ {
+			loop(c, 8<<10, 1000)
+			cycles += 1000
+			c.Advance(1000, cycles)
+		}
+		return c.Stats()
+	}
+	if run() != run() {
+		t.Fatal("auto-bound controller must be deterministic")
+	}
+}

@@ -1,0 +1,53 @@
+package dri
+
+import (
+	"testing"
+
+	"dricache/internal/xrand"
+)
+
+var benchSink bool
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := New(Config{SizeBytes: 64 << 10, BlockBytes: 32, Assoc: 1, AddrBits: 32})
+	c.AccessBlock(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = c.AccessBlock(1)
+	}
+}
+
+func BenchmarkAccessMixed(b *testing.B) {
+	cfg := cfg64K(100_000, 1000)
+	c := New(cfg)
+	rng := xrand.New(1)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 12))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = c.AccessBlock(addrs[i&4095])
+	}
+}
+
+func BenchmarkAdvanceInterval(b *testing.B) {
+	c := New(cfg64K(64, 1000)) // resize decision every 64 instructions
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Advance(64, uint64(i))
+	}
+}
+
+func BenchmarkDataCacheAccess(b *testing.B) {
+	d := NewData(dcfg(100_000, 1000, 1<<10))
+	rng := xrand.New(2)
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 12))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = d.AccessData(addrs[i&4095], i&3 == 0)
+	}
+}

@@ -1,0 +1,167 @@
+package dri
+
+import (
+	"testing"
+
+	"dricache/internal/xrand"
+)
+
+func dcfg(interval, missBound uint64, sizeBound int) Config {
+	p := DefaultParams(interval)
+	p.MissBound = missBound
+	p.SizeBoundBytes = sizeBound
+	return Config{SizeBytes: 64 << 10, BlockBytes: 32, Assoc: 2, AddrBits: 32, Params: p}
+}
+
+func TestDataCacheReadWrite(t *testing.T) {
+	d := NewData(dcfg(1000, 100, 1<<10))
+	if d.AccessData(10, true) {
+		t.Fatal("cold write should miss")
+	}
+	if !d.AccessData(10, false) {
+		t.Fatal("read after write should hit")
+	}
+	if d.DirtyBlocks() != 1 {
+		t.Fatalf("dirty blocks = %d, want 1", d.DirtyBlocks())
+	}
+	if !d.AccessData(10, true) {
+		t.Fatal("write hit expected")
+	}
+	s := d.DataStats()
+	if s.Writes != 2 || s.Accesses != 3 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDataCacheDemandWriteback(t *testing.T) {
+	d := NewData(dcfg(1000, 100, 1<<10))
+	var wbBlocks []uint64
+	var wbResize []bool
+	d.SetWritebackHandler(func(b uint64, fromResize bool) {
+		wbBlocks = append(wbBlocks, b)
+		wbResize = append(wbResize, fromResize)
+	})
+	sets := uint64(d.Config().Sets())
+	// Fill both ways of set 0 dirty, then evict with a third conflicting
+	// block.
+	d.AccessData(0, true)
+	d.AccessData(sets, true)
+	d.AccessData(2*sets, false) // evicts LRU (block 0)
+	if len(wbBlocks) != 1 || wbBlocks[0] != 0 || wbResize[0] {
+		t.Fatalf("writebacks = %v (resize flags %v), want demand writeback of block 0",
+			wbBlocks, wbResize)
+	}
+	if d.DataStats().Writebacks != 1 {
+		t.Fatalf("writeback count = %d", d.DataStats().Writebacks)
+	}
+}
+
+func TestDataCacheCleanEvictionSilent(t *testing.T) {
+	d := NewData(dcfg(1000, 100, 1<<10))
+	called := false
+	d.SetWritebackHandler(func(uint64, bool) { called = true })
+	sets := uint64(d.Config().Sets())
+	d.AccessData(0, false)
+	d.AccessData(sets, false)
+	d.AccessData(2*sets, false)
+	if called || d.DataStats().Writebacks != 0 {
+		t.Fatal("clean evictions must not write back")
+	}
+}
+
+func TestDataCacheResizeWritebacks(t *testing.T) {
+	// Dirty every set, then force a downsize: the gated half's dirty
+	// blocks must be written back with the resize flag.
+	cfg := dcfg(1000, 1<<20, 32<<10) // always downsize, floor 32K
+	d := NewData(cfg)
+	sets := d.Config().Sets() // 1024 sets, 2 ways
+	for b := 0; b < sets; b++ {
+		d.AccessData(uint64(b), true) // one dirty block per set
+	}
+	var resizeWBs int
+	d.SetWritebackHandler(func(b uint64, fromResize bool) {
+		if fromResize {
+			resizeWBs++
+		}
+	})
+	d.Advance(1000, 1000) // downsize 64K -> 32K gates sets 512..1023
+	if d.ActiveBytes() != 32<<10 {
+		t.Fatalf("active = %d", d.ActiveBytes())
+	}
+	if resizeWBs != sets/2 {
+		t.Fatalf("resize writebacks = %d, want %d (one per gated set)", resizeWBs, sets/2)
+	}
+	if got := d.DataStats().ResizeWritebacks; got != uint64(sets/2) {
+		t.Fatalf("ResizeWritebacks stat = %d, want %d", got, sets/2)
+	}
+	// The surviving half keeps its dirty blocks.
+	if d.DirtyBlocks() != sets/2 {
+		t.Fatalf("dirty blocks after downsize = %d, want %d", d.DirtyBlocks(), sets/2)
+	}
+}
+
+func TestDataCacheGatedSetsDropCleanly(t *testing.T) {
+	cfg := dcfg(1000, 1<<20, 32<<10)
+	d := NewData(cfg)
+	sets := d.Config().Sets()
+	// Clean blocks everywhere: a downsize must trigger no writebacks.
+	for b := 0; b < sets; b++ {
+		d.AccessData(uint64(b), false)
+	}
+	d.Advance(1000, 1000)
+	if d.DataStats().ResizeWritebacks != 0 {
+		t.Fatal("clean gated sets must not write back")
+	}
+}
+
+func TestDataCacheWorkingSetAdaptation(t *testing.T) {
+	// The mechanism works end to end: a small dirty working set lets the
+	// d-cache downsize while preserving correctness of the dirty state.
+	cfg := dcfg(5000, 200, 4<<10)
+	d := NewData(cfg)
+	rng := xrand.New(31)
+	cycles := uint64(0)
+	for i := 0; i < 100; i++ {
+		for j := 0; j < 5000; j++ {
+			block := uint64(rng.Intn(128)) // 4K working set
+			d.AccessData(block, rng.Bool(0.3))
+		}
+		cycles += 5000
+		d.Advance(5000, cycles)
+	}
+	d.Finish(cycles)
+	if d.ActiveBytes() != 4<<10 {
+		t.Fatalf("active = %d, want 4K", d.ActiveBytes())
+	}
+	if d.AverageActiveFraction() > 0.3 {
+		t.Fatalf("avg active fraction %v too high", d.AverageActiveFraction())
+	}
+	// No dirty block may live in a gated set.
+	for s := d.ActiveSets(); s < d.Config().Sets(); s++ {
+		for w := 0; w < d.Config().Assoc; w++ {
+			i := s*d.Config().Assoc + w
+			if d.dirty[i] && d.valid[i] {
+				t.Fatalf("dirty block alive in gated set %d", s)
+			}
+		}
+	}
+}
+
+func TestDataCacheDeterminism(t *testing.T) {
+	run := func() DataStats {
+		d := NewData(dcfg(500, 60, 2<<10))
+		rng := xrand.New(77)
+		cycles := uint64(0)
+		for i := 0; i < 30000; i++ {
+			d.AccessData(uint64(rng.Intn(4096)), rng.Bool(0.25))
+			if i%500 == 499 {
+				cycles += 500
+				d.Advance(500, cycles)
+			}
+		}
+		return d.DataStats()
+	}
+	if run() != run() {
+		t.Fatal("data cache must be deterministic")
+	}
+}

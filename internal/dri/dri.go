@@ -1,0 +1,661 @@
+// Package dri implements the paper's primary contribution: the Dynamically
+// ResIzable instruction cache (DRI i-cache).
+//
+// The cache divides execution into fixed-length sense-intervals measured in
+// dynamic instructions. A miss counter accumulates misses within the
+// interval; at the interval boundary the cache downsizes (halves its active
+// sets, with the configured divisibility) when the count is below the
+// miss-bound, and upsizes when it is above, never dropping below the
+// size-bound. Downsizing gates off the highest-numbered sets (their contents
+// are lost and, at the circuit level, their supply is gated so they stop
+// leaking); upsizing re-enables them cold.
+//
+// The tag array always holds enough tag bits for the smallest permitted
+// size (the "resizing tag bits"), so the surviving lower sets stay valid
+// across downsizes without a flush, and upsizing can at worst create
+// harmless read-only aliases. A 3-bit saturating counter detects repeated
+// resizing between two adjacent sizes and then blocks downsizing for a
+// fixed number of intervals (throttling).
+package dri
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params are the DRI adaptive-mechanism parameters (§2.1 of the paper).
+type Params struct {
+	// Enabled selects dynamic resizing; when false the cache is a
+	// conventional i-cache of the full size (the paper's baseline).
+	Enabled bool
+	// MissBound is the per-interval miss count the controller steers to.
+	MissBound uint64
+	// SizeBoundBytes is the minimum size the cache may assume.
+	SizeBoundBytes int
+	// SenseInterval is the interval length in dynamic instructions.
+	SenseInterval uint64
+	// Divisibility is the resizing factor (2, 4, or 8 in the paper).
+	Divisibility int
+	// ThrottleSaturation is the saturating-counter ceiling that triggers
+	// throttling (the paper uses a 3-bit counter, so 7).
+	ThrottleSaturation int
+	// ThrottleIntervals is how many intervals downsizing stays blocked
+	// after the throttle trips (the paper uses 10).
+	ThrottleIntervals int
+	// FlushOnResize invalidates the whole cache at every resize instead of
+	// relying on resizing tag bits to keep surviving sets valid. The paper
+	// (§2.2) argues this is prohibitively expensive; the FlushAblation
+	// experiment measures it.
+	FlushOnResize bool
+	// ResizeWays selects the alternative the paper rejects in §2: resizing
+	// by disabling ways (Albonesi's selective ways) instead of sets. The
+	// index function never changes (so no resizing tag bits are needed),
+	// but each step removes associativity, is unavailable on direct-mapped
+	// caches, and converts conflict pressure directly into misses. One way
+	// is gated per resize step; Divisibility is ignored in this mode.
+	ResizeWays bool
+	// AutoMissBoundFactor, when positive, sets the miss-bound dynamically
+	// instead of from MissBound — the §2.1 future work ("all the cache
+	// parameters can be set either dynamically or statically"). The
+	// controller keeps an exponentially weighted average of the miss
+	// counts it observes while the cache is at full size (its estimate of
+	// the conventional miss rate) and uses factor × that as the bound.
+	// This automates the paper's observation that workable miss-bounds sit
+	// one to two orders of magnitude above the conventional miss rate.
+	AutoMissBoundFactor float64
+}
+
+// DefaultParams returns the paper's base adaptive parameters for a 64K
+// cache, scaled to the given sense interval: the paper's examples use a
+// sense interval of one million instructions with miss-bounds in the
+// ten-thousands; bounds here are per-interval counts so they scale with the
+// interval.
+func DefaultParams(senseInterval uint64) Params {
+	return Params{
+		Enabled:            true,
+		MissBound:          senseInterval / 100,
+		SizeBoundBytes:     1 << 10,
+		SenseInterval:      senseInterval,
+		Divisibility:       2,
+		ThrottleSaturation: 7,
+		ThrottleIntervals:  10,
+	}
+}
+
+// Config describes a DRI i-cache instance.
+type Config struct {
+	SizeBytes  int
+	BlockBytes int
+	Assoc      int
+	AddrBits   int
+	Params     Params
+}
+
+// Check validates the configuration.
+func (c Config) Check() error {
+	switch {
+	case c.SizeBytes <= 0 || c.SizeBytes&(c.SizeBytes-1) != 0:
+		return fmt.Errorf("dri: size %d not a positive power of two", c.SizeBytes)
+	case c.BlockBytes <= 0 || c.BlockBytes&(c.BlockBytes-1) != 0:
+		return fmt.Errorf("dri: block %d not a positive power of two", c.BlockBytes)
+	case c.Assoc < 1:
+		return fmt.Errorf("dri: assoc %d < 1", c.Assoc)
+	case c.SizeBytes < c.BlockBytes*c.Assoc:
+		return fmt.Errorf("dri: size %d below one set", c.SizeBytes)
+	}
+	if c.Params.Enabled {
+		p := c.Params
+		switch {
+		case p.SizeBoundBytes > c.SizeBytes:
+			return fmt.Errorf("dri: size-bound %d exceeds size %d", p.SizeBoundBytes, c.SizeBytes)
+		case p.SenseInterval == 0:
+			return fmt.Errorf("dri: zero sense interval")
+		case p.Divisibility < 2 || p.Divisibility&(p.Divisibility-1) != 0:
+			return fmt.Errorf("dri: divisibility %d not a power of two >= 2", p.Divisibility)
+		}
+		if p.ResizeWays {
+			// Way mode: sizes move in whole ways, not powers of two.
+			if c.Assoc < 2 {
+				return fmt.Errorf("dri: way-resizing requires associativity >= 2 (have %d); this is the paper's §2 argument against it", c.Assoc)
+			}
+			wayBytes := c.Sets() * c.BlockBytes
+			if p.SizeBoundBytes < wayBytes || p.SizeBoundBytes%wayBytes != 0 {
+				return fmt.Errorf("dri: way-resizing size-bound %d not a positive multiple of one way (%d bytes)", p.SizeBoundBytes, wayBytes)
+			}
+		} else {
+			switch {
+			case p.SizeBoundBytes <= 0 || p.SizeBoundBytes&(p.SizeBoundBytes-1) != 0:
+				return fmt.Errorf("dri: size-bound %d not a positive power of two", p.SizeBoundBytes)
+			case p.SizeBoundBytes < c.BlockBytes*c.Assoc:
+				return fmt.Errorf("dri: size-bound %d below one set", p.SizeBoundBytes)
+			}
+		}
+	}
+	return nil
+}
+
+// Sets returns the total number of sets at full size.
+func (c Config) Sets() int { return c.SizeBytes / (c.BlockBytes * c.Assoc) }
+
+// MinSets returns the number of active sets at the size-bound (in
+// way-resizing mode all sets stay active).
+func (c Config) MinSets() int {
+	if !c.Params.Enabled || c.Params.ResizeWays {
+		return c.Sets()
+	}
+	return c.Params.SizeBoundBytes / (c.BlockBytes * c.Assoc)
+}
+
+// MinWays returns the number of active ways at the size-bound in
+// way-resizing mode (Assoc otherwise).
+func (c Config) MinWays() int {
+	if !c.Params.Enabled || !c.Params.ResizeWays {
+		return c.Assoc
+	}
+	return c.Params.SizeBoundBytes / (c.Sets() * c.BlockBytes)
+}
+
+// ResizingTagBits returns the number of extra tag bits the tag array
+// carries to support downsizing to the size-bound: log2(size/size-bound).
+// The paper's example: a 64K cache with a 1K size-bound uses 6 resizing
+// bits. A disabled (conventional) cache uses none, and so does a
+// way-resizing cache (its index function never changes — the one genuine
+// advantage of the alternative the paper rejects).
+func (c Config) ResizingTagBits() int {
+	if !c.Params.Enabled || c.Params.ResizeWays {
+		return 0
+	}
+	bits := 0
+	for v := c.SizeBytes / c.Params.SizeBoundBytes; v > 1; v >>= 1 {
+		bits++
+	}
+	return bits
+}
+
+// ResizeDirection labels a resize event.
+type ResizeDirection int
+
+const (
+	// Downsize halves (or divides by divisibility) the active sets.
+	Downsize ResizeDirection = iota
+	// Upsize multiplies the active sets by the divisibility.
+	Upsize
+)
+
+// String implements fmt.Stringer.
+func (d ResizeDirection) String() string {
+	if d == Downsize {
+		return "downsize"
+	}
+	return "upsize"
+}
+
+// ResizeEvent records one resize for timelines and diagnostics. Set-mode
+// resizes change FromSets/ToSets; way-mode resizes change FromWays/ToWays.
+type ResizeEvent struct {
+	Interval  uint64 // sense-interval ordinal (1-based)
+	Direction ResizeDirection
+	FromSets  int
+	ToSets    int
+	FromWays  int
+	ToWays    int
+	Misses    uint64 // misses observed in the interval that triggered it
+}
+
+// Stats accumulates DRI i-cache activity.
+type Stats struct {
+	Accesses  uint64
+	Misses    uint64
+	Fills     uint64
+	Intervals uint64
+	Upsizes   uint64
+	Downsizes uint64
+	// ThrottleTrips counts times the oscillation detector engaged.
+	ThrottleTrips uint64
+	// BlockedDownsizes counts downsize decisions suppressed by throttling.
+	BlockedDownsizes uint64
+	// SizeBoundHits counts downsize decisions suppressed by the size-bound.
+	SizeBoundHits uint64
+}
+
+// MissRate returns Misses/Accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a DRI i-cache (or, with Params.Enabled=false, a conventional
+// i-cache measured through the same interface). It is not safe for
+// concurrent use.
+type Cache struct {
+	cfg       Config
+	totalSets int
+	minSets   int
+	assoc     int
+	offBits   uint
+
+	activeSets int
+	activeWays int
+	minWays    int
+	indexMask  uint64
+
+	tags    []uint64
+	valid   []bool
+	lastUse []uint64
+	stamp   uint64
+
+	// Interval machinery.
+	intervalMisses uint64
+	intervalInstrs uint64
+	intervalIndex  uint64
+
+	// Throttle state.
+	throttle        int // saturating counter
+	throttleBlocked int // intervals of downsize blocking remaining
+	lastResize      *ResizeEvent
+
+	// Dynamic miss-bound state (AutoMissBoundFactor > 0): EWMA of interval
+	// miss counts observed at full size. The first full-size interval is
+	// discarded (cold-start compulsory misses would inflate the reference
+	// by orders of magnitude); no resizing happens until a reference
+	// exists.
+	fullSizeMissAvg  float64
+	fullSizeSkipped  bool
+	fullSizeRefValid bool
+	resizedLastIval  bool
+	lastAccessMark   uint64
+
+	// Active-size integration over cycles (for the energy model's "active
+	// fraction" and Figure 3's average cache size).
+	lastCycleMark uint64
+	fractionNum   float64 // Σ activeSets/totalSets × cycles
+	fractionDen   float64 // Σ cycles
+	sizeResidency map[int]uint64
+
+	stats  Stats
+	events []ResizeEvent
+
+	// onInvalidate, when set, is called for every frame the resize
+	// machinery is about to invalidate (before the valid bit clears), so a
+	// write-back extension can flush dirty contents. fromResize is always
+	// true here; demand evictions do not pass through this hook.
+	onInvalidate func(frame int, fromResize bool)
+}
+
+// New builds a DRI i-cache; it panics on an invalid configuration.
+func New(cfg Config) *Cache {
+	if err := cfg.Check(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	n := sets * cfg.Assoc
+	c := &Cache{
+		cfg:           cfg,
+		totalSets:     sets,
+		minSets:       cfg.MinSets(),
+		minWays:       cfg.MinWays(),
+		assoc:         cfg.Assoc,
+		offBits:       offsetBits(cfg.BlockBytes),
+		activeSets:    sets,
+		activeWays:    cfg.Assoc,
+		indexMask:     uint64(sets - 1),
+		tags:          make([]uint64, n),
+		valid:         make([]bool, n),
+		lastUse:       make([]uint64, n),
+		sizeResidency: make(map[int]uint64),
+	}
+	return c
+}
+
+func offsetBits(block int) uint {
+	b := uint(0)
+	for v := block; v > 1; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Config returns the configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// ActiveSets returns the number of currently powered sets.
+func (c *Cache) ActiveSets() int { return c.activeSets }
+
+// ActiveWays returns the number of currently powered ways.
+func (c *Cache) ActiveWays() int { return c.activeWays }
+
+// ActiveBytes returns the currently powered capacity.
+func (c *Cache) ActiveBytes() int { return c.activeSets * c.activeWays * c.cfg.BlockBytes }
+
+// ActiveFractionNow returns the powered fraction of the array at this
+// instant (set-mode: activeSets/totalSets; way-mode: activeWays/assoc).
+func (c *Cache) ActiveFractionNow() float64 {
+	return float64(c.activeSets*c.activeWays) / float64(c.totalSets*c.assoc)
+}
+
+// Stats returns a copy of the statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Events returns the resize log (shared slice; callers must not modify).
+func (c *Cache) Events() []ResizeEvent { return c.events }
+
+// Block converts a byte address to a block address.
+func (c *Cache) Block(addr uint64) uint64 { return addr >> c.offBits }
+
+// AccessBlock performs an instruction fetch of the given block address and
+// reports whether it hit. Misses fill the block into the set selected by
+// the current size mask (timing is the caller's concern).
+func (c *Cache) AccessBlock(block uint64) bool {
+	c.stats.Accesses++
+	c.stamp++
+	set := int(block & c.indexMask)
+	base := set * c.assoc
+	for w := 0; w < c.activeWays; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == block {
+			c.lastUse[i] = c.stamp
+			return true
+		}
+	}
+	c.stats.Misses++
+	c.intervalMisses++
+	c.fill(base, block)
+	return false
+}
+
+func (c *Cache) fill(base int, block uint64) {
+	c.stats.Fills++
+	victim := base
+	found := false
+	for w := 0; w < c.activeWays; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = i
+			found = true
+			break
+		}
+	}
+	if !found {
+		oldest := c.lastUse[base]
+		victim = base
+		for w := 1; w < c.activeWays; w++ {
+			i := base + w
+			if c.lastUse[i] < oldest {
+				oldest = c.lastUse[i]
+				victim = i
+			}
+		}
+	}
+	c.tags[victim] = block
+	c.valid[victim] = true
+	c.lastUse[victim] = c.stamp
+}
+
+// Probe reports whether block is present at the current size without
+// touching replacement state or statistics.
+func (c *Cache) Probe(block uint64) bool {
+	set := int(block & c.indexMask)
+	base := set * c.assoc
+	for w := 0; w < c.activeWays; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Advance reports instruction progress and the current cycle count to the
+// interval machinery. The simulator calls it in batches (it need not be
+// once per instruction); the cache fires the end-of-interval decision each
+// time the accumulated instruction count crosses the sense-interval length.
+func (c *Cache) Advance(instrs, nowCycles uint64) {
+	if !c.cfg.Params.Enabled {
+		return
+	}
+	c.intervalInstrs += instrs
+	for c.intervalInstrs >= c.cfg.Params.SenseInterval {
+		c.intervalInstrs -= c.cfg.Params.SenseInterval
+		c.endInterval(nowCycles)
+	}
+}
+
+// endInterval applies the paper's decision rule (Figure 1): compare the
+// interval's miss count against the miss-bound and resize.
+func (c *Cache) endInterval(nowCycles uint64) {
+	c.intervalIndex++
+	c.stats.Intervals++
+	misses := c.intervalMisses
+	c.intervalMisses = 0
+
+	if c.throttleBlocked > 0 {
+		c.throttleBlocked--
+	}
+
+	p := c.cfg.Params
+	bound := p.MissBound
+	if p.AutoMissBoundFactor > 0 {
+		intervalAccesses := c.stats.Accesses - c.lastAccessMark
+		c.lastAccessMark = c.stats.Accesses
+		atFull := c.activeSets == c.totalSets && c.activeWays == c.assoc
+		// Update the full-size reference only from steady intervals: skip
+		// the cold-start interval and any interval right after a resize
+		// (its §2.3.1 remap misses are not conventional-cache behaviour).
+		if atFull && !c.resizedLastIval {
+			const alpha = 0.25
+			switch {
+			case !c.fullSizeSkipped:
+				c.fullSizeSkipped = true
+			case !c.fullSizeRefValid:
+				c.fullSizeMissAvg = float64(misses)
+				c.fullSizeRefValid = true
+			default:
+				c.fullSizeMissAvg += alpha * (float64(misses) - c.fullSizeMissAvg)
+			}
+		}
+		c.resizedLastIval = false
+		if !c.fullSizeRefValid {
+			return // hold until a steady-state reference exists
+		}
+		bound = uint64(p.AutoMissBoundFactor * c.fullSizeMissAvg)
+		// The bound is meaningless above the access count the interval can
+		// produce; cap it so thrashing is always detectable.
+		if ceiling := intervalAccesses / 2; bound > ceiling {
+			bound = ceiling
+		}
+		if bound == 0 {
+			bound = 1
+		}
+	}
+	switch {
+	case misses > bound:
+		c.resize(Upsize, misses, nowCycles)
+	case misses < bound:
+		atFloor := c.activeSets/p.Divisibility < c.minSets
+		if p.ResizeWays {
+			atFloor = c.activeWays-1 < c.minWays
+		}
+		if atFloor {
+			c.stats.SizeBoundHits++
+			return
+		}
+		if c.throttleBlocked > 0 {
+			c.stats.BlockedDownsizes++
+			return
+		}
+		c.resize(Downsize, misses, nowCycles)
+	default:
+		// Exactly at the bound: hold.
+	}
+}
+
+// resize performs the size change, maintains the throttle detector, and
+// integrates the active-fraction account. Set mode scales the active sets
+// by the divisibility; way mode gates one way per step.
+func (c *Cache) resize(dir ResizeDirection, misses, nowCycles uint64) {
+	p := c.cfg.Params
+	fromSets, fromWays := c.activeSets, c.activeWays
+	toSets, toWays := fromSets, fromWays
+	if p.ResizeWays {
+		if dir == Downsize {
+			toWays--
+			if toWays < c.minWays {
+				toWays = c.minWays
+			}
+		} else {
+			toWays++
+			if toWays > c.assoc {
+				toWays = c.assoc
+			}
+		}
+	} else if dir == Downsize {
+		toSets = fromSets / p.Divisibility
+		if toSets < c.minSets {
+			toSets = c.minSets
+		}
+	} else {
+		toSets = fromSets * p.Divisibility
+		if toSets > c.totalSets {
+			toSets = c.totalSets
+		}
+	}
+	if toSets == fromSets && toWays == fromWays {
+		return
+	}
+
+	c.noteSizeSpan(nowCycles)
+
+	ev := ResizeEvent{
+		Interval:  c.intervalIndex,
+		Direction: dir,
+		FromSets:  fromSets,
+		ToSets:    toSets,
+		FromWays:  fromWays,
+		ToWays:    toWays,
+		Misses:    misses,
+	}
+
+	// Oscillation detection: a resize that exactly reverses the previous
+	// one (same two sizes, opposite direction) bumps the saturating
+	// counter; anything else decays it.
+	if c.lastResize != nil &&
+		c.lastResize.FromSets == toSets && c.lastResize.ToSets == fromSets &&
+		c.lastResize.FromWays == toWays && c.lastResize.ToWays == fromWays &&
+		c.lastResize.Direction != dir {
+		if c.throttle < p.ThrottleSaturation {
+			c.throttle++
+		}
+		if c.throttle >= p.ThrottleSaturation && p.ThrottleSaturation > 0 {
+			c.throttle = 0
+			c.throttleBlocked = p.ThrottleIntervals
+			c.stats.ThrottleTrips++
+		}
+	} else if c.throttle > 0 {
+		c.throttle--
+	}
+
+	invalidate := func(frame int) {
+		if c.onInvalidate != nil {
+			c.onInvalidate(frame, true)
+		}
+		c.valid[frame] = false
+	}
+	switch {
+	case p.FlushOnResize:
+		// Ablation mode: the whole cache is invalidated on every resize,
+		// as a design without resizing tag bits would require.
+		for i := range c.valid {
+			invalidate(i)
+		}
+	case p.ResizeWays:
+		// Gate (or cold-enable) the departing/arriving ways of every set.
+		lo, hi := toWays, fromWays
+		if dir == Upsize {
+			lo, hi = fromWays, toWays
+		}
+		for set := 0; set < c.totalSets; set++ {
+			base := set * c.assoc
+			for w := lo; w < hi; w++ {
+				invalidate(base + w)
+			}
+		}
+	case dir == Downsize:
+		// Gate off the departing sets: their cells lose state.
+		for s := toSets; s < fromSets; s++ {
+			base := s * c.assoc
+			for w := 0; w < c.assoc; w++ {
+				invalidate(base + w)
+			}
+		}
+	default:
+		// Newly powered sets come up cold.
+		for s := fromSets; s < toSets; s++ {
+			base := s * c.assoc
+			for w := 0; w < c.assoc; w++ {
+				invalidate(base + w)
+			}
+		}
+	}
+	if dir == Downsize {
+		c.stats.Downsizes++
+	} else {
+		c.stats.Upsizes++
+	}
+	c.activeSets = toSets
+	c.activeWays = toWays
+	c.indexMask = uint64(toSets - 1)
+	c.resizedLastIval = true
+	last := ev
+	c.lastResize = &last
+	c.events = append(c.events, ev)
+}
+
+// noteSizeSpan closes the accounting span at the current size.
+func (c *Cache) noteSizeSpan(nowCycles uint64) {
+	if nowCycles > c.lastCycleMark {
+		d := float64(nowCycles - c.lastCycleMark)
+		c.fractionNum += d * c.ActiveFractionNow()
+		c.fractionDen += d
+		c.sizeResidency[c.ActiveBytes()] += nowCycles - c.lastCycleMark
+		c.lastCycleMark = nowCycles
+	}
+}
+
+// Finish closes the active-fraction integration at the end of simulation.
+func (c *Cache) Finish(nowCycles uint64) {
+	c.noteSizeSpan(nowCycles)
+}
+
+// AverageActiveFraction returns the cycle-weighted mean of
+// activeSets/totalSets — the paper's "average cache size" as a fraction of
+// the conventional cache (Figure 3, right). Before any Finish/resize it
+// returns 1 for a conventional cache and the current fraction otherwise.
+func (c *Cache) AverageActiveFraction() float64 {
+	if c.fractionDen == 0 {
+		return c.ActiveFractionNow()
+	}
+	return c.fractionNum / c.fractionDen
+}
+
+// SizeResidency returns cycles spent at each active size in bytes
+// (the closed spans only; call Finish first for complete data).
+func (c *Cache) SizeResidency() map[int]uint64 {
+	out := make(map[int]uint64, len(c.sizeResidency))
+	for k, v := range c.sizeResidency {
+		out[k] = v
+	}
+	return out
+}
+
+// EffectiveMissRateVsBound returns |missrate − missbound/interval|, the
+// quantity the paper uses to show the controller tracks its setpoint
+// (§5.3 reports a largest gap of 0.004 for gcc).
+func (c *Cache) EffectiveMissRateVsBound() float64 {
+	if !c.cfg.Params.Enabled || c.stats.Accesses == 0 {
+		return 0
+	}
+	target := float64(c.cfg.Params.MissBound) / float64(c.cfg.Params.SenseInterval)
+	return math.Abs(c.stats.MissRate() - target)
+}

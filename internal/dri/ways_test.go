@@ -1,0 +1,256 @@
+package dri
+
+import (
+	"testing"
+
+	"dricache/internal/xrand"
+)
+
+// way64K4 returns a 64K 4-way way-resizing configuration (512 sets, so one
+// way is 16K).
+func way64K4(interval, missBound uint64, sizeBound int) Config {
+	return Config{
+		SizeBytes: 64 << 10, BlockBytes: 32, Assoc: 4, AddrBits: 32,
+		Params: Params{
+			Enabled:            true,
+			ResizeWays:         true,
+			MissBound:          missBound,
+			SizeBoundBytes:     sizeBound,
+			SenseInterval:      interval,
+			Divisibility:       2,
+			ThrottleSaturation: 7,
+			ThrottleIntervals:  10,
+		},
+	}
+}
+
+func TestWayModeCheck(t *testing.T) {
+	if err := way64K4(1000, 100, 16<<10).Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Direct-mapped caches cannot resize by ways — the paper's first
+	// argument against the approach.
+	dm := way64K4(1000, 100, 16<<10)
+	dm.Assoc = 1
+	if dm.Check() == nil {
+		t.Fatal("way-resizing on a direct-mapped cache must be rejected")
+	}
+	// Size-bound must be whole ways.
+	odd := way64K4(1000, 100, 8<<10)
+	if odd.Check() == nil {
+		t.Fatal("way-resizing size-bound below one way must be rejected")
+	}
+}
+
+func TestWayModeGeometry(t *testing.T) {
+	cfg := way64K4(1000, 100, 16<<10)
+	if cfg.MinWays() != 1 {
+		t.Fatalf("min ways = %d, want 1", cfg.MinWays())
+	}
+	if cfg.MinSets() != cfg.Sets() {
+		t.Fatal("way mode must keep all sets active")
+	}
+	if cfg.ResizingTagBits() != 0 {
+		t.Fatal("way-resizing changes no index bits, so no resizing tags")
+	}
+	cfg.Params.SizeBoundBytes = 32 << 10
+	if cfg.MinWays() != 2 {
+		t.Fatalf("32K size-bound min ways = %d, want 2", cfg.MinWays())
+	}
+}
+
+func TestWayModeDownsizesToFloor(t *testing.T) {
+	c := New(way64K4(1000, 1<<20, 16<<10)) // huge bound: always downsize
+	cycles := uint64(0)
+	for i := 0; i < 10; i++ {
+		cycles += 1000
+		c.Advance(1000, cycles)
+	}
+	if c.ActiveWays() != 1 {
+		t.Fatalf("active ways = %d, want 1", c.ActiveWays())
+	}
+	if c.ActiveSets() != c.cfg.Sets() {
+		t.Fatal("sets must stay fully active in way mode")
+	}
+	if c.ActiveBytes() != 16<<10 {
+		t.Fatalf("active bytes = %d, want 16K", c.ActiveBytes())
+	}
+	if f := c.ActiveFractionNow(); f != 0.25 {
+		t.Fatalf("active fraction = %v, want 0.25", f)
+	}
+	// The cycle-weighted integral must reflect the way gating too
+	// (regression: it once integrated only the set dimension).
+	c.Finish(20000)
+	if avg := c.AverageActiveFraction(); avg > 0.5 {
+		t.Fatalf("average active fraction = %v, should reflect gated ways", avg)
+	}
+	// Three downsizes: 4→3→2→1, then pinned by the size-bound.
+	if c.Stats().Downsizes != 3 || c.Stats().SizeBoundHits == 0 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+}
+
+func TestWayModeGatesWaysNotSets(t *testing.T) {
+	c := New(way64K4(1000, 1<<20, 48<<10))
+	// Fill all four ways of set 0 (blocks 0, 512, 1024, 1536 map to set 0).
+	for w := uint64(0); w < 4; w++ {
+		c.AccessBlock(w * 512)
+	}
+	c.Advance(1000, 1000) // downsize 4→3 ways
+	if c.ActiveWays() != 3 {
+		t.Fatalf("active ways = %d, want 3", c.ActiveWays())
+	}
+	// Exactly one of the four blocks (the one in way 3) is gone.
+	resident := 0
+	for w := uint64(0); w < 4; w++ {
+		if c.Probe(w * 512) {
+			resident++
+		}
+	}
+	if resident != 3 {
+		t.Fatalf("resident blocks after gating one way = %d, want 3", resident)
+	}
+}
+
+func TestWayModeUpsizesUnderMisses(t *testing.T) {
+	c := New(way64K4(1000, 100, 16<<10))
+	cycles := uint64(0)
+	// Drive down to 1 way.
+	for i := 0; i < 5; i++ {
+		cycles += 1000
+		c.Advance(1000, cycles)
+	}
+	if c.ActiveWays() != 1 {
+		t.Fatalf("setup failed: %d ways", c.ActiveWays())
+	}
+	// Now storm with fresh blocks to force upsizing.
+	fresh := uint64(1 << 20)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 500; j++ {
+			c.AccessBlock(fresh)
+			fresh++
+		}
+		cycles += 1000
+		c.Advance(1000, cycles)
+	}
+	if c.ActiveWays() < 2 {
+		t.Fatalf("miss storm should re-enable ways, at %d", c.ActiveWays())
+	}
+	if c.Stats().Upsizes == 0 {
+		t.Fatal("no upsizes recorded")
+	}
+}
+
+// TestWayVsSetResizingConflicts measures the paper's §2 claim: "reducing
+// associativity may increase both capacity and conflict miss rates". The
+// working set is three 8K regions at 64K-aligned bases: every block has two
+// alias partners in the same set. A 32K set-resized cache (256 sets × 4
+// ways) holds all three copies per set; a 32K way-resized cache (512 sets ×
+// 2 ways) thrashes on the three-way conflicts.
+func TestWayVsSetResizingConflicts(t *testing.T) {
+	mk := func(ways bool) *Cache {
+		cfg := Config{
+			SizeBytes: 64 << 10, BlockBytes: 32, Assoc: 4, AddrBits: 32,
+			Params: Params{
+				Enabled:            true,
+				ResizeWays:         ways,
+				MissBound:          1 << 20, // always downsize
+				SizeBoundBytes:     32 << 10,
+				SenseInterval:      1000,
+				Divisibility:       2,
+				ThrottleSaturation: 7,
+				ThrottleIntervals:  10,
+			},
+		}
+		return New(cfg)
+	}
+	measure := func(c *Cache) float64 {
+		cycles := uint64(0)
+		// Let it reach the 32K floor.
+		for i := 0; i < 4; i++ {
+			cycles += 1000
+			c.Advance(1000, cycles)
+		}
+		// Three 8K regions (256 blocks each) at 64K-aligned bases: 24K
+		// total, three-way set conflicts everywhere.
+		const regionBlocks = 256
+		const regionStride = (64 << 10) / 32
+		touch := func() {
+			for r := uint64(0); r < 3; r++ {
+				for b := uint64(0); b < regionBlocks; b++ {
+					c.AccessBlock(r*regionStride + b)
+				}
+			}
+		}
+		touch() // warm
+		touch()
+		before := c.Stats().Misses
+		for pass := 0; pass < 10; pass++ {
+			touch()
+		}
+		return float64(c.Stats().Misses-before) / (10 * 3 * regionBlocks)
+	}
+	setMode := measure(mk(false))
+	wayMode := measure(mk(true))
+	if setMode > 0.001 {
+		t.Fatalf("set-resized 32K should hold a contiguous 24K loop: miss rate %v", setMode)
+	}
+	if wayMode <= setMode {
+		t.Fatalf("way-resizing should conflict-miss where set-resizing fits: %v vs %v",
+			wayMode, setMode)
+	}
+}
+
+func TestWayModeEventsRecordWays(t *testing.T) {
+	c := New(way64K4(1000, 1<<20, 16<<10))
+	c.Advance(1000, 1000)
+	evs := c.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.FromWays != 4 || ev.ToWays != 3 {
+		t.Fatalf("event ways %d->%d, want 4->3", ev.FromWays, ev.ToWays)
+	}
+	if ev.FromSets != ev.ToSets {
+		t.Fatal("way-mode events must not change sets")
+	}
+}
+
+func TestWayModeThrottleOscillation(t *testing.T) {
+	c := New(way64K4(1000, 50, 16<<10))
+	cycles := uint64(0)
+	fresh := uint64(1 << 20)
+	for i := 0; i < 80; i++ {
+		if i%2 == 1 {
+			for j := 0; j < 300; j++ {
+				c.AccessBlock(fresh)
+				fresh++
+			}
+		}
+		cycles += 1000
+		c.Advance(1000, cycles)
+	}
+	if c.Stats().ThrottleTrips == 0 {
+		t.Fatal("way-mode oscillation should trip the throttle")
+	}
+}
+
+func TestWayModeDeterminism(t *testing.T) {
+	run := func() Stats {
+		c := New(way64K4(500, 60, 16<<10))
+		rng := xrand.New(21)
+		cycles := uint64(0)
+		for i := 0; i < 20000; i++ {
+			c.AccessBlock(uint64(rng.Intn(4096)))
+			if i%500 == 499 {
+				cycles += 500
+				c.Advance(500, cycles)
+			}
+		}
+		return c.Stats()
+	}
+	if run() != run() {
+		t.Fatal("way mode must be deterministic")
+	}
+}

@@ -1,0 +1,146 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestDefaultConstantsMatchPaper(t *testing.T) {
+	m := Default64K()
+	if !almost(m.ConvLeakPerCycleNJ, 0.91, 0.02) {
+		t.Errorf("conventional leakage = %v nJ/cycle, paper 0.91", m.ConvLeakPerCycleNJ)
+	}
+	if !almost(m.BitlineNJ, 0.0022, 0.03) {
+		t.Errorf("bitline energy = %v nJ, paper 0.0022", m.BitlineNJ)
+	}
+	if !almost(m.L2AccessNJ, 3.6, 0.03) {
+		t.Errorf("L2 access energy = %v nJ, paper 3.6", m.L2AccessNJ)
+	}
+}
+
+func TestForL1ScalesWithSize(t *testing.T) {
+	m64 := ForL1(64<<10, 32, 1)
+	m128 := ForL1(128<<10, 32, 1)
+	if !almost(m128.ConvLeakPerCycleNJ, 2*m64.ConvLeakPerCycleNJ, 1e-9) {
+		t.Fatal("128K leakage should be twice 64K")
+	}
+	// L2 constant identical regardless of L1.
+	if m64.L2AccessNJ != m128.L2AccessNJ {
+		t.Fatal("L2 energy should not depend on L1 size")
+	}
+}
+
+// TestPaperRatioExamples pins the two §5.2.1 worked examples: 0.024 and
+// 0.08 under the stated extreme assumptions.
+func TestPaperRatioExamples(t *testing.T) {
+	m := Default64K()
+	if r := m.ExtraL1OverLeakageRatio(5, 0.5); !almost(r, 0.024, 0.06) {
+		t.Errorf("extra-L1/leakage ratio = %v, paper ≈0.024", r)
+	}
+	if r := m.ExtraL2OverLeakageRatio(0.5, 0.01); !almost(r, 0.08, 0.06) {
+		t.Errorf("extra-L2/leakage ratio = %v, paper ≈0.08", r)
+	}
+}
+
+func TestEvaluateConventionalIdentity(t *testing.T) {
+	// A "DRI" run identical to the baseline with no resizing: relative
+	// energy and ED must both be exactly 1.
+	m := Default64K()
+	b := m.Evaluate(Inputs{
+		Cycles: 1000000, ConvCycles: 1000000,
+		L1Accesses: 150000, ResizingTagBits: 0,
+		AvgActiveFraction: 1.0, ExtraL2Accesses: 0,
+	})
+	if !almost(b.RelativeEnergy, 1, 1e-12) || !almost(b.RelativeED, 1, 1e-12) {
+		t.Fatalf("identity run: energy %v ED %v, want 1", b.RelativeEnergy, b.RelativeED)
+	}
+	if b.SlowdownPct != 0 {
+		t.Fatalf("identity slowdown = %v", b.SlowdownPct)
+	}
+	if b.SavingsNJ != 0 {
+		t.Fatalf("identity savings = %v", b.SavingsNJ)
+	}
+}
+
+func TestEvaluateHalfSizeHalvesLeakage(t *testing.T) {
+	m := Default64K()
+	b := m.Evaluate(Inputs{
+		Cycles: 1000, ConvCycles: 1000,
+		AvgActiveFraction: 0.5,
+	})
+	if !almost(b.L1LeakageNJ, 0.5*m.ConvLeakPerCycleNJ*1000, 1e-12) {
+		t.Fatal("leakage should scale with active fraction")
+	}
+	if !almost(b.RelativeED, 0.5, 1e-9) {
+		t.Fatalf("half-size same-time ED = %v, want 0.5", b.RelativeED)
+	}
+}
+
+func TestEvaluateComponents(t *testing.T) {
+	m := Default64K()
+	in := Inputs{
+		Cycles: 2000, ConvCycles: 1000,
+		L1Accesses: 500, ResizingTagBits: 6,
+		AvgActiveFraction: 0.25, ExtraL2Accesses: 100,
+	}
+	b := m.Evaluate(in)
+	wantLeak := 0.25 * m.ConvLeakPerCycleNJ * 2000
+	wantL1 := 6 * m.BitlineNJ * 500
+	wantL2 := m.L2AccessNJ * 100
+	if !almost(b.L1LeakageNJ, wantLeak, 1e-12) ||
+		!almost(b.ExtraL1DynamicNJ, wantL1, 1e-12) ||
+		!almost(b.ExtraL2DynamicNJ, wantL2, 1e-12) {
+		t.Fatalf("components %+v", b)
+	}
+	if !almost(b.EffectiveNJ, wantLeak+wantL1+wantL2, 1e-12) {
+		t.Fatal("effective should sum components")
+	}
+	if !almost(b.SlowdownPct, 100, 1e-12) {
+		t.Fatalf("slowdown = %v, want 100", b.SlowdownPct)
+	}
+	// ED shares sum to the total.
+	if !almost(b.LeakageShareOfED+b.DynamicShareOfED, b.RelativeED, 1e-12) {
+		t.Fatal("ED shares must sum to RelativeED")
+	}
+}
+
+func TestNegativeExtraL2Clamped(t *testing.T) {
+	m := Default64K()
+	b := m.Evaluate(Inputs{Cycles: 100, ConvCycles: 100, AvgActiveFraction: 1, ExtraL2Accesses: -50})
+	if b.ExtraL2DynamicNJ != 0 {
+		t.Fatal("negative extra L2 accesses must clamp to zero energy")
+	}
+}
+
+func TestZeroConvCyclesSafe(t *testing.T) {
+	m := Default64K()
+	b := m.Evaluate(Inputs{Cycles: 100})
+	if b.RelativeED != 0 || b.SlowdownPct != 0 {
+		t.Fatal("zero baseline must not divide by zero")
+	}
+}
+
+// TestDynamicCannotOutweighLargeSavings encodes the paper's §5.2.1
+// conclusion: with realistic parameters, the extra dynamic components stay
+// an order of magnitude below the leakage saved by halving the cache.
+func TestDynamicCannotOutweighLargeSavings(t *testing.T) {
+	m := Default64K()
+	const cycles = 1_000_000
+	in := Inputs{
+		Cycles: cycles, ConvCycles: cycles,
+		L1Accesses:        cycles, // the paper's L1-access-per-cycle approximation
+		ResizingTagBits:   5,
+		AvgActiveFraction: 0.5,
+		ExtraL2Accesses:   cycles / 100, // 1% absolute extra miss rate
+	}
+	b := m.Evaluate(in)
+	saved := b.ConvLeakageNJ - b.L1LeakageNJ
+	if b.ExtraL1DynamicNJ+b.ExtraL2DynamicNJ > 0.3*saved {
+		t.Fatalf("dynamic overhead %v should stay well below leakage savings %v",
+			b.ExtraL1DynamicNJ+b.ExtraL2DynamicNJ, saved)
+	}
+}

@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"dricache/internal/dri"
+	"dricache/internal/isa"
+	"dricache/internal/stats"
+	"dricache/internal/trace"
+)
+
+// DCacheRow summarizes the DRI data-cache study for one benchmark: the
+// extension the paper defers because of dirty-block complications. The
+// study is trace-driven (data-reference stream only): it quantifies how
+// much of the i-cache result carries over to the d-side and what the
+// downsize writeback bursts cost in extra L2 traffic.
+type DCacheRow struct {
+	Bench string
+	// AvgActiveFraction of the DRI d-cache (1.0 = never downsized).
+	AvgActiveFraction float64
+	// ConvMissRate and DRIMissRate are misses per data access.
+	ConvMissRate float64
+	DRIMissRate  float64
+	// ResizeWritebacks counts dirty blocks flushed by downsizes; the same
+	// quantity per 1K accesses gives the burst overhead rate.
+	ResizeWritebacks        uint64
+	ResizeWBPerKiloAccesses float64
+	// ExtraL2PerKiloAccesses is the total extra L2 traffic of the DRI
+	// d-cache vs the conventional one (extra misses + resize writebacks)
+	// per 1K accesses.
+	ExtraL2PerKiloAccesses float64
+}
+
+// DCacheStudy runs the data-reference streams of the given benchmarks
+// through a conventional and a DRI 64K 2-way d-cache (the system's L1D
+// geometry) with the given adaptive parameters.
+func (r *Runner) DCacheStudy(benchmarks []trace.Program, missBound uint64, sizeBound int) []DCacheRow {
+	rows := make([]DCacheRow, len(benchmarks))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, r.workers())
+	for i, b := range benchmarks {
+		wg.Add(1)
+		go func(i int, b trace.Program) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows[i] = r.dcacheOne(b, missBound, sizeBound)
+		}(i, b)
+	}
+	wg.Wait()
+	return rows
+}
+
+func (r *Runner) dcacheOne(b trace.Program, missBound uint64, sizeBound int) DCacheRow {
+	mk := func(enabled bool) *dri.DataCache {
+		cfg := dri.Config{SizeBytes: 64 << 10, BlockBytes: 32, Assoc: 2, AddrBits: 32}
+		if enabled {
+			p := r.Params(missBound, sizeBound)
+			cfg.Params = p
+		}
+		return dri.NewData(cfg)
+	}
+	conv := mk(false)
+	adaptive := mk(true)
+
+	stream := b.Stream(r.Scale.Instructions)
+	var ins isa.Instr
+	var instrs uint64
+	for stream.Next(&ins) {
+		instrs++
+		if ins.Class.IsMem() {
+			block := ins.MemAddr >> 5
+			write := ins.Class == isa.Store
+			conv.AccessData(block, write)
+			adaptive.AccessData(block, write)
+		}
+		if instrs%256 == 0 {
+			// Trace-driven: use instruction count as the clock.
+			adaptive.Advance(256, instrs)
+		}
+	}
+	adaptive.Finish(instrs)
+
+	cs, as := conv.DataStats(), adaptive.DataStats()
+	row := DCacheRow{
+		Bench:             b.Name,
+		AvgActiveFraction: adaptive.AverageActiveFraction(),
+		ConvMissRate:      cs.MissRate(),
+		DRIMissRate:       as.MissRate(),
+		ResizeWritebacks:  as.ResizeWritebacks,
+	}
+	if as.Accesses > 0 {
+		row.ResizeWBPerKiloAccesses = 1000 * float64(as.ResizeWritebacks) / float64(as.Accesses)
+		extra := float64(as.Misses) - float64(cs.Misses) + float64(as.ResizeWritebacks) +
+			float64(as.Writebacks) - float64(cs.Writebacks)
+		row.ExtraL2PerKiloAccesses = 1000 * extra / float64(as.Accesses)
+	}
+	return row
+}
+
+// FormatDCache renders the d-cache study.
+func FormatDCache(rows []DCacheRow) string {
+	t := stats.NewTable("bench", "avg-size", "conv-miss", "dri-miss",
+		"resizeWB", "resizeWB/Kacc", "extraL2/Kacc")
+	for _, r := range rows {
+		t.AddRow(r.Bench,
+			fmt.Sprintf("%.3f", r.AvgActiveFraction),
+			fmt.Sprintf("%.4f", r.ConvMissRate),
+			fmt.Sprintf("%.4f", r.DRIMissRate),
+			fmt.Sprint(r.ResizeWritebacks),
+			fmt.Sprintf("%.2f", r.ResizeWBPerKiloAccesses),
+			fmt.Sprintf("%.2f", r.ExtraL2PerKiloAccesses))
+	}
+	return t.String()
+}

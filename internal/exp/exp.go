@@ -1,0 +1,226 @@
+// Package exp implements the paper's evaluation (§5): the best-case
+// energy-delay searches of Figure 3, the parameter sensitivity studies of
+// Figures 4 and 5, the conventional-cache-parameter study of Figure 6, and
+// the §5.6 sense-interval and divisibility sweeps.
+//
+// Simulations are embarrassingly parallel, so the Runner fans independent
+// runs out over a worker pool while conventional baselines are computed
+// once per (benchmark, organization) and shared.
+//
+// Scale: the paper simulates full SPEC95 runs with one-million-instruction
+// sense-intervals; this harness defaults to 4M-instruction runs with
+// 100K-instruction intervals, scaling miss-bounds (per-interval counts)
+// with the interval as documented in DESIGN.md.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dricache/internal/dri"
+	"dricache/internal/sim"
+	"dricache/internal/trace"
+)
+
+// Scale fixes the simulation cost of every experiment.
+type Scale struct {
+	// Instructions per run.
+	Instructions uint64
+	// SenseInterval in dynamic instructions.
+	SenseInterval uint64
+}
+
+// DefaultScale is used by the cmd tools: long enough for ~40 sense
+// intervals and full phase structure.
+func DefaultScale() Scale {
+	return Scale{Instructions: 4_000_000, SenseInterval: 100_000}
+}
+
+// QuickScale is used by tests and testing.B benchmarks.
+func QuickScale() Scale {
+	return Scale{Instructions: 1_000_000, SenseInterval: 50_000}
+}
+
+// SearchSpace is the empirical parameter grid of the Figure 3 best-case
+// search ("we determine the best case via simulation by empirically
+// searching the combination space").
+type SearchSpace struct {
+	// MissBounds are per-interval miss counts.
+	MissBounds []uint64
+	// SizeBounds are minimum sizes in bytes.
+	SizeBounds []int
+}
+
+// DefaultSpace spans miss-bounds one-to-two orders of magnitude above the
+// conventional miss rates (as the paper reports tolerable) and size-bounds
+// from 1K to the full 64K.
+func DefaultSpace(scale Scale) SearchSpace {
+	base := scale.SenseInterval / 1000 // 0.1% of interval instructions
+	return SearchSpace{
+		MissBounds: []uint64{base, 2 * base, 4 * base, 8 * base, 16 * base, 32 * base},
+		SizeBounds: []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10},
+	}
+}
+
+// QuickSpace is a reduced grid for tests and benchmarks.
+func QuickSpace(scale Scale) SearchSpace {
+	base := scale.SenseInterval / 1000
+	return SearchSpace{
+		MissBounds: []uint64{2 * base, 8 * base, 32 * base},
+		SizeBounds: []int{1 << 10, 4 << 10, 16 << 10, 64 << 10},
+	}
+}
+
+// Runner executes experiments at one scale with shared baselines.
+type Runner struct {
+	Scale Scale
+	// Workers bounds parallel simulations; 0 means GOMAXPROCS.
+	Workers int
+
+	mu        sync.Mutex
+	baselines map[baseKey]*sim.Result
+}
+
+type baseKey struct {
+	bench  string
+	size   int
+	assoc  int
+	instrs uint64
+}
+
+// NewRunner returns a runner at the given scale.
+func NewRunner(scale Scale) *Runner {
+	return &Runner{Scale: scale, baselines: make(map[baseKey]*sim.Result)}
+}
+
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Params builds the paper's standard adaptive parameters at the runner's
+// scale: 3-bit throttle counter, 10-interval throttle, divisibility 2.
+func (r *Runner) Params(missBound uint64, sizeBound int) dri.Params {
+	return dri.Params{
+		Enabled:            true,
+		MissBound:          missBound,
+		SizeBoundBytes:     sizeBound,
+		SenseInterval:      r.Scale.SenseInterval,
+		Divisibility:       2,
+		ThrottleSaturation: 7,
+		ThrottleIntervals:  10,
+	}
+}
+
+// Baseline returns (computing and caching on first use) the conventional
+// run of prog on a cache of the given geometry at the runner's default
+// instruction budget.
+func (r *Runner) Baseline(prog trace.Program, sizeBytes, assoc int) *sim.Result {
+	return r.BaselineN(prog, sizeBytes, assoc, r.Scale.Instructions)
+}
+
+// BaselineN is Baseline with an explicit instruction budget (used by
+// sweeps that scale the run length).
+func (r *Runner) BaselineN(prog trace.Program, sizeBytes, assoc int, instrs uint64) *sim.Result {
+	key := baseKey{prog.Name, sizeBytes, assoc, instrs}
+	r.mu.Lock()
+	if res, ok := r.baselines[key]; ok {
+		r.mu.Unlock()
+		return res
+	}
+	r.mu.Unlock()
+
+	cfg := dri.Config{SizeBytes: sizeBytes, BlockBytes: 32, Assoc: assoc, AddrBits: 32}
+	res := sim.Run(sim.Default(cfg, instrs), prog)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.baselines[key]; ok {
+		return prev
+	}
+	r.baselines[key] = &res
+	return &res
+}
+
+// Task is one DRI simulation against its baseline.
+type Task struct {
+	Prog   trace.Program
+	Config dri.Config
+	// Label distinguishes task variants in results.
+	Label string
+	// Instructions overrides the runner's default budget when nonzero.
+	Instructions uint64
+}
+
+// TaskResult pairs a task with its comparison outcome.
+type TaskResult struct {
+	Task
+	Cmp sim.Comparison
+}
+
+// RunAll executes tasks on the worker pool, preserving input order.
+func (r *Runner) RunAll(tasks []Task) []TaskResult {
+	out := make([]TaskResult, len(tasks))
+	// Pre-compute baselines serially-per-key (deduplicated) so workers
+	// don't race to compute the same baseline.
+	type bk struct {
+		prog   trace.Program
+		size   int
+		assoc  int
+		instrs uint64
+	}
+	seen := map[baseKey]bk{}
+	for _, t := range tasks {
+		n := t.Instructions
+		if n == 0 {
+			n = r.Scale.Instructions
+		}
+		k := baseKey{t.Prog.Name, t.Config.SizeBytes, t.Config.Assoc, n}
+		if _, ok := seen[k]; !ok {
+			seen[k] = bk{t.Prog, t.Config.SizeBytes, t.Config.Assoc, n}
+		}
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, r.workers())
+	for _, b := range seen {
+		wg.Add(1)
+		go func(b bk) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r.BaselineN(b.prog, b.size, b.assoc, b.instrs)
+		}(b)
+	}
+	wg.Wait()
+
+	for i := range tasks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t := tasks[i]
+			n := t.Instructions
+			if n == 0 {
+				n = r.Scale.Instructions
+			}
+			base := r.BaselineN(t.Prog, t.Config.SizeBytes, t.Config.Assoc, n)
+			out[i] = TaskResult{
+				Task: t,
+				Cmp:  sim.Compare(t.Config, t.Prog, n, base),
+			}
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// driConfig builds a DRI cache config of the given geometry and parameters.
+func driConfig(sizeBytes, assoc int, p dri.Params) dri.Config {
+	return dri.Config{SizeBytes: sizeBytes, BlockBytes: 32, Assoc: assoc, AddrBits: 32, Params: p}
+}
+
+func kb(bytes int) string { return fmt.Sprintf("%dK", bytes>>10) }

@@ -1,0 +1,251 @@
+package exp
+
+import (
+	"fmt"
+
+	"dricache/internal/sim"
+	"dricache/internal/stats"
+	"dricache/internal/trace"
+)
+
+// MaxConstrainedSlowdownPct is the paper's performance-constrained bound:
+// "limiting the performance degradation to under 4%".
+const MaxConstrainedSlowdownPct = 4.0
+
+// Pick is one chosen parameter point and its outcome.
+type Pick struct {
+	MissBound uint64
+	SizeBound int
+	Cmp       sim.Comparison
+}
+
+// Fig3Row is one benchmark's Figure 3 result: the best-case energy-delay
+// under the performance constraint (C) and without it (U).
+type Fig3Row struct {
+	Bench         string
+	Class         trace.SPECClass
+	Constrained   Pick
+	Unconstrained Pick
+}
+
+// Figure3 performs the paper's best-case search for every benchmark over
+// the grid: for each (miss-bound, size-bound) combination it simulates the
+// DRI cache against the conventional baseline, then picks the lowest
+// relative energy-delay with slowdown ≤ 4% (constrained) and overall
+// (unconstrained).
+func (r *Runner) Figure3(space SearchSpace, benchmarks []trace.Program) []Fig3Row {
+	var tasks []Task
+	for _, b := range benchmarks {
+		for _, mb := range space.MissBounds {
+			for _, sb := range space.SizeBounds {
+				tasks = append(tasks, Task{
+					Prog:   b,
+					Config: driConfig(64<<10, 1, r.Params(mb, sb)),
+					Label:  fmt.Sprintf("mb=%d sb=%s", mb, kb(sb)),
+				})
+			}
+		}
+	}
+	results := r.RunAll(tasks)
+
+	rows := make([]Fig3Row, 0, len(benchmarks))
+	i := 0
+	for _, b := range benchmarks {
+		row := Fig3Row{Bench: b.Name, Class: b.Class}
+		haveC, haveU := false, false
+		for range space.MissBounds {
+			for range space.SizeBounds {
+				tr := results[i]
+				i++
+				pick := Pick{
+					MissBound: tr.Config.Params.MissBound,
+					SizeBound: tr.Config.Params.SizeBoundBytes,
+					Cmp:       tr.Cmp,
+				}
+				ed := tr.Cmp.RelativeED
+				if tr.Cmp.SlowdownPct <= MaxConstrainedSlowdownPct &&
+					(!haveC || ed < row.Constrained.Cmp.RelativeED) {
+					row.Constrained = pick
+					haveC = true
+				}
+				if !haveU || ed < row.Unconstrained.Cmp.RelativeED {
+					row.Unconstrained = pick
+					haveU = true
+				}
+			}
+		}
+		if !haveC {
+			// Fall back to the least-degrading point (the paper's fpppp
+			// treatment: a 64K size-bound disables downsizing entirely).
+			row.Constrained = row.Unconstrained
+			for j := i - len(space.MissBounds)*len(space.SizeBounds); j < i; j++ {
+				if results[j].Cmp.SlowdownPct < row.Constrained.Cmp.SlowdownPct {
+					row.Constrained = Pick{
+						MissBound: results[j].Config.Params.MissBound,
+						SizeBound: results[j].Config.Params.SizeBoundBytes,
+						Cmp:       results[j].Cmp,
+					}
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatFig3 renders both panels of Figure 3: relative energy-delay (with
+// the leakage/dynamic split) and average cache size.
+func FormatFig3(rows []Fig3Row) string {
+	t := stats.NewTable("bench", "class",
+		"ED(C)", "leak(C)", "dyn(C)", "size(C)", "slow%(C)", "params(C)",
+		"ED(U)", "size(U)", "slow%(U)")
+	for _, r := range rows {
+		c, u := r.Constrained, r.Unconstrained
+		t.AddRow(r.Bench, fmt.Sprint(int(r.Class)),
+			fmt.Sprintf("%.3f", c.Cmp.RelativeED),
+			fmt.Sprintf("%.3f", c.Cmp.LeakageShareOfED),
+			fmt.Sprintf("%.3f", c.Cmp.DynamicShareOfED),
+			fmt.Sprintf("%.3f", c.Cmp.DRI.AvgActiveFraction),
+			fmt.Sprintf("%.1f", c.Cmp.SlowdownPct),
+			fmt.Sprintf("mb=%d sb=%s", c.MissBound, kb(c.SizeBound)),
+			fmt.Sprintf("%.3f", u.Cmp.RelativeED),
+			fmt.Sprintf("%.3f", u.Cmp.DRI.AvgActiveFraction),
+			fmt.Sprintf("%.1f", u.Cmp.SlowdownPct))
+	}
+	return t.String()
+}
+
+// VariationRow is one benchmark's outcome across a small set of variants
+// (Figures 4, 5, and 6 share this shape).
+type VariationRow struct {
+	Bench    string
+	Class    trace.SPECClass
+	Variants []Pick
+	Labels   []string
+}
+
+// Figure4 varies the miss-bound to half and double the base
+// performance-constrained pick while keeping the size-bound fixed.
+func (r *Runner) Figure4(base []Fig3Row) []VariationRow {
+	labels := []string{"0.5x", "base", "2x"}
+	var tasks []Task
+	for _, row := range base {
+		prog := mustProg(row.Bench)
+		for _, f := range []float64{0.5, 1, 2} {
+			mb := uint64(float64(row.Constrained.MissBound) * f)
+			if mb == 0 {
+				mb = 1
+			}
+			tasks = append(tasks, Task{
+				Prog:   prog,
+				Config: driConfig(64<<10, 1, r.Params(mb, row.Constrained.SizeBound)),
+			})
+		}
+	}
+	return r.collectVariants(base, tasks, labels)
+}
+
+// Figure5 varies the size-bound to double and half the base pick while
+// keeping the miss-bound fixed. Doubling past the cache size is clamped
+// (the paper's fpppp has "no measurement corresponding to double").
+func (r *Runner) Figure5(base []Fig3Row) []VariationRow {
+	labels := []string{"2x", "base", "0.5x"}
+	var tasks []Task
+	for _, row := range base {
+		prog := mustProg(row.Bench)
+		for _, f := range []int{2, 1, 0} {
+			sb := row.Constrained.SizeBound
+			switch f {
+			case 2:
+				sb *= 2
+			case 0:
+				sb /= 2
+			}
+			if sb > 64<<10 {
+				sb = 64 << 10
+			}
+			if sb < 1<<10 {
+				sb = 1 << 10
+			}
+			tasks = append(tasks, Task{
+				Prog:   prog,
+				Config: driConfig(64<<10, 1, r.Params(row.Constrained.MissBound, sb)),
+			})
+		}
+	}
+	return r.collectVariants(base, tasks, labels)
+}
+
+// Figure6 evaluates the base constrained parameters on three conventional
+// organizations: 64K 4-way, 64K direct-mapped, and 128K direct-mapped.
+// Energy-delay is relative to a conventional cache of the same geometry.
+// The 128K cache keeps the 64K pick's size-bound, using one more resizing
+// tag bit, as in the paper.
+func (r *Runner) Figure6(base []Fig3Row) []VariationRow {
+	labels := []string{"64K-4way", "64K-DM", "128K-DM"}
+	var tasks []Task
+	for _, row := range base {
+		prog := mustProg(row.Bench)
+		mb, sb := row.Constrained.MissBound, row.Constrained.SizeBound
+		tasks = append(tasks,
+			Task{Prog: prog, Config: driConfig(64<<10, 4, r.Params(mb, sb))},
+			Task{Prog: prog, Config: driConfig(64<<10, 1, r.Params(mb, sb))},
+			Task{Prog: prog, Config: driConfig(128<<10, 1, r.Params(mb, sb))},
+		)
+	}
+	return r.collectVariants(base, tasks, labels)
+}
+
+// collectVariants runs the tasks (len(base)×len(labels), grouped by
+// benchmark) and reassembles them into rows.
+func (r *Runner) collectVariants(base []Fig3Row, tasks []Task, labels []string) []VariationRow {
+	results := r.RunAll(tasks)
+	rows := make([]VariationRow, 0, len(base))
+	i := 0
+	for _, b := range base {
+		row := VariationRow{Bench: b.Bench, Class: b.Class, Labels: labels}
+		for range labels {
+			tr := results[i]
+			i++
+			row.Variants = append(row.Variants, Pick{
+				MissBound: tr.Config.Params.MissBound,
+				SizeBound: tr.Config.Params.SizeBoundBytes,
+				Cmp:       tr.Cmp,
+			})
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatVariations renders a Figure 4/5/6-style table: per benchmark, the
+// relative ED, average size, and slowdown of each variant.
+func FormatVariations(rows []VariationRow) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	header := []string{"bench"}
+	for _, l := range rows[0].Labels {
+		header = append(header, "ED("+l+")", "size("+l+")", "slow%("+l+")")
+	}
+	t := stats.NewTable(header...)
+	for _, r := range rows {
+		cells := []string{r.Bench}
+		for _, v := range r.Variants {
+			cells = append(cells,
+				fmt.Sprintf("%.3f", v.Cmp.RelativeED),
+				fmt.Sprintf("%.3f", v.Cmp.DRI.AvgActiveFraction),
+				fmt.Sprintf("%.1f", v.Cmp.SlowdownPct))
+		}
+		t.AddRow(cells...)
+	}
+	return t.String()
+}
+
+func mustProg(name string) trace.Program {
+	p, err := trace.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

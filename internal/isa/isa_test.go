@@ -1,0 +1,60 @@
+package isa
+
+import "testing"
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{
+		IntALU: "int", IntMul: "mul", FPAdd: "fadd", FPMul: "fmul",
+		FPDiv: "fdiv", Load: "load", Store: "store", Branch: "branch",
+		Jump: "jump", Call: "call", Ret: "ret",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%v.String() = %q, want %q", uint8(c), c.String(), s)
+		}
+	}
+	if Class(200).String() != "Class(200)" {
+		t.Error("unknown class formatting")
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	if !Load.IsMem() || !Store.IsMem() || IntALU.IsMem() || Branch.IsMem() {
+		t.Fatal("IsMem wrong")
+	}
+	for _, c := range []Class{Branch, Jump, Call, Ret} {
+		if !c.IsControl() {
+			t.Fatalf("%v should be control", c)
+		}
+	}
+	if Load.IsControl() || IntALU.IsControl() {
+		t.Fatal("IsControl wrong")
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	s := &SliceStream{Instrs: []Instr{
+		{PC: 0, Class: IntALU},
+		{PC: 4, Class: Load},
+	}}
+	var ins Instr
+	if !s.Next(&ins) || ins.PC != 0 {
+		t.Fatal("first Next wrong")
+	}
+	if !s.Next(&ins) || ins.PC != 4 || ins.Class != Load {
+		t.Fatal("second Next wrong")
+	}
+	if s.Next(&ins) {
+		t.Fatal("exhausted stream should return false")
+	}
+	s.Reset()
+	if !s.Next(&ins) || ins.PC != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestNumClassesConsistent(t *testing.T) {
+	if NumClasses != 11 {
+		t.Fatalf("NumClasses = %d, want 11", NumClasses)
+	}
+}

@@ -1,0 +1,197 @@
+// Package mem wires the cache hierarchy of the simulated system (Table 1):
+// an L1 i-cache (conventional or DRI, from internal/dri), a 64K 2-way L1
+// d-cache, a 1M 4-way unified L2, and a main memory with the paper's
+// 80-cycles-plus-4-per-8-bytes latency. It implements the cpu.IMem and
+// cpu.DMem interfaces and accounts every L2 access for the energy model.
+package mem
+
+import (
+	"fmt"
+
+	"dricache/internal/cache"
+	"dricache/internal/dri"
+)
+
+// Config describes the hierarchy.
+type Config struct {
+	L1I dri.Config
+	L1D cache.Config
+	L2  cache.Config
+	// L2HitLatency is the L1-miss/L2-hit penalty in cycles.
+	L2HitLatency uint64
+	// MemLatencyBase and MemLatencyPer8B define the memory access time:
+	// base + per8B × (bytes/8).
+	MemLatencyBase  uint64
+	MemLatencyPer8B uint64
+}
+
+// DefaultConfig returns the paper's Table 1 hierarchy around the given L1
+// i-cache configuration.
+func DefaultConfig(l1i dri.Config) Config {
+	return Config{
+		L1I: l1i,
+		L1D: cache.Config{Name: "L1D", SizeBytes: 64 << 10, BlockBytes: 32, Assoc: 2},
+		L2:  cache.Config{Name: "L2", SizeBytes: 1 << 20, BlockBytes: 64, Assoc: 4},
+		// "L2 cache: 12 cycle latency", "Memory: 80 cycles + 4 cycles per
+		// 8 bytes".
+		L2HitLatency:    12,
+		MemLatencyBase:  80,
+		MemLatencyPer8B: 4,
+	}
+}
+
+// Check validates the configuration.
+func (c Config) Check() error {
+	if err := c.L1I.Check(); err != nil {
+		return err
+	}
+	if err := c.L1D.Check(); err != nil {
+		return err
+	}
+	if err := c.L2.Check(); err != nil {
+		return err
+	}
+	if c.L2.BlockBytes < c.L1I.BlockBytes || c.L2.BlockBytes < c.L1D.BlockBytes {
+		return fmt.Errorf("mem: L2 block (%d) smaller than an L1 block", c.L2.BlockBytes)
+	}
+	return nil
+}
+
+// Stats accounts hierarchy traffic below the L1s.
+type Stats struct {
+	// L2AccessesFromI counts L2 accesses caused by L1 i-cache misses — the
+	// quantity the energy model charges 3.6 nJ each.
+	L2AccessesFromI uint64
+	// L2AccessesFromD counts L2 accesses from d-cache misses and writebacks.
+	L2AccessesFromD uint64
+	// MemAccesses counts accesses that missed in L2.
+	MemAccesses uint64
+}
+
+// L2Accesses returns total L2 accesses.
+func (s Stats) L2Accesses() uint64 { return s.L2AccessesFromI + s.L2AccessesFromD }
+
+// Hierarchy is the memory system for one simulated core. Not safe for
+// concurrent use.
+type Hierarchy struct {
+	cfg Config
+	l1i *dri.Cache
+	l1d *cache.Cache
+	l2  *cache.Cache
+
+	memLatencyL2Fill uint64 // memory time to fill one L2 block
+
+	// Shift from an L1I block address to an L2 block address.
+	iToL2Shift uint
+	// Shift from an L1D block address to an L2 block address.
+	dToL2Shift uint
+	// Shift from a byte address to an L2 block address.
+	l2Shift uint
+
+	stats Stats
+}
+
+// New builds the hierarchy; it panics on invalid configuration.
+func New(cfg Config) *Hierarchy {
+	if err := cfg.Check(); err != nil {
+		panic(err)
+	}
+	h := &Hierarchy{
+		cfg: cfg,
+		l1i: dri.New(cfg.L1I),
+		l1d: cache.New(cfg.L1D),
+		l2:  cache.New(cfg.L2),
+	}
+	h.memLatencyL2Fill = cfg.MemLatencyBase + cfg.MemLatencyPer8B*uint64(cfg.L2.BlockBytes/8)
+	h.l2Shift = log2u(cfg.L2.BlockBytes)
+	h.iToL2Shift = h.l2Shift - log2u(cfg.L1I.BlockBytes)
+	h.dToL2Shift = h.l2Shift - log2u(cfg.L1D.BlockBytes)
+	return h
+}
+
+func log2u(n int) uint {
+	b := uint(0)
+	for v := n; v > 1; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// ICache exposes the L1 i-cache (for DRI statistics and control).
+func (h *Hierarchy) ICache() *dri.Cache { return h.l1i }
+
+// DCache exposes the L1 d-cache.
+func (h *Hierarchy) DCache() *cache.Cache { return h.l1d }
+
+// L2 exposes the unified L2.
+func (h *Hierarchy) L2() *cache.Cache { return h.l2 }
+
+// Stats returns a copy of the traffic counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// FetchBlock implements cpu.IMem: an instruction fetch of the given L1I
+// block address. A hit costs nothing extra; a miss goes to L2 and possibly
+// memory, and fills the i-cache.
+func (h *Hierarchy) FetchBlock(block uint64) uint64 {
+	if h.l1i.AccessBlock(block) {
+		return 0
+	}
+	h.stats.L2AccessesFromI++
+	lat := h.cfg.L2HitLatency
+	if !h.l2.AccessBlock(block>>h.iToL2Shift, false).Hit {
+		h.stats.MemAccesses++
+		lat += h.memLatencyL2Fill
+	}
+	return lat
+}
+
+// Load implements cpu.DMem for loads: returns the latency beyond the L1
+// pipeline cycle.
+func (h *Hierarchy) Load(addr uint64) uint64 {
+	r := h.l1d.Access(addr, false)
+	if r.Hit {
+		return 0
+	}
+	return h.l1dMissFill(addr, r)
+}
+
+// Store implements cpu.DMem for stores (write-allocate, write-back; the
+// store buffer hides the latency, so none is returned, but all traffic is
+// accounted).
+func (h *Hierarchy) Store(addr uint64) {
+	r := h.l1d.Access(addr, true)
+	if !r.Hit {
+		h.l1dMissFill(addr, r)
+	}
+}
+
+// l1dMissFill charges the L2 (and memory) for an L1D miss, including the
+// writeback of a dirty victim, and returns the fill latency.
+func (h *Hierarchy) l1dMissFill(addr uint64, r cache.AccessResult) uint64 {
+	if r.Writeback {
+		// Dirty victim written back into L2 (write-allocate there too).
+		h.stats.L2AccessesFromD++
+		wb := h.l2.AccessBlock(r.WritebackBlock>>h.dToL2Shift, true)
+		if wb.Writeback {
+			h.stats.MemAccesses++
+		}
+	}
+	h.stats.L2AccessesFromD++
+	lat := h.cfg.L2HitLatency
+	if !h.l2.AccessBlock(addr>>h.l2Shift, false).Hit {
+		h.stats.MemAccesses++
+		lat += h.memLatencyL2Fill
+	}
+	return lat
+}
+
+// Advance implements cpu.Ticker by forwarding instruction progress to the
+// DRI i-cache's sense-interval machinery.
+func (h *Hierarchy) Advance(instrs, nowCycles uint64) {
+	h.l1i.Advance(instrs, nowCycles)
+}
+
+// Finish closes interval accounting at the end of a run.
+func (h *Hierarchy) Finish(nowCycles uint64) {
+	h.l1i.Finish(nowCycles)
+}

@@ -1,0 +1,165 @@
+package mem
+
+import (
+	"testing"
+
+	"dricache/internal/dri"
+)
+
+func conv64K() dri.Config {
+	return dri.Config{SizeBytes: 64 << 10, BlockBytes: 32, Assoc: 1, AddrBits: 32}
+}
+
+func newH(t *testing.T) *Hierarchy {
+	t.Helper()
+	return New(DefaultConfig(conv64K()))
+}
+
+func TestConfigCheck(t *testing.T) {
+	cfg := DefaultConfig(conv64K())
+	if err := cfg.Check(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.L2.BlockBytes = 16 // smaller than L1 blocks
+	if cfg.Check() == nil {
+		t.Fatal("accepted L2 block smaller than L1 block")
+	}
+}
+
+func TestFetchLatencies(t *testing.T) {
+	h := newH(t)
+	// Cold fetch: L1I miss, L2 miss → 12 + 80 + 4×(64/8) = 124.
+	if lat := h.FetchBlock(100); lat != 124 {
+		t.Fatalf("cold fetch latency = %d, want 124", lat)
+	}
+	// Warm fetch: L1I hit → 0.
+	if lat := h.FetchBlock(100); lat != 0 {
+		t.Fatalf("warm fetch latency = %d, want 0", lat)
+	}
+	// Adjacent L1I block sharing the L2 block: L1I miss, L2 hit → 12.
+	if lat := h.FetchBlock(101); lat != 12 {
+		t.Fatalf("L2-hit fetch latency = %d, want 12", lat)
+	}
+	s := h.Stats()
+	if s.L2AccessesFromI != 2 || s.MemAccesses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLoadLatencies(t *testing.T) {
+	h := newH(t)
+	if lat := h.Load(0x10000); lat != 124 {
+		t.Fatalf("cold load latency = %d, want 124", lat)
+	}
+	if lat := h.Load(0x10000); lat != 0 {
+		t.Fatalf("warm load latency = %d, want 0", lat)
+	}
+	// Same 64-byte L2 block, different 32-byte L1D block → L2 hit → 12.
+	if lat := h.Load(0x10020); lat != 12 {
+		t.Fatalf("L2-hit load latency = %d, want 12", lat)
+	}
+	if s := h.Stats(); s.L2AccessesFromD != 2 {
+		t.Fatalf("L2-from-D accesses = %d, want 2", s.L2AccessesFromD)
+	}
+}
+
+func TestStoreWritebackPath(t *testing.T) {
+	h := newH(t)
+	// Dirty a block, then evict it with conflicting fills: the writeback
+	// must appear as an extra L2 access.
+	h.Store(0)
+	base := h.Stats().L2AccessesFromD
+	// L1D is 64K 2-way with 32B blocks → 1024 sets; addresses 64K and 128K
+	// apart conflict with set 0.
+	h.Load(64 << 10)
+	h.Load(128 << 10) // evicts the dirty block at address 0
+	s := h.Stats()
+	extra := s.L2AccessesFromD - base
+	// Two demand fills plus one writeback.
+	if extra != 3 {
+		t.Fatalf("L2 accesses after dirty eviction = %d, want 3", extra)
+	}
+	if h.DCache().Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", h.DCache().Stats().Writebacks)
+	}
+}
+
+func TestStoresReturnNoLatencyButCountTraffic(t *testing.T) {
+	h := newH(t)
+	h.Store(0x40000)
+	if s := h.Stats(); s.L2AccessesFromD != 1 {
+		t.Fatalf("store miss should access L2 once, got %d", s.L2AccessesFromD)
+	}
+}
+
+func TestAdvanceDrivesDRIIntervals(t *testing.T) {
+	l1i := dri.Config{
+		SizeBytes: 64 << 10, BlockBytes: 32, Assoc: 1, AddrBits: 32,
+		Params: dri.Params{
+			Enabled: true, MissBound: 1000000, SizeBoundBytes: 1 << 10,
+			SenseInterval: 100, Divisibility: 2,
+			ThrottleSaturation: 7, ThrottleIntervals: 10,
+		},
+	}
+	h := New(DefaultConfig(l1i))
+	h.Advance(100, 100) // one interval, zero misses → downsize
+	if h.ICache().ActiveSets() != h.ICache().Config().Sets()/2 {
+		t.Fatal("Advance did not reach the DRI controller")
+	}
+	h.Finish(200)
+	if h.ICache().AverageActiveFraction() >= 1 {
+		t.Fatal("Finish did not close the active-fraction span")
+	}
+}
+
+func TestL2SharedBetweenIAndD(t *testing.T) {
+	h := newH(t)
+	// An instruction fetch warms the L2; a load of the same 64-byte block
+	// should then hit in L2.
+	h.FetchBlock(0x1000 >> 5)
+	if lat := h.Load(0x1020); lat != 12 {
+		t.Fatalf("load after fetch of same L2 block: latency %d, want 12 (L2 hit)", lat)
+	}
+}
+
+func TestAccessorsExposeCaches(t *testing.T) {
+	h := newH(t)
+	if h.ICache() == nil || h.DCache() == nil || h.L2() == nil {
+		t.Fatal("nil cache accessors")
+	}
+	if h.L2().Config().SizeBytes != 1<<20 {
+		t.Fatal("L2 config mismatch")
+	}
+	if got := h.DCache().Config(); got.Assoc != 2 || got.SizeBytes != 64<<10 {
+		t.Fatalf("L1D config mismatch: %+v", got)
+	}
+}
+
+func TestStatsTotals(t *testing.T) {
+	var s Stats
+	s.L2AccessesFromI = 3
+	s.L2AccessesFromD = 4
+	if s.L2Accesses() != 7 {
+		t.Fatal("L2Accesses total wrong")
+	}
+}
+
+var sink uint64
+
+func BenchmarkFetchBlockHit(b *testing.B) {
+	h := New(DefaultConfig(conv64K()))
+	h.FetchBlock(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += h.FetchBlock(1)
+	}
+}
+
+func BenchmarkLoadHit(b *testing.B) {
+	h := New(DefaultConfig(conv64K()))
+	h.Load(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += h.Load(64)
+	}
+}

@@ -1,0 +1,124 @@
+// Package sim wires the substrates into a whole-system simulation: a
+// synthetic benchmark program (internal/trace) runs through the out-of-order
+// core (internal/cpu) against the memory hierarchy (internal/mem) whose L1
+// i-cache is either conventional or a DRI i-cache (internal/dri), and the
+// observables feed the §5.2 energy model (internal/energy).
+package sim
+
+import (
+	"dricache/internal/bpred"
+	"dricache/internal/cpu"
+	"dricache/internal/dri"
+	"dricache/internal/energy"
+	"dricache/internal/mem"
+	"dricache/internal/trace"
+)
+
+// Config describes one simulation.
+type Config struct {
+	CPU   cpu.Config
+	Mem   mem.Config
+	Bpred bpred.Config
+	// Instructions is the dynamic instruction budget.
+	Instructions uint64
+}
+
+// Default returns the paper's Table 1 system around the given L1 i-cache,
+// with the given instruction budget.
+func Default(l1i dri.Config, instructions uint64) Config {
+	return Config{
+		CPU:          cpu.DefaultConfig(),
+		Mem:          mem.DefaultConfig(l1i),
+		Bpred:        bpred.DefaultConfig(),
+		Instructions: instructions,
+	}
+}
+
+// Conventional64K returns the baseline L1 i-cache configuration: 64K
+// direct-mapped, 32-byte blocks, no resizing.
+func Conventional64K() dri.Config {
+	return dri.Config{SizeBytes: 64 << 10, BlockBytes: 32, Assoc: 1, AddrBits: 32}
+}
+
+// DRI64K returns the paper's base DRI configuration with the given
+// adaptive parameters.
+func DRI64K(p dri.Params) dri.Config {
+	cfg := Conventional64K()
+	cfg.Params = p
+	return cfg
+}
+
+// Result bundles every observable of one run.
+type Result struct {
+	Benchmark string
+	CPU       cpu.Result
+	ICache    dri.Stats
+	Mem       mem.Stats
+	// AvgActiveFraction is the cycle-weighted mean active fraction of the
+	// i-cache (1.0 for a conventional cache).
+	AvgActiveFraction float64
+	// ResizingTagBits of the configuration.
+	ResizingTagBits int
+	// Events is the resize log.
+	Events []dri.ResizeEvent
+	// SizeResidency maps active size in bytes to cycles spent there.
+	SizeResidency map[int]uint64
+}
+
+// MissRate is the i-cache miss rate per access.
+func (r Result) MissRate() float64 { return r.ICache.MissRate() }
+
+// Run executes the benchmark under the configuration.
+func Run(cfg Config, prog trace.Program) Result {
+	h := mem.New(cfg.Mem)
+	bp := bpred.New(cfg.Bpred)
+	pipe := cpu.New(cfg.CPU, h, h, bp, h)
+	stream := prog.Stream(cfg.Instructions)
+	cpuRes := pipe.Run(stream)
+	h.Finish(cpuRes.Cycles)
+	ic := h.ICache()
+	return Result{
+		Benchmark:         prog.Name,
+		CPU:               cpuRes,
+		ICache:            ic.Stats(),
+		Mem:               h.Stats(),
+		AvgActiveFraction: ic.AverageActiveFraction(),
+		ResizingTagBits:   cfg.Mem.L1I.ResizingTagBits(),
+		Events:            ic.Events(),
+		SizeResidency:     ic.SizeResidency(),
+	}
+}
+
+// Comparison pairs a DRI run with its conventional baseline and the energy
+// accounting between them.
+type Comparison struct {
+	Conv Result
+	DRI  Result
+	energy.Breakdown
+}
+
+// Compare runs prog under both the baseline and the DRI configuration and
+// evaluates the energy model. The baseline may be supplied (pre-computed)
+// via base; pass nil to run it here.
+func Compare(driCfg dri.Config, prog trace.Program, instructions uint64, base *Result) Comparison {
+	var conv Result
+	if base != nil {
+		conv = *base
+	} else {
+		convCfg := driCfg
+		convCfg.Params = dri.Params{}
+		conv = Run(Default(convCfg, instructions), prog)
+	}
+	driRes := Run(Default(driCfg, instructions), prog)
+
+	em := energy.ForL1(driCfg.SizeBytes, driCfg.BlockBytes, driCfg.Assoc)
+	bd := em.Evaluate(energy.Inputs{
+		Cycles:            driRes.CPU.Cycles,
+		ConvCycles:        conv.CPU.Cycles,
+		L1Accesses:        driRes.ICache.Accesses,
+		ResizingTagBits:   driRes.ResizingTagBits,
+		AvgActiveFraction: driRes.AvgActiveFraction,
+		ExtraL2Accesses:   int64(driRes.Mem.L2AccessesFromI) - int64(conv.Mem.L2AccessesFromI),
+	})
+	return Comparison{Conv: conv, DRI: driRes, Breakdown: bd}
+}

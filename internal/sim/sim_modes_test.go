@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"testing"
+
+	"dricache/internal/dri"
+)
+
+// TestWayModeThroughFullSystem drives the way-resizing variant through the
+// complete pipeline+hierarchy stack.
+func TestWayModeThroughFullSystem(t *testing.T) {
+	prog := applu(t)
+	p := dri.DefaultParams(50_000)
+	p.ResizeWays = true
+	p.MissBound = 300
+	p.SizeBoundBytes = 16 << 10 // one way of a 64K 4-way cache
+	cfg := dri.Config{SizeBytes: 64 << 10, BlockBytes: 32, Assoc: 4, AddrBits: 32, Params: p}
+	res := Run(Default(cfg, 800_000), prog)
+	if res.ResizingTagBits != 0 {
+		t.Fatalf("way mode reports %d resizing tag bits, want 0", res.ResizingTagBits)
+	}
+	if res.AvgActiveFraction >= 1 {
+		t.Fatal("way-mode cache should have downsized on applu")
+	}
+	if res.AvgActiveFraction < 0.25 {
+		t.Fatalf("way-mode fraction %v below the one-way floor", res.AvgActiveFraction)
+	}
+}
+
+// TestFlushModeThroughFullSystem drives the flush-on-resize ablation
+// through the complete stack and checks it costs misses.
+func TestFlushModeThroughFullSystem(t *testing.T) {
+	prog := applu(t)
+	base := dri.DefaultParams(50_000)
+	base.MissBound = 300
+	base.SizeBoundBytes = 2 << 10
+	flush := base
+	flush.FlushOnResize = true
+
+	rTags := Run(Default(DRI64K(base), 800_000), prog)
+	rFlush := Run(Default(DRI64K(flush), 800_000), prog)
+	if rFlush.ICache.Misses <= rTags.ICache.Misses {
+		t.Fatalf("flush-on-resize should cost misses: %d vs %d",
+			rFlush.ICache.Misses, rTags.ICache.Misses)
+	}
+}
+
+// TestAutoBoundThroughFullSystem drives the dynamic miss-bound through the
+// complete stack.
+func TestAutoBoundThroughFullSystem(t *testing.T) {
+	prog := applu(t)
+	p := dri.DefaultParams(50_000)
+	p.MissBound = 0
+	p.AutoMissBoundFactor = 30
+	p.SizeBoundBytes = 2 << 10
+	res := Run(Default(DRI64K(p), 1_000_000), prog)
+	if res.AvgActiveFraction >= 1 {
+		t.Fatal("auto-bound cache should have downsized on applu")
+	}
+	if res.ICache.Downsizes == 0 {
+		t.Fatal("no downsizes under the dynamic bound")
+	}
+}
+
+// TestFig6GeometriesRunEndToEnd covers the three Figure 6 organizations
+// through the full stack (128K uses an extra index bit; 4-way uses fewer).
+func TestFig6GeometriesRunEndToEnd(t *testing.T) {
+	prog := applu(t)
+	for _, cfg := range []dri.Config{
+		{SizeBytes: 64 << 10, BlockBytes: 32, Assoc: 4, AddrBits: 32},
+		{SizeBytes: 64 << 10, BlockBytes: 32, Assoc: 1, AddrBits: 32},
+		{SizeBytes: 128 << 10, BlockBytes: 32, Assoc: 1, AddrBits: 32},
+	} {
+		res := Run(Default(cfg, 300_000), prog)
+		if res.CPU.Cycles == 0 || res.MissRate() > 0.05 {
+			t.Errorf("config %+v: implausible result (cycles %d, miss %v)",
+				cfg, res.CPU.Cycles, res.MissRate())
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"testing"
+
+	"dricache/internal/dri"
+	"dricache/internal/trace"
+)
+
+func applu(t *testing.T) trace.Program {
+	t.Helper()
+	p, err := trace.ByName("applu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func fpppp(t *testing.T) trace.Program {
+	t.Helper()
+	p, err := trace.ByName("fpppp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func driParams(interval uint64, missBound uint64, sizeBound int) dri.Params {
+	p := dri.DefaultParams(interval)
+	p.MissBound = missBound
+	p.SizeBoundBytes = sizeBound
+	return p
+}
+
+func TestConventionalRunBasics(t *testing.T) {
+	res := Run(Default(Conventional64K(), 300_000), applu(t))
+	if res.CPU.Instructions != 300_000 {
+		t.Fatalf("instructions = %d", res.CPU.Instructions)
+	}
+	if res.CPU.Cycles == 0 {
+		t.Fatal("no cycles")
+	}
+	if res.AvgActiveFraction != 1.0 {
+		t.Fatalf("conventional active fraction = %v, want 1", res.AvgActiveFraction)
+	}
+	if res.ResizingTagBits != 0 {
+		t.Fatal("conventional cache has no resizing tag bits")
+	}
+	if ipc := res.CPU.IPC(); ipc < 0.5 || ipc > 8 {
+		t.Fatalf("implausible IPC %v", ipc)
+	}
+	if res.MissRate() > 0.02 {
+		t.Fatalf("conventional applu miss rate %v too high", res.MissRate())
+	}
+}
+
+func TestDRIRunDownsizesClassOne(t *testing.T) {
+	cfg := DRI64K(driParams(50_000, 300, 1<<10))
+	res := Run(Default(cfg, 800_000), applu(t))
+	if res.AvgActiveFraction > 0.5 {
+		t.Fatalf("applu should downsize: active fraction %v", res.AvgActiveFraction)
+	}
+	if res.ICache.Downsizes == 0 {
+		t.Fatal("no downsizes recorded")
+	}
+	if res.ResizingTagBits != 6 {
+		t.Fatalf("resizing tag bits = %d, want 6", res.ResizingTagBits)
+	}
+	if len(res.Events) == 0 || len(res.SizeResidency) == 0 {
+		t.Fatal("missing resize events / residency")
+	}
+}
+
+func TestDRIRunHoldsFpppp(t *testing.T) {
+	// fpppp with a 64K size-bound never resizes (the paper's setting).
+	p := driParams(50_000, 500, 64<<10)
+	res := Run(Default(DRI64K(p), 600_000), fpppp(t))
+	if res.AvgActiveFraction != 1.0 {
+		t.Fatalf("fpppp at 64K size-bound should stay full: %v", res.AvgActiveFraction)
+	}
+}
+
+func TestCompareProducesSensibleBreakdown(t *testing.T) {
+	cfg := DRI64K(driParams(50_000, 300, 2<<10))
+	cmp := Compare(cfg, applu(t), 800_000, nil)
+	if cmp.RelativeED <= 0 || cmp.RelativeED >= 1 {
+		t.Fatalf("applu relative ED = %v, want in (0,1)", cmp.RelativeED)
+	}
+	if cmp.SlowdownPct > 10 {
+		t.Fatalf("applu slowdown %v%% implausible", cmp.SlowdownPct)
+	}
+	if cmp.DRI.AvgActiveFraction >= cmp.Conv.AvgActiveFraction {
+		t.Fatal("DRI run should be smaller on average")
+	}
+	// ED composition holds.
+	if cmp.LeakageShareOfED+cmp.DynamicShareOfED != cmp.RelativeED {
+		t.Fatal("ED shares must sum")
+	}
+}
+
+func TestComparePrecomputedBaseline(t *testing.T) {
+	cfg := DRI64K(driParams(50_000, 300, 2<<10))
+	prog := applu(t)
+	base := Run(Default(Conventional64K(), 400_000), prog)
+	a := Compare(cfg, prog, 400_000, &base)
+	b := Compare(cfg, prog, 400_000, nil)
+	if a.RelativeED != b.RelativeED {
+		t.Fatalf("pre-computed baseline changed the result: %v vs %v",
+			a.RelativeED, b.RelativeED)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := DRI64K(driParams(50_000, 300, 1<<10))
+	prog := applu(t)
+	a := Run(Default(cfg, 400_000), prog)
+	b := Run(Default(cfg, 400_000), prog)
+	if a.CPU != b.CPU || a.ICache != b.ICache || a.Mem != b.Mem {
+		t.Fatal("simulation must be deterministic")
+	}
+}
+
+func TestAggressiveDownsizingSlowsFpppp(t *testing.T) {
+	// Forcing fpppp below its working set must cost execution time —
+	// the paper's argument for the size-bound.
+	prog := fpppp(t)
+	held := Compare(DRI64K(driParams(50_000, 500, 64<<10)), prog, 600_000, nil)
+	forced := Compare(DRI64K(driParams(50_000, 1_000_000, 16<<10)), prog, 600_000, nil)
+	if forced.SlowdownPct <= held.SlowdownPct {
+		t.Fatalf("forced downsizing should slow fpppp: %v%% vs %v%%",
+			forced.SlowdownPct, held.SlowdownPct)
+	}
+	if forced.SlowdownPct < 4 {
+		t.Fatalf("fpppp forced to 16K should degrade > 4%%: %v%%", forced.SlowdownPct)
+	}
+}

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 || m.N() != 0 {
+		t.Fatal("zero Mean should be empty")
+	}
+	m.Add(1)
+	m.Add(3)
+	if m.Value() != 2 || m.N() != 2 || m.Sum() != 4 {
+		t.Fatalf("mean = %v n = %d sum = %v", m.Value(), m.N(), m.Sum())
+	}
+	m.AddN(10, 2)
+	if m.Value() != 6 {
+		t.Fatalf("weighted mean = %v, want 6", m.Value())
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean(2,8) = %v, want 4", g)
+	}
+	if g := GeoMean([]float64{5, 0, -1}); math.Abs(g-5) > 1e-12 {
+		t.Fatalf("geomean ignoring non-positive = %v, want 5", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("geomean(empty) = %v, want 0", g)
+	}
+}
+
+func TestWeightedFraction(t *testing.T) {
+	var w WeightedFraction
+	if w.Value() != 0 {
+		t.Fatal("empty fraction should be 0")
+	}
+	w.Add(1.0, 100)
+	w.Add(0.5, 300)
+	if got := w.Value(); math.Abs(got-0.625) > 1e-12 {
+		t.Fatalf("weighted value = %v, want 0.625", got)
+	}
+	if w.Duration() != 400 {
+		t.Fatalf("duration = %v, want 400", w.Duration())
+	}
+	w.Add(0.1, -5) // ignored
+	if w.Duration() != 400 {
+		t.Fatal("negative duration must be ignored")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	h.Add(3, 10)
+	h.Add(1, 5)
+	h.Add(3, 2)
+	keys := h.Keys()
+	if len(keys) != 2 || keys[0] != 1 || keys[1] != 3 {
+		t.Fatalf("keys = %v", keys)
+	}
+	if h.Count(3) != 12 || h.Count(1) != 5 || h.Count(99) != 0 {
+		t.Fatal("counts wrong")
+	}
+	if h.Total() != 17 {
+		t.Fatalf("total = %d, want 17", h.Total())
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	tb.AddRow("overflow", "x", "dropped")
+	out := tb.String()
+	for _, want := range []string{"name", "value", "alpha", "beta", "2.500", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "dropped") {
+		t.Error("overflow cell should be dropped")
+	}
+	md := tb.Markdown()
+	if !strings.HasPrefix(md, "| name | value |") {
+		t.Errorf("markdown header wrong: %s", md)
+	}
+	if !strings.Contains(md, "| --- | --- |") {
+		t.Error("markdown separator missing")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := NewBarChart(20)
+	if c.String() != "" {
+		t.Fatal("empty chart should render empty")
+	}
+	c.Add("full", 1.0, 0, "note-a")
+	c.Add("half", 0.4, 0.1, "")
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], strings.Repeat("█", 20)) {
+		t.Errorf("largest bar should span full width: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "note-a") {
+		t.Error("note missing")
+	}
+	if !strings.Contains(lines[1], "░") {
+		t.Error("stacked segment missing")
+	}
+	solid := strings.Count(lines[1], "█")
+	if solid < 7 || solid > 9 {
+		t.Errorf("half bar solid segment = %d, want ~8", solid)
+	}
+}
+
+func TestBarChartMinWidth(t *testing.T) {
+	c := NewBarChart(1)
+	c.Add("x", 1, 0, "")
+	if n := strings.Count(c.String(), "█"); n != 10 {
+		t.Fatalf("min width should clamp to 10, bar = %d", n)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("xxxxxxxx", "1")
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(lines))
+	}
+	// Header and rule should be padded to the widest cell.
+	if len(lines[0]) != len(lines[1]) || len(lines[1]) != len(lines[2]) {
+		t.Fatalf("misaligned table:\n%s", tb.String())
+	}
+}

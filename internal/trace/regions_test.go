@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"testing"
+
+	"dricache/internal/isa"
+)
+
+// TestHotRegionConcentratesExecution verifies the HotKB/HotFrac mechanism:
+// most dynamic instructions must come from the declared hot subset.
+func TestHotRegionConcentratesExecution(t *testing.T) {
+	p := Program{
+		Name: "hot", Class: ClassLarge, Seed: 9, Repeat: 1,
+		Phases: []Phase{{
+			Name: "x", Fraction: 1, CodeKB: 32, HotKB: 4, HotFrac: 0.9,
+			LoopBody: 30, LoopTrip: 10, CondEvery: 6,
+			LoadFrac: 0.2, StoreFrac: 0.1, DataKB: 128, DataStreamFrac: 1,
+		}},
+	}
+	hotEnd := codeBase + 4<<10
+	inHot, total := 0, 0
+	for _, ins := range collect(p, 300000) {
+		total++
+		if ins.PC < hotEnd {
+			inHot++
+		}
+	}
+	frac := float64(inHot) / float64(total)
+	// 90% of loop *starts* are hot; bodies can extend past the boundary,
+	// so accept a wide band that still proves concentration.
+	if frac < 0.6 {
+		t.Fatalf("hot-region share = %v, want > 0.6", frac)
+	}
+}
+
+// TestAltRegionReceivesTraffic verifies the secondary (aliasing) region
+// actually executes at roughly its configured rate.
+func TestAltRegionReceivesTraffic(t *testing.T) {
+	p := Program{
+		Name: "alt", Class: ClassLarge, Seed: 10, Repeat: 1,
+		Phases: []Phase{{
+			Name: "x", Fraction: 1, CodeKB: 16,
+			AltKB: 4, AltOffsetKB: 128, AltFrac: 0.2,
+			LoopBody: 30, LoopTrip: 10, CondEvery: 6,
+			LoadFrac: 0.2, StoreFrac: 0.1, DataKB: 128, DataStreamFrac: 1,
+		}},
+	}
+	altBase := codeBase + 128<<10
+	inAlt, total := 0, 0
+	for _, ins := range collect(p, 300000) {
+		total++
+		if ins.PC >= altBase {
+			inAlt++
+		}
+	}
+	frac := float64(inAlt) / float64(total)
+	if frac < 0.08 || frac > 0.40 {
+		t.Fatalf("alt-region share = %v, want ~0.2", frac)
+	}
+}
+
+// TestFppppGiantBody pins the fpppp model: its loop bodies must be orders
+// of magnitude longer than the other benchmarks' (the famous straight-line
+// block), which is what makes any downsizing thrash.
+func TestFppppGiantBody(t *testing.T) {
+	fpppp, err := ByName("fpppp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measure the mean distance between taken backward branches.
+	var ins isa.Instr
+	s := fpppp.Stream(400000)
+	var backs, n int
+	for s.Next(&ins) {
+		n++
+		if ins.Class == isa.Branch && ins.Taken && ins.Target < ins.PC {
+			backs++
+		}
+	}
+	if backs == 0 {
+		t.Fatal("no loop-back branches")
+	}
+	meanBody := float64(n) / float64(backs)
+	if meanBody < 2000 {
+		t.Fatalf("fpppp mean loop body = %v instrs, want thousands", meanBody)
+	}
+}
+
+// TestStreamingDataLocality verifies the within-block reuse of streaming
+// loops (several accesses per cache block).
+func TestStreamingDataLocality(t *testing.T) {
+	p := simpleProgram()
+	p.Phases[0].DataStreamFrac = 1
+	var lastBlock uint64 = ^uint64(0)
+	var mem, newBlocks int
+	for _, ins := range collect(p, 200000) {
+		if !ins.Class.IsMem() {
+			continue
+		}
+		mem++
+		if b := ins.MemAddr >> 5; b != lastBlock {
+			newBlocks++
+			lastBlock = b
+		}
+	}
+	if mem == 0 {
+		t.Fatal("no memory accesses")
+	}
+	// Fewer than one block transition per two accesses: real spatial reuse.
+	if r := float64(newBlocks) / float64(mem); r > 0.5 {
+		t.Fatalf("streaming block-transition rate %v, want < 0.5", r)
+	}
+}
