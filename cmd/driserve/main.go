@@ -1,0 +1,66 @@
+// Command driserve serves DRI i-cache simulations over an HTTP JSON API,
+// backed by the shared concurrent simulation engine: a bounded worker pool
+// with a memoizing result cache and single-flight deduplication, so
+// repeated and concurrent identical requests cost one simulation.
+//
+// Endpoints:
+//
+//	GET  /healthz        liveness + engine cache metrics
+//	GET  /v1/benchmarks  the fifteen SPEC95 stand-ins
+//	POST /v1/run         one simulation (conventional or DRI)
+//	POST /v1/compare     DRI vs conventional baseline with §5.2 energy
+//	POST /v1/sweep       a (benchmark × miss-bound × size-bound) grid
+//
+// Examples:
+//
+//	driserve -addr :8080 -workers 8
+//	curl localhost:8080/v1/benchmarks
+//	curl -d '{"benchmark":"applu","cache":{"dri":{"missBound":256,"sizeBoundBytes":1024}}}' \
+//	    localhost:8080/v1/compare
+//
+// Every response embeds the engine's hit/miss/dedup counters; repeating an
+// identical request shows the hit count advancing instead of new work.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"dricache/internal/engine"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		maxInstr   = flag.Uint64("maxinstructions", 50_000_000, "per-run instruction budget limit")
+		cacheLimit = flag.Int("cachelimit", 65536, "max cached results (0 = unbounded)")
+	)
+	flag.Parse()
+
+	eng := engine.New(*workers)
+	eng.SetCacheLimit(*cacheLimit)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(newServer(eng, *maxInstr)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("driserve listening on %s (workers=%d, max instructions/run=%d)",
+		*addr, eng.Parallelism(), *maxInstr)
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func logRequests(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h.ServeHTTP(w, r)
+		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+	})
+}

@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dricache/internal/engine"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(engine.New(0), 10_000_000))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func postJSON(t *testing.T, url, body string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s = %d, want %d (body: %v)", url, resp.StatusCode, wantStatus, out)
+	}
+	return out
+}
+
+func engineField(t *testing.T, out map[string]any, field string) float64 {
+	t.Helper()
+	eng, ok := out["engine"].(map[string]any)
+	if !ok {
+		t.Fatalf("response missing engine metrics: %v", out)
+	}
+	v, ok := eng[field].(float64)
+	if !ok {
+		t.Fatalf("engine metrics missing %q: %v", field, eng)
+	}
+	return v
+}
+
+func TestHealthz(t *testing.T) {
+	ts := testServer(t)
+	out := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	if out["ok"] != true {
+		t.Fatalf("healthz = %v", out)
+	}
+	if got := engineField(t, out, "misses"); got != 0 {
+		t.Fatalf("fresh engine misses = %v", got)
+	}
+}
+
+func TestBenchmarksEndpoint(t *testing.T) {
+	ts := testServer(t)
+	out := getJSON(t, ts.URL+"/v1/benchmarks", http.StatusOK)
+	rows, ok := out["benchmarks"].([]any)
+	if !ok || len(rows) != 15 {
+		t.Fatalf("benchmarks = %v", out["benchmarks"])
+	}
+	first := rows[0].(map[string]any)
+	if first["name"] == "" || first["class"] == "" {
+		t.Fatalf("row shape wrong: %v", first)
+	}
+}
+
+func TestRunEndpoint(t *testing.T) {
+	ts := testServer(t)
+	body := `{"benchmark":"applu","instructions":400000}`
+	out := postJSON(t, ts.URL+"/v1/run", body, http.StatusOK)
+	res := out["result"].(map[string]any)
+	if res["cycles"].(float64) <= 0 || res["ipc"].(float64) <= 0 {
+		t.Fatalf("degenerate result: %v", res)
+	}
+	if res["avgActiveFraction"].(float64) != 1 {
+		t.Fatalf("conventional run should stay full-size: %v", res)
+	}
+	if out["cached"] != false {
+		t.Fatal("first run reported cached")
+	}
+
+	// The identical request must be served from cache.
+	out2 := postJSON(t, ts.URL+"/v1/run", body, http.StatusOK)
+	if out2["cached"] != true {
+		t.Fatal("repeat run not cached")
+	}
+	if hits := engineField(t, out2, "hits"); hits != 1 {
+		t.Fatalf("hits = %v, want 1", hits)
+	}
+	if misses := engineField(t, out2, "misses"); misses != 1 {
+		t.Fatalf("misses = %v, want 1", misses)
+	}
+}
+
+// TestCompareEndpointCacheHits is the acceptance check: /v1/compare serves
+// a named benchmark and reports cache-hit counts on repeated identical
+// requests.
+func TestCompareEndpointCacheHits(t *testing.T) {
+	ts := testServer(t)
+	body := `{"benchmark":"applu","instructions":400000,
+		"cache":{"dri":{"missBound":300,"sizeBoundBytes":1024,"senseInterval":50000}}}`
+
+	out := postJSON(t, ts.URL+"/v1/compare", body, http.StatusOK)
+	cmp := out["comparison"].(map[string]any)
+	if cmp["benchmark"] != "applu" {
+		t.Fatalf("comparison benchmark = %v", cmp["benchmark"])
+	}
+	ed := cmp["relativeED"].(float64)
+	if ed <= 0 || ed >= 1 {
+		t.Fatalf("applu relative ED = %v, want in (0,1)", ed)
+	}
+	if misses := engineField(t, out, "misses"); misses != 2 {
+		t.Fatalf("first compare misses = %v, want 2 (baseline + DRI)", misses)
+	}
+
+	out2 := postJSON(t, ts.URL+"/v1/compare", body, http.StatusOK)
+	cached := out2["cached"].(map[string]any)
+	if cached["baseline"] != true || cached["dri"] != true {
+		t.Fatalf("repeat compare not fully cached: %v", cached)
+	}
+	if misses := engineField(t, out2, "misses"); misses != 2 {
+		t.Fatalf("repeat compare re-simulated: misses = %v", misses)
+	}
+	if hits := engineField(t, out2, "hits"); hits != 2 {
+		t.Fatalf("repeat compare hits = %v, want 2", hits)
+	}
+
+	// A different DRI config on the same geometry reuses the baseline.
+	body3 := `{"benchmark":"applu","instructions":400000,
+		"cache":{"dri":{"missBound":600,"sizeBoundBytes":2048,"senseInterval":50000}}}`
+	out3 := postJSON(t, ts.URL+"/v1/compare", body3, http.StatusOK)
+	cached3 := out3["cached"].(map[string]any)
+	if cached3["baseline"] != true {
+		t.Fatal("baseline not shared across configs")
+	}
+	if misses := engineField(t, out3, "misses"); misses != 3 {
+		t.Fatalf("misses = %v, want 3", misses)
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	ts := testServer(t)
+	body := `{"benchmarks":["applu"],"missBounds":[100,400],"sizeBounds":[1024,4096],
+		"instructions":400000,"senseInterval":50000}`
+	out := postJSON(t, ts.URL+"/v1/sweep", body, http.StatusOK)
+	if out["points"].(float64) != 4 {
+		t.Fatalf("points = %v, want 4", out["points"])
+	}
+	rows := out["rows"].(map[string]any)
+	pts, ok := rows["applu"].([]any)
+	if !ok || len(pts) != 4 {
+		t.Fatalf("applu rows = %v", rows["applu"])
+	}
+	// 4 DRI points + 1 shared baseline.
+	if misses := engineField(t, out, "misses"); misses != 5 {
+		t.Fatalf("misses = %v, want 5 (4 DRI + 1 shared baseline)", misses)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct{ name, path, body string }{
+		{"unknown benchmark", "/v1/run", `{"benchmark":"quake"}`},
+		{"bad json", "/v1/run", `{"benchmark":`},
+		{"unknown field", "/v1/run", `{"benchmark":"applu","warp":9}`},
+		{"budget over limit", "/v1/run", `{"benchmark":"applu","instructions":99000000}`},
+		{"bad geometry", "/v1/run", `{"benchmark":"applu","cache":{"sizeBytes":3000}}`},
+		{"bad size-bound", "/v1/compare",
+			`{"benchmark":"applu","cache":{"dri":{"sizeBoundBytes":3000}}}`},
+		{"compare without dri", "/v1/compare", `{"benchmark":"applu"}`},
+		{"sweep unknown benchmark", "/v1/sweep", `{"benchmarks":["quake"]}`},
+		{"sweep too large", "/v1/sweep",
+			`{"missBounds":[1,2,3,4,5,6,7,8,9,10],"sizeBounds":[1024,2048,4096,8192,16384,32768,65536]}`},
+	}
+	for _, c := range cases {
+		out := postJSON(t, ts.URL+c.path, c.body, http.StatusBadRequest)
+		if out["error"] == "" || out["error"] == nil {
+			t.Errorf("%s: no error message in %v", c.name, out)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/run = %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,395 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"dricache/internal/dri"
+	"dricache/internal/engine"
+	"dricache/internal/exp"
+	"dricache/internal/sim"
+	"dricache/internal/trace"
+)
+
+// server exposes one shared simulation engine over HTTP. All endpoints
+// share the engine's result cache, so repeated and concurrent identical
+// requests — including the conventional baselines behind /v1/compare and
+// /v1/sweep — are simulated once; every response carries the engine's
+// cache-hit counters.
+type server struct {
+	eng *engine.Engine
+	// maxInstructions caps the per-run budget a request may demand.
+	maxInstructions uint64
+	// maxSweepPoints caps benchmarks × miss-bounds × size-bounds per sweep.
+	maxSweepPoints int
+}
+
+func newServer(eng *engine.Engine, maxInstructions uint64) http.Handler {
+	s := &server{eng: eng, maxInstructions: maxInstructions, maxSweepPoints: 1024}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	return mux
+}
+
+// engineMetrics is the cache/pool snapshot attached to every response.
+type engineMetrics struct {
+	Hits        uint64  `json:"hits"`
+	Misses      uint64  `json:"misses"`
+	Deduped     uint64  `json:"deduped"`
+	HitRate     float64 `json:"hitRate"`
+	Entries     int     `json:"entries"`
+	InFlight    int     `json:"inFlight"`
+	Parallelism int     `json:"parallelism"`
+}
+
+func (s *server) metrics() engineMetrics {
+	st := s.eng.Stats()
+	return engineMetrics{
+		Hits:        st.Hits,
+		Misses:      st.Misses,
+		Deduped:     st.Deduped,
+		HitRate:     st.HitRate(),
+		Entries:     st.Entries,
+		InFlight:    st.InFlight,
+		Parallelism: st.Parallelism,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "engine": s.metrics()})
+}
+
+func (s *server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	type row struct {
+		Name  string `json:"name"`
+		Class string `json:"class"`
+	}
+	var rows []row
+	for _, b := range trace.Benchmarks() {
+		rows = append(rows, row{Name: b.Name, Class: b.Class.String()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"benchmarks": rows})
+}
+
+// driRequest selects and parameterizes DRI resizing. Zero-valued fields
+// take the paper's base values at the chosen sense-interval.
+type driRequest struct {
+	MissBound           uint64  `json:"missBound"`
+	SizeBoundBytes      int     `json:"sizeBoundBytes"`
+	SenseInterval       uint64  `json:"senseInterval"`
+	Divisibility        int     `json:"divisibility"`
+	ThrottleSaturation  int     `json:"throttleSaturation"`
+	ThrottleIntervals   int     `json:"throttleIntervals"`
+	FlushOnResize       bool    `json:"flushOnResize"`
+	ResizeWays          bool    `json:"resizeWays"`
+	AutoMissBoundFactor float64 `json:"autoMissBoundFactor"`
+}
+
+// cacheRequest describes the L1 i-cache; zero values take the paper's base
+// 64K direct-mapped geometry.
+type cacheRequest struct {
+	SizeBytes int         `json:"sizeBytes"`
+	Assoc     int         `json:"assoc"`
+	DRI       *driRequest `json:"dri"`
+}
+
+type runRequest struct {
+	Benchmark    string       `json:"benchmark"`
+	Instructions uint64       `json:"instructions"`
+	Cache        cacheRequest `json:"cache"`
+}
+
+// maxBodyBytes bounds request bodies well above any legitimate payload.
+const maxBodyBytes = 1 << 20
+
+func (s *server) decodeRun(w http.ResponseWriter, r *http.Request) (dri.Config, trace.Program, uint64, error) {
+	var req runRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return dri.Config{}, trace.Program{}, 0, fmt.Errorf("invalid request body: %w", err)
+	}
+	prog, err := trace.ByName(req.Benchmark)
+	if err != nil {
+		return dri.Config{}, trace.Program{}, 0, err
+	}
+	instrs := req.Instructions
+	if instrs == 0 {
+		instrs = 4_000_000
+	}
+	if instrs > s.maxInstructions {
+		return dri.Config{}, trace.Program{}, 0,
+			fmt.Errorf("instructions %d exceeds server limit %d", instrs, s.maxInstructions)
+	}
+	cfg, err := buildCacheConfig(req.Cache)
+	if err != nil {
+		return dri.Config{}, trace.Program{}, 0, err
+	}
+	return cfg, prog, instrs, nil
+}
+
+func buildCacheConfig(c cacheRequest) (dri.Config, error) {
+	cfg := dri.Config{SizeBytes: c.SizeBytes, BlockBytes: 32, Assoc: c.Assoc, AddrBits: 32}
+	if cfg.SizeBytes == 0 {
+		cfg.SizeBytes = 64 << 10
+	}
+	if cfg.Assoc == 0 {
+		cfg.Assoc = 1
+	}
+	if d := c.DRI; d != nil {
+		interval := d.SenseInterval
+		if interval == 0 {
+			interval = 100_000
+		}
+		p := dri.DefaultParams(interval)
+		if d.MissBound != 0 {
+			p.MissBound = d.MissBound
+		}
+		if d.SizeBoundBytes != 0 {
+			p.SizeBoundBytes = d.SizeBoundBytes
+		}
+		if d.Divisibility != 0 {
+			p.Divisibility = d.Divisibility
+		}
+		if d.ThrottleSaturation != 0 {
+			p.ThrottleSaturation = d.ThrottleSaturation
+		}
+		if d.ThrottleIntervals != 0 {
+			p.ThrottleIntervals = d.ThrottleIntervals
+		}
+		p.FlushOnResize = d.FlushOnResize
+		p.ResizeWays = d.ResizeWays
+		p.AutoMissBoundFactor = d.AutoMissBoundFactor
+		if d.AutoMissBoundFactor > 0 {
+			p.MissBound = 0
+		}
+		cfg.Params = p
+	}
+	if err := cfg.Check(); err != nil {
+		return dri.Config{}, err
+	}
+	return cfg, nil
+}
+
+// resultSummary is the wire form of one simulation's observables.
+type resultSummary struct {
+	Benchmark         string  `json:"benchmark"`
+	Instructions      uint64  `json:"instructions"`
+	Cycles            uint64  `json:"cycles"`
+	IPC               float64 `json:"ipc"`
+	ICacheAccesses    uint64  `json:"icacheAccesses"`
+	ICacheMissRate    float64 `json:"icacheMissRate"`
+	AvgActiveFraction float64 `json:"avgActiveFraction"`
+	Upsizes           uint64  `json:"upsizes"`
+	Downsizes         uint64  `json:"downsizes"`
+	L2AccessesFromI   uint64  `json:"l2AccessesFromI"`
+}
+
+func summarize(res *sim.Result) resultSummary {
+	return resultSummary{
+		Benchmark:         res.Benchmark,
+		Instructions:      res.CPU.Instructions,
+		Cycles:            res.CPU.Cycles,
+		IPC:               res.CPU.IPC(),
+		ICacheAccesses:    res.ICache.Accesses,
+		ICacheMissRate:    res.MissRate(),
+		AvgActiveFraction: res.AvgActiveFraction,
+		Upsizes:           res.ICache.Upsizes,
+		Downsizes:         res.ICache.Downsizes,
+		L2AccessesFromI:   res.Mem.L2AccessesFromI,
+	}
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	cfg, prog, instrs, err := s.decodeRun(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, cached := s.eng.RunCached(sim.Default(cfg, instrs), prog)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"result": summarize(res),
+		"cached": cached,
+		"engine": s.metrics(),
+	})
+}
+
+// comparisonSummary is the wire form of a DRI-vs-conventional comparison.
+type comparisonSummary struct {
+	Benchmark         string  `json:"benchmark"`
+	RelativeED        float64 `json:"relativeED"`
+	RelativeEnergy    float64 `json:"relativeEnergy"`
+	LeakageShareOfED  float64 `json:"leakageShareOfED"`
+	DynamicShareOfED  float64 `json:"dynamicShareOfED"`
+	SlowdownPct       float64 `json:"slowdownPct"`
+	AvgActiveFraction float64 `json:"avgActiveFraction"`
+	ConvCycles        uint64  `json:"convCycles"`
+	DRICycles         uint64  `json:"driCycles"`
+	SavingsNJ         float64 `json:"savingsNJ"`
+}
+
+func summarizeComparison(cmp sim.Comparison) comparisonSummary {
+	return comparisonSummary{
+		Benchmark:         cmp.DRI.Benchmark,
+		RelativeED:        cmp.RelativeED,
+		RelativeEnergy:    cmp.RelativeEnergy,
+		LeakageShareOfED:  cmp.LeakageShareOfED,
+		DynamicShareOfED:  cmp.DynamicShareOfED,
+		SlowdownPct:       cmp.SlowdownPct,
+		AvgActiveFraction: cmp.DRI.AvgActiveFraction,
+		ConvCycles:        cmp.Conv.CPU.Cycles,
+		DRICycles:         cmp.DRI.CPU.Cycles,
+		SavingsNJ:         cmp.SavingsNJ,
+	}
+}
+
+func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	cfg, prog, instrs, err := s.decodeRun(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !cfg.Params.Enabled {
+		writeError(w, http.StatusBadRequest,
+			"compare requires a DRI configuration (set cache.dri)")
+		return
+	}
+	cmp, outcome := s.eng.CompareCached(cfg, prog, instrs)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"comparison": summarizeComparison(cmp),
+		"cached": map[string]bool{
+			"baseline": outcome.BaselineCached,
+			"dri":      outcome.DRICached,
+		},
+		"engine": s.metrics(),
+	})
+}
+
+type sweepRequest struct {
+	// Benchmarks to sweep; empty means all fifteen.
+	Benchmarks []string `json:"benchmarks"`
+	// MissBounds and SizeBounds form the parameter grid.
+	MissBounds []uint64 `json:"missBounds"`
+	SizeBounds []int    `json:"sizeBounds"`
+	// Instructions and SenseInterval fix the scale (defaults 4M / 100K).
+	Instructions  uint64 `json:"instructions"`
+	SenseInterval uint64 `json:"senseInterval"`
+	// SizeBytes and Assoc fix the geometry (defaults 64K direct-mapped).
+	SizeBytes int `json:"sizeBytes"`
+	Assoc     int `json:"assoc"`
+}
+
+type sweepPoint struct {
+	MissBound  uint64            `json:"missBound"`
+	SizeBound  int               `json:"sizeBound"`
+	Comparison comparisonSummary `json:"comparison"`
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+
+	scale := exp.Scale{Instructions: req.Instructions, SenseInterval: req.SenseInterval}
+	if scale.Instructions == 0 {
+		scale.Instructions = 4_000_000
+	}
+	if scale.SenseInterval == 0 {
+		scale.SenseInterval = 100_000
+	}
+	if scale.Instructions > s.maxInstructions {
+		writeError(w, http.StatusBadRequest,
+			"instructions %d exceeds server limit %d", scale.Instructions, s.maxInstructions)
+		return
+	}
+	runner := exp.NewRunnerOn(s.eng, scale)
+
+	space := exp.SearchSpace{MissBounds: req.MissBounds, SizeBounds: req.SizeBounds}
+	if len(space.MissBounds) == 0 || len(space.SizeBounds) == 0 {
+		space = exp.DefaultSpace(scale)
+		if len(req.MissBounds) > 0 {
+			space.MissBounds = req.MissBounds
+		}
+		if len(req.SizeBounds) > 0 {
+			space.SizeBounds = req.SizeBounds
+		}
+	}
+
+	var progs []trace.Program
+	if len(req.Benchmarks) == 0 {
+		progs = trace.Benchmarks()
+	} else {
+		for _, name := range req.Benchmarks {
+			p, err := trace.ByName(name)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			progs = append(progs, p)
+		}
+	}
+
+	geometry, err := buildCacheConfig(cacheRequest{SizeBytes: req.SizeBytes, Assoc: req.Assoc})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	points := len(progs) * len(space.MissBounds) * len(space.SizeBounds)
+	if points > s.maxSweepPoints {
+		writeError(w, http.StatusBadRequest,
+			"sweep of %d points exceeds server limit %d", points, s.maxSweepPoints)
+		return
+	}
+
+	var tasks []exp.Task
+	for _, p := range progs {
+		for _, mb := range space.MissBounds {
+			for _, sb := range space.SizeBounds {
+				cfg := geometry
+				cfg.Params = runner.Params(mb, sb)
+				if err := cfg.Check(); err != nil {
+					writeError(w, http.StatusBadRequest, "%v", err)
+					return
+				}
+				tasks = append(tasks, exp.Task{Prog: p, Config: cfg})
+			}
+		}
+	}
+	results := runner.RunAll(tasks)
+
+	rows := make(map[string][]sweepPoint, len(progs))
+	for _, tr := range results {
+		rows[tr.Prog.Name] = append(rows[tr.Prog.Name], sweepPoint{
+			MissBound:  tr.Config.Params.MissBound,
+			SizeBound:  tr.Config.Params.SizeBoundBytes,
+			Comparison: summarizeComparison(tr.Cmp),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"points": points,
+		"rows":   rows,
+		"engine": s.metrics(),
+	})
+}

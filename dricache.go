@@ -31,6 +31,7 @@ import (
 	"dricache/internal/circuit"
 	"dricache/internal/dri"
 	"dricache/internal/energy"
+	"dricache/internal/engine"
 	"dricache/internal/exp"
 	"dricache/internal/sim"
 	"dricache/internal/trace"
@@ -67,6 +68,15 @@ type (
 	Scale = exp.Scale
 	// EnergyModel holds the §5.2 technology constants and equations.
 	EnergyModel = energy.Model
+	// Engine is the concurrent batch simulation engine: a bounded worker
+	// pool with a memoizing result cache and single-flight deduplication,
+	// so N concurrent identical requests cost one simulation.
+	Engine = engine.Engine
+	// EngineStats is a snapshot of an Engine's cache and pool counters.
+	EngineStats = engine.Stats
+	// SimConfig describes one full-system simulation (core, hierarchy,
+	// predictor, instruction budget) — the unit of work an Engine caches.
+	SimConfig = sim.Config
 )
 
 // Default64KEnergyModel returns the §5.2 constants for the paper's base
@@ -119,9 +129,27 @@ func Compare(cfg CacheConfig, bench Benchmark, instructions uint64) Comparison {
 	return sim.Compare(cfg, bench, instructions, nil)
 }
 
+// NewEngine returns a simulation engine whose worker pool is bounded at
+// workers concurrent simulations (0 means GOMAXPROCS). All submissions —
+// Run, Compare, experiment sweeps via NewExperimentsOn — share its result
+// cache, so repeated and concurrent identical work is simulated once.
+func NewEngine(workers int) *Engine { return engine.New(workers) }
+
+// NewSimConfig returns the paper's Table 1 system around the given L1
+// i-cache with the given instruction budget, for submission to an Engine.
+func NewSimConfig(cfg CacheConfig, instructions uint64) SimConfig {
+	return sim.Default(cfg, instructions)
+}
+
 // NewExperiments returns the experiment harness at the given scale; use it
 // for the Figure 3 search and the Figure 4–6 and §5.6 studies.
 func NewExperiments(scale Scale) *Experiments { return exp.NewRunner(scale) }
+
+// NewExperimentsOn returns the experiment harness submitting to an existing
+// engine, sharing its result cache and concurrency budget.
+func NewExperimentsOn(eng *Engine, scale Scale) *Experiments {
+	return exp.NewRunnerOn(eng, scale)
+}
 
 // DefaultScale is the cmd-tool experiment scale: 4M instructions with
 // 100K-instruction sense intervals.

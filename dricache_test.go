@@ -59,6 +59,46 @@ func TestTable2Facade(t *testing.T) {
 	}
 }
 
+func TestEngineFacade(t *testing.T) {
+	eng := NewEngine(2)
+	bench, err := BenchmarkByName("applu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams(50_000)
+	params.MissBound = 300
+	cfg := NewDRI(64<<10, 1, params)
+
+	cmp := eng.Compare(cfg, bench, 600_000)
+	if cmp.RelativeED <= 0 || cmp.RelativeED >= 1 {
+		t.Fatalf("relative ED = %v, want in (0,1)", cmp.RelativeED)
+	}
+	// The identical request again must be a pure cache hit.
+	eng.Compare(cfg, bench, 600_000)
+	s := eng.Stats()
+	if s.Misses != 2 || s.Hits != 2 {
+		t.Fatalf("stats = %+v, want 2 misses + 2 hits", s)
+	}
+	if s.Parallelism != 2 {
+		t.Fatalf("parallelism = %d, want 2", s.Parallelism)
+	}
+
+	// An experiments harness on the same engine reuses its baseline.
+	r := NewExperimentsOn(eng, Scale{Instructions: 600_000, SenseInterval: 50_000})
+	if r.Baseline(bench, 64<<10, 1).CPU.Cycles == 0 {
+		t.Fatal("baseline did not run")
+	}
+	if got := eng.Stats().Misses; got != 2 {
+		t.Fatalf("baseline re-simulated: misses = %d, want 2", got)
+	}
+
+	// Engine results are identical to the direct facade path.
+	direct := Run(cfg, bench, 600_000)
+	if viaEngine := eng.Run(NewSimConfig(cfg, 600_000), bench); viaEngine.CPU.Cycles != direct.CPU.Cycles {
+		t.Fatalf("engine cycles %d != direct cycles %d", viaEngine.CPU.Cycles, direct.CPU.Cycles)
+	}
+}
+
 func TestExperimentsFacade(t *testing.T) {
 	r := NewExperiments(Scale{Instructions: 400_000, SenseInterval: 50_000})
 	bench, _ := BenchmarkByName("mgrid")

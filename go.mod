@@ -1,0 +1,3 @@
+module dricache
+
+go 1.24

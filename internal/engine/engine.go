@@ -1,0 +1,376 @@
+// Package engine is the shared concurrent simulation engine: a bounded
+// worker pool with a memoizing result cache and single-flight deduplication.
+//
+// The paper's evaluation (§5) is embarrassingly parallel — hundreds of
+// (benchmark, configuration) simulations — and highly redundant: every
+// Compare needs the conventional baseline of its geometry, and parameter
+// sweeps revisit the same points. The engine makes all of that structural:
+//
+//   - every simulation is keyed by a canonical hash of its full
+//     (sim.Config, benchmark) pair, so identical requests — from any
+//     caller, in any order — cost one simulation;
+//   - N concurrent identical submissions coalesce in flight
+//     (single-flight): one goroutine simulates, the rest block on its
+//     completion;
+//   - actual simulation work is bounded by a resizable worker limit, so an
+//     arbitrary number of outstanding requests never oversubscribes the
+//     machine.
+//
+// Because Compare routes both of its runs through the same cache, the
+// conventional baseline of a geometry is automatically shared across every
+// Compare and sweep that touches it — the generalization of the private
+// baseline map internal/exp used to keep.
+//
+// Results handed out by the engine are shared: callers must treat them
+// (including the Events slice and SizeResidency map) as read-only.
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dricache/internal/dri"
+	"dricache/internal/sim"
+	"dricache/internal/trace"
+)
+
+// Key canonically identifies one simulation in the result cache.
+type Key string
+
+// KeyFor returns the cache key of (cfg, prog). Both are plain data (no
+// maps, pointers, or function values), so their deterministic JSON encoding
+// hashed with SHA-256 is a canonical identity: two requests collide exactly
+// when every configuration field, the instruction budget, and the full
+// benchmark definition (name, seed, phases) agree.
+func KeyFor(cfg sim.Config, prog trace.Program) Key {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	if err := enc.Encode(cfg); err != nil {
+		panic(fmt.Sprintf("engine: encoding sim.Config: %v", err))
+	}
+	if err := enc.Encode(prog); err != nil {
+		panic(fmt.Sprintf("engine: encoding trace.Program: %v", err))
+	}
+	return Key(hex.EncodeToString(h.Sum(nil)))
+}
+
+// Stats is a snapshot of the engine's cache and pool counters.
+type Stats struct {
+	// Hits counts requests served from a completed cache entry.
+	Hits uint64
+	// Misses counts requests that executed a simulation (equal to the
+	// number of simulations ever run).
+	Misses uint64
+	// Deduped counts requests that joined an identical simulation already
+	// in flight (single-flight coalescing).
+	Deduped uint64
+	// Entries is the number of completed results held in the cache.
+	Entries int
+	// InFlight is the number of simulations currently executing or queued.
+	InFlight int
+	// Parallelism is the current worker limit.
+	Parallelism int
+}
+
+// Requests counts all requests seen.
+func (s Stats) Requests() uint64 { return s.Hits + s.Misses + s.Deduped }
+
+// HitRate is the fraction of requests that did not execute a simulation
+// (cache hits plus in-flight joins); 0 when no requests have been seen.
+func (s Stats) HitRate() float64 {
+	if n := s.Requests(); n > 0 {
+		return float64(s.Hits+s.Deduped) / float64(n)
+	}
+	return 0
+}
+
+// entry is one cache slot. done is closed once res (or panicVal) is
+// populated; waiters block on it without holding the engine lock.
+type entry struct {
+	done chan struct{}
+	res  *sim.Result
+	// panicVal carries a simulation panic to every coalesced waiter; the
+	// entry itself is removed from the cache so later requests retry.
+	panicVal any
+}
+
+// Engine is a concurrency-safe batch simulation engine. The zero value is
+// not usable; construct with New. All methods are safe for concurrent use.
+type Engine struct {
+	mu      sync.Mutex
+	slot    *sync.Cond // signaled when a worker slot frees or the limit grows
+	limit   int        // worker limit; <=0 means runtime.GOMAXPROCS(0)
+	running int        // simulations currently holding a slot
+
+	entries map[Key]*entry
+	// order tracks completed entries in completion order for FIFO
+	// eviction when maxEntries is set.
+	order      []Key
+	maxEntries int // 0 means unbounded
+	completed  int
+	hits       uint64
+	misses     uint64
+	deduped    uint64
+	inFlight   int
+
+	// runFn executes one simulation; swapped by tests to count and stall
+	// executions. Defaults to sim.Run.
+	runFn func(sim.Config, trace.Program) sim.Result
+}
+
+// New returns an engine whose worker pool is bounded at workers concurrent
+// simulations; workers <= 0 means runtime.GOMAXPROCS(0).
+func New(workers int) *Engine {
+	e := &Engine{
+		limit:   workers,
+		entries: make(map[Key]*entry),
+		runFn:   sim.Run,
+	}
+	e.slot = sync.NewCond(&e.mu)
+	return e
+}
+
+// Parallelism returns the effective worker limit.
+func (e *Engine) Parallelism() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.effectiveLimit()
+}
+
+// SetParallelism changes the worker limit; n <= 0 means GOMAXPROCS. Raising
+// the limit releases queued work immediately; lowering it lets running
+// simulations finish and throttles new ones.
+func (e *Engine) SetParallelism(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.limit = n
+	e.slot.Broadcast()
+}
+
+func (e *Engine) effectiveLimit() int {
+	if e.limit > 0 {
+		return e.limit
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetCacheLimit bounds the number of completed results retained; when the
+// limit is exceeded the oldest completed entries are evicted (in-flight
+// work is never evicted). n <= 0 means unbounded (the default).
+func (e *Engine) SetCacheLimit(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.maxEntries = n
+	e.evictLocked()
+}
+
+// evictLocked drops oldest completed entries down to the limit.
+func (e *Engine) evictLocked() {
+	if e.maxEntries <= 0 {
+		return
+	}
+	for e.completed > e.maxEntries && len(e.order) > 0 {
+		key := e.order[0]
+		e.order = e.order[1:]
+		if _, ok := e.entries[key]; ok {
+			delete(e.entries, key)
+			e.completed--
+		}
+	}
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		Hits:        e.hits,
+		Misses:      e.misses,
+		Deduped:     e.deduped,
+		Entries:     e.completed,
+		InFlight:    e.inFlight,
+		Parallelism: e.effectiveLimit(),
+	}
+}
+
+// Run executes (or recalls) the simulation of prog under cfg. The returned
+// value shares internal slices/maps with the cache; treat it as read-only.
+func (e *Engine) Run(cfg sim.Config, prog trace.Program) sim.Result {
+	return *e.RunShared(cfg, prog)
+}
+
+// RunCached is Run reporting whether the result was served without
+// executing a new simulation (a completed cache hit or an in-flight join).
+func (e *Engine) RunCached(cfg sim.Config, prog trace.Program) (*sim.Result, bool) {
+	key := KeyFor(cfg, prog)
+
+	e.mu.Lock()
+	if ent, ok := e.entries[key]; ok {
+		select {
+		case <-ent.done:
+			e.hits++
+		default:
+			e.deduped++
+		}
+		e.mu.Unlock()
+		<-ent.done
+		if ent.panicVal != nil {
+			panic(ent.panicVal)
+		}
+		return ent.res, true
+	}
+	ent := &entry{done: make(chan struct{})}
+	e.entries[key] = ent
+	e.misses++
+	e.inFlight++
+	e.mu.Unlock()
+
+	// On a simulation panic, uncache the entry (so later requests retry),
+	// propagate the panic value to every coalesced waiter, and re-panic.
+	defer func() {
+		if pv := recover(); pv != nil {
+			e.mu.Lock()
+			ent.panicVal = pv
+			delete(e.entries, key)
+			e.inFlight--
+			e.mu.Unlock()
+			close(ent.done)
+			panic(pv)
+		}
+	}()
+	res := e.execute(cfg, prog)
+
+	e.mu.Lock()
+	ent.res = &res
+	e.inFlight--
+	e.completed++
+	e.order = append(e.order, key)
+	e.evictLocked()
+	e.mu.Unlock()
+	close(ent.done)
+	return ent.res, false
+}
+
+// RunShared is Run returning the cache's shared pointer: repeated identical
+// requests return the identical *sim.Result.
+func (e *Engine) RunShared(cfg sim.Config, prog trace.Program) *sim.Result {
+	res, _ := e.RunCached(cfg, prog)
+	return res
+}
+
+// acquireSlot blocks until a worker slot is free and claims it.
+func (e *Engine) acquireSlot() {
+	e.mu.Lock()
+	for e.running >= e.effectiveLimit() {
+		e.slot.Wait()
+	}
+	e.running++
+	e.mu.Unlock()
+}
+
+func (e *Engine) releaseSlot() {
+	e.mu.Lock()
+	e.running--
+	e.mu.Unlock()
+	e.slot.Signal()
+}
+
+// execute runs one simulation under the worker limit. Waiters coalesced on
+// an entry do not hold slots, so composite operations (Compare, sweeps) can
+// block on shared work without deadlocking the pool.
+func (e *Engine) execute(cfg sim.Config, prog trace.Program) sim.Result {
+	e.acquireSlot()
+	defer e.releaseSlot()
+	e.mu.Lock()
+	run := e.runFn
+	e.mu.Unlock()
+	return run(cfg, prog)
+}
+
+// Do runs f under the engine's worker limit without touching the result
+// cache — for non-memoizable work (e.g. trace-driven studies) that should
+// share the engine's concurrency budget.
+func (e *Engine) Do(f func()) {
+	e.acquireSlot()
+	defer e.releaseSlot()
+	f()
+}
+
+// Baseline returns the shared conventional run of prog on the geometry of
+// driCfg (adaptive parameters stripped) at the given budget.
+func (e *Engine) Baseline(driCfg dri.Config, prog trace.Program, instructions uint64) *sim.Result {
+	return e.RunShared(sim.Default(sim.BaselineConfig(driCfg), instructions), prog)
+}
+
+// Compare runs prog under both driCfg and the conventional cache of the
+// same geometry, sharing both runs through the cache, and evaluates the
+// §5.2 energy model. Identical Compare calls anywhere in the process cost
+// at most two simulations total, and the baseline is shared with every
+// other Compare of the same geometry.
+func (e *Engine) Compare(driCfg dri.Config, prog trace.Program, instructions uint64) sim.Comparison {
+	cmp, _ := e.CompareCached(driCfg, prog, instructions)
+	return cmp
+}
+
+// CompareCached is Compare reporting whether the baseline and DRI runs were
+// each served from the cache.
+func (e *Engine) CompareCached(driCfg dri.Config, prog trace.Program, instructions uint64) (sim.Comparison, CompareOutcome) {
+	var (
+		conv       *sim.Result
+		convCached bool
+		convPanic  any
+		wg         sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Re-raise a baseline panic on the caller's goroutine instead of
+		// crashing the process.
+		defer func() { convPanic = recover() }()
+		conv, convCached = e.RunCached(sim.Default(sim.BaselineConfig(driCfg), instructions), prog)
+	}()
+	driRes, driCached := e.RunCached(sim.Default(driCfg, instructions), prog)
+	wg.Wait()
+	if convPanic != nil {
+		panic(convPanic)
+	}
+
+	return sim.CompareResults(driCfg, *conv, *driRes),
+		CompareOutcome{BaselineCached: convCached, DRICached: driCached}
+}
+
+// CompareOutcome reports the cache outcome of one Compare.
+type CompareOutcome struct {
+	// BaselineCached is true when the conventional run was served from the
+	// cache (or joined in flight).
+	BaselineCached bool
+	// DRICached likewise for the DRI run.
+	DRICached bool
+}
+
+// Request is one simulation for RunBatch.
+type Request struct {
+	Config sim.Config
+	Prog   trace.Program
+}
+
+// RunBatch executes the requests concurrently under the worker limit and
+// returns results in input order. Duplicate requests within (or across)
+// batches are simulated once.
+func (e *Engine) RunBatch(reqs []Request) []sim.Result {
+	out := make([]sim.Result, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = e.Run(reqs[i].Config, reqs[i].Prog)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

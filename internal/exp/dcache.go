@@ -36,16 +36,16 @@ type DCacheRow struct {
 // through a conventional and a DRI 64K 2-way d-cache (the system's L1D
 // geometry) with the given adaptive parameters.
 func (r *Runner) DCacheStudy(benchmarks []trace.Program, missBound uint64, sizeBound int) []DCacheRow {
+	// Trace-driven runs are not memoizable through the engine's (config,
+	// benchmark) key, but they still share its concurrency budget via Do.
+	eng := r.Engine()
 	rows := make([]DCacheRow, len(benchmarks))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, r.workers())
 	for i, b := range benchmarks {
 		wg.Add(1)
 		go func(i int, b trace.Program) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rows[i] = r.dcacheOne(b, missBound, sizeBound)
+			eng.Do(func() { rows[i] = r.dcacheOne(b, missBound, sizeBound) })
 		}(i, b)
 	}
 	wg.Wait()

@@ -3,9 +3,13 @@
 // Figures 4 and 5, the conventional-cache-parameter study of Figure 6, and
 // the §5.6 sense-interval and divisibility sweeps.
 //
-// Simulations are embarrassingly parallel, so the Runner fans independent
-// runs out over a worker pool while conventional baselines are computed
-// once per (benchmark, organization) and shared.
+// Simulations are embarrassingly parallel and highly redundant, so the
+// Runner submits every job through the shared internal/engine simulation
+// engine: a bounded worker pool with a memoizing result cache and
+// single-flight deduplication. Conventional baselines are therefore
+// computed once per (benchmark, organization, budget) and shared across
+// every figure and sweep — and with any other Runner or caller attached to
+// the same engine.
 //
 // Scale: the paper simulates full SPEC95 runs with one-million-instruction
 // sense-intervals; this harness defaults to 4M-instruction runs with
@@ -15,10 +19,10 @@ package exp
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"dricache/internal/dri"
+	"dricache/internal/engine"
 	"dricache/internal/sim"
 	"dricache/internal/trace"
 )
@@ -72,33 +76,38 @@ func QuickSpace(scale Scale) SearchSpace {
 	}
 }
 
-// Runner executes experiments at one scale with shared baselines.
+// Runner executes experiments at one scale through a shared simulation
+// engine.
 type Runner struct {
 	Scale Scale
-	// Workers bounds parallel simulations; 0 means GOMAXPROCS.
+	// Workers bounds parallel simulations for a runner created with
+	// NewRunner; 0 means GOMAXPROCS. It is ignored by runners attached to
+	// a shared engine via NewRunnerOn — tune that engine's parallelism
+	// directly rather than letting one client retune it for all.
 	Workers int
 
-	mu        sync.Mutex
-	baselines map[baseKey]*sim.Result
+	eng   *engine.Engine
+	owned bool
 }
 
-type baseKey struct {
-	bench  string
-	size   int
-	assoc  int
-	instrs uint64
-}
-
-// NewRunner returns a runner at the given scale.
+// NewRunner returns a runner at the given scale with its own engine.
 func NewRunner(scale Scale) *Runner {
-	return &Runner{Scale: scale, baselines: make(map[baseKey]*sim.Result)}
+	return &Runner{Scale: scale, eng: engine.New(0), owned: true}
 }
 
-func (r *Runner) workers() int {
-	if r.Workers > 0 {
-		return r.Workers
+// NewRunnerOn returns a runner submitting to an existing engine, sharing
+// its result cache and concurrency budget with every other client.
+func NewRunnerOn(eng *engine.Engine, scale Scale) *Runner {
+	return &Runner{Scale: scale, eng: eng}
+}
+
+// Engine returns the runner's engine. For a runner that owns its engine,
+// the Workers setting (including 0 = GOMAXPROCS) is applied first.
+func (r *Runner) Engine() *engine.Engine {
+	if r.owned {
+		r.eng.SetParallelism(r.Workers)
 	}
-	return runtime.GOMAXPROCS(0)
+	return r.eng
 }
 
 // Params builds the paper's standard adaptive parameters at the runner's
@@ -115,34 +124,18 @@ func (r *Runner) Params(missBound uint64, sizeBound int) dri.Params {
 	}
 }
 
-// Baseline returns (computing and caching on first use) the conventional
-// run of prog on a cache of the given geometry at the runner's default
-// instruction budget.
+// Baseline returns the shared conventional run of prog on a cache of the
+// given geometry at the runner's default instruction budget.
 func (r *Runner) Baseline(prog trace.Program, sizeBytes, assoc int) *sim.Result {
 	return r.BaselineN(prog, sizeBytes, assoc, r.Scale.Instructions)
 }
 
 // BaselineN is Baseline with an explicit instruction budget (used by
-// sweeps that scale the run length).
+// sweeps that scale the run length). Repeated calls return the engine's
+// shared pointer.
 func (r *Runner) BaselineN(prog trace.Program, sizeBytes, assoc int, instrs uint64) *sim.Result {
-	key := baseKey{prog.Name, sizeBytes, assoc, instrs}
-	r.mu.Lock()
-	if res, ok := r.baselines[key]; ok {
-		r.mu.Unlock()
-		return res
-	}
-	r.mu.Unlock()
-
 	cfg := dri.Config{SizeBytes: sizeBytes, BlockBytes: 32, Assoc: assoc, AddrBits: 32}
-	res := sim.Run(sim.Default(cfg, instrs), prog)
-
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if prev, ok := r.baselines[key]; ok {
-		return prev
-	}
-	r.baselines[key] = &res
-	return &res
+	return r.Engine().Baseline(cfg, prog, instrs)
 }
 
 // Task is one DRI simulation against its baseline.
@@ -161,57 +154,23 @@ type TaskResult struct {
 	Cmp sim.Comparison
 }
 
-// RunAll executes tasks on the worker pool, preserving input order.
+// RunAll executes tasks through the engine, preserving input order. The
+// engine bounds concurrency and deduplicates: identical tasks — and all
+// shared conventional baselines — are simulated once.
 func (r *Runner) RunAll(tasks []Task) []TaskResult {
+	eng := r.Engine()
 	out := make([]TaskResult, len(tasks))
-	// Pre-compute baselines serially-per-key (deduplicated) so workers
-	// don't race to compute the same baseline.
-	type bk struct {
-		prog   trace.Program
-		size   int
-		assoc  int
-		instrs uint64
-	}
-	seen := map[baseKey]bk{}
-	for _, t := range tasks {
-		n := t.Instructions
-		if n == 0 {
-			n = r.Scale.Instructions
-		}
-		k := baseKey{t.Prog.Name, t.Config.SizeBytes, t.Config.Assoc, n}
-		if _, ok := seen[k]; !ok {
-			seen[k] = bk{t.Prog, t.Config.SizeBytes, t.Config.Assoc, n}
-		}
-	}
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, r.workers())
-	for _, b := range seen {
-		wg.Add(1)
-		go func(b bk) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r.BaselineN(b.prog, b.size, b.assoc, b.instrs)
-		}(b)
-	}
-	wg.Wait()
-
 	for i := range tasks {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
 			t := tasks[i]
 			n := t.Instructions
 			if n == 0 {
 				n = r.Scale.Instructions
 			}
-			base := r.BaselineN(t.Prog, t.Config.SizeBytes, t.Config.Assoc, n)
-			out[i] = TaskResult{
-				Task: t,
-				Cmp:  sim.Compare(t.Config, t.Prog, n, base),
-			}
+			out[i] = TaskResult{Task: t, Cmp: eng.Compare(t.Config, t.Prog, n)}
 		}(i)
 	}
 	wg.Wait()

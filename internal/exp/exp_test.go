@@ -1,9 +1,12 @@
 package exp
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
+	"dricache/internal/engine"
+	"dricache/internal/sim"
 	"dricache/internal/trace"
 )
 
@@ -21,6 +24,15 @@ func picks(t *testing.T, names ...string) []trace.Program {
 }
 
 func quickRunner() *Runner { return NewRunner(QuickScale()) }
+
+// skipFullScale gates the full-scale studies (each runs a Figure 3 search
+// or a multi-second sweep) so `go test -short` finishes in seconds.
+func skipFullScale(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping full-scale study in -short mode")
+	}
+}
 
 func TestSpaces(t *testing.T) {
 	s := DefaultSpace(DefaultScale())
@@ -74,6 +86,7 @@ func TestRunAllPreservesOrder(t *testing.T) {
 }
 
 func TestRunAllDeterministicAcrossParallelism(t *testing.T) {
+	skipFullScale(t)
 	run := func(workers int) []TaskResult {
 		r := quickRunner()
 		r.Workers = workers
@@ -97,6 +110,7 @@ func TestRunAllDeterministicAcrossParallelism(t *testing.T) {
 }
 
 func TestFigure3ShapesAndConstraint(t *testing.T) {
+	skipFullScale(t)
 	r := quickRunner()
 	rows := r.Figure3(QuickSpace(r.Scale), picks(t, "applu", "fpppp"))
 	if len(rows) != 2 {
@@ -125,6 +139,7 @@ func TestFigure3ShapesAndConstraint(t *testing.T) {
 }
 
 func TestFigure4StructureAndRobustness(t *testing.T) {
+	skipFullScale(t)
 	r := quickRunner()
 	base := r.Figure3(QuickSpace(r.Scale), picks(t, "applu"))
 	rows := r.Figure4(base)
@@ -150,6 +165,7 @@ func TestFigure4StructureAndRobustness(t *testing.T) {
 }
 
 func TestFigure5SizeBoundEffects(t *testing.T) {
+	skipFullScale(t)
 	r := quickRunner()
 	base := r.Figure3(QuickSpace(r.Scale), picks(t, "applu"))
 	rows := r.Figure5(base)
@@ -166,6 +182,7 @@ func TestFigure5SizeBoundEffects(t *testing.T) {
 }
 
 func TestFigure6Geometries(t *testing.T) {
+	skipFullScale(t)
 	// Longer runs than QuickScale: the 64K-vs-128K average-fraction claim
 	// is a steady-state property, and the downsizing descent dominates
 	// short runs.
@@ -191,6 +208,7 @@ func TestFigure6Geometries(t *testing.T) {
 }
 
 func TestSweepsStructure(t *testing.T) {
+	skipFullScale(t)
 	r := quickRunner()
 	base := r.Figure3(QuickSpace(r.Scale), picks(t, "applu"))
 	iv := r.IntervalSweep(base)
@@ -207,6 +225,7 @@ func TestSweepsStructure(t *testing.T) {
 }
 
 func TestFlushAblationCostsEnergyOrTime(t *testing.T) {
+	skipFullScale(t)
 	r := quickRunner()
 	base := r.Figure3(QuickSpace(r.Scale), picks(t, "su2cor"))
 	rows := r.FlushAblation(base)
@@ -221,6 +240,7 @@ func TestFlushAblationCostsEnergyOrTime(t *testing.T) {
 }
 
 func TestAblationThrottleStructure(t *testing.T) {
+	skipFullScale(t)
 	r := quickRunner()
 	base := r.Figure3(QuickSpace(r.Scale), picks(t, "applu"))
 	rows := r.AblationThrottle(base)
@@ -230,6 +250,7 @@ func TestAblationThrottleStructure(t *testing.T) {
 }
 
 func TestFormatters(t *testing.T) {
+	skipFullScale(t)
 	r := quickRunner()
 	base := r.Figure3(QuickSpace(r.Scale), picks(t, "applu"))
 	if s := FormatFig3(base); !strings.Contains(s, "applu") || !strings.Contains(s, "ED(C)") {
@@ -287,6 +308,7 @@ func TestDCacheStudy(t *testing.T) {
 }
 
 func TestAutoBoundStudy(t *testing.T) {
+	skipFullScale(t)
 	r := quickRunner()
 	base := r.Figure3(QuickSpace(r.Scale), picks(t, "applu", "fpppp"))
 	rows := r.AutoBoundStudy(base, 30)
@@ -308,5 +330,53 @@ func TestAutoBoundStudy(t *testing.T) {
 	// controller.
 	if f := rows[0].Variants[1].Cmp.DRI.AvgActiveFraction; f > 0.5 {
 		t.Errorf("applu auto-bound fraction %v, want < 0.5", f)
+	}
+}
+
+func TestRunnersShareEngineCache(t *testing.T) {
+	eng := engine.New(0)
+	a := NewRunnerOn(eng, QuickScale())
+	b := NewRunnerOn(eng, QuickScale())
+	prog := picks(t, "applu")[0]
+
+	pa := a.Baseline(prog, 64<<10, 1)
+	pb := b.Baseline(prog, 64<<10, 1)
+	if pa != pb {
+		t.Fatal("runners on one engine must share baseline results")
+	}
+	if s := eng.Stats(); s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 miss + 1 hit", s)
+	}
+}
+
+func TestRunAllDedupsThroughEngine(t *testing.T) {
+	r := quickRunner()
+	prog := picks(t, "applu")[0]
+	task := Task{Prog: prog, Config: driConfig(64<<10, 1, r.Params(100, 1<<10))}
+
+	// Four identical tasks: one DRI simulation + one baseline, total 2.
+	results := r.RunAll([]Task{task, task, task, task})
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if s := r.Engine().Stats(); s.Misses != 2 {
+		t.Fatalf("misses = %d, want 2 (1 DRI + 1 baseline)", s.Misses)
+	}
+
+	// A second batch is served entirely from cache.
+	r.RunAll([]Task{task, task})
+	if s := r.Engine().Stats(); s.Misses != 2 {
+		t.Fatalf("misses after repeat batch = %d, want 2", s.Misses)
+	}
+}
+
+func TestRunAllMatchesSimCompare(t *testing.T) {
+	r := quickRunner()
+	prog := picks(t, "li")[0]
+	cfg := driConfig(64<<10, 1, r.Params(200, 2<<10))
+	got := r.RunAll([]Task{{Prog: prog, Config: cfg}})[0].Cmp
+	want := sim.Compare(cfg, prog, r.Scale.Instructions, nil)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("engine-backed RunAll differs from direct sim.Compare")
 	}
 }

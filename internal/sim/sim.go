@@ -97,6 +97,13 @@ type Comparison struct {
 	energy.Breakdown
 }
 
+// BaselineConfig strips the adaptive parameters from a DRI configuration,
+// yielding the conventional cache of the same geometry.
+func BaselineConfig(driCfg dri.Config) dri.Config {
+	driCfg.Params = dri.Params{}
+	return driCfg
+}
+
 // Compare runs prog under both the baseline and the DRI configuration and
 // evaluates the energy model. The baseline may be supplied (pre-computed)
 // via base; pass nil to run it here.
@@ -105,12 +112,17 @@ func Compare(driCfg dri.Config, prog trace.Program, instructions uint64, base *R
 	if base != nil {
 		conv = *base
 	} else {
-		convCfg := driCfg
-		convCfg.Params = dri.Params{}
-		conv = Run(Default(convCfg, instructions), prog)
+		conv = Run(Default(BaselineConfig(driCfg), instructions), prog)
 	}
 	driRes := Run(Default(driCfg, instructions), prog)
+	return CompareResults(driCfg, conv, driRes)
+}
 
+// CompareResults evaluates the §5.2 energy model over a pre-computed
+// conventional/DRI result pair for the given DRI configuration. It is the
+// accounting half of Compare, split out so callers that obtain the two runs
+// elsewhere (e.g. a memoizing engine) can share simulations.
+func CompareResults(driCfg dri.Config, conv, driRes Result) Comparison {
 	em := energy.ForL1(driCfg.SizeBytes, driCfg.BlockBytes, driCfg.Assoc)
 	bd := em.Evaluate(energy.Inputs{
 		Cycles:            driRes.CPU.Cycles,
