@@ -1,0 +1,95 @@
+package main
+
+// httptest coverage for driserve error paths: every failure mode must
+// return the right status code and a structured {"error", "status"} body.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// checkStructuredError asserts the error body shape: a non-empty message
+// and an echoed numeric status.
+func checkStructuredError(t *testing.T, name string, out map[string]any, wantStatus int) {
+	t.Helper()
+	msg, ok := out["error"].(string)
+	if !ok || msg == "" {
+		t.Errorf("%s: no error message in %v", name, out)
+	}
+	if got, ok := out["status"].(float64); !ok || int(got) != wantStatus {
+		t.Errorf("%s: body status = %v, want %d", name, out["status"], wantStatus)
+	}
+}
+
+func TestErrorPathsReturnStructuredErrors(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		name, path, body string
+		wantStatus       int
+		wantIn           string // substring expected in the message
+	}{
+		{"malformed json", "/v1/run", `{"benchmark":`, http.StatusBadRequest, "invalid request body"},
+		{"malformed json compare", "/v1/compare", `not json at all`, http.StatusBadRequest, "invalid request body"},
+		{"malformed json sweep", "/v1/sweep", `[1,2,3`, http.StatusBadRequest, "invalid request body"},
+		{"unknown field", "/v1/run", `{"benchmark":"applu","warp":9}`, http.StatusBadRequest, "unknown field"},
+		{"unknown benchmark", "/v1/run", `{"benchmark":"quake"}`, http.StatusBadRequest, "quake"},
+		{"budget exhaustion run", "/v1/run",
+			`{"benchmark":"applu","instructions":99000000}`, http.StatusBadRequest, "server limit"},
+		{"budget exhaustion sweep", "/v1/sweep",
+			`{"benchmarks":["applu"],"instructions":99000000}`, http.StatusBadRequest, "server limit"},
+		{"invalid L1 geometry", "/v1/run",
+			`{"benchmark":"applu","cache":{"sizeBytes":3000}}`, http.StatusBadRequest, "power of two"},
+		{"invalid L2 geometry", "/v1/run",
+			`{"benchmark":"applu","l2":{"sizeBytes":777}}`, http.StatusBadRequest, "l2"},
+		{"invalid L2 size-bound", "/v1/compare",
+			`{"benchmark":"applu","l2":{"dri":{"sizeBoundBytes":3000}}}`, http.StatusBadRequest, "l2"},
+		{"L2 size-bound above size", "/v1/compare",
+			`{"benchmark":"applu","l2":{"sizeBytes":131072,"dri":{"sizeBoundBytes":262144}}}`,
+			http.StatusBadRequest, "exceeds size"},
+		{"compare without any dri", "/v1/compare",
+			`{"benchmark":"applu"}`, http.StatusBadRequest, "cache.dri and/or l2.dri"},
+		{"sweep point limit", "/v1/sweep",
+			`{"missBounds":[1,2,3,4,5,6,7,8,9,10],"sizeBounds":[1024,2048,4096,8192,16384,32768,65536]}`,
+			http.StatusBadRequest, "exceeds server limit"},
+	}
+	for _, c := range cases {
+		out := postJSON(t, ts.URL+c.path, c.body, c.wantStatus)
+		checkStructuredError(t, c.name, out, c.wantStatus)
+		if msg, _ := out["error"].(string); !strings.Contains(msg, c.wantIn) {
+			t.Errorf("%s: error %q does not mention %q", c.name, msg, c.wantIn)
+		}
+	}
+}
+
+func TestOversizedBodyReturns413(t *testing.T) {
+	ts := testServer(t)
+	// A syntactically valid but > 1 MiB body: the decoder must stop at the
+	// MaxBytesReader limit and report 413, not 400.
+	big := `{"benchmark":"` + strings.Repeat("a", 2<<20) + `"}`
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", bytes.NewBufferString(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status = %d, want 413", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	checkStructuredError(t, "oversized body", out, http.StatusRequestEntityTooLarge)
+
+	// Same for the sweep endpoint's decoder.
+	resp2, err := http.Post(ts.URL+"/v1/sweep", "application/json", bytes.NewBufferString(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized sweep body status = %d, want 413", resp2.StatusCode)
+	}
+}

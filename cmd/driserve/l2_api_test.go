@@ -1,0 +1,132 @@
+package main
+
+// API tests for the multi-level DRI surface: /v1/run, /v1/compare, and
+// /v1/sweep with an optional resizable L2, and the per-level total-leakage
+// breakdown in responses.
+
+import (
+	"net/http"
+	"testing"
+)
+
+func subMap(t *testing.T, m map[string]any, key string) map[string]any {
+	t.Helper()
+	v, ok := m[key].(map[string]any)
+	if !ok {
+		t.Fatalf("missing object %q in %v", key, m)
+	}
+	return v
+}
+
+func TestRunWithL2DRI(t *testing.T) {
+	ts := testServer(t)
+	body := `{"benchmark":"applu","instructions":1000000,
+		"l2":{"dri":{"missBound":2000,"sizeBoundBytes":65536,"senseInterval":50000}}}`
+	out := postJSON(t, ts.URL+"/v1/run", body, http.StatusOK)
+	res := subMap(t, out, "result")
+	if res["l2AvgActiveFraction"].(float64) >= 1 {
+		t.Fatalf("resizable L2 never downsized: %v", res["l2AvgActiveFraction"])
+	}
+	if res["l2Downsizes"].(float64) == 0 {
+		t.Fatal("no L2 downsizes reported")
+	}
+	// The L1 stays conventional.
+	if res["avgActiveFraction"].(float64) != 1 {
+		t.Fatalf("L1 resized without an L1 DRI config: %v", res["avgActiveFraction"])
+	}
+}
+
+// TestCompareJointL1L2 is the acceptance check: a joint L1×L2 DRI compare
+// runs through the engine and /v1/compare, returning a per-level
+// (L1I/L1D/L2) leakage breakdown.
+func TestSmallL2DefaultSizeBoundClampsToOneSet(t *testing.T) {
+	ts := testServer(t)
+	// An 8K 4-way L2 with 64B blocks has 256B sets; the default size-bound
+	// (size/64 = 128B) must clamp up to one set instead of failing Check.
+	body := `{"benchmark":"applu","instructions":400000,
+		"l2":{"sizeBytes":8192,"dri":{"missBound":100,"senseInterval":50000}}}`
+	out := postJSON(t, ts.URL+"/v1/run", body, http.StatusOK)
+	if subMap(t, out, "result")["cycles"].(float64) <= 0 {
+		t.Fatal("degenerate result")
+	}
+}
+
+func TestCompareJointL1L2(t *testing.T) {
+	ts := testServer(t)
+	body := `{"benchmark":"applu","instructions":1000000,
+		"cache":{"dri":{"missBound":400,"sizeBoundBytes":1024,"senseInterval":50000}},
+		"l2":{"dri":{"missBound":2000,"sizeBoundBytes":65536,"senseInterval":50000}}}`
+
+	out := postJSON(t, ts.URL+"/v1/compare", body, http.StatusOK)
+	cmp := subMap(t, out, "comparison")
+	total := subMap(t, cmp, "total")
+	l1i := subMap(t, total, "l1i")
+	l1d := subMap(t, total, "l1d")
+	l2 := subMap(t, total, "l2")
+
+	if l1i["activeFraction"].(float64) >= 1 || l2["activeFraction"].(float64) >= 1 {
+		t.Fatalf("both levels should downsize: l1i=%v l2=%v",
+			l1i["activeFraction"], l2["activeFraction"])
+	}
+	if l1d["activeFraction"].(float64) != 1 {
+		t.Fatalf("L1D is not resizable: %v", l1d["activeFraction"])
+	}
+	for _, lvl := range []map[string]any{l1i, l1d, l2} {
+		if lvl["leakageNJ"].(float64) <= 0 || lvl["convLeakageNJ"].(float64) <= 0 {
+			t.Fatalf("degenerate level breakdown: %v", lvl)
+		}
+	}
+	// The L2 dominates conventional leakage.
+	if l2["convLeakageNJ"].(float64) <= 4*l1i["convLeakageNJ"].(float64) {
+		t.Fatal("L2 leakage should dominate the total account")
+	}
+	if re := total["relativeEnergy"].(float64); re <= 0 || re >= 1 {
+		t.Fatalf("joint resizing total relative energy = %v, want in (0,1)", re)
+	}
+	if misses := engineField(t, out, "misses"); misses != 2 {
+		t.Fatalf("first joint compare misses = %v, want 2", misses)
+	}
+
+	// The identical joint request is fully cached.
+	out2 := postJSON(t, ts.URL+"/v1/compare", body, http.StatusOK)
+	cached := subMap(t, out2, "cached")
+	if cached["baseline"] != true || cached["dri"] != true {
+		t.Fatalf("repeat joint compare not cached: %v", cached)
+	}
+
+	// An L2-only compare (no cache.dri) is accepted and shares the same
+	// all-conventional baseline.
+	l2only := `{"benchmark":"applu","instructions":1000000,
+		"l2":{"dri":{"missBound":2000,"sizeBoundBytes":65536,"senseInterval":50000}}}`
+	out3 := postJSON(t, ts.URL+"/v1/compare", l2only, http.StatusOK)
+	if subMap(t, out3, "cached")["baseline"] != true {
+		t.Fatal("baseline not shared between joint and L2-only compares")
+	}
+}
+
+func TestSweepWithFixedL2(t *testing.T) {
+	ts := testServer(t)
+	body := `{"benchmarks":["applu"],"missBounds":[400],"sizeBounds":[1024,4096],
+		"instructions":400000,"senseInterval":50000,
+		"l2":{"dri":{"missBound":1000,"sizeBoundBytes":65536,"senseInterval":50000}}}`
+	out := postJSON(t, ts.URL+"/v1/sweep", body, http.StatusOK)
+	if out["points"].(float64) != 2 {
+		t.Fatalf("points = %v, want 2", out["points"])
+	}
+	rows := subMap(t, out, "rows")
+	pts, ok := rows["applu"].([]any)
+	if !ok || len(pts) != 2 {
+		t.Fatalf("applu rows = %v", rows["applu"])
+	}
+	for _, p := range pts {
+		cmp := subMap(t, p.(map[string]any), "comparison")
+		total := subMap(t, cmp, "total")
+		if subMap(t, total, "l2")["activeFraction"].(float64) >= 1 {
+			t.Fatalf("sweep point did not resize the L2: %v", total)
+		}
+	}
+	// 2 DRI points + 1 shared baseline.
+	if misses := engineField(t, out, "misses"); misses != 3 {
+		t.Fatalf("misses = %v, want 3", misses)
+	}
+}

@@ -2,12 +2,15 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 
 	"dricache/internal/dri"
+	"dricache/internal/energy"
 	"dricache/internal/engine"
 	"dricache/internal/exp"
+	"dricache/internal/mem"
 	"dricache/internal/sim"
 	"dricache/internal/trace"
 )
@@ -69,7 +72,26 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+	writeJSON(w, status, map[string]any{
+		"error":  fmt.Sprintf(format, args...),
+		"status": status,
+	})
+}
+
+// decodeBody decodes a strict-JSON request body; a non-zero returned status
+// is the HTTP error to report (413 for an oversized body, 400 otherwise).
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) (int, error) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err)
+	}
+	return 0, nil
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -110,39 +132,90 @@ type cacheRequest struct {
 	DRI       *driRequest `json:"dri"`
 }
 
+// l2Request describes the unified L2; zero values take the paper's Table 1
+// geometry (1M 4-way, 64-byte blocks). Setting dri makes the L2 resizable
+// (multi-level DRI), with a default size-bound of 1/64 of the L2 size.
+type l2Request struct {
+	SizeBytes int         `json:"sizeBytes"`
+	Assoc     int         `json:"assoc"`
+	DRI       *driRequest `json:"dri"`
+}
+
 type runRequest struct {
 	Benchmark    string       `json:"benchmark"`
 	Instructions uint64       `json:"instructions"`
 	Cache        cacheRequest `json:"cache"`
+	L2           *l2Request   `json:"l2"`
 }
 
 // maxBodyBytes bounds request bodies well above any legitimate payload.
 const maxBodyBytes = 1 << 20
 
-func (s *server) decodeRun(w http.ResponseWriter, r *http.Request) (dri.Config, trace.Program, uint64, error) {
+// decodeRun decodes and validates a run/compare request into a full system
+// configuration; a non-zero status is the HTTP error to report.
+func (s *server) decodeRun(w http.ResponseWriter, r *http.Request) (sim.Config, trace.Program, int, error) {
+	fail := func(status int, err error) (sim.Config, trace.Program, int, error) {
+		return sim.Config{}, trace.Program{}, status, err
+	}
 	var req runRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		return dri.Config{}, trace.Program{}, 0, fmt.Errorf("invalid request body: %w", err)
+	if status, err := decodeBody(w, r, &req); status != 0 {
+		return fail(status, err)
 	}
 	prog, err := trace.ByName(req.Benchmark)
 	if err != nil {
-		return dri.Config{}, trace.Program{}, 0, err
+		return fail(http.StatusBadRequest, err)
 	}
 	instrs := req.Instructions
 	if instrs == 0 {
 		instrs = 4_000_000
 	}
 	if instrs > s.maxInstructions {
-		return dri.Config{}, trace.Program{}, 0,
-			fmt.Errorf("instructions %d exceeds server limit %d", instrs, s.maxInstructions)
+		return fail(http.StatusBadRequest,
+			fmt.Errorf("instructions %d exceeds server limit %d", instrs, s.maxInstructions))
 	}
-	cfg, err := buildCacheConfig(req.Cache)
+	l1i, err := buildCacheConfig(req.Cache)
 	if err != nil {
-		return dri.Config{}, trace.Program{}, 0, err
+		return fail(http.StatusBadRequest, err)
 	}
-	return cfg, prog, instrs, nil
+	l2, err := buildL2Config(req.L2)
+	if err != nil {
+		return fail(http.StatusBadRequest, err)
+	}
+	return sim.Default(l1i, instrs).WithL2(l2), prog, 0, nil
+}
+
+// buildDRIParams materializes request parameters over the paper's defaults
+// at the chosen sense-interval; defaultSizeBound is used when the request
+// leaves the size-bound unset.
+func buildDRIParams(d *driRequest, defaultSizeBound int) dri.Params {
+	interval := d.SenseInterval
+	if interval == 0 {
+		interval = 100_000
+	}
+	p := dri.DefaultParams(interval)
+	p.SizeBoundBytes = defaultSizeBound
+	if d.MissBound != 0 {
+		p.MissBound = d.MissBound
+	}
+	if d.SizeBoundBytes != 0 {
+		p.SizeBoundBytes = d.SizeBoundBytes
+	}
+	if d.Divisibility != 0 {
+		p.Divisibility = d.Divisibility
+	}
+	if d.ThrottleSaturation != 0 {
+		p.ThrottleSaturation = d.ThrottleSaturation
+	}
+	if d.ThrottleIntervals != 0 {
+		p.ThrottleIntervals = d.ThrottleIntervals
+	}
+	p.FlushOnResize = d.FlushOnResize
+	p.ResizeWays = d.ResizeWays
+	p.AutoMissBoundFactor = d.AutoMissBoundFactor
+	if d.AutoMissBoundFactor > 0 {
+		p.MissBound = 0
+	}
+	return p
 }
 
 func buildCacheConfig(c cacheRequest) (dri.Config, error) {
@@ -153,34 +226,8 @@ func buildCacheConfig(c cacheRequest) (dri.Config, error) {
 	if cfg.Assoc == 0 {
 		cfg.Assoc = 1
 	}
-	if d := c.DRI; d != nil {
-		interval := d.SenseInterval
-		if interval == 0 {
-			interval = 100_000
-		}
-		p := dri.DefaultParams(interval)
-		if d.MissBound != 0 {
-			p.MissBound = d.MissBound
-		}
-		if d.SizeBoundBytes != 0 {
-			p.SizeBoundBytes = d.SizeBoundBytes
-		}
-		if d.Divisibility != 0 {
-			p.Divisibility = d.Divisibility
-		}
-		if d.ThrottleSaturation != 0 {
-			p.ThrottleSaturation = d.ThrottleSaturation
-		}
-		if d.ThrottleIntervals != 0 {
-			p.ThrottleIntervals = d.ThrottleIntervals
-		}
-		p.FlushOnResize = d.FlushOnResize
-		p.ResizeWays = d.ResizeWays
-		p.AutoMissBoundFactor = d.AutoMissBoundFactor
-		if d.AutoMissBoundFactor > 0 {
-			p.MissBound = 0
-		}
-		cfg.Params = p
+	if c.DRI != nil {
+		cfg.Params = buildDRIParams(c.DRI, 1<<10)
 	}
 	if err := cfg.Check(); err != nil {
 		return dri.Config{}, err
@@ -188,42 +235,81 @@ func buildCacheConfig(c cacheRequest) (dri.Config, error) {
 	return cfg, nil
 }
 
+func buildL2Config(c *l2Request) (dri.Config, error) {
+	cfg := mem.DefaultL2()
+	if c != nil {
+		if c.SizeBytes != 0 {
+			cfg.SizeBytes = c.SizeBytes
+		}
+		if c.Assoc != 0 {
+			cfg.Assoc = c.Assoc
+		}
+		if c.DRI != nil {
+			// Default size-bound: 1/64 of the L2 (the L1's 1K/64K ratio),
+			// clamped to one set so small L2 geometries stay valid.
+			bound := cfg.SizeBytes / 64
+			if min := cfg.BlockBytes * cfg.Assoc; bound < min {
+				bound = min
+			}
+			cfg.Params = buildDRIParams(c.DRI, bound)
+		}
+	}
+	if err := cfg.Check(); err != nil {
+		return dri.Config{}, fmt.Errorf("l2: %w", err)
+	}
+	return cfg, nil
+}
+
 // resultSummary is the wire form of one simulation's observables.
 type resultSummary struct {
-	Benchmark         string  `json:"benchmark"`
-	Instructions      uint64  `json:"instructions"`
-	Cycles            uint64  `json:"cycles"`
-	IPC               float64 `json:"ipc"`
-	ICacheAccesses    uint64  `json:"icacheAccesses"`
-	ICacheMissRate    float64 `json:"icacheMissRate"`
-	AvgActiveFraction float64 `json:"avgActiveFraction"`
-	Upsizes           uint64  `json:"upsizes"`
-	Downsizes         uint64  `json:"downsizes"`
-	L2AccessesFromI   uint64  `json:"l2AccessesFromI"`
+	Benchmark           string  `json:"benchmark"`
+	Instructions        uint64  `json:"instructions"`
+	Cycles              uint64  `json:"cycles"`
+	IPC                 float64 `json:"ipc"`
+	ICacheAccesses      uint64  `json:"icacheAccesses"`
+	ICacheMissRate      float64 `json:"icacheMissRate"`
+	AvgActiveFraction   float64 `json:"avgActiveFraction"`
+	Upsizes             uint64  `json:"upsizes"`
+	Downsizes           uint64  `json:"downsizes"`
+	L2AccessesFromI     uint64  `json:"l2AccessesFromI"`
+	L2Accesses          uint64  `json:"l2Accesses"`
+	L2MissRate          float64 `json:"l2MissRate"`
+	L2AvgActiveFraction float64 `json:"l2AvgActiveFraction"`
+	L2Upsizes           uint64  `json:"l2Upsizes"`
+	L2Downsizes         uint64  `json:"l2Downsizes"`
+	L2ResizeWritebacks  uint64  `json:"l2ResizeWritebacks"`
+	MemAccesses         uint64  `json:"memAccesses"`
 }
 
 func summarize(res *sim.Result) resultSummary {
 	return resultSummary{
-		Benchmark:         res.Benchmark,
-		Instructions:      res.CPU.Instructions,
-		Cycles:            res.CPU.Cycles,
-		IPC:               res.CPU.IPC(),
-		ICacheAccesses:    res.ICache.Accesses,
-		ICacheMissRate:    res.MissRate(),
-		AvgActiveFraction: res.AvgActiveFraction,
-		Upsizes:           res.ICache.Upsizes,
-		Downsizes:         res.ICache.Downsizes,
-		L2AccessesFromI:   res.Mem.L2AccessesFromI,
+		Benchmark:           res.Benchmark,
+		Instructions:        res.CPU.Instructions,
+		Cycles:              res.CPU.Cycles,
+		IPC:                 res.CPU.IPC(),
+		ICacheAccesses:      res.ICache.Accesses,
+		ICacheMissRate:      res.MissRate(),
+		AvgActiveFraction:   res.AvgActiveFraction,
+		Upsizes:             res.ICache.Upsizes,
+		Downsizes:           res.ICache.Downsizes,
+		L2AccessesFromI:     res.Mem.L2AccessesFromI,
+		L2Accesses:          res.Mem.L2Accesses(),
+		L2MissRate:          res.L2.MissRate(),
+		L2AvgActiveFraction: res.L2AvgActiveFraction,
+		L2Upsizes:           res.L2.Upsizes,
+		L2Downsizes:         res.L2.Downsizes,
+		L2ResizeWritebacks:  res.Mem.L2ResizeWritebacks,
+		MemAccesses:         res.Mem.MemAccesses,
 	}
 }
 
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
-	cfg, prog, instrs, err := s.decodeRun(w, r)
+	cfg, prog, status, err := s.decodeRun(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, status, "%v", err)
 		return
 	}
-	res, cached := s.eng.RunCached(sim.Default(cfg, instrs), prog)
+	res, cached := s.eng.RunCached(cfg, prog)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"result": summarize(res),
 		"cached": cached,
@@ -231,47 +317,91 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// comparisonSummary is the wire form of a DRI-vs-conventional comparison.
+// levelSummary is one cache level's share of the total-leakage account.
+type levelSummary struct {
+	LeakageNJ      float64 `json:"leakageNJ"`
+	ConvLeakageNJ  float64 `json:"convLeakageNJ"`
+	ExtraDynamicNJ float64 `json:"extraDynamicNJ"`
+	ActiveFraction float64 `json:"activeFraction"`
+}
+
+// totalSummary is the wire form of the whole-hierarchy energy account with
+// its per-level (L1I/L1D/L2) breakdown.
+type totalSummary struct {
+	L1I            levelSummary `json:"l1i"`
+	L1D            levelSummary `json:"l1d"`
+	L2             levelSummary `json:"l2"`
+	EffectiveNJ    float64      `json:"effectiveNJ"`
+	ConvLeakageNJ  float64      `json:"convLeakageNJ"`
+	SavingsNJ      float64      `json:"savingsNJ"`
+	RelativeEnergy float64      `json:"relativeEnergy"`
+	RelativeED     float64      `json:"relativeED"`
+}
+
+// comparisonSummary is the wire form of a DRI-vs-conventional comparison:
+// the paper's L1-only §5.2 numbers plus the total-leakage account.
 type comparisonSummary struct {
-	Benchmark         string  `json:"benchmark"`
-	RelativeED        float64 `json:"relativeED"`
-	RelativeEnergy    float64 `json:"relativeEnergy"`
-	LeakageShareOfED  float64 `json:"leakageShareOfED"`
-	DynamicShareOfED  float64 `json:"dynamicShareOfED"`
-	SlowdownPct       float64 `json:"slowdownPct"`
-	AvgActiveFraction float64 `json:"avgActiveFraction"`
-	ConvCycles        uint64  `json:"convCycles"`
-	DRICycles         uint64  `json:"driCycles"`
-	SavingsNJ         float64 `json:"savingsNJ"`
+	Benchmark           string       `json:"benchmark"`
+	RelativeED          float64      `json:"relativeED"`
+	RelativeEnergy      float64      `json:"relativeEnergy"`
+	LeakageShareOfED    float64      `json:"leakageShareOfED"`
+	DynamicShareOfED    float64      `json:"dynamicShareOfED"`
+	SlowdownPct         float64      `json:"slowdownPct"`
+	AvgActiveFraction   float64      `json:"avgActiveFraction"`
+	L2AvgActiveFraction float64      `json:"l2AvgActiveFraction"`
+	ConvCycles          uint64       `json:"convCycles"`
+	DRICycles           uint64       `json:"driCycles"`
+	SavingsNJ           float64      `json:"savingsNJ"`
+	Total               totalSummary `json:"total"`
+}
+
+func summarizeLevel(l energy.LevelBreakdown) levelSummary {
+	return levelSummary{
+		LeakageNJ:      l.LeakageNJ,
+		ConvLeakageNJ:  l.ConvLeakageNJ,
+		ExtraDynamicNJ: l.ExtraDynamicNJ,
+		ActiveFraction: l.ActiveFraction,
+	}
 }
 
 func summarizeComparison(cmp sim.Comparison) comparisonSummary {
 	return comparisonSummary{
-		Benchmark:         cmp.DRI.Benchmark,
-		RelativeED:        cmp.RelativeED,
-		RelativeEnergy:    cmp.RelativeEnergy,
-		LeakageShareOfED:  cmp.LeakageShareOfED,
-		DynamicShareOfED:  cmp.DynamicShareOfED,
-		SlowdownPct:       cmp.SlowdownPct,
-		AvgActiveFraction: cmp.DRI.AvgActiveFraction,
-		ConvCycles:        cmp.Conv.CPU.Cycles,
-		DRICycles:         cmp.DRI.CPU.Cycles,
-		SavingsNJ:         cmp.SavingsNJ,
+		Benchmark:           cmp.DRI.Benchmark,
+		RelativeED:          cmp.RelativeED,
+		RelativeEnergy:      cmp.RelativeEnergy,
+		LeakageShareOfED:    cmp.LeakageShareOfED,
+		DynamicShareOfED:    cmp.DynamicShareOfED,
+		SlowdownPct:         cmp.SlowdownPct,
+		AvgActiveFraction:   cmp.DRI.AvgActiveFraction,
+		L2AvgActiveFraction: cmp.DRI.L2AvgActiveFraction,
+		ConvCycles:          cmp.Conv.CPU.Cycles,
+		DRICycles:           cmp.DRI.CPU.Cycles,
+		SavingsNJ:           cmp.SavingsNJ,
+		Total: totalSummary{
+			L1I:            summarizeLevel(cmp.Total.L1I),
+			L1D:            summarizeLevel(cmp.Total.L1D),
+			L2:             summarizeLevel(cmp.Total.L2),
+			EffectiveNJ:    cmp.Total.EffectiveNJ,
+			ConvLeakageNJ:  cmp.Total.ConvLeakageNJ,
+			SavingsNJ:      cmp.Total.SavingsNJ,
+			RelativeEnergy: cmp.Total.RelativeEnergy,
+			RelativeED:     cmp.Total.RelativeED,
+		},
 	}
 }
 
 func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
-	cfg, prog, instrs, err := s.decodeRun(w, r)
+	cfg, prog, status, err := s.decodeRun(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, status, "%v", err)
 		return
 	}
-	if !cfg.Params.Enabled {
+	if !cfg.Mem.L1I.Params.Enabled && !cfg.Mem.L2.Params.Enabled {
 		writeError(w, http.StatusBadRequest,
-			"compare requires a DRI configuration (set cache.dri)")
+			"compare requires a DRI configuration (set cache.dri and/or l2.dri)")
 		return
 	}
-	cmp, outcome := s.eng.CompareCached(cfg, prog, instrs)
+	cmp, outcome := s.eng.CompareSimCached(cfg, prog)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"comparison": summarizeComparison(cmp),
 		"cached": map[string]bool{
@@ -285,7 +415,7 @@ func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
 type sweepRequest struct {
 	// Benchmarks to sweep; empty means all fifteen.
 	Benchmarks []string `json:"benchmarks"`
-	// MissBounds and SizeBounds form the parameter grid.
+	// MissBounds and SizeBounds form the L1 parameter grid.
 	MissBounds []uint64 `json:"missBounds"`
 	SizeBounds []int    `json:"sizeBounds"`
 	// Instructions and SenseInterval fix the scale (defaults 4M / 100K).
@@ -294,6 +424,10 @@ type sweepRequest struct {
 	// SizeBytes and Assoc fix the geometry (defaults 64K direct-mapped).
 	SizeBytes int `json:"sizeBytes"`
 	Assoc     int `json:"assoc"`
+	// L2, when set, fixes the unified L2 for every sweep point — with
+	// l2.dri this makes the whole sweep a joint L1×L2 DRI study, and every
+	// point's response carries the per-level total-leakage breakdown.
+	L2 *l2Request `json:"l2"`
 }
 
 type sweepPoint struct {
@@ -304,10 +438,8 @@ type sweepPoint struct {
 
 func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req sweepRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+	if status, err := decodeBody(w, r, &req); status != 0 {
+		writeError(w, status, "%v", err)
 		return
 	}
 
@@ -355,6 +487,15 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	var l2Cfg *dri.Config
+	if req.L2 != nil {
+		cfg, err := buildL2Config(req.L2)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		l2Cfg = &cfg
+	}
 
 	points := len(progs) * len(space.MissBounds) * len(space.SizeBounds)
 	if points > s.maxSweepPoints {
@@ -373,7 +514,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 					writeError(w, http.StatusBadRequest, "%v", err)
 					return
 				}
-				tasks = append(tasks, exp.Task{Prog: p, Config: cfg})
+				tasks = append(tasks, exp.Task{Prog: p, Config: cfg, L2: l2Cfg})
 			}
 		}
 	}

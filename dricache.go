@@ -33,6 +33,7 @@ import (
 	"dricache/internal/energy"
 	"dricache/internal/engine"
 	"dricache/internal/exp"
+	"dricache/internal/mem"
 	"dricache/internal/sim"
 	"dricache/internal/trace"
 )
@@ -76,7 +77,14 @@ type (
 	EngineStats = engine.Stats
 	// SimConfig describes one full-system simulation (core, hierarchy,
 	// predictor, instruction budget) — the unit of work an Engine caches.
+	// Its WithL2 method swaps in a (possibly resizable) unified L2.
 	SimConfig = sim.Config
+	// TotalBreakdown is the whole-hierarchy total-leakage account of a
+	// comparison: L1I + L1D + L2 leakage (each scaled by its level's active
+	// fraction) plus the extra dynamic energy resizing induces downstream.
+	TotalBreakdown = energy.TotalBreakdown
+	// LevelBreakdown is one cache level's share of a TotalBreakdown.
+	LevelBreakdown = energy.LevelBreakdown
 )
 
 // Default64KEnergyModel returns the §5.2 constants for the paper's base
@@ -127,6 +135,27 @@ func Run(cfg CacheConfig, bench Benchmark, instructions uint64) Result {
 // (relative energy-delay, leakage/dynamic split, slowdown).
 func Compare(cfg CacheConfig, bench Benchmark, instructions uint64) Comparison {
 	return sim.Compare(cfg, bench, instructions, nil)
+}
+
+// NewConventionalL2 returns the paper's Table 1 unified L2: 1M 4-way with
+// 64-byte blocks, non-resizing.
+func NewConventionalL2() CacheConfig { return mem.DefaultL2() }
+
+// NewDRIL2 returns a resizable unified L2 of the paper's geometry with the
+// given adaptive parameters — the multi-level DRI extension. The L2
+// dominates total leakage at nanometer nodes, so resizing it attacks the
+// largest share of the budget; its dirty blocks are written back to memory
+// when their sets are gated off, and that traffic is charged by the
+// total-leakage model.
+func NewDRIL2(params CacheParams) CacheConfig { return sim.DRIL2(params) }
+
+// CompareJoint runs bench under a system that resizes the L1 i-cache, the
+// unified L2, or both, against the all-conventional baseline of the same
+// geometry, and returns the paired results with both energy accounts (the
+// L1-only §5.2 breakdown and the per-level total-leakage breakdown in
+// Total).
+func CompareJoint(l1i, l2 CacheConfig, bench Benchmark, instructions uint64) Comparison {
+	return sim.CompareSim(sim.Default(l1i, instructions).WithL2(l2), bench, nil)
 }
 
 // NewEngine returns a simulation engine whose worker pool is bounded at

@@ -27,6 +27,9 @@ func (c Config) Check() error {
 		return fmt.Errorf("cache %s: assoc %d < 1", c.Name, c.Assoc)
 	case c.SizeBytes < c.BlockBytes*c.Assoc:
 		return fmt.Errorf("cache %s: size %d below one set (%d)", c.Name, c.SizeBytes, c.BlockBytes*c.Assoc)
+	case c.SizeBytes%(c.BlockBytes*c.Assoc) != 0 || c.Sets()&(c.Sets()-1) != 0:
+		// Mask-based indexing requires a power-of-two set count.
+		return fmt.Errorf("cache %s: %d sets not a power of two", c.Name, c.Sets())
 	}
 	return nil
 }

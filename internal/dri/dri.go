@@ -102,6 +102,12 @@ func (c Config) Check() error {
 		return fmt.Errorf("dri: assoc %d < 1", c.Assoc)
 	case c.SizeBytes < c.BlockBytes*c.Assoc:
 		return fmt.Errorf("dri: size %d below one set", c.SizeBytes)
+	case c.SizeBytes%(c.BlockBytes*c.Assoc) != 0 || c.Sets()&(c.Sets()-1) != 0:
+		// The index function is a mask, so the set count must be a power of
+		// two; with power-of-two sizes and blocks this constrains the
+		// associativity to powers of two as well.
+		return fmt.Errorf("dri: %d sets (size %d / block %d / assoc %d) not a power of two",
+			c.Sets(), c.SizeBytes, c.BlockBytes, c.Assoc)
 	}
 	if c.Params.Enabled {
 		p := c.Params

@@ -1,0 +1,184 @@
+package dri
+
+// Fuzz target for DRI configuration validation and controller invariants:
+// any Config that passes Check must construct without panics, and under an
+// arbitrary access/advance workload the cache must hold its structural
+// invariants — active size within [size-bound, full size], the active set
+// count a power of the divisibility below the total, and the active way
+// count within [minimum ways, associativity].
+//
+// Run with: go test ./internal/dri -fuzz FuzzConfigInvariants
+// Without -fuzz, the seed corpus runs as a regular (fast) unit test.
+
+import (
+	"testing"
+
+	"dricache/internal/xrand"
+)
+
+// checkInvariants asserts the structural invariants of a live cache.
+func checkInvariants(t *testing.T, c *Cache) {
+	t.Helper()
+	cfg := c.Config()
+	active := c.ActiveBytes()
+	if active > cfg.SizeBytes {
+		t.Fatalf("active bytes %d above full size %d", active, cfg.SizeBytes)
+	}
+	if cfg.Params.Enabled && active < cfg.Params.SizeBoundBytes {
+		t.Fatalf("active bytes %d below size-bound %d", active, cfg.Params.SizeBoundBytes)
+	}
+	if !cfg.Params.Enabled && active != cfg.SizeBytes {
+		t.Fatalf("conventional cache resized: %d of %d bytes", active, cfg.SizeBytes)
+	}
+	if ways := c.ActiveWays(); ways < cfg.MinWays() || ways > cfg.Assoc {
+		t.Fatalf("active ways %d outside [%d, %d]", ways, cfg.MinWays(), cfg.Assoc)
+	}
+	sets := c.ActiveSets()
+	if sets < cfg.MinSets() || sets > cfg.Sets() {
+		t.Fatalf("active sets %d outside [%d, %d]", sets, cfg.MinSets(), cfg.Sets())
+	}
+	// Power-of-divisibility: the active set count must sit on one of the
+	// two resize lattices — divisibility steps down from the full size, or
+	// (after clamping at the floor) divisibility steps up from the minimum.
+	if cfg.Params.Enabled && !cfg.Params.ResizeWays {
+		if cfg.Sets()%sets != 0 {
+			t.Fatalf("active sets %d does not divide total %d", sets, cfg.Sets())
+		}
+		if !onLattice(cfg.Sets(), sets, cfg.Params.Divisibility, false) &&
+			!onLattice(cfg.MinSets(), sets, cfg.Params.Divisibility, true) {
+			t.Fatalf("active sets %d not reachable from full %d or floor %d by divisibility %d",
+				sets, cfg.Sets(), cfg.MinSets(), cfg.Params.Divisibility)
+		}
+	}
+}
+
+// onLattice reports whether target = origin × div^k (up) or origin / div^k
+// (down) for some k ≥ 0.
+func onLattice(origin, target, div int, up bool) bool {
+	for v := origin; v > 0; {
+		if v == target {
+			return true
+		}
+		if up {
+			if v > target {
+				return false
+			}
+			v *= div
+		} else {
+			if v < target {
+				return false
+			}
+			v /= div
+		}
+	}
+	return false
+}
+
+func FuzzConfigInvariants(f *testing.F) {
+	// Seeds: the paper's base config, a way-resizing 4-way, a flush-on-
+	// resize variant, and an auto-bound controller.
+	f.Add(uint8(16), uint8(5), uint8(1), uint8(0), uint64(200), uint8(10), uint16(500), uint8(2), uint8(7), uint8(10), false, false, 0.0, uint64(1))
+	f.Add(uint8(16), uint8(5), uint8(4), uint8(14), uint64(100), uint8(10), uint16(900), uint8(2), uint8(7), uint8(10), false, true, 0.0, uint64(2))
+	f.Add(uint8(14), uint8(6), uint8(2), uint8(0), uint64(50), uint8(11), uint16(30), uint8(4), uint8(3), uint8(5), true, false, 0.0, uint64(3))
+	f.Add(uint8(15), uint8(5), uint8(1), uint8(0), uint64(300), uint8(10), uint16(0), uint8(2), uint8(7), uint8(10), false, false, 50.0, uint64(4))
+	// Regression: 3-way associativity (42 sets from 32K/256B) used to pass
+	// Check despite breaking mask indexing and the size-bound floor.
+	f.Add(uint8(16), uint8(5), uint8(18), uint8(0), uint64(200), uint8(10), uint16(500), uint8(2), uint8(7), uint8(10), false, false, 0.0, uint64(1))
+
+	f.Fuzz(func(t *testing.T, sizeLog, blockLog, assoc, sizeBoundLog uint8,
+		missBound uint64, sizeBoundRawLog uint8, senseInterval uint16,
+		div, throttleSat, throttleIvals uint8,
+		flush, ways bool, autoFactor float64, seed uint64) {
+
+		// Shape the raw fuzz inputs into the configuration domain without
+		// losing coverage: sizes up to 1M, blocks up to 256B.
+		cfg := Config{
+			SizeBytes:  1 << (10 + sizeLog%11), // 1K..1M
+			BlockBytes: 1 << (3 + blockLog%6),  // 8..256
+			Assoc:      int(assoc%8) + 1,       // 1..8
+			AddrBits:   32,
+			Params: Params{
+				Enabled:             true,
+				MissBound:           missBound % (1 << 20),
+				SizeBoundBytes:      1 << (3 + sizeBoundRawLog%18), // 8..1M
+				SenseInterval:       uint64(senseInterval),
+				Divisibility:        1 << (div % 4), // 1, 2, 4, 8
+				ThrottleSaturation:  int(throttleSat % 9),
+				ThrottleIntervals:   int(throttleIvals % 16),
+				FlushOnResize:       flush,
+				ResizeWays:          ways,
+				AutoMissBoundFactor: autoFactor,
+			},
+		}
+		if ways {
+			// Way mode needs a size-bound in whole ways; derive one from
+			// the same fuzz bits so both modes stay covered.
+			if cfg.Assoc >= 2 {
+				wayBytes := cfg.Sets() * cfg.BlockBytes
+				cfg.Params.SizeBoundBytes = (int(sizeBoundLog)%cfg.Assoc + 1) * wayBytes
+			}
+		}
+		if cfg.Check() != nil {
+			t.Skip() // invalid configurations must be rejected, not survived
+		}
+
+		c := New(cfg) // must not panic after a passing Check
+		checkInvariants(t, c)
+
+		// Drive a deterministic workload: mixed-locality accesses with
+		// periodic Advance calls crossing many sense intervals.
+		rng := xrand.New(seed)
+		var cycles uint64
+		for step := 0; step < 200; step++ {
+			for a := 0; a < 50; a++ {
+				var block uint64
+				if rng.Bool(0.7) {
+					block = uint64(rng.Intn(64)) // hot region
+				} else {
+					block = rng.Uint64() % (1 << 20) // cold sprawl
+				}
+				c.AccessBlock(block)
+			}
+			cycles += uint64(rng.Intn(int(cfg.Params.SenseInterval)+2)) + 1
+			c.Advance(uint64(rng.Intn(int(cfg.Params.SenseInterval)+2)), cycles)
+			checkInvariants(t, c)
+		}
+		c.Finish(cycles)
+
+		if f := c.AverageActiveFraction(); !(f >= 0 && f <= 1) {
+			t.Fatalf("average active fraction %v outside [0, 1]", f)
+		}
+		st := c.Stats()
+		if st.Misses > st.Accesses {
+			t.Fatalf("misses %d exceed accesses %d", st.Misses, st.Accesses)
+		}
+	})
+}
+
+// FuzzCheckRejectsWithoutPanic drives Check itself with raw values: it must
+// classify any input as valid or invalid by returning, never by panicking,
+// and New must never panic on a Check-approved config.
+func FuzzCheckRejectsWithoutPanic(f *testing.F) {
+	f.Add(65536, 32, 1, 1024, uint64(100_000), 2, true, false, false)
+	f.Add(0, 0, 0, 0, uint64(0), 0, false, false, false)
+	f.Add(-4096, 31, -1, 1<<30, uint64(1), 3, true, true, true)
+	f.Fuzz(func(t *testing.T, size, block, assoc, sizeBound int,
+		interval uint64, div int, enabled, flush, ways bool) {
+		cfg := Config{
+			SizeBytes: size, BlockBytes: block, Assoc: assoc, AddrBits: 32,
+			Params: Params{
+				Enabled: enabled, MissBound: 100, SizeBoundBytes: sizeBound,
+				SenseInterval: interval, Divisibility: div,
+				ThrottleSaturation: 7, ThrottleIntervals: 10,
+				FlushOnResize: flush, ResizeWays: ways,
+			},
+		}
+		if cfg.Check() != nil {
+			return
+		}
+		c := New(cfg)
+		if c.ActiveBytes() != cfg.SizeBytes {
+			t.Fatal("fresh cache not at full size")
+		}
+	})
+}

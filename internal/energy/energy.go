@@ -129,6 +129,173 @@ func (m Model) Evaluate(in Inputs) Breakdown {
 	return b
 }
 
+// CacheOrg is the minimal cache geometry the total-leakage model needs.
+type CacheOrg struct {
+	SizeBytes  int
+	BlockBytes int
+	Assoc      int
+}
+
+// TotalModel extends the single-level §5.2 accounting to the whole
+// hierarchy, in the spirit of Bai et al.'s total-leakage analysis of
+// multi-level caches: every level leaks every cycle (and at nanometer nodes
+// the L2, with an order of magnitude more cells, dominates), so a
+// total-energy account must charge L1I + L1D + L2 leakage — each scaled by
+// its level's active fraction when that level is a DRI cache — plus the
+// extra dynamic energy of the downstream accesses that resizing induces
+// (L1I downsizing adds L2 accesses; L2 downsizing adds memory accesses,
+// including the dirty-block flush burst of each downsize).
+type TotalModel struct {
+	// L1ILeakPerCycleNJ, L1DLeakPerCycleNJ, and L2LeakPerCycleNJ are the
+	// conventional (full-size) leakage energies per cycle of each level's
+	// data array.
+	L1ILeakPerCycleNJ float64
+	L1DLeakPerCycleNJ float64
+	L2LeakPerCycleNJ  float64
+	// L1IBitlineNJ and L2BitlineNJ are the per-access dynamic energies of
+	// one resizing tag bitline at each resizable level.
+	L1IBitlineNJ float64
+	L2BitlineNJ  float64
+	// L2AccessNJ is the dynamic energy per L2 access (charged for the extra
+	// L2 traffic that L1I downsizing causes).
+	L2AccessNJ float64
+	// MemAccessNJ is the dynamic energy per main-memory access (charged for
+	// the extra memory traffic that L2 downsizing causes). Off-chip DRAM
+	// access energy is not in the paper's circuit tooling; the model uses
+	// an order of magnitude above the L2 access energy, the usual
+	// inter-level ratio in CACTI-class models.
+	MemAccessNJ float64
+}
+
+// NewTotalModel derives the hierarchy constants from the CACTI-lite model.
+func NewTotalModel(m *cacti.Model, l1i, l1d, l2 cacti.Org) TotalModel {
+	l2Access := m.DynamicReadEnergyNJ(l2)
+	return TotalModel{
+		L1ILeakPerCycleNJ: m.LeakagePerCycleNJ(l1i, false),
+		L1DLeakPerCycleNJ: m.LeakagePerCycleNJ(l1d, false),
+		L2LeakPerCycleNJ:  m.LeakagePerCycleNJ(l2, false),
+		L1IBitlineNJ:      m.BitlineEnergyNJ(l1i),
+		L2BitlineNJ:       m.BitlineEnergyNJ(l2),
+		L2AccessNJ:        l2Access,
+		MemAccessNJ:       10 * l2Access,
+	}
+}
+
+// TotalFor builds the total-leakage model for arbitrary L1I/L1D/L2
+// geometries at the 0.18µ low-Vt operating point.
+func TotalFor(l1i, l1d, l2 CacheOrg) TotalModel {
+	m := cacti.Default018()
+	return NewTotalModel(m,
+		cacti.Org{SizeBytes: l1i.SizeBytes, BlockBytes: l1i.BlockBytes, Assoc: l1i.Assoc, AddrBits: 32, StatusBits: 1},
+		cacti.Org{SizeBytes: l1d.SizeBytes, BlockBytes: l1d.BlockBytes, Assoc: l1d.Assoc, AddrBits: 32, StatusBits: 2},
+		cacti.Org{SizeBytes: l2.SizeBytes, BlockBytes: l2.BlockBytes, Assoc: l2.Assoc, AddrBits: 32, StatusBits: 2})
+}
+
+// TotalInputs are the per-run observables the total-leakage equations
+// consume. Conventional levels use ActiveFraction 1 and zero resizing bits.
+type TotalInputs struct {
+	Cycles     uint64
+	ConvCycles uint64
+
+	// L1I observables.
+	L1IAccesses          uint64
+	L1IResizingTagBits   int
+	L1IAvgActiveFraction float64
+	// ExtraL2Accesses is the DRI run's instruction-fetch L2 accesses minus
+	// the baseline's (L1I downsizing cost; negative clamps to zero).
+	ExtraL2Accesses int64
+
+	// L2 observables.
+	L2Accesses          uint64
+	L2ResizingTagBits   int
+	L2AvgActiveFraction float64
+	// ExtraMemAccesses is the DRI run's memory accesses minus the
+	// baseline's, including L2 downsize writeback bursts (L2 downsizing
+	// cost; negative clamps to zero).
+	ExtraMemAccesses int64
+}
+
+// LevelBreakdown is one cache level's share of the total account (nJ).
+type LevelBreakdown struct {
+	// LeakageNJ is the level's leakage over the DRI run, scaled by its
+	// average active fraction.
+	LeakageNJ float64
+	// ConvLeakageNJ is the level's full-size leakage over the baseline run.
+	ConvLeakageNJ float64
+	// ExtraDynamicNJ is the resizing overhead charged to this level:
+	// resizing tag bitlines plus the extra next-level accesses its
+	// downsizing caused.
+	ExtraDynamicNJ float64
+	// ActiveFraction is the level's cycle-weighted mean active fraction.
+	ActiveFraction float64
+}
+
+// EffectiveNJ is the level's total effective energy.
+func (l LevelBreakdown) EffectiveNJ() float64 { return l.LeakageNJ + l.ExtraDynamicNJ }
+
+// TotalBreakdown is the whole-hierarchy account for one run pair.
+type TotalBreakdown struct {
+	L1I LevelBreakdown
+	L1D LevelBreakdown
+	L2  LevelBreakdown
+
+	// EffectiveNJ is the summed leakage plus resizing overhead of the DRI
+	// run; ConvLeakageNJ the summed full-size leakage of the baseline.
+	EffectiveNJ   float64
+	ConvLeakageNJ float64
+	SavingsNJ     float64
+	// RelativeEnergy is effective / conventional total leakage;
+	// RelativeED the normalized energy-delay product.
+	RelativeEnergy float64
+	RelativeED     float64
+	SlowdownPct    float64
+}
+
+// Evaluate applies the total-leakage equations.
+func (m TotalModel) Evaluate(in TotalInputs) TotalBreakdown {
+	clamp := func(v int64) float64 {
+		if v < 0 {
+			return 0
+		}
+		return float64(v)
+	}
+	cycles := float64(in.Cycles)
+	convCycles := float64(in.ConvCycles)
+
+	var b TotalBreakdown
+	b.L1I = LevelBreakdown{
+		LeakageNJ:      in.L1IAvgActiveFraction * m.L1ILeakPerCycleNJ * cycles,
+		ConvLeakageNJ:  m.L1ILeakPerCycleNJ * convCycles,
+		ActiveFraction: in.L1IAvgActiveFraction,
+		ExtraDynamicNJ: float64(in.L1IResizingTagBits)*m.L1IBitlineNJ*float64(in.L1IAccesses) +
+			m.L2AccessNJ*clamp(in.ExtraL2Accesses),
+	}
+	b.L1D = LevelBreakdown{
+		LeakageNJ:      m.L1DLeakPerCycleNJ * cycles,
+		ConvLeakageNJ:  m.L1DLeakPerCycleNJ * convCycles,
+		ActiveFraction: 1,
+	}
+	b.L2 = LevelBreakdown{
+		LeakageNJ:      in.L2AvgActiveFraction * m.L2LeakPerCycleNJ * cycles,
+		ConvLeakageNJ:  m.L2LeakPerCycleNJ * convCycles,
+		ActiveFraction: in.L2AvgActiveFraction,
+		ExtraDynamicNJ: float64(in.L2ResizingTagBits)*m.L2BitlineNJ*float64(in.L2Accesses) +
+			m.MemAccessNJ*clamp(in.ExtraMemAccesses),
+	}
+
+	b.EffectiveNJ = b.L1I.EffectiveNJ() + b.L1D.EffectiveNJ() + b.L2.EffectiveNJ()
+	b.ConvLeakageNJ = b.L1I.ConvLeakageNJ + b.L1D.ConvLeakageNJ + b.L2.ConvLeakageNJ
+	b.SavingsNJ = b.ConvLeakageNJ - b.EffectiveNJ
+	if b.ConvLeakageNJ > 0 {
+		b.RelativeEnergy = b.EffectiveNJ / b.ConvLeakageNJ
+		b.RelativeED = (b.EffectiveNJ * cycles) / (b.ConvLeakageNJ * convCycles)
+	}
+	if in.ConvCycles > 0 {
+		b.SlowdownPct = 100 * (cycles/convCycles - 1)
+	}
+	return b
+}
+
 // ExtraL1OverLeakageRatio is the paper's §5.2.1 first sanity ratio:
 //
 //	extra L1 dynamic / L1 leakage ≈ (bits × 0.0022)/(fraction × 0.91)

@@ -144,3 +144,97 @@ func TestDynamicCannotOutweighLargeSavings(t *testing.T) {
 			b.ExtraL1DynamicNJ+b.ExtraL2DynamicNJ, saved)
 	}
 }
+
+func defaultOrgs() (l1i, l1d, l2 CacheOrg) {
+	return CacheOrg{SizeBytes: 64 << 10, BlockBytes: 32, Assoc: 1},
+		CacheOrg{SizeBytes: 64 << 10, BlockBytes: 32, Assoc: 2},
+		CacheOrg{SizeBytes: 1 << 20, BlockBytes: 64, Assoc: 4}
+}
+
+// TestTotalModelL2DominatesLeakage encodes the Bai et al. observation that
+// motivates L2 resizing: the L2's leakage per cycle dwarfs both L1s'.
+func TestTotalModelL2DominatesLeakage(t *testing.T) {
+	m := TotalFor(defaultOrgs())
+	if m.L2LeakPerCycleNJ <= 4*(m.L1ILeakPerCycleNJ+m.L1DLeakPerCycleNJ) {
+		t.Fatalf("L2 leakage %v should dominate L1 leakage %v + %v",
+			m.L2LeakPerCycleNJ, m.L1ILeakPerCycleNJ, m.L1DLeakPerCycleNJ)
+	}
+	if m.MemAccessNJ <= m.L2AccessNJ {
+		t.Fatal("memory access energy must exceed L2 access energy")
+	}
+}
+
+// TestTotalModelMatchesSingleLevelConstants pins the total model's L1I and
+// L2 constants to the single-level §5.2 model they generalize.
+func TestTotalModelMatchesSingleLevelConstants(t *testing.T) {
+	tm := TotalFor(defaultOrgs())
+	sm := Default64K()
+	if tm.L1ILeakPerCycleNJ != sm.ConvLeakPerCycleNJ {
+		t.Fatalf("L1I leakage %v != single-level %v", tm.L1ILeakPerCycleNJ, sm.ConvLeakPerCycleNJ)
+	}
+	if tm.L1IBitlineNJ != sm.BitlineNJ {
+		t.Fatalf("L1I bitline %v != single-level %v", tm.L1IBitlineNJ, sm.BitlineNJ)
+	}
+	if tm.L2AccessNJ != sm.L2AccessNJ {
+		t.Fatalf("L2 access %v != single-level %v", tm.L2AccessNJ, sm.L2AccessNJ)
+	}
+}
+
+func TestTotalEvaluateConventionalIsNeutral(t *testing.T) {
+	m := TotalFor(defaultOrgs())
+	const cycles = 1_000_000
+	b := m.Evaluate(TotalInputs{
+		Cycles: cycles, ConvCycles: cycles,
+		L1IAvgActiveFraction: 1, L2AvgActiveFraction: 1,
+	})
+	if b.RelativeEnergy != 1 || b.RelativeED != 1 || b.SlowdownPct != 0 {
+		t.Fatalf("all-conventional pair should be exactly neutral: %+v", b)
+	}
+	if b.SavingsNJ != 0 {
+		t.Fatalf("savings = %v, want 0", b.SavingsNJ)
+	}
+}
+
+// TestTotalEvaluateL2ResizingSavings: halving the L2 with no slowdown and
+// modest extra memory traffic must cut total energy far more than halving
+// the L1 alone can, because the L2 dominates the leakage budget.
+func TestTotalEvaluateL2ResizingSavings(t *testing.T) {
+	m := TotalFor(defaultOrgs())
+	const cycles = 1_000_000
+	l1Only := m.Evaluate(TotalInputs{
+		Cycles: cycles, ConvCycles: cycles,
+		L1IAccesses: cycles, L1IResizingTagBits: 6, L1IAvgActiveFraction: 0.5,
+		ExtraL2Accesses:     cycles / 100,
+		L2AvgActiveFraction: 1,
+	})
+	l2Also := m.Evaluate(TotalInputs{
+		Cycles: cycles, ConvCycles: cycles,
+		L1IAccesses: cycles, L1IResizingTagBits: 6, L1IAvgActiveFraction: 0.5,
+		ExtraL2Accesses: cycles / 100,
+		L2Accesses:      cycles / 50, L2ResizingTagBits: 4, L2AvgActiveFraction: 0.5,
+		ExtraMemAccesses: cycles / 1000,
+	})
+	if l2Also.RelativeEnergy >= l1Only.RelativeEnergy {
+		t.Fatalf("L2 resizing should add savings: %v >= %v",
+			l2Also.RelativeEnergy, l1Only.RelativeEnergy)
+	}
+	if l1Only.RelativeEnergy < 0.9 {
+		t.Fatalf("L1-only resizing should barely dent total leakage (L2 dominates), got %v",
+			l1Only.RelativeEnergy)
+	}
+	if l2Also.L2.ExtraDynamicNJ <= 0 {
+		t.Fatal("extra memory traffic must be charged to the L2 level")
+	}
+}
+
+func TestTotalEvaluateClampsNegativeExtras(t *testing.T) {
+	m := TotalFor(defaultOrgs())
+	b := m.Evaluate(TotalInputs{
+		Cycles: 100, ConvCycles: 100,
+		L1IAvgActiveFraction: 1, L2AvgActiveFraction: 1,
+		ExtraL2Accesses: -5, ExtraMemAccesses: -5,
+	})
+	if b.L1I.ExtraDynamicNJ != 0 || b.L2.ExtraDynamicNJ != 0 {
+		t.Fatalf("negative extras must clamp: %+v", b)
+	}
+}

@@ -319,6 +319,22 @@ func (e *Engine) Compare(driCfg dri.Config, prog trace.Program, instructions uin
 // CompareCached is Compare reporting whether the baseline and DRI runs were
 // each served from the cache.
 func (e *Engine) CompareCached(driCfg dri.Config, prog trace.Program, instructions uint64) (sim.Comparison, CompareOutcome) {
+	return e.CompareSimCached(sim.Default(driCfg, instructions), prog)
+}
+
+// CompareSim is CompareSimCached without the cache outcome.
+func (e *Engine) CompareSim(cfg sim.Config, prog trace.Program) sim.Comparison {
+	cmp, _ := e.CompareSimCached(cfg, prog)
+	return cmp
+}
+
+// CompareSimCached is Compare generalized to a full system configuration:
+// cfg may resize the L1 i-cache, the unified L2, or both, and the baseline
+// is the all-conventional system of the same geometry. Because the cache
+// key covers the whole sim.Config — including the L2 configuration — joint
+// L1×L2 sweeps share their baseline and every repeated point, while runs
+// that differ only in L2 parameters are (correctly) distinct entries.
+func (e *Engine) CompareSimCached(cfg sim.Config, prog trace.Program) (sim.Comparison, CompareOutcome) {
 	var (
 		conv       *sim.Result
 		convCached bool
@@ -331,15 +347,15 @@ func (e *Engine) CompareCached(driCfg dri.Config, prog trace.Program, instructio
 		// Re-raise a baseline panic on the caller's goroutine instead of
 		// crashing the process.
 		defer func() { convPanic = recover() }()
-		conv, convCached = e.RunCached(sim.Default(sim.BaselineConfig(driCfg), instructions), prog)
+		conv, convCached = e.RunCached(sim.BaselineSimConfig(cfg), prog)
 	}()
-	driRes, driCached := e.RunCached(sim.Default(driCfg, instructions), prog)
+	driRes, driCached := e.RunCached(cfg, prog)
 	wg.Wait()
 	if convPanic != nil {
 		panic(convPanic)
 	}
 
-	return sim.CompareResults(driCfg, *conv, *driRes),
+	return sim.CompareSimResults(cfg, *conv, *driRes),
 		CompareOutcome{BaselineCached: convCached, DRICached: driCached}
 }
 

@@ -1,0 +1,172 @@
+package engine
+
+// Property tests for the cache-key canonicalization: two sim.Config values
+// that are semantically equal must always produce the same engine cache
+// key, and changing any field — at any nesting depth, including the L2 DRI
+// fields — must produce a different key. The perturbation walk is driven by
+// reflection, so a future field added to any config struct is covered
+// automatically (a field whose change did NOT alter the key would fail the
+// test, catching accidentally key-invisible configuration).
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dricache/internal/dri"
+	"dricache/internal/sim"
+	"dricache/internal/trace"
+)
+
+func fullConfig() sim.Config {
+	l1 := sim.DRI64K(dri.DefaultParams(100_000))
+	l2 := sim.DRIL2(dri.Params{
+		Enabled: true, MissBound: 2000, SizeBoundBytes: 64 << 10,
+		SenseInterval: 100_000, Divisibility: 2,
+		ThrottleSaturation: 7, ThrottleIntervals: 10,
+	})
+	return sim.Default(l1, 4_000_000).WithL2(l2)
+}
+
+func testProg(t *testing.T) trace.Program {
+	t.Helper()
+	p, err := trace.ByName("applu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestKeyDeterministicForEqualConfigs(t *testing.T) {
+	prog := testProg(t)
+	a := fullConfig()
+	b := fullConfig() // built independently, semantically equal
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("test premise broken: configs differ")
+	}
+	if KeyFor(a, prog) != KeyFor(b, prog) {
+		t.Fatal("semantically equal configs produced different keys")
+	}
+}
+
+// perturb returns a value different from v, for any leaf kind that appears
+// in sim.Config.
+func perturb(v reflect.Value) bool {
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() + 1)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() + 1)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(v.Float() + 0.5)
+	case reflect.String:
+		v.SetString(v.String() + "x")
+	default:
+		return false
+	}
+	return true
+}
+
+// walkLeaves visits every settable leaf field of a struct value, calling f
+// with a dotted path.
+func walkLeaves(path string, v reflect.Value, f func(path string, leaf reflect.Value)) {
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			ft := v.Type().Field(i)
+			if !ft.IsExported() {
+				continue
+			}
+			walkLeaves(path+"."+ft.Name, v.Field(i), f)
+		}
+	case reflect.Slice, reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			walkLeaves(fmt.Sprintf("%s[%d]", path, i), v.Index(i), f)
+		}
+	default:
+		f(path, v)
+	}
+}
+
+func TestKeyChangesWithEveryConfigField(t *testing.T) {
+	prog := testProg(t)
+	base := fullConfig()
+	baseKey := KeyFor(base, prog)
+
+	leaves := 0
+	walkLeaves("Config", reflect.ValueOf(&base).Elem(), func(path string, leaf reflect.Value) {
+		// Mutate a fresh copy so perturbations do not compound.
+		cfg := fullConfig()
+		var target reflect.Value
+		walkLeavesFind(reflect.ValueOf(&cfg).Elem(), "Config", path, &target)
+		if !target.IsValid() {
+			t.Fatalf("could not re-locate field %s", path)
+		}
+		if !perturb(target) {
+			t.Fatalf("unsupported leaf kind %v at %s — extend perturb()", target.Kind(), path)
+		}
+		leaves++
+		if KeyFor(cfg, prog) == baseKey {
+			t.Errorf("perturbing %s did not change the cache key", path)
+		}
+	})
+	if leaves < 25 {
+		t.Fatalf("walked only %d leaves; expected the full config tree (CPU, Mem incl. L2 params, Bpred, budget)", leaves)
+	}
+
+	// Spot-check the fields this PR is about: the L2 adaptive parameters.
+	for _, mutate := range []func(*sim.Config){
+		func(c *sim.Config) { c.Mem.L2.Params.Enabled = false },
+		func(c *sim.Config) { c.Mem.L2.Params.MissBound++ },
+		func(c *sim.Config) { c.Mem.L2.Params.SizeBoundBytes *= 2 },
+		func(c *sim.Config) { c.Mem.L2.SizeBytes *= 2 },
+	} {
+		cfg := fullConfig()
+		mutate(&cfg)
+		if KeyFor(cfg, prog) == baseKey {
+			t.Error("an L2 field change left the cache key unchanged")
+		}
+	}
+}
+
+// walkLeavesFind locates the leaf with the given dotted path (first match).
+func walkLeavesFind(v reflect.Value, path, want string, out *reflect.Value) {
+	if out.IsValid() {
+		return
+	}
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			ft := v.Type().Field(i)
+			if !ft.IsExported() {
+				continue
+			}
+			walkLeavesFind(v.Field(i), path+"."+ft.Name, want, out)
+		}
+	case reflect.Slice, reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			walkLeavesFind(v.Index(i), fmt.Sprintf("%s[%d]", path, i), want, out)
+		}
+	default:
+		if path == want {
+			*out = v
+		}
+	}
+}
+
+func TestKeyChangesWithBenchmark(t *testing.T) {
+	cfg := fullConfig()
+	a := testProg(t)
+	b := a
+	b.Seed++
+	if KeyFor(cfg, a) == KeyFor(cfg, b) {
+		t.Fatal("benchmark seed change did not change the key")
+	}
+	c := a
+	c.Name += "x"
+	if KeyFor(cfg, a) == KeyFor(cfg, c) {
+		t.Fatal("benchmark name change did not change the key")
+	}
+}

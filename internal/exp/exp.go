@@ -142,10 +142,28 @@ func (r *Runner) BaselineN(prog trace.Program, sizeBytes, assoc int, instrs uint
 type Task struct {
 	Prog   trace.Program
 	Config dri.Config
+	// L2, when non-nil, replaces the default conventional L2 — set its
+	// Params.Enabled for a multi-level (L1×L2) DRI run. The baseline is
+	// always the all-conventional system of the same geometry.
+	L2 *dri.Config
 	// Label distinguishes task variants in results.
 	Label string
 	// Instructions overrides the runner's default budget when nonzero.
 	Instructions uint64
+}
+
+// SimConfig expands the task into a full system configuration at the given
+// default instruction budget.
+func (t Task) SimConfig(defaultInstrs uint64) sim.Config {
+	n := t.Instructions
+	if n == 0 {
+		n = defaultInstrs
+	}
+	cfg := sim.Default(t.Config, n)
+	if t.L2 != nil {
+		cfg = cfg.WithL2(*t.L2)
+	}
+	return cfg
 }
 
 // TaskResult pairs a task with its comparison outcome.
@@ -166,11 +184,7 @@ func (r *Runner) RunAll(tasks []Task) []TaskResult {
 		go func(i int) {
 			defer wg.Done()
 			t := tasks[i]
-			n := t.Instructions
-			if n == 0 {
-				n = r.Scale.Instructions
-			}
-			out[i] = TaskResult{Task: t, Cmp: eng.Compare(t.Config, t.Prog, n)}
+			out[i] = TaskResult{Task: t, Cmp: eng.CompareSim(t.SimConfig(r.Scale.Instructions), t.Prog)}
 		}(i)
 	}
 	wg.Wait()

@@ -1,0 +1,150 @@
+package exp
+
+// Joint L1×L2 DRI studies: the multi-level generalization the paper defers.
+// The L2 dominates total leakage at nanometer nodes (Bai et al.), so the
+// sweep explores resizing both levels at once and scores points on the
+// total-leakage model (sim.Comparison.Total) rather than the L1-only §5.2
+// breakdown.
+
+import (
+	"fmt"
+
+	"dricache/internal/dri"
+	"dricache/internal/mem"
+	"dricache/internal/sim"
+	"dricache/internal/stats"
+	"dricache/internal/trace"
+)
+
+// JointSpace is the parameter grid of a joint L1×L2 search: every
+// combination of an L1 point and an L2 point is simulated.
+type JointSpace struct {
+	L1 SearchSpace
+	L2 SearchSpace
+}
+
+// Points returns the grid size.
+func (s JointSpace) Points() int {
+	return len(s.L1.MissBounds) * len(s.L1.SizeBounds) *
+		len(s.L2.MissBounds) * len(s.L2.SizeBounds)
+}
+
+// DefaultJointSpace pairs the standard L1 grid with an L2 grid spanning
+// size-bounds from 64K to the full 1M. L2 miss-bounds sit well above the
+// L2's conventional miss count per interval (the same one-to-two orders of
+// magnitude the paper uses for the L1).
+func DefaultJointSpace(scale Scale) JointSpace {
+	base := scale.SenseInterval / 1000
+	return JointSpace{
+		L1: DefaultSpace(scale),
+		L2: SearchSpace{
+			MissBounds: []uint64{base, 4 * base, 16 * base},
+			SizeBounds: []int{64 << 10, 256 << 10, 1 << 20},
+		},
+	}
+}
+
+// QuickJointSpace is a reduced joint grid for tests and benchmarks.
+func QuickJointSpace(scale Scale) JointSpace {
+	base := scale.SenseInterval / 1000
+	return JointSpace{
+		L1: SearchSpace{
+			MissBounds: []uint64{8 * base},
+			SizeBounds: []int{1 << 10, 16 << 10},
+		},
+		L2: SearchSpace{
+			MissBounds: []uint64{16 * base},
+			SizeBounds: []int{64 << 10, 1 << 20},
+		},
+	}
+}
+
+// JointPoint is one joint configuration's outcome.
+type JointPoint struct {
+	L1MissBound uint64
+	L1SizeBound int
+	L2MissBound uint64
+	L2SizeBound int
+	Cmp         sim.Comparison
+}
+
+// Label renders the point's parameters.
+func (p JointPoint) Label() string {
+	return fmt.Sprintf("l1(mb=%d sb=%s) l2(mb=%d sb=%s)",
+		p.L1MissBound, kb(p.L1SizeBound), p.L2MissBound, kb(p.L2SizeBound))
+}
+
+// L2Config builds an L2 configuration of the paper's geometry with the
+// given adaptive parameters at the runner's scale. A size-bound equal to
+// the full L2 size yields a conventional (never-downsizing) L2 point.
+func (r *Runner) L2Config(missBound uint64, sizeBound int) dri.Config {
+	cfg := mem.DefaultL2()
+	cfg.Params = r.Params(missBound, sizeBound)
+	return cfg
+}
+
+// JointSweep simulates the full joint grid for one benchmark through the
+// engine. All points share the single all-conventional baseline, and the
+// engine deduplicates any points that coincide.
+func (r *Runner) JointSweep(prog trace.Program, space JointSpace) []JointPoint {
+	var tasks []Task
+	var points []JointPoint
+	for _, l1mb := range space.L1.MissBounds {
+		for _, l1sb := range space.L1.SizeBounds {
+			for _, l2mb := range space.L2.MissBounds {
+				for _, l2sb := range space.L2.SizeBounds {
+					l2 := r.L2Config(l2mb, l2sb)
+					tasks = append(tasks, Task{
+						Prog:   prog,
+						Config: driConfig(64<<10, 1, r.Params(l1mb, l1sb)),
+						L2:     &l2,
+					})
+					points = append(points, JointPoint{
+						L1MissBound: l1mb, L1SizeBound: l1sb,
+						L2MissBound: l2mb, L2SizeBound: l2sb,
+					})
+				}
+			}
+		}
+	}
+	results := r.RunAll(tasks)
+	for i := range points {
+		points[i].Cmp = results[i].Cmp
+	}
+	return points
+}
+
+// BestJoint picks the point with the lowest total relative energy-delay
+// subject to the slowdown constraint; ok is false when no point qualifies.
+func BestJoint(points []JointPoint, maxSlowdownPct float64) (best JointPoint, ok bool) {
+	for _, p := range points {
+		if p.Cmp.Total.SlowdownPct > maxSlowdownPct {
+			continue
+		}
+		if !ok || p.Cmp.Total.RelativeED < best.Cmp.Total.RelativeED {
+			best = p
+			ok = true
+		}
+	}
+	return best, ok
+}
+
+// FormatJoint renders a joint sweep as a table, scored on the
+// total-leakage model with the per-level split.
+func FormatJoint(points []JointPoint) string {
+	t := stats.NewTable("params", "totalED", "totalE",
+		"L1I-frac", "L2-frac", "L1I-nJ", "L1D-nJ", "L2-nJ", "slow%")
+	for _, p := range points {
+		tb := p.Cmp.Total
+		t.AddRow(p.Label(),
+			fmt.Sprintf("%.3f", tb.RelativeED),
+			fmt.Sprintf("%.3f", tb.RelativeEnergy),
+			fmt.Sprintf("%.3f", tb.L1I.ActiveFraction),
+			fmt.Sprintf("%.3f", tb.L2.ActiveFraction),
+			fmt.Sprintf("%.0f", tb.L1I.EffectiveNJ()),
+			fmt.Sprintf("%.0f", tb.L1D.EffectiveNJ()),
+			fmt.Sprintf("%.0f", tb.L2.EffectiveNJ()),
+			fmt.Sprintf("%.1f", tb.SlowdownPct))
+	}
+	return t.String()
+}

@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJointSweepSharesBaseline(t *testing.T) {
+	r := quickRunner()
+	prog := picks(t, "applu")[0]
+	space := QuickJointSpace(r.Scale)
+	points := r.JointSweep(prog, space)
+	if len(points) != space.Points() {
+		t.Fatalf("points = %d, want %d", len(points), space.Points())
+	}
+	// 1×2 L1 grid × 1×2 L2 grid = 4 DRI runs + 1 shared baseline.
+	st := r.Engine().Stats()
+	if st.Misses != uint64(space.Points())+1 {
+		t.Fatalf("simulations = %d, want %d (grid + one shared baseline)",
+			st.Misses, space.Points()+1)
+	}
+	for _, p := range points {
+		if p.Cmp.Total.EffectiveNJ <= 0 || p.Cmp.Total.ConvLeakageNJ <= 0 {
+			t.Fatalf("degenerate total account at %s: %+v", p.Label(), p.Cmp.Total)
+		}
+	}
+	// The full-size-L2 points must leave the L2 untouched.
+	for _, p := range points {
+		if p.L2SizeBound == 1<<20 && p.Cmp.DRI.L2.Downsizes > 0 {
+			// Divisibility-2 downsizing from full size is still possible
+			// until the bound; full-size bound blocks it entirely.
+			t.Fatalf("L2 with full-size bound downsized at %s", p.Label())
+		}
+	}
+}
+
+func TestBestJointPrefersL2Resizing(t *testing.T) {
+	r := quickRunner()
+	prog := picks(t, "applu")[0]
+	points := r.JointSweep(prog, QuickJointSpace(r.Scale))
+	best, ok := BestJoint(points, 1e9) // unconstrained
+	if !ok {
+		t.Fatal("no best point")
+	}
+	// applu needs a small i-cache and has modest L2 pressure: the best
+	// unconstrained point should downsize the L2 below full size.
+	if best.L2SizeBound >= 1<<20 {
+		t.Fatalf("best point kept a full-size L2: %s", best.Label())
+	}
+	if best.Cmp.Total.RelativeEnergy >= 1 {
+		t.Fatalf("best point saves nothing: %v", best.Cmp.Total.RelativeEnergy)
+	}
+	out := FormatJoint(points)
+	if !strings.Contains(out, "totalED") || !strings.Contains(out, "l2(mb=") {
+		t.Fatalf("FormatJoint output malformed:\n%s", out)
+	}
+}
+
+func TestTasksWithNilL2MatchLegacyCompare(t *testing.T) {
+	r := quickRunner()
+	prog := picks(t, "applu")[0]
+	p := r.Params(400, 1<<10)
+	legacy := r.Engine().Compare(driConfig(64<<10, 1, p), prog, r.Scale.Instructions)
+	viaTask := r.RunAll([]Task{{Prog: prog, Config: driConfig(64<<10, 1, p)}})[0].Cmp
+	if legacy.RelativeED != viaTask.RelativeED || legacy.DRI.CPU.Cycles != viaTask.DRI.CPU.Cycles {
+		t.Fatal("Task with nil L2 diverged from the legacy Compare path")
+	}
+}

@@ -2,7 +2,16 @@
 // an L1 i-cache (conventional or DRI, from internal/dri), a 64K 2-way L1
 // d-cache, a 1M 4-way unified L2, and a main memory with the paper's
 // 80-cycles-plus-4-per-8-bytes latency. It implements the cpu.IMem and
-// cpu.DMem interfaces and accounts every L2 access for the energy model.
+// cpu.DMem interfaces and accounts every L2 and memory access for the energy
+// model.
+//
+// The unified L2 is itself a DRI cache (internal/dri.DataCache): with
+// Params.Enabled it runs its own sense-interval controller — miss-bound,
+// size-bound, divisibility, throttling — gating off its highest-numbered
+// sets exactly like the L1 i-cache, but with the write-back protocol a
+// unified cache needs (dirty blocks of a departing set are flushed to
+// memory at downsize time, and that burst is accounted as memory traffic).
+// With Params zero it is the paper's conventional L2, bit-for-bit.
 package mem
 
 import (
@@ -16,7 +25,9 @@ import (
 type Config struct {
 	L1I dri.Config
 	L1D cache.Config
-	L2  cache.Config
+	// L2 is the unified L2; set L2.Params.Enabled for a resizable
+	// (multi-level DRI) L2.
+	L2 dri.Config
 	// L2HitLatency is the L1-miss/L2-hit penalty in cycles.
 	L2HitLatency uint64
 	// MemLatencyBase and MemLatencyPer8B define the memory access time:
@@ -26,18 +37,24 @@ type Config struct {
 }
 
 // DefaultConfig returns the paper's Table 1 hierarchy around the given L1
-// i-cache configuration.
+// i-cache configuration, with a conventional (non-resizing) L2.
 func DefaultConfig(l1i dri.Config) Config {
 	return Config{
 		L1I: l1i,
 		L1D: cache.Config{Name: "L1D", SizeBytes: 64 << 10, BlockBytes: 32, Assoc: 2},
-		L2:  cache.Config{Name: "L2", SizeBytes: 1 << 20, BlockBytes: 64, Assoc: 4},
+		L2:  DefaultL2(),
 		// "L2 cache: 12 cycle latency", "Memory: 80 cycles + 4 cycles per
 		// 8 bytes".
 		L2HitLatency:    12,
 		MemLatencyBase:  80,
 		MemLatencyPer8B: 4,
 	}
+}
+
+// DefaultL2 returns the paper's Table 1 L2 geometry: 1M 4-way with 64-byte
+// blocks, non-resizing.
+func DefaultL2() dri.Config {
+	return dri.Config{SizeBytes: 1 << 20, BlockBytes: 64, Assoc: 4, AddrBits: 32}
 }
 
 // Check validates the configuration.
@@ -49,7 +66,7 @@ func (c Config) Check() error {
 		return err
 	}
 	if err := c.L2.Check(); err != nil {
-		return err
+		return fmt.Errorf("mem: L2: %w", err)
 	}
 	if c.L2.BlockBytes < c.L1I.BlockBytes || c.L2.BlockBytes < c.L1D.BlockBytes {
 		return fmt.Errorf("mem: L2 block (%d) smaller than an L1 block", c.L2.BlockBytes)
@@ -64,8 +81,13 @@ type Stats struct {
 	L2AccessesFromI uint64
 	// L2AccessesFromD counts L2 accesses from d-cache misses and writebacks.
 	L2AccessesFromD uint64
-	// MemAccesses counts accesses that missed in L2.
+	// MemAccesses counts accesses that missed in L2, plus the dirty-block
+	// flushes forced by L2 downsizing.
 	MemAccesses uint64
+	// L2ResizeWritebacks counts dirty blocks flushed to memory because
+	// their L2 set was gated off by a downsize — the write-back cost the
+	// paper defers (§2) and the total-leakage model charges.
+	L2ResizeWritebacks uint64
 }
 
 // L2Accesses returns total L2 accesses.
@@ -77,9 +99,15 @@ type Hierarchy struct {
 	cfg Config
 	l1i *dri.Cache
 	l1d *cache.Cache
-	l2  *cache.Cache
+	l2  *dri.DataCache
 
 	memLatencyL2Fill uint64 // memory time to fill one L2 block
+
+	// countL2DemandWB gates demand-writeback accounting: only the L1D
+	// dirty-victim write into L2 charges a memory access for the L2 victim
+	// it displaces (matching the original single-level accounting); demand
+	// fills do not.
+	countL2DemandWB bool
 
 	// Shift from an L1I block address to an L2 block address.
 	iToL2Shift uint
@@ -100,8 +128,18 @@ func New(cfg Config) *Hierarchy {
 		cfg: cfg,
 		l1i: dri.New(cfg.L1I),
 		l1d: cache.New(cfg.L1D),
-		l2:  cache.New(cfg.L2),
+		l2:  dri.NewData(cfg.L2),
 	}
+	h.l2.SetWritebackHandler(func(block uint64, fromResize bool) {
+		if fromResize {
+			h.stats.L2ResizeWritebacks++
+			h.stats.MemAccesses++
+			return
+		}
+		if h.countL2DemandWB {
+			h.stats.MemAccesses++
+		}
+	})
 	h.memLatencyL2Fill = cfg.MemLatencyBase + cfg.MemLatencyPer8B*uint64(cfg.L2.BlockBytes/8)
 	h.l2Shift = log2u(cfg.L2.BlockBytes)
 	h.iToL2Shift = h.l2Shift - log2u(cfg.L1I.BlockBytes)
@@ -123,8 +161,9 @@ func (h *Hierarchy) ICache() *dri.Cache { return h.l1i }
 // DCache exposes the L1 d-cache.
 func (h *Hierarchy) DCache() *cache.Cache { return h.l1d }
 
-// L2 exposes the unified L2.
-func (h *Hierarchy) L2() *cache.Cache { return h.l2 }
+// L2 exposes the unified L2 (a DRI data cache; conventional when its Params
+// are zero).
+func (h *Hierarchy) L2() *dri.DataCache { return h.l2 }
 
 // Stats returns a copy of the traffic counters.
 func (h *Hierarchy) Stats() Stats { return h.stats }
@@ -138,7 +177,7 @@ func (h *Hierarchy) FetchBlock(block uint64) uint64 {
 	}
 	h.stats.L2AccessesFromI++
 	lat := h.cfg.L2HitLatency
-	if !h.l2.AccessBlock(block>>h.iToL2Shift, false).Hit {
+	if !h.l2.AccessData(block>>h.iToL2Shift, false) {
 		h.stats.MemAccesses++
 		lat += h.memLatencyL2Fill
 	}
@@ -169,16 +208,16 @@ func (h *Hierarchy) Store(addr uint64) {
 // writeback of a dirty victim, and returns the fill latency.
 func (h *Hierarchy) l1dMissFill(addr uint64, r cache.AccessResult) uint64 {
 	if r.Writeback {
-		// Dirty victim written back into L2 (write-allocate there too).
+		// Dirty victim written back into L2 (write-allocate there too); a
+		// dirty L2 victim it displaces goes to memory.
 		h.stats.L2AccessesFromD++
-		wb := h.l2.AccessBlock(r.WritebackBlock>>h.dToL2Shift, true)
-		if wb.Writeback {
-			h.stats.MemAccesses++
-		}
+		h.countL2DemandWB = true
+		h.l2.AccessData(r.WritebackBlock>>h.dToL2Shift, true)
+		h.countL2DemandWB = false
 	}
 	h.stats.L2AccessesFromD++
 	lat := h.cfg.L2HitLatency
-	if !h.l2.AccessBlock(addr>>h.l2Shift, false).Hit {
+	if !h.l2.AccessData(addr>>h.l2Shift, false) {
 		h.stats.MemAccesses++
 		lat += h.memLatencyL2Fill
 	}
@@ -186,12 +225,14 @@ func (h *Hierarchy) l1dMissFill(addr uint64, r cache.AccessResult) uint64 {
 }
 
 // Advance implements cpu.Ticker by forwarding instruction progress to the
-// DRI i-cache's sense-interval machinery.
+// sense-interval machinery of both resizable levels.
 func (h *Hierarchy) Advance(instrs, nowCycles uint64) {
 	h.l1i.Advance(instrs, nowCycles)
+	h.l2.Advance(instrs, nowCycles)
 }
 
 // Finish closes interval accounting at the end of a run.
 func (h *Hierarchy) Finish(nowCycles uint64) {
 	h.l1i.Finish(nowCycles)
+	h.l2.Finish(nowCycles)
 }

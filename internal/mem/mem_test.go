@@ -135,6 +135,69 @@ func TestAccessorsExposeCaches(t *testing.T) {
 	}
 }
 
+func l2dri(senseInterval uint64) dri.Params {
+	return dri.Params{
+		Enabled: true, MissBound: 1 << 40, SizeBoundBytes: 64 << 10,
+		SenseInterval: senseInterval, Divisibility: 2,
+		ThrottleSaturation: 7, ThrottleIntervals: 10,
+	}
+}
+
+func TestL2DRIDownsizesAndFlushesDirtyBlocks(t *testing.T) {
+	cfg := DefaultConfig(conv64K())
+	// An unreachable miss-bound forces a downsize at every interval.
+	cfg.L2.Params = l2dri(100)
+	h := New(cfg)
+
+	// Dirty one block in the upper half of the L2's 4096 sets: it is gated
+	// off by the first downsize and must be flushed to memory.
+	h.L2().AccessData(3000, true)
+	base := h.Stats()
+	h.Advance(100, 100)
+	if got, want := h.L2().ActiveSets(), cfg.L2.Sets()/2; got != want {
+		t.Fatalf("L2 active sets after downsize = %d, want %d", got, want)
+	}
+	s := h.Stats()
+	if s.L2ResizeWritebacks != 1 {
+		t.Fatalf("L2 resize writebacks = %d, want 1", s.L2ResizeWritebacks)
+	}
+	if s.MemAccesses != base.MemAccesses+1 {
+		t.Fatalf("resize writeback not charged as memory traffic: %+v", s)
+	}
+	if h.L2().DataStats().ResizeWritebacks != 1 {
+		t.Fatal("L2 cache did not record the resize writeback")
+	}
+}
+
+func TestL2DRIConventionalWhenDisabled(t *testing.T) {
+	h := newH(t)
+	h.Advance(1_000_000, 1_000_000)
+	if got := h.L2().ActiveSets(); got != h.L2().Config().Sets() {
+		t.Fatalf("conventional L2 resized to %d sets", got)
+	}
+	h.Finish(1_000_000)
+	if f := h.L2().AverageActiveFraction(); f != 1 {
+		t.Fatalf("conventional L2 average active fraction = %v, want 1", f)
+	}
+}
+
+func TestL2DRIRespectsSizeBound(t *testing.T) {
+	cfg := DefaultConfig(conv64K())
+	cfg.L2.Params = l2dri(100)
+	h := New(cfg)
+	// Far more intervals than needed to reach the bound.
+	for i := uint64(1); i <= 40; i++ {
+		h.Advance(100, i*100)
+	}
+	minSets := cfg.L2.Params.SizeBoundBytes / (cfg.L2.BlockBytes * cfg.L2.Assoc)
+	if got := h.L2().ActiveSets(); got != minSets {
+		t.Fatalf("L2 active sets = %d, want size-bound floor %d", got, minSets)
+	}
+	if h.L2().ActiveBytes() != cfg.L2.Params.SizeBoundBytes {
+		t.Fatalf("L2 active bytes = %d, want %d", h.L2().ActiveBytes(), cfg.L2.Params.SizeBoundBytes)
+	}
+}
+
 func TestStatsTotals(t *testing.T) {
 	var s Stats
 	s.L2AccessesFromI = 3

@@ -48,6 +48,21 @@ func DRI64K(p dri.Params) dri.Config {
 	return cfg
 }
 
+// WithL2 returns cfg with the unified L2 replaced — the entry point for
+// multi-level DRI studies (set l2.Params.Enabled for a resizable L2).
+func (c Config) WithL2(l2 dri.Config) Config {
+	c.Mem.L2 = l2
+	return c
+}
+
+// DRIL2 returns the paper's Table 1 L2 geometry (1M 4-way, 64-byte blocks)
+// with the given adaptive parameters.
+func DRIL2(p dri.Params) dri.Config {
+	cfg := mem.DefaultL2()
+	cfg.Params = p
+	return cfg
+}
+
 // Result bundles every observable of one run.
 type Result struct {
 	Benchmark string
@@ -63,6 +78,19 @@ type Result struct {
 	Events []dri.ResizeEvent
 	// SizeResidency maps active size in bytes to cycles spent there.
 	SizeResidency map[int]uint64
+
+	// L2 observables (multi-level DRI; for a conventional L2 the stats are
+	// plain traffic counters, the fraction is 1, and the rest are zero).
+	L2 dri.DataStats
+	// L2AvgActiveFraction is the cycle-weighted mean active fraction of the
+	// unified L2.
+	L2AvgActiveFraction float64
+	// L2ResizingTagBits of the L2 configuration.
+	L2ResizingTagBits int
+	// L2Events is the L2 resize log.
+	L2Events []dri.ResizeEvent
+	// L2SizeResidency maps L2 active size in bytes to cycles spent there.
+	L2SizeResidency map[int]uint64
 }
 
 // MissRate is the i-cache miss rate per access.
@@ -77,24 +105,33 @@ func Run(cfg Config, prog trace.Program) Result {
 	cpuRes := pipe.Run(stream)
 	h.Finish(cpuRes.Cycles)
 	ic := h.ICache()
+	l2 := h.L2()
 	return Result{
-		Benchmark:         prog.Name,
-		CPU:               cpuRes,
-		ICache:            ic.Stats(),
-		Mem:               h.Stats(),
-		AvgActiveFraction: ic.AverageActiveFraction(),
-		ResizingTagBits:   cfg.Mem.L1I.ResizingTagBits(),
-		Events:            ic.Events(),
-		SizeResidency:     ic.SizeResidency(),
+		Benchmark:           prog.Name,
+		CPU:                 cpuRes,
+		ICache:              ic.Stats(),
+		Mem:                 h.Stats(),
+		AvgActiveFraction:   ic.AverageActiveFraction(),
+		ResizingTagBits:     cfg.Mem.L1I.ResizingTagBits(),
+		Events:              ic.Events(),
+		SizeResidency:       ic.SizeResidency(),
+		L2:                  l2.DataStats(),
+		L2AvgActiveFraction: l2.AverageActiveFraction(),
+		L2ResizingTagBits:   cfg.Mem.L2.ResizingTagBits(),
+		L2Events:            l2.Events(),
+		L2SizeResidency:     l2.SizeResidency(),
 	}
 }
 
 // Comparison pairs a DRI run with its conventional baseline and the energy
-// accounting between them.
+// accounting between them: the paper's L1-only §5.2 breakdown (embedded)
+// plus the whole-hierarchy total-leakage account with its per-level
+// (L1I/L1D/L2) split.
 type Comparison struct {
 	Conv Result
 	DRI  Result
 	energy.Breakdown
+	Total energy.TotalBreakdown
 }
 
 // BaselineConfig strips the adaptive parameters from a DRI configuration,
@@ -102,6 +139,15 @@ type Comparison struct {
 func BaselineConfig(driCfg dri.Config) dri.Config {
 	driCfg.Params = dri.Params{}
 	return driCfg
+}
+
+// BaselineSimConfig strips the adaptive parameters at every resizable level
+// (L1 i-cache and L2), yielding the all-conventional system of the same
+// geometry — the baseline of a multi-level DRI comparison.
+func BaselineSimConfig(cfg Config) Config {
+	cfg.Mem.L1I.Params = dri.Params{}
+	cfg.Mem.L2.Params = dri.Params{}
+	return cfg
 }
 
 // Compare runs prog under both the baseline and the DRI configuration and
@@ -118,19 +164,61 @@ func Compare(driCfg dri.Config, prog trace.Program, instructions uint64, base *R
 	return CompareResults(driCfg, conv, driRes)
 }
 
-// CompareResults evaluates the §5.2 energy model over a pre-computed
-// conventional/DRI result pair for the given DRI configuration. It is the
-// accounting half of Compare, split out so callers that obtain the two runs
-// elsewhere (e.g. a memoizing engine) can share simulations.
+// CompareSim runs prog under the full system configuration cfg (which may
+// resize the L1 i-cache, the L2, or both) and its all-conventional
+// baseline, and evaluates both energy models. The baseline may be supplied
+// (pre-computed) via base; pass nil to run it here.
+func CompareSim(cfg Config, prog trace.Program, base *Result) Comparison {
+	var conv Result
+	if base != nil {
+		conv = *base
+	} else {
+		conv = Run(BaselineSimConfig(cfg), prog)
+	}
+	driRes := Run(cfg, prog)
+	return CompareSimResults(cfg, conv, driRes)
+}
+
+// CompareResults evaluates the energy models over a pre-computed
+// conventional/DRI result pair for the given L1 DRI configuration (with the
+// default conventional L2). It is the accounting half of Compare, split out
+// so callers that obtain the two runs elsewhere (e.g. a memoizing engine)
+// can share simulations.
 func CompareResults(driCfg dri.Config, conv, driRes Result) Comparison {
-	em := energy.ForL1(driCfg.SizeBytes, driCfg.BlockBytes, driCfg.Assoc)
+	return CompareSimResults(Default(driCfg, conv.CPU.Instructions), conv, driRes)
+}
+
+// CompareSimResults is CompareResults generalized to a full system
+// configuration, so the L2 geometry and adaptive parameters flow into the
+// total-leakage account. The embedded Breakdown stays the paper's L1-only
+// §5.2 model; Total adds the per-level L1I/L1D/L2 split.
+func CompareSimResults(cfg Config, conv, driRes Result) Comparison {
+	l1i := cfg.Mem.L1I
+	em := energy.ForL1(l1i.SizeBytes, l1i.BlockBytes, l1i.Assoc)
+	extraL2 := int64(driRes.Mem.L2AccessesFromI) - int64(conv.Mem.L2AccessesFromI)
 	bd := em.Evaluate(energy.Inputs{
 		Cycles:            driRes.CPU.Cycles,
 		ConvCycles:        conv.CPU.Cycles,
 		L1Accesses:        driRes.ICache.Accesses,
 		ResizingTagBits:   driRes.ResizingTagBits,
 		AvgActiveFraction: driRes.AvgActiveFraction,
-		ExtraL2Accesses:   int64(driRes.Mem.L2AccessesFromI) - int64(conv.Mem.L2AccessesFromI),
+		ExtraL2Accesses:   extraL2,
 	})
-	return Comparison{Conv: conv, DRI: driRes, Breakdown: bd}
+	tm := energy.TotalFor(
+		energy.CacheOrg{SizeBytes: l1i.SizeBytes, BlockBytes: l1i.BlockBytes, Assoc: l1i.Assoc},
+		energy.CacheOrg{SizeBytes: cfg.Mem.L1D.SizeBytes, BlockBytes: cfg.Mem.L1D.BlockBytes, Assoc: cfg.Mem.L1D.Assoc},
+		energy.CacheOrg{SizeBytes: cfg.Mem.L2.SizeBytes, BlockBytes: cfg.Mem.L2.BlockBytes, Assoc: cfg.Mem.L2.Assoc})
+	total := tm.Evaluate(energy.TotalInputs{
+		Cycles:               driRes.CPU.Cycles,
+		ConvCycles:           conv.CPU.Cycles,
+		L1IAccesses:          driRes.ICache.Accesses,
+		L1IResizingTagBits:   driRes.ResizingTagBits,
+		L1IAvgActiveFraction: driRes.AvgActiveFraction,
+		ExtraL2Accesses:      extraL2,
+		L2Accesses:           driRes.Mem.L2Accesses(),
+		L2ResizingTagBits:    driRes.L2ResizingTagBits,
+		L2AvgActiveFraction:  driRes.L2AvgActiveFraction,
+		ExtraMemAccesses:     int64(driRes.Mem.MemAccesses) - int64(conv.Mem.MemAccesses),
+	})
+	return Comparison{Conv: conv, DRI: driRes, Breakdown: bd, Total: total}
 }

@@ -1,0 +1,132 @@
+package sim
+
+// Tests for multi-level DRI: the resizable unified L2 and the
+// total-leakage accounting around it.
+
+import (
+	"testing"
+
+	"dricache/internal/dri"
+	"dricache/internal/trace"
+)
+
+func mustBench(t *testing.T, name string) trace.Program {
+	t.Helper()
+	p, err := trace.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func l2Params(missBound uint64, sizeBound int) dri.Params {
+	return dri.Params{
+		Enabled: true, MissBound: missBound, SizeBoundBytes: sizeBound,
+		SenseInterval: 50_000, Divisibility: 2,
+		ThrottleSaturation: 7, ThrottleIntervals: 10,
+	}
+}
+
+func TestConventionalL2ObservablesNeutral(t *testing.T) {
+	p := mustBench(t, "applu")
+	res := Run(Default(Conventional64K(), 400_000), p)
+	if res.L2AvgActiveFraction != 1 {
+		t.Fatalf("conventional L2 active fraction = %v, want 1", res.L2AvgActiveFraction)
+	}
+	if res.L2ResizingTagBits != 0 || len(res.L2Events) != 0 {
+		t.Fatalf("conventional L2 has resizing artifacts: bits=%d events=%d",
+			res.L2ResizingTagBits, len(res.L2Events))
+	}
+	if res.L2.Accesses == 0 {
+		t.Fatal("L2 stats not collected")
+	}
+	if res.L2.Accesses != res.Mem.L2Accesses() {
+		t.Fatalf("L2 cache accesses %d != hierarchy accounting %d",
+			res.L2.Accesses, res.Mem.L2Accesses())
+	}
+}
+
+func TestL2DRIDownsizesUnderLowPressure(t *testing.T) {
+	p := mustBench(t, "applu")
+	cfg := Default(Conventional64K(), 1_000_000).WithL2(DRIL2(l2Params(2000, 64<<10)))
+	res := Run(cfg, p)
+	if res.L2.Downsizes == 0 {
+		t.Fatal("L2 never downsized despite a generous miss-bound")
+	}
+	if res.L2AvgActiveFraction >= 1 {
+		t.Fatalf("L2 active fraction = %v, want < 1", res.L2AvgActiveFraction)
+	}
+	if res.L2ResizingTagBits != 4 {
+		t.Fatalf("L2 resizing tag bits = %d, want 4 (1M/64K)", res.L2ResizingTagBits)
+	}
+	if len(res.L2Events) == 0 || len(res.L2SizeResidency) < 2 {
+		t.Fatal("L2 resize log / residency not recorded")
+	}
+}
+
+func TestCompareSimJointL1L2(t *testing.T) {
+	p := mustBench(t, "gcc")
+	l1 := DRI64K(dri.DefaultParams(50_000))
+	cfg := Default(l1, 1_000_000).WithL2(DRIL2(l2Params(2000, 128<<10)))
+	cmp := CompareSim(cfg, p, nil)
+
+	// The baseline is all-conventional.
+	if cmp.Conv.AvgActiveFraction != 1 || cmp.Conv.L2AvgActiveFraction != 1 {
+		t.Fatalf("baseline resized: L1 %v L2 %v",
+			cmp.Conv.AvgActiveFraction, cmp.Conv.L2AvgActiveFraction)
+	}
+	// Both levels resized in the DRI run.
+	if cmp.DRI.ICache.Downsizes == 0 || cmp.DRI.L2.Downsizes == 0 {
+		t.Fatalf("expected both levels to downsize: L1 %d, L2 %d",
+			cmp.DRI.ICache.Downsizes, cmp.DRI.L2.Downsizes)
+	}
+	// Per-level breakdown is populated and coherent.
+	tb := cmp.Total
+	if tb.L1I.ActiveFraction >= 1 || tb.L2.ActiveFraction >= 1 {
+		t.Fatalf("per-level fractions: L1I %v L2 %v", tb.L1I.ActiveFraction, tb.L2.ActiveFraction)
+	}
+	if tb.L1D.ActiveFraction != 1 {
+		t.Fatalf("L1D fraction = %v, want 1 (not resizable)", tb.L1D.ActiveFraction)
+	}
+	sum := tb.L1I.EffectiveNJ() + tb.L1D.EffectiveNJ() + tb.L2.EffectiveNJ()
+	if sum != tb.EffectiveNJ {
+		t.Fatalf("per-level energies %v do not sum to total %v", sum, tb.EffectiveNJ)
+	}
+	// Resizing the dominant leaker must save total energy here.
+	if tb.RelativeEnergy >= 1 {
+		t.Fatalf("joint resizing relative energy = %v, want < 1", tb.RelativeEnergy)
+	}
+	if tb.SavingsNJ <= 0 {
+		t.Fatalf("savings = %v, want > 0", tb.SavingsNJ)
+	}
+}
+
+// TestL2ResizingBeatsL1OnlyOnTotalEnergy is the motivating claim: because
+// the L2 dominates total leakage, adding L2 resizing to an L1-only DRI
+// configuration must lower total relative energy further.
+func TestL2ResizingBeatsL1OnlyOnTotalEnergy(t *testing.T) {
+	p := mustBench(t, "applu")
+	l1 := DRI64K(dri.DefaultParams(50_000))
+	l1Only := CompareSim(Default(l1, 1_000_000), p, nil)
+	joint := CompareSim(Default(l1, 1_000_000).WithL2(DRIL2(l2Params(2000, 64<<10))), p, nil)
+	if joint.Total.RelativeEnergy >= l1Only.Total.RelativeEnergy {
+		t.Fatalf("joint %v should beat L1-only %v on total energy",
+			joint.Total.RelativeEnergy, l1Only.Total.RelativeEnergy)
+	}
+	// And the L1-only legacy §5.2 numbers must be unaffected by the
+	// total-model addition.
+	if l1Only.RelativeED <= 0 || l1Only.RelativeED >= 1 {
+		t.Fatalf("legacy L1 relative ED = %v", l1Only.RelativeED)
+	}
+}
+
+func TestBaselineSimConfigStripsBothLevels(t *testing.T) {
+	cfg := Default(DRI64K(dri.DefaultParams(50_000)), 1000).WithL2(DRIL2(l2Params(100, 64<<10)))
+	base := BaselineSimConfig(cfg)
+	if base.Mem.L1I.Params.Enabled || base.Mem.L2.Params.Enabled {
+		t.Fatal("baseline still has adaptive parameters")
+	}
+	if base.Mem.L2.SizeBytes != cfg.Mem.L2.SizeBytes {
+		t.Fatal("baseline changed the L2 geometry")
+	}
+}

@@ -1,0 +1,116 @@
+package trace
+
+// Fuzz target for the synthetic trace generator: any Program that passes
+// Check must stream without panics, emit exactly the requested number of
+// dynamic instructions, and keep every instruction well-formed (code
+// addresses inside the code segment, loads/stores carrying data addresses).
+//
+// Run with: go test ./internal/trace -fuzz FuzzStream
+// Without -fuzz, the seed corpus runs as a regular (fast) unit test.
+
+import (
+	"testing"
+
+	"dricache/internal/isa"
+)
+
+func FuzzStream(f *testing.F) {
+	// Seeds: a plain loop phase, a phased/hot/alt mix, and edge values.
+	f.Add(uint64(1), uint64(20_000), 64, 0, 0, 0.0, 0, 0, 0.0, 40, 8.0, 0.2, 6, 0.1, 0.2, 0.1, 0.1, 256, 0.5, 1)
+	f.Add(uint64(7), uint64(5_000), 8, 2, 4, 0.7, 16, 48, 0.3, 12, 2.0, 0.9, 2, 1.0, 0.3, 0.3, 0.4, 32, 0.0, 3)
+	f.Add(uint64(42), uint64(0), 1, 0, 1, 1.0, 1, 0, 1.0, 4, 1.0, 0.0, 2, 0.0, 0.0, 0.0, 0.0, 1, 1.0, 1)
+
+	f.Fuzz(func(t *testing.T, seed, budget uint64,
+		codeKB, codeOffKB, hotKB int, hotFrac float64,
+		altKB, altOffKB int, altFrac float64,
+		loopBody int, loopTrip, callFrac float64,
+		condEvery int, condNoise, loadFrac, storeFrac, fpFrac float64,
+		dataKB int, streamFrac float64, repeat int) {
+
+		budget %= 50_000 // keep individual executions fast
+		p := Program{
+			Name:   "fuzz",
+			Class:  ClassPhased,
+			Seed:   seed,
+			Repeat: repeat,
+			Phases: []Phase{{
+				Name: "p0", Fraction: 1,
+				CodeKB: codeKB, CodeOffsetKB: codeOffKB,
+				HotKB: hotKB, HotFrac: hotFrac,
+				AltKB: altKB, AltOffsetKB: altOffKB, AltFrac: altFrac,
+				LoopBody: loopBody, LoopTrip: loopTrip, CallFrac: callFrac,
+				CondEvery: condEvery, CondNoise: condNoise,
+				LoadFrac: loadFrac, StoreFrac: storeFrac, FPFrac: fpFrac,
+				DataKB: dataKB, DataStreamFrac: streamFrac,
+			}},
+		}
+		if p.Check() != nil {
+			t.Skip() // invalid definitions must be rejected, not survived
+		}
+
+		s := p.Stream(budget) // must not panic for any Check-valid program
+		var ins isa.Instr
+		var n uint64
+		for s.Next(&ins) {
+			n++
+			if n > budget {
+				t.Fatalf("stream overran the %d-instruction budget", budget)
+			}
+			if ins.PC < codeBase {
+				t.Fatalf("instruction %d at PC %#x below the code segment", n, ins.PC)
+			}
+			switch ins.Class {
+			case isa.Load, isa.Store:
+				if ins.MemAddr < dataBase {
+					t.Fatalf("memory op at %#x below the data segment", ins.MemAddr)
+				}
+			case isa.Branch, isa.Jump, isa.Call, isa.Ret:
+				if ins.Target == 0 {
+					t.Fatalf("control transfer without a target at PC %#x", ins.PC)
+				}
+			}
+		}
+		if n != budget {
+			t.Fatalf("stream emitted %d instructions, want exactly %d", n, budget)
+		}
+
+		// Determinism: the same (program, budget) yields the identical
+		// stream.
+		sa, sb := p.Stream(budget), p.Stream(budget)
+		var x, y isa.Instr
+		for sa.Next(&x) {
+			if !sb.Next(&y) {
+				t.Fatal("replay stream ended early")
+			}
+			if x != y {
+				t.Fatalf("stream is not deterministic: %+v vs %+v", x, y)
+			}
+		}
+		if sb.Next(&y) {
+			t.Fatal("replay stream longer than the original")
+		}
+	})
+}
+
+// FuzzBenchmarkStreams drives the fifteen real benchmark definitions with
+// fuzzed budgets and seed overrides — the generator must stay exact and
+// panic-free on the programs the evaluation actually uses.
+func FuzzBenchmarkStreams(f *testing.F) {
+	f.Add(uint64(0), uint64(10_000), uint8(0))
+	f.Add(uint64(99), uint64(33_333), uint8(7))
+	f.Fuzz(func(t *testing.T, seed, budget uint64, pick uint8) {
+		budget %= 50_000
+		all := Benchmarks()
+		p := all[int(pick)%len(all)]
+		p.Seed = seed
+		s := p.Stream(budget)
+		var ins isa.Instr
+		var n uint64
+		for s.Next(&ins) {
+			n++
+		}
+		if n != budget {
+			t.Fatalf("%s: emitted %d, want %d", p.Name, n, budget)
+		}
+	})
+}

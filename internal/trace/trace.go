@@ -126,6 +126,15 @@ type Program struct {
 	Phases []Phase
 }
 
+// maxRegionKB bounds code/data region sizes and offsets (1 GB — far above
+// any real footprint). Together with the NaN-rejecting range checks below
+// it makes Check a complete gate: any Program that passes Check streams
+// without panics or address wraparound (the fuzz tests exercise this).
+const maxRegionKB = 1 << 20
+
+// frac01 reports whether v is a valid probability (rejects NaN).
+func frac01(v float64) bool { return v >= 0 && v <= 1 }
+
 // Check validates the program definition.
 func (p Program) Check() error {
 	if p.Name == "" {
@@ -134,25 +143,45 @@ func (p Program) Check() error {
 	if len(p.Phases) == 0 {
 		return fmt.Errorf("trace %s: no phases", p.Name)
 	}
-	if p.Repeat < 1 {
-		return fmt.Errorf("trace %s: repeat %d < 1", p.Name, p.Repeat)
+	if p.Repeat < 1 || p.Repeat > 1<<20 {
+		return fmt.Errorf("trace %s: repeat %d out of range [1, 2^20]", p.Name, p.Repeat)
 	}
 	for i, ph := range p.Phases {
 		switch {
-		case ph.Fraction <= 0:
-			return fmt.Errorf("trace %s: phase %d fraction %v <= 0", p.Name, i, ph.Fraction)
-		case ph.CodeKB <= 0:
-			return fmt.Errorf("trace %s: phase %d code size %d <= 0", p.Name, i, ph.CodeKB)
+		case !(ph.Fraction > 0 && ph.Fraction <= 1e6):
+			return fmt.Errorf("trace %s: phase %d fraction %v out of (0, 1e6]", p.Name, i, ph.Fraction)
+		case ph.CodeKB <= 0 || ph.CodeKB > maxRegionKB:
+			return fmt.Errorf("trace %s: phase %d code size %d out of range", p.Name, i, ph.CodeKB)
+		case ph.CodeOffsetKB < 0 || ph.CodeOffsetKB > maxRegionKB:
+			return fmt.Errorf("trace %s: phase %d code offset %d out of range", p.Name, i, ph.CodeOffsetKB)
+		case ph.HotKB < 0 || ph.HotKB > maxRegionKB:
+			return fmt.Errorf("trace %s: phase %d hot size %d out of range", p.Name, i, ph.HotKB)
+		case !frac01(ph.HotFrac):
+			return fmt.Errorf("trace %s: phase %d hot fraction %v out of [0, 1]", p.Name, i, ph.HotFrac)
+		case ph.AltKB < 0 || ph.AltKB > maxRegionKB:
+			return fmt.Errorf("trace %s: phase %d alt size %d out of range", p.Name, i, ph.AltKB)
+		case ph.AltOffsetKB < 0 || ph.AltOffsetKB > maxRegionKB:
+			return fmt.Errorf("trace %s: phase %d alt offset %d out of range", p.Name, i, ph.AltOffsetKB)
+		case !frac01(ph.AltFrac):
+			return fmt.Errorf("trace %s: phase %d alt fraction %v out of [0, 1]", p.Name, i, ph.AltFrac)
 		case ph.LoopBody < 4:
 			return fmt.Errorf("trace %s: phase %d loop body %d < 4", p.Name, i, ph.LoopBody)
-		case ph.LoopTrip < 1:
-			return fmt.Errorf("trace %s: phase %d loop trip %v < 1", p.Name, i, ph.LoopTrip)
+		case !(ph.LoopTrip >= 1 && ph.LoopTrip <= 1e9):
+			return fmt.Errorf("trace %s: phase %d loop trip %v out of [1, 1e9]", p.Name, i, ph.LoopTrip)
+		case !frac01(ph.CallFrac):
+			return fmt.Errorf("trace %s: phase %d call fraction %v out of [0, 1]", p.Name, i, ph.CallFrac)
 		case ph.CondEvery < 2:
 			return fmt.Errorf("trace %s: phase %d cond every %d < 2", p.Name, i, ph.CondEvery)
+		case !frac01(ph.CondNoise):
+			return fmt.Errorf("trace %s: phase %d cond noise %v out of [0, 1]", p.Name, i, ph.CondNoise)
+		case !frac01(ph.LoadFrac) || !frac01(ph.StoreFrac) || !frac01(ph.FPFrac):
+			return fmt.Errorf("trace %s: phase %d mix fractions out of [0, 1]", p.Name, i)
 		case ph.LoadFrac+ph.StoreFrac+ph.FPFrac > 1:
 			return fmt.Errorf("trace %s: phase %d mix sums over 1", p.Name, i)
-		case ph.DataKB <= 0:
-			return fmt.Errorf("trace %s: phase %d data size %d <= 0", p.Name, i, ph.DataKB)
+		case ph.DataKB <= 0 || ph.DataKB > maxRegionKB:
+			return fmt.Errorf("trace %s: phase %d data size %d out of range", p.Name, i, ph.DataKB)
+		case !frac01(ph.DataStreamFrac):
+			return fmt.Errorf("trace %s: phase %d stream fraction %v out of [0, 1]", p.Name, i, ph.DataStreamFrac)
 		}
 	}
 	return nil
