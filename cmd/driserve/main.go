@@ -7,8 +7,9 @@
 //
 //	GET  /healthz        liveness + engine cache metrics
 //	GET  /v1/benchmarks  the fifteen SPEC95 stand-ins
-//	POST /v1/run         one simulation (conventional or DRI)
-//	POST /v1/compare     DRI vs conventional baseline with §5.2 energy
+//	GET  /v1/policies    the leakage-control policies and their defaults
+//	POST /v1/run         one simulation (conventional, DRI, or policy)
+//	POST /v1/compare     vs the conventional baseline with §5.2 energy
 //	POST /v1/sweep       a (benchmark × miss-bound × size-bound) grid
 //
 // Examples:
@@ -17,17 +18,28 @@
 //	curl localhost:8080/v1/benchmarks
 //	curl -d '{"benchmark":"applu","cache":{"dri":{"missBound":256,"sizeBoundBytes":1024}}}' \
 //	    localhost:8080/v1/compare
+//	curl -d '{"benchmark":"applu","cache":{"assoc":4},"policy":{"kind":"drowsy"}}' \
+//	    localhost:8080/v1/compare
 //
 // Every response embeds the engine's hit/miss/dedup counters; repeating an
 // identical request shows the hit count advancing instead of new work.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, in-flight
+// requests drain for up to -draintimeout, then remaining connections are
+// forced closed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"dricache/internal/engine"
@@ -35,26 +47,65 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		workers    = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		maxInstr   = flag.Uint64("maxinstructions", 50_000_000, "per-run instruction budget limit")
-		cacheLimit = flag.Int("cachelimit", 65536, "max cached results (0 = unbounded)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		maxInstr     = flag.Uint64("maxinstructions", 50_000_000, "per-run instruction budget limit")
+		cacheLimit   = flag.Int("cachelimit", 65536, "max cached results (0 = unbounded)")
+		drainTimeout = flag.Duration("draintimeout", 15*time.Second, "graceful-shutdown drain limit for in-flight requests")
 	)
 	flag.Parse()
 
 	eng := engine.New(*workers)
 	eng.SetCacheLimit(*cacheLimit)
 	srv := &http.Server{
-		Addr:              *addr,
 		Handler:           logRequests(newServer(eng, *maxInstr)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("driserve listening on %s (workers=%d, max instructions/run=%d)",
-		*addr, eng.Parallelism(), *maxInstr)
-	if err := srv.ListenAndServe(); err != nil {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	log.Printf("driserve listening on %s (workers=%d, max instructions/run=%d)",
+		ln.Addr(), eng.Parallelism(), *maxInstr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runServer(ctx, srv, ln, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	log.Print("driserve stopped")
+}
+
+// runServer serves on ln until ctx is cancelled (SIGINT/SIGTERM in main),
+// then shuts down gracefully: the listener closes immediately, in-flight
+// requests get up to drain to finish, and whatever remains is forced
+// closed. It returns nil on a clean or drained shutdown, and the serve
+// error if the server fails before cancellation.
+func runServer(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down; draining in-flight requests (limit %s)", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	// Serve always returns ErrServerClosed after Shutdown; collect it so
+	// the goroutine does not leak.
+	if serveErr := <-errc; !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	if err != nil {
+		// The drain timeout expired with requests still in flight; their
+		// connections were closed forcibly. Report but do not fail.
+		log.Printf("drain limit reached: %v", err)
+	}
+	return nil
 }
 
 func logRequests(h http.Handler) http.Handler {

@@ -1,0 +1,186 @@
+package main
+
+// HTTP-level tests of the policy subsystem: /v1/policies, the "policy"
+// object on /v1/run, /v1/compare, and /v1/sweep, and the validation paths.
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+func TestPoliciesEndpoint(t *testing.T) {
+	ts := testServer(t)
+	out := getJSON(t, ts.URL+"/v1/policies", http.StatusOK)
+	rows, ok := out["policies"].([]any)
+	if !ok || len(rows) != 5 {
+		t.Fatalf("policies = %v, want 5 entries", out["policies"])
+	}
+	want := map[string]bool{"conventional": false, "dri": false, "decay": false, "drowsy": false, "waygate": false}
+	for _, r := range rows {
+		m := r.(map[string]any)
+		kind, _ := m["kind"].(string)
+		if _, known := want[kind]; !known {
+			t.Errorf("unexpected policy kind %q", kind)
+		}
+		want[kind] = true
+		if m["paper"] == "" || m["description"] == "" {
+			t.Errorf("policy %q missing lineage fields", kind)
+		}
+	}
+	for kind, seen := range want {
+		if !seen {
+			t.Errorf("policy %q missing from /v1/policies", kind)
+		}
+	}
+}
+
+func TestRunWithPolicy(t *testing.T) {
+	ts := testServer(t)
+	out := postJSON(t, ts.URL+"/v1/run",
+		`{"benchmark":"applu","instructions":1000000,"cache":{"assoc":4},"policy":{"kind":"drowsy"}}`,
+		http.StatusOK)
+	res := out["result"].(map[string]any)
+	if w, _ := res["policyWakeups"].(float64); w == 0 {
+		t.Errorf("drowsy run reported no wakeups: %v", res)
+	}
+	frac, _ := res["avgActiveFraction"].(float64)
+	if frac <= 0 || frac >= 1 {
+		t.Errorf("drowsy leak fraction = %v, want in (0,1)", frac)
+	}
+
+	out = postJSON(t, ts.URL+"/v1/run",
+		`{"benchmark":"applu","instructions":1000000,"policy":{"kind":"decay"}}`,
+		http.StatusOK)
+	res = out["result"].(map[string]any)
+	if g, _ := res["policyGatedLines"].(float64); g == 0 {
+		t.Errorf("decay run gated no lines: %v", res)
+	}
+}
+
+func TestCompareWithPolicy(t *testing.T) {
+	ts := testServer(t)
+	for _, kind := range []string{"decay", "drowsy"} {
+		body := fmt.Sprintf(
+			`{"benchmark":"applu","instructions":1000000,"policy":{"kind":%q}}`, kind)
+		out := postJSON(t, ts.URL+"/v1/compare", body, http.StatusOK)
+		cmp := out["comparison"].(map[string]any)
+		relED, _ := cmp["relativeED"].(float64)
+		if relED <= 0 || relED >= 1 {
+			t.Errorf("%s: relativeED = %v, want in (0,1)", kind, relED)
+		}
+		if nj, _ := cmp["extraPolicyNJ"].(float64); nj <= 0 {
+			t.Errorf("%s: extraPolicyNJ = %v, want > 0", kind, nj)
+		}
+	}
+	// waygate needs associativity.
+	out := postJSON(t, ts.URL+"/v1/compare",
+		`{"benchmark":"applu","instructions":1000000,"cache":{"assoc":4},"policy":{"kind":"waygate"}}`,
+		http.StatusOK)
+	if _, ok := out["comparison"]; !ok {
+		t.Fatalf("waygate compare missing comparison: %v", out)
+	}
+	// An L2 policy is comparable on its own.
+	out = postJSON(t, ts.URL+"/v1/compare",
+		`{"benchmark":"applu","instructions":1000000,"l2":{"policy":{"kind":"drowsy"}}}`,
+		http.StatusOK)
+	cmp := out["comparison"].(map[string]any)
+	if frac, _ := cmp["l2AvgActiveFraction"].(float64); frac <= 0 || frac >= 1 {
+		t.Errorf("L2 drowsy fraction = %v, want in (0,1)", frac)
+	}
+}
+
+func TestPolicyValidationErrors(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		name, url, body string
+	}{
+		{"unknown kind", "/v1/run",
+			`{"benchmark":"applu","policy":{"kind":"sleepy"}}`},
+		{"negative decay intervals", "/v1/run",
+			`{"benchmark":"applu","policy":{"kind":"decay","decayIntervals":-3}}`},
+		{"negative wakeup", "/v1/run",
+			`{"benchmark":"applu","cache":{"assoc":4},"policy":{"kind":"drowsy","wakeupCycles":-1}}`},
+		{"leak fraction above one", "/v1/run",
+			`{"benchmark":"applu","cache":{"assoc":4},"policy":{"kind":"drowsy","drowsyLeakFraction":1.5}}`},
+		{"waygate on direct-mapped", "/v1/run",
+			`{"benchmark":"applu","policy":{"kind":"waygate"}}`},
+		{"policy over enabled dri", "/v1/run",
+			`{"benchmark":"applu","cache":{"dri":{}},"policy":{"kind":"decay"}}`},
+		{"both policy spellings", "/v1/run",
+			`{"benchmark":"applu","cache":{"policy":{"kind":"decay"}},"policy":{"kind":"decay"}}`},
+		{"plain compare not comparable", "/v1/compare",
+			`{"benchmark":"applu","policy":{"kind":"conventional"}}`},
+	}
+	for _, tc := range cases {
+		out := postJSON(t, ts.URL+tc.url, tc.body, http.StatusBadRequest)
+		if out["error"] == "" {
+			t.Errorf("%s: missing error body: %v", tc.name, out)
+		}
+	}
+}
+
+func TestSweepWithPolicyCollapsesGrid(t *testing.T) {
+	ts := testServer(t)
+	out := postJSON(t, ts.URL+"/v1/sweep",
+		`{"benchmarks":["applu","gcc"],"instructions":1000000,"senseInterval":50000,
+		  "assoc":4,"policy":{"kind":"drowsy"}}`,
+		http.StatusOK)
+	if pts, _ := out["points"].(float64); pts != 2 {
+		t.Fatalf("points = %v, want 2 (one per benchmark)", out["points"])
+	}
+	rows := out["rows"].(map[string]any)
+	for _, bench := range []string{"applu", "gcc"} {
+		pts, ok := rows[bench].([]any)
+		if !ok || len(pts) != 1 {
+			t.Fatalf("rows[%s] = %v, want one point", bench, rows[bench])
+		}
+		p := pts[0].(map[string]any)
+		if p["policy"] != "drowsy" {
+			t.Errorf("point policy = %v, want drowsy", p["policy"])
+		}
+	}
+	// kind dri keeps the grid semantics.
+	out = postJSON(t, ts.URL+"/v1/sweep",
+		`{"benchmarks":["applu"],"instructions":1000000,"senseInterval":50000,
+		  "missBounds":[100,400],"sizeBounds":[1024],"policy":{"kind":"dri"}}`,
+		http.StatusOK)
+	if pts, _ := out["points"].(float64); pts != 2 {
+		t.Fatalf("dri-policy sweep points = %v, want the 2 grid points", out["points"])
+	}
+}
+
+func TestSweepHonorsL2Policy(t *testing.T) {
+	ts := testServer(t)
+	out := postJSON(t, ts.URL+"/v1/sweep",
+		`{"benchmarks":["applu"],"instructions":1000000,"senseInterval":50000,
+		  "missBounds":[400],"sizeBounds":[1024],
+		  "l2":{"policy":{"kind":"drowsy"}}}`,
+		http.StatusOK)
+	rows := out["rows"].(map[string]any)
+	pt := rows["applu"].([]any)[0].(map[string]any)
+	cmp := pt["comparison"].(map[string]any)
+	frac, _ := cmp["l2AvgActiveFraction"].(float64)
+	if frac <= 0 || frac >= 1 {
+		t.Fatalf("sweep dropped l2.policy: l2AvgActiveFraction = %v, want in (0,1)", frac)
+	}
+}
+
+func TestSweepConventionalPolicySharesBaseline(t *testing.T) {
+	ts := testServer(t)
+	out := postJSON(t, ts.URL+"/v1/sweep",
+		`{"benchmarks":["applu"],"instructions":1000000,"senseInterval":50000,
+		  "policy":{"kind":"conventional"}}`,
+		http.StatusOK)
+	rows := out["rows"].(map[string]any)
+	pt := rows["applu"].([]any)[0].(map[string]any)
+	cmp := pt["comparison"].(map[string]any)
+	if relED, _ := cmp["relativeED"].(float64); relED != 1 {
+		t.Fatalf("conventional sweep point relativeED = %v, want 1", relED)
+	}
+	// The point IS its baseline, so one benchmark costs one simulation.
+	eng := out["engine"].(map[string]any)
+	if misses, _ := eng["misses"].(float64); misses != 1 {
+		t.Fatalf("conventional sweep ran %v simulations, want 1 (point shares its baseline)", misses)
+	}
+}

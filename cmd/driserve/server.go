@@ -11,6 +11,7 @@ import (
 	"dricache/internal/engine"
 	"dricache/internal/exp"
 	"dricache/internal/mem"
+	"dricache/internal/policy"
 	"dricache/internal/sim"
 	"dricache/internal/trace"
 )
@@ -33,6 +34,7 @@ func newServer(eng *engine.Engine, maxInstructions uint64) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/compare", s.handleCompare)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
@@ -98,6 +100,63 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "engine": s.metrics()})
 }
 
+// handlePolicies lists the leakage-control policies, each with its paper
+// lineage and its default parameters at the standard 100K-instruction
+// sense interval, ready to paste into a run/compare/sweep "policy" object.
+func (s *server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	type row struct {
+		Kind        string        `json:"kind"`
+		Description string        `json:"description"`
+		Paper       string        `json:"paper"`
+		Defaults    policyRequest `json:"defaults"`
+	}
+	toReq := func(c policy.Config) policyRequest {
+		return policyRequest{
+			Kind:                 string(c.Kind),
+			IntervalInstructions: c.IntervalInstructions,
+			DecayIntervals:       c.DecayIntervals,
+			WakeupCycles:         c.WakeupCycles,
+			DrowsyLeakFraction:   c.DrowsyLeakFraction,
+			MissBound:            c.MissBound,
+			MinWays:              c.MinWays,
+		}
+	}
+	const iv = 100_000
+	rows := []row{
+		{
+			Kind:        string(policy.Conventional),
+			Description: "full-size, always-on cache (the baseline every comparison is scored against)",
+			Paper:       "conventional baseline of Yang et al., HPCA 2001",
+			Defaults:    policyRequest{Kind: string(policy.Conventional)},
+		},
+		{
+			Kind:        string(policy.DRI),
+			Description: "set-granular gated-Vdd resizing under miss-bound feedback (sense intervals, size-bound, throttling)",
+			Paper:       "Yang, Powell, Falsafi, Roy, Vijaykumar — the source paper (HPCA 2001)",
+			Defaults:    policyRequest{Kind: string(policy.DRI)},
+		},
+		{
+			Kind:        string(policy.Decay),
+			Description: "per-line gated-Vdd after an idle-interval countdown: contents lost, zero leakage while off",
+			Paper:       "state-destroying regime of Bai et al.'s power-performance trade-off analysis",
+			Defaults:    toReq(policy.DefaultDecay(iv)),
+		},
+		{
+			Kind:        string(policy.Drowsy),
+			Description: "per-line state-preserving low-Vdd: no extra misses, a wakeup-cycle penalty, reduced-but-nonzero leakage",
+			Paper:       "state-preserving regime of Bai et al.'s power-performance trade-off analysis",
+			Defaults:    toReq(policy.DefaultDrowsy(iv)),
+		},
+		{
+			Kind:        string(policy.WayGate),
+			Description: "whole ways powered off under the same miss-bound feedback loop (requires associativity >= 2)",
+			Paper:       "way-granular gating after Ishihara & Fallah's way memoization",
+			Defaults:    toReq(policy.DefaultWayGate(iv)),
+		},
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"policies": rows})
+}
+
 func (s *server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 	type row struct {
 		Name  string `json:"name"`
@@ -124,21 +183,44 @@ type driRequest struct {
 	AutoMissBoundFactor float64 `json:"autoMissBoundFactor"`
 }
 
+// policyRequest selects a leakage-control policy for one cache level. Zero
+// parameter fields take the policy's defaults at the chosen interval.
+type policyRequest struct {
+	// Kind is one of conventional, dri, decay, drowsy, waygate.
+	Kind string `json:"kind"`
+	// IntervalInstructions is the policy tick length (defaults per kind).
+	IntervalInstructions uint64 `json:"intervalInstructions"`
+	// DecayIntervals is the decay idle countdown in ticks.
+	DecayIntervals int `json:"decayIntervals"`
+	// WakeupCycles is the drowsy wakeup latency.
+	WakeupCycles int `json:"wakeupCycles"`
+	// DrowsyLeakFraction is the drowsy low-Vdd leakage fraction in [0,1].
+	DrowsyLeakFraction float64 `json:"drowsyLeakFraction"`
+	// MissBound is the waygate feedback bound per tick.
+	MissBound uint64 `json:"missBound"`
+	// MinWays is the waygate minimum powered-way count.
+	MinWays int `json:"minWays"`
+}
+
 // cacheRequest describes the L1 i-cache; zero values take the paper's base
-// 64K direct-mapped geometry.
+// 64K direct-mapped geometry. Policy selects the level's leakage-control
+// policy (kind dri is implied by setting dri instead).
 type cacheRequest struct {
-	SizeBytes int         `json:"sizeBytes"`
-	Assoc     int         `json:"assoc"`
-	DRI       *driRequest `json:"dri"`
+	SizeBytes int            `json:"sizeBytes"`
+	Assoc     int            `json:"assoc"`
+	DRI       *driRequest    `json:"dri"`
+	Policy    *policyRequest `json:"policy"`
 }
 
 // l2Request describes the unified L2; zero values take the paper's Table 1
 // geometry (1M 4-way, 64-byte blocks). Setting dri makes the L2 resizable
-// (multi-level DRI), with a default size-bound of 1/64 of the L2 size.
+// (multi-level DRI), with a default size-bound of 1/64 of the L2 size;
+// policy selects a leakage-control policy instead.
 type l2Request struct {
-	SizeBytes int         `json:"sizeBytes"`
-	Assoc     int         `json:"assoc"`
-	DRI       *driRequest `json:"dri"`
+	SizeBytes int            `json:"sizeBytes"`
+	Assoc     int            `json:"assoc"`
+	DRI       *driRequest    `json:"dri"`
+	Policy    *policyRequest `json:"policy"`
 }
 
 type runRequest struct {
@@ -146,6 +228,8 @@ type runRequest struct {
 	Instructions uint64       `json:"instructions"`
 	Cache        cacheRequest `json:"cache"`
 	L2           *l2Request   `json:"l2"`
+	// Policy is shorthand for cache.policy (the L1 i-cache policy).
+	Policy *policyRequest `json:"policy"`
 }
 
 // maxBodyBytes bounds request bodies well above any legitimate payload.
@@ -181,7 +265,104 @@ func (s *server) decodeRun(w http.ResponseWriter, r *http.Request) (sim.Config, 
 	if err != nil {
 		return fail(http.StatusBadRequest, err)
 	}
-	return sim.Default(l1i, instrs).WithL2(l2), prog, 0, nil
+	cfg := sim.Default(l1i, instrs).WithL2(l2)
+
+	polReq := req.Policy
+	if req.Cache.Policy != nil {
+		if polReq != nil {
+			return fail(http.StatusBadRequest,
+				fmt.Errorf("set either policy or cache.policy, not both"))
+		}
+		polReq = req.Cache.Policy
+	}
+	if polReq != nil {
+		pol, err := buildPolicyConfig(polReq, 100_000)
+		if err != nil {
+			return fail(http.StatusBadRequest, err)
+		}
+		switch {
+		case pol.Kind == policy.DRI && !cfg.Mem.L1I.Params.Enabled:
+			// Selecting the dri policy without a dri object enables the
+			// paper's base parameters, mirroring the cache.dri default path.
+			cfg.Mem.L1I.Params = buildDRIParams(&driRequest{}, 1<<10)
+		case pol.Kind == policy.Conventional:
+			// The conventional selector is the absence of a policy; reject
+			// the contradiction, otherwise normalize it away so equivalent
+			// requests share one engine cache entry.
+			if cfg.Mem.L1I.Params.Enabled {
+				return fail(http.StatusBadRequest,
+					fmt.Errorf("policy kind conventional contradicts cache.dri"))
+			}
+			pol = policy.Config{}
+		}
+		cfg = cfg.WithL1IPolicy(pol)
+	}
+	if req.L2 != nil && req.L2.Policy != nil {
+		pol, err := buildPolicyConfig(req.L2.Policy, 100_000)
+		if err != nil {
+			return fail(http.StatusBadRequest, fmt.Errorf("l2: %w", err))
+		}
+		switch {
+		case pol.Kind == policy.DRI && !cfg.Mem.L2.Params.Enabled:
+			return fail(http.StatusBadRequest,
+				fmt.Errorf("l2: policy kind dri requires l2.dri parameters"))
+		case pol.Kind == policy.Conventional:
+			if cfg.Mem.L2.Params.Enabled {
+				return fail(http.StatusBadRequest,
+					fmt.Errorf("l2: policy kind conventional contradicts l2.dri"))
+			}
+			pol = policy.Config{}
+		}
+		cfg = cfg.WithL2Policy(pol)
+	}
+	// Policy/cache compatibility (e.g. waygate needs associativity, decay
+	// cannot ride on an enabled DRI controller) is the hierarchy's rule set.
+	if err := cfg.Mem.Check(); err != nil {
+		return fail(http.StatusBadRequest, err)
+	}
+	return cfg, prog, 0, nil
+}
+
+// buildPolicyConfig materializes a policy request over the kind's default
+// parameters at the given sense interval.
+func buildPolicyConfig(p *policyRequest, senseInterval uint64) (policy.Config, error) {
+	var cfg policy.Config
+	switch policy.Kind(p.Kind) {
+	case policy.Conventional, policy.DRI:
+		// Pass-through kinds take no parameters; ignore any overrides so
+		// equivalent requests share one engine cache entry.
+		return policy.Config{Kind: policy.Kind(p.Kind)}, nil
+	case policy.Decay:
+		cfg = policy.DefaultDecay(senseInterval)
+	case policy.Drowsy:
+		cfg = policy.DefaultDrowsy(senseInterval)
+	case policy.WayGate:
+		cfg = policy.DefaultWayGate(senseInterval)
+	default:
+		return policy.Config{}, fmt.Errorf("unknown policy kind %q (see GET /v1/policies)", p.Kind)
+	}
+	if p.IntervalInstructions != 0 {
+		cfg.IntervalInstructions = p.IntervalInstructions
+	}
+	if p.DecayIntervals != 0 {
+		cfg.DecayIntervals = p.DecayIntervals
+	}
+	if p.WakeupCycles != 0 {
+		cfg.WakeupCycles = p.WakeupCycles
+	}
+	if p.DrowsyLeakFraction != 0 {
+		cfg.DrowsyLeakFraction = p.DrowsyLeakFraction
+	}
+	if p.MissBound != 0 {
+		cfg.MissBound = p.MissBound
+	}
+	if p.MinWays != 0 {
+		cfg.MinWays = p.MinWays
+	}
+	if err := cfg.Check(); err != nil {
+		return policy.Config{}, err
+	}
+	return cfg, nil
 }
 
 // buildDRIParams materializes request parameters over the paper's defaults
@@ -279,6 +460,12 @@ type resultSummary struct {
 	L2Downsizes         uint64  `json:"l2Downsizes"`
 	L2ResizeWritebacks  uint64  `json:"l2ResizeWritebacks"`
 	MemAccesses         uint64  `json:"memAccesses"`
+	// Per-line policy activity (zero unless a decay/drowsy policy ran).
+	PolicyWakeups      uint64 `json:"policyWakeups,omitempty"`
+	PolicyGatedLines   uint64 `json:"policyGatedLines,omitempty"`
+	L2PolicyWakeups    uint64 `json:"l2PolicyWakeups,omitempty"`
+	L2PolicyGatedLines uint64 `json:"l2PolicyGatedLines,omitempty"`
+	L2PolicyWritebacks uint64 `json:"l2PolicyWritebacks,omitempty"`
 }
 
 func summarize(res *sim.Result) resultSummary {
@@ -300,6 +487,11 @@ func summarize(res *sim.Result) resultSummary {
 		L2Downsizes:         res.L2.Downsizes,
 		L2ResizeWritebacks:  res.Mem.L2ResizeWritebacks,
 		MemAccesses:         res.Mem.MemAccesses,
+		PolicyWakeups:       res.L1IPolicyStats.Wakeups,
+		PolicyGatedLines:    res.L1IPolicyStats.GatedLines,
+		L2PolicyWakeups:     res.L2PolicyStats.Wakeups,
+		L2PolicyGatedLines:  res.L2PolicyStats.GatedLines,
+		L2PolicyWritebacks:  res.Mem.L2PolicyWritebacks,
 	}
 }
 
@@ -347,6 +539,7 @@ type comparisonSummary struct {
 	LeakageShareOfED    float64      `json:"leakageShareOfED"`
 	DynamicShareOfED    float64      `json:"dynamicShareOfED"`
 	SlowdownPct         float64      `json:"slowdownPct"`
+	ExtraPolicyNJ       float64      `json:"extraPolicyNJ,omitempty"`
 	AvgActiveFraction   float64      `json:"avgActiveFraction"`
 	L2AvgActiveFraction float64      `json:"l2AvgActiveFraction"`
 	ConvCycles          uint64       `json:"convCycles"`
@@ -372,6 +565,7 @@ func summarizeComparison(cmp sim.Comparison) comparisonSummary {
 		LeakageShareOfED:    cmp.LeakageShareOfED,
 		DynamicShareOfED:    cmp.DynamicShareOfED,
 		SlowdownPct:         cmp.SlowdownPct,
+		ExtraPolicyNJ:       cmp.ExtraPolicyDynamicNJ,
 		AvgActiveFraction:   cmp.DRI.AvgActiveFraction,
 		L2AvgActiveFraction: cmp.DRI.L2AvgActiveFraction,
 		ConvCycles:          cmp.Conv.CPU.Cycles,
@@ -396,9 +590,11 @@ func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
-	if !cfg.Mem.L1I.Params.Enabled && !cfg.Mem.L2.Params.Enabled {
+	// decodeRun normalizes conventional selectors away, so "nothing but
+	// the baseline" is exactly "the config equals its own baseline".
+	if cfg == sim.BaselineSimConfig(cfg) {
 		writeError(w, http.StatusBadRequest,
-			"compare requires a DRI configuration (set cache.dri and/or l2.dri)")
+			"compare requires a DRI or policy configuration (set cache.dri and/or l2.dri, or a policy)")
 		return
 	}
 	cmp, outcome := s.eng.CompareSimCached(cfg, prog)
@@ -425,14 +621,21 @@ type sweepRequest struct {
 	SizeBytes int `json:"sizeBytes"`
 	Assoc     int `json:"assoc"`
 	// L2, when set, fixes the unified L2 for every sweep point — with
-	// l2.dri this makes the whole sweep a joint L1×L2 DRI study, and every
-	// point's response carries the per-level total-leakage breakdown.
+	// l2.dri this makes the whole sweep a joint L1×L2 DRI study (l2.policy
+	// selects an L2 leakage policy instead), and every point's response
+	// carries the per-level total-leakage breakdown.
 	L2 *l2Request `json:"l2"`
+	// Policy, when set, applies a leakage-control policy to the L1 i-cache
+	// at every point. With kind dri the miss-bound × size-bound grid
+	// parameterizes the controller as usual; any other kind supplies its
+	// own parameters, so the grid collapses to one point per benchmark.
+	Policy *policyRequest `json:"policy"`
 }
 
 type sweepPoint struct {
-	MissBound  uint64            `json:"missBound"`
-	SizeBound  int               `json:"sizeBound"`
+	MissBound  uint64            `json:"missBound,omitempty"`
+	SizeBound  int               `json:"sizeBound,omitempty"`
+	Policy     string            `json:"policy,omitempty"`
 	Comparison comparisonSummary `json:"comparison"`
 }
 
@@ -488,6 +691,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var l2Cfg *dri.Config
+	var l2Pol *policy.Config
 	if req.L2 != nil {
 		cfg, err := buildL2Config(req.L2)
 		if err != nil {
@@ -495,9 +699,36 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		l2Cfg = &cfg
+		if req.L2.Policy != nil {
+			pol, err := buildPolicyConfig(req.L2.Policy, scale.SenseInterval)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "l2: %v", err)
+				return
+			}
+			if pol.Kind == policy.DRI && !cfg.Params.Enabled {
+				writeError(w, http.StatusBadRequest, "l2: policy kind dri requires l2.dri parameters")
+				return
+			}
+			l2Pol = &pol
+		}
+	}
+	var polCfg *policy.Config
+	if req.Policy != nil {
+		pol, err := buildPolicyConfig(req.Policy, scale.SenseInterval)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		polCfg = &pol
 	}
 
 	points := len(progs) * len(space.MissBounds) * len(space.SizeBounds)
+	if polCfg != nil && polCfg.Kind != policy.DRI {
+		// A non-DRI policy carries its own parameters; the miss-bound ×
+		// size-bound grid does not apply, so the sweep is one point per
+		// benchmark.
+		points = len(progs)
+	}
 	if points > s.maxSweepPoints {
 		writeError(w, http.StatusBadRequest,
 			"sweep of %d points exceeds server limit %d", points, s.maxSweepPoints)
@@ -505,16 +736,37 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var tasks []exp.Task
-	for _, p := range progs {
-		for _, mb := range space.MissBounds {
-			for _, sb := range space.SizeBounds {
-				cfg := geometry
-				cfg.Params = runner.Params(mb, sb)
-				if err := cfg.Check(); err != nil {
-					writeError(w, http.StatusBadRequest, "%v", err)
-					return
+	addTask := func(t exp.Task) bool {
+		cfg := t.SimConfig(scale.Instructions)
+		if err := cfg.Mem.Check(); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return false
+		}
+		tasks = append(tasks, t)
+		return true
+	}
+	if polCfg != nil && polCfg.Kind != policy.DRI {
+		// A conventional selector is the baseline itself; run it without
+		// the selector so the point and its baseline share one simulation.
+		taskPol := polCfg
+		if polCfg.Kind == policy.Conventional {
+			taskPol = nil
+		}
+		for _, p := range progs {
+			if !addTask(exp.Task{Prog: p, Config: geometry, L2: l2Cfg, Policy: taskPol, L2Policy: l2Pol, Label: string(polCfg.Kind)}) {
+				return
+			}
+		}
+	} else {
+		for _, p := range progs {
+			for _, mb := range space.MissBounds {
+				for _, sb := range space.SizeBounds {
+					cfg := geometry
+					cfg.Params = runner.Params(mb, sb)
+					if !addTask(exp.Task{Prog: p, Config: cfg, L2: l2Cfg, Policy: polCfg, L2Policy: l2Pol}) {
+						return
+					}
 				}
-				tasks = append(tasks, exp.Task{Prog: p, Config: cfg, L2: l2Cfg})
 			}
 		}
 	}
@@ -525,6 +777,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		rows[tr.Prog.Name] = append(rows[tr.Prog.Name], sweepPoint{
 			MissBound:  tr.Config.Params.MissBound,
 			SizeBound:  tr.Config.Params.SizeBoundBytes,
+			Policy:     tr.Label,
 			Comparison: summarizeComparison(tr.Cmp),
 		})
 	}

@@ -7,6 +7,8 @@
 //	drisim -bench applu -n 4000000                 # conventional baseline
 //	drisim -bench applu -dri -missbound 256 -sizebound 2048
 //	drisim -bench gcc -dri -compare -timeline      # DRI vs baseline + resize log
+//	drisim -bench gcc -policy drowsy -assoc 4 -compare
+//	drisim -bench gcc -policy decay -compare       # per-line gated-Vdd
 //	drisim -config                                 # print the Table 1 system
 //	drisim -all                                    # conventional IPC/missrate survey
 package main
@@ -20,6 +22,7 @@ import (
 
 	"dricache/internal/dri"
 	"dricache/internal/isa"
+	"dricache/internal/policy"
 	"dricache/internal/sim"
 	"dricache/internal/stats"
 	"dricache/internal/trace"
@@ -42,6 +45,12 @@ func main() {
 		compare   = flag.Bool("compare", false, "also run the conventional baseline and report energy")
 		timeline  = flag.Bool("timeline", false, "print the resize event log")
 		curve     = flag.Bool("curve", false, "print the benchmark's miss rate vs fixed cache size")
+
+		policyName = flag.String("policy", "", "leakage-control policy: dri|decay|drowsy|waygate|conventional (empty = follow -dri)")
+		decayIvals = flag.Int("decayintervals", 4, "decay: idle policy ticks before a line is gated off")
+		wakeup     = flag.Int("wakeup", 1, "drowsy: wakeup penalty in cycles")
+		drowsyLeak = flag.Float64("drowsyleak", 0.15, "drowsy: low-Vdd leakage fraction in [0,1]")
+		minWays    = flag.Int("minways", 1, "waygate: minimum powered ways")
 	)
 	flag.Parse()
 
@@ -70,8 +79,9 @@ func main() {
 		return
 	}
 
+	useController := *useDRI || *policyName == "dri"
 	l1i := dri.Config{SizeBytes: *size, BlockBytes: 32, Assoc: *assoc, AddrBits: 32}
-	if *useDRI {
+	if useController {
 		l1i.Params = dri.Params{
 			Enabled:            true,
 			MissBound:          *missBound,
@@ -82,19 +92,64 @@ func main() {
 			ThrottleIntervals:  10,
 		}
 	}
-	if err := l1i.Check(); err != nil {
+
+	var pol *policy.Config
+	switch *policyName {
+	case "":
+		// Legacy behaviour: the cache follows the -dri flag alone.
+	case "dri":
+		pol = &policy.Config{Kind: policy.DRI}
+	case "conventional":
+		pol = &policy.Config{Kind: policy.Conventional}
+	case "decay":
+		c := policy.DefaultDecay(*interval)
+		c.DecayIntervals = *decayIvals
+		pol = &c
+	case "drowsy":
+		c := policy.DefaultDrowsy(*interval)
+		c.WakeupCycles = *wakeup
+		c.DrowsyLeakFraction = *drowsyLeak
+		pol = &c
+	case "waygate":
+		c := policy.DefaultWayGate(*interval)
+		c.MissBound = *missBound
+		c.MinWays = *minWays
+		pol = &c
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -policy %q (want dri|decay|drowsy|waygate|conventional)\n", *policyName)
+		os.Exit(1)
+	}
+
+	cfg := sim.Default(l1i, *n)
+	if pol != nil {
+		cfg = cfg.WithL1IPolicy(*pol)
+	}
+	if err := cfg.Mem.Check(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	if *compare && *useDRI {
-		cmp := sim.Compare(l1i, prog, *n, nil)
+	leakageControlled := useController ||
+		(pol != nil && pol.Kind != policy.Conventional)
+	if *compare && !leakageControlled {
+		fmt.Fprintln(os.Stderr,
+			"-compare ignored: the configuration is the conventional baseline itself (select -dri or a leakage policy)")
+	}
+	if *compare && leakageControlled {
+		cmp := sim.CompareSim(cfg, prog, nil)
+		label := "DRI"
+		if *policyName != "" {
+			label = *policyName
+		}
 		printRun("conventional", cmp.Conv)
-		printRun("DRI", cmp.DRI)
+		printRun(label, cmp.DRI)
 		fmt.Printf("\nenergy (vs conventional):\n")
 		fmt.Printf("  L1 leakage          %12.1f nJ\n", cmp.L1LeakageNJ)
 		fmt.Printf("  extra L1 dynamic    %12.1f nJ\n", cmp.ExtraL1DynamicNJ)
 		fmt.Printf("  extra L2 dynamic    %12.1f nJ\n", cmp.ExtraL2DynamicNJ)
+		if cmp.ExtraPolicyDynamicNJ > 0 {
+			fmt.Printf("  policy transitions  %12.1f nJ\n", cmp.ExtraPolicyDynamicNJ)
+		}
 		fmt.Printf("  effective           %12.1f nJ\n", cmp.EffectiveNJ)
 		fmt.Printf("  conventional        %12.1f nJ\n", cmp.ConvLeakageNJ)
 		fmt.Printf("  relative energy     %12.3f\n", cmp.RelativeEnergy)
@@ -107,7 +162,7 @@ func main() {
 		return
 	}
 
-	res := sim.Run(sim.Default(l1i, *n), prog)
+	res := sim.Run(cfg, prog)
 	printRun(prog.Name, res)
 	if *timeline {
 		printTimeline(res)
@@ -126,6 +181,10 @@ func printRun(label string, r sim.Result) {
 		r.Mem.L2Accesses(), r.Mem.L2AccessesFromI, r.Mem.L2AccessesFromD)
 	fmt.Printf("  avg active    %12.3f   (resizes: %d up, %d down; throttles %d)\n",
 		r.AvgActiveFraction, r.ICache.Upsizes, r.ICache.Downsizes, r.ICache.ThrottleTrips)
+	if ps := r.L1IPolicyStats; ps.Ticks > 0 {
+		fmt.Printf("  policy        %12d ticks  (gated lines %d, wakeups %d, sleep transitions %d)\n",
+			ps.Ticks, ps.GatedLines, ps.Wakeups, ps.DrowsyTransitions)
+	}
 	if len(r.SizeResidency) > 0 {
 		sizes := make([]int, 0, len(r.SizeResidency))
 		for s := range r.SizeResidency {

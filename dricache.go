@@ -34,6 +34,7 @@ import (
 	"dricache/internal/engine"
 	"dricache/internal/exp"
 	"dricache/internal/mem"
+	"dricache/internal/policy"
 	"dricache/internal/sim"
 	"dricache/internal/trace"
 )
@@ -85,6 +86,16 @@ type (
 	TotalBreakdown = energy.TotalBreakdown
 	// LevelBreakdown is one cache level's share of a TotalBreakdown.
 	LevelBreakdown = energy.LevelBreakdown
+	// PolicyConfig selects and parameterizes a leakage-control policy for
+	// one cache level: conventional, dri, decay, drowsy, or waygate.
+	PolicyConfig = policy.Config
+	// PolicyStats counts per-line policy activity (decay gatings, drowsy
+	// wakeups and sleep transitions).
+	PolicyStats = policy.Stats
+	// PolicyChoice names one contender in a policy shoot-out sweep.
+	PolicyChoice = exp.PolicyChoice
+	// PolicyPoint is one (benchmark, policy) cell of a shoot-out grid.
+	PolicyPoint = exp.PolicyPoint
 )
 
 // Default64KEnergyModel returns the §5.2 constants for the paper's base
@@ -158,6 +169,34 @@ func CompareJoint(l1i, l2 CacheConfig, bench Benchmark, instructions uint64) Com
 	return sim.CompareSim(sim.Default(l1i, instructions).WithL2(l2), bench, nil)
 }
 
+// NewDecay returns the standard cache-decay policy at the given sense
+// interval: per-line gated-Vdd after an idle-interval countdown — contents
+// lost, zero leakage while off, extra misses on re-reference (the
+// state-destroying regime of Bai et al.'s trade-off analysis).
+func NewDecay(senseInterval uint64) PolicyConfig { return policy.DefaultDecay(senseInterval) }
+
+// NewDrowsy returns the standard drowsy policy at the given sense interval:
+// per-line state-preserving low-Vdd — no extra misses, a wakeup-cycle
+// penalty on the next hit, and leakage reduced to a low-Vdd fraction
+// instead of zero (the state-preserving regime of Bai et al.).
+func NewDrowsy(senseInterval uint64) PolicyConfig { return policy.DefaultDrowsy(senseInterval) }
+
+// NewWayGate returns the standard way-gating policy at the given sense
+// interval: whole ways powered off under the same miss-bound feedback loop
+// as DRI (after Ishihara & Fallah's way memoization). It requires a
+// set-associative cache.
+func NewWayGate(senseInterval uint64) PolicyConfig { return policy.DefaultWayGate(senseInterval) }
+
+// ComparePolicy runs bench under the given L1 i-cache and leakage-control
+// policy against the conventional baseline of the same geometry, returning
+// the paired results with both energy accounts. For decay/drowsy levels the
+// reported active fraction is the policy's effective leakage fraction
+// (drowsy lines leak at the low-Vdd fraction instead of zero), and policy
+// transitions are priced into the dynamic overhead.
+func ComparePolicy(l1i CacheConfig, pol PolicyConfig, bench Benchmark, instructions uint64) Comparison {
+	return sim.CompareSim(sim.Default(l1i, instructions).WithL1IPolicy(pol), bench, nil)
+}
+
 // NewEngine returns a simulation engine whose worker pool is bounded at
 // workers concurrent simulations (0 means GOMAXPROCS). All submissions —
 // Run, Compare, experiment sweeps via NewExperimentsOn — share its result
@@ -183,6 +222,23 @@ func NewExperimentsOn(eng *Engine, scale Scale) *Experiments {
 // DefaultScale is the cmd-tool experiment scale: 4M instructions with
 // 100K-instruction sense intervals.
 func DefaultScale() Scale { return exp.DefaultScale() }
+
+// QuickScale is the test scale: 1M instructions with 50K-instruction sense
+// intervals.
+func QuickScale() Scale { return exp.QuickScale() }
+
+// BestPolicy picks, per benchmark, the shoot-out policy with the lowest
+// relative energy-delay subject to the slowdown constraint.
+func BestPolicy(points []PolicyPoint, maxSlowdownPct float64) map[string]PolicyPoint {
+	return exp.BestPolicy(points, maxSlowdownPct)
+}
+
+// FormatPolicies renders a policy shoot-out as a benchmark × policy grid of
+// relative energy-delay cells (the paper's Table 2 style).
+func FormatPolicies(points []PolicyPoint) string { return exp.FormatPolicies(points) }
+
+// FormatBestPolicies renders BestPolicy's winners as a table.
+func FormatBestPolicies(best map[string]PolicyPoint) string { return exp.FormatBestPolicies(best) }
 
 // Table2 evaluates the paper's three cell configurations (base high-Vt,
 // base low-Vt, NMOS gated-Vdd) at the default 0.18µ/110°C operating point.

@@ -1,0 +1,63 @@
+// Policy shoot-out: the leakage-control design space as a grid. Every
+// benchmark runs under every policy — conventional, the paper's DRI, cache
+// decay (per-line gated-Vdd), drowsy (per-line low-Vdd), and way gating —
+// on a common 64K 4-way L1 i-cache, so the techniques are scored against
+// the same conventional baseline. This is the comparison Bai et al. frame:
+// state-preserving and state-destroying techniques win in different regions
+// of the power-performance space, and the grid shows which region each
+// benchmark occupies.
+//
+// The sweep runs through the shared simulation engine, so all five policies
+// of a benchmark reuse one conventional baseline simulation.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"dricache"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run at test scale (1M instructions) for smoke tests")
+	flag.Parse()
+
+	scale := dricache.DefaultScale()
+	benchNames := []string{"applu", "m88ksim", "gcc", "tomcatv", "li", "perl"}
+	if *quick {
+		scale = dricache.QuickScale()
+		benchNames = benchNames[:3]
+	}
+
+	runner := dricache.NewExperiments(scale)
+	var benches []dricache.Benchmark
+	for _, name := range benchNames {
+		b, err := dricache.BenchmarkByName(name)
+		if err != nil {
+			panic(err)
+		}
+		benches = append(benches, b)
+	}
+
+	choices := runner.StandardPolicyChoices()
+	fmt.Printf("policy shoot-out: %d benchmarks × %d policies at %d instructions\n\n",
+		len(benches), len(choices), scale.Instructions)
+
+	points := runner.PolicySweep(benches, choices)
+	fmt.Println("relative energy-delay (slowdown) per benchmark × policy:")
+	fmt.Print(dricache.FormatPolicies(points))
+
+	fmt.Println("\nwinners under a 4% slowdown budget:")
+	fmt.Print(dricache.FormatBestPolicies(dricache.BestPolicy(points, 4)))
+
+	// The drowsy/decay contrast in one line: drowsy never misses more than
+	// conventional, decay always does.
+	for _, p := range points {
+		if p.Bench == benches[0].Name && (p.Policy == "decay" || p.Policy == "drowsy") {
+			fmt.Printf("\n%s/%s: %d misses vs %d conventional, wakeups %d, gated lines %d\n",
+				p.Bench, p.Policy,
+				p.Cmp.DRI.ICache.Misses, p.Cmp.Conv.ICache.Misses,
+				p.Cmp.DRI.L1IPolicyStats.Wakeups, p.Cmp.DRI.L1IPolicyStats.GatedLines)
+		}
+	}
+}

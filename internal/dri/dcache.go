@@ -12,6 +12,20 @@ package dri
 // energy model can charge it (each writeback is an extra L2 access, and a
 // resize stalls while the burst drains).
 
+// WritebackCause labels why a dirty block left the cache.
+type WritebackCause int
+
+const (
+	// WBDemand is an ordinary dirty-victim eviction.
+	WBDemand WritebackCause = iota
+	// WBResize is a flush forced by the resize machinery gating a set or
+	// way.
+	WBResize
+	// WBPolicy is a flush forced by a per-line leakage policy (cache
+	// decay) gating a frame.
+	WBPolicy
+)
+
 // DataStats extends the i-cache statistics with write traffic.
 type DataStats struct {
 	Stats
@@ -21,6 +35,9 @@ type DataStats struct {
 	// ResizeWritebacks counts dirty blocks flushed because their set was
 	// gated off by a downsize — the cost the paper worried about.
 	ResizeWritebacks uint64
+	// PolicyWritebacks counts dirty blocks flushed because a per-line
+	// leakage policy gated their frame.
+	PolicyWritebacks uint64
 }
 
 // DataCache is a DRI cache with write-back/write-allocate semantics. It
@@ -31,9 +48,9 @@ type DataCache struct {
 	Cache
 	dirty  []bool
 	dstats DataStats
-	// onWriteback, if set, receives the block address of every writeback
-	// (demand or resize-triggered, flagged by fromResize).
-	onWriteback func(block uint64, fromResize bool)
+	// onWriteback, if set, receives the block address and cause of every
+	// writeback.
+	onWriteback func(block uint64, cause WritebackCause)
 }
 
 // NewData builds a DRI data cache; it panics on an invalid configuration.
@@ -50,7 +67,7 @@ func NewData(cfg Config) *DataCache {
 }
 
 // SetWritebackHandler registers a sink for writeback traffic (e.g. the L2).
-func (d *DataCache) SetWritebackHandler(h func(block uint64, fromResize bool)) {
+func (d *DataCache) SetWritebackHandler(h func(block uint64, cause WritebackCause)) {
 	d.onWriteback = h
 }
 
@@ -61,8 +78,8 @@ func (d *DataCache) DataStats() DataStats {
 	return s
 }
 
-// noteGatedFrame is called by the resize machinery for every frame it
-// invalidates; dirty frames must be written back first.
+// noteGatedFrame is called by the resize machinery (and GateFrame) for
+// every frame it invalidates; dirty frames must be written back first.
 func (d *DataCache) noteGatedFrame(frame int, fromResize bool) {
 	if !d.dirty[frame] {
 		return
@@ -71,13 +88,19 @@ func (d *DataCache) noteGatedFrame(frame int, fromResize bool) {
 	if !d.Cache.valid[frame] {
 		return
 	}
-	if fromResize {
+	cause := WBDemand
+	switch {
+	case d.Cache.policyGate:
+		cause = WBPolicy
+		d.dstats.PolicyWritebacks++
+	case fromResize:
+		cause = WBResize
 		d.dstats.ResizeWritebacks++
-	} else {
+	default:
 		d.dstats.Writebacks++
 	}
 	if d.onWriteback != nil {
-		d.onWriteback(d.Cache.tags[frame], fromResize)
+		d.onWriteback(d.Cache.tags[frame], cause)
 	}
 }
 
@@ -99,6 +122,9 @@ func (d *DataCache) AccessData(block uint64, write bool) bool {
 			if write {
 				d.dirty[i] = true
 			}
+			if c.onAccess != nil {
+				c.onAccess(i, true)
+			}
 			return true
 		}
 	}
@@ -108,7 +134,7 @@ func (d *DataCache) AccessData(block uint64, write bool) bool {
 	if c.valid[victim] && d.dirty[victim] {
 		d.dstats.Writebacks++
 		if d.onWriteback != nil {
-			d.onWriteback(c.tags[victim], false)
+			d.onWriteback(c.tags[victim], WBDemand)
 		}
 	}
 	c.stats.Fills++
@@ -116,6 +142,9 @@ func (d *DataCache) AccessData(block uint64, write bool) bool {
 	c.valid[victim] = true
 	c.lastUse[victim] = c.stamp
 	d.dirty[victim] = write
+	if c.onAccess != nil {
+		c.onAccess(victim, false)
+	}
 	return false
 }
 

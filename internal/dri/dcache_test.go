@@ -36,10 +36,10 @@ func TestDataCacheReadWrite(t *testing.T) {
 func TestDataCacheDemandWriteback(t *testing.T) {
 	d := NewData(dcfg(1000, 100, 1<<10))
 	var wbBlocks []uint64
-	var wbResize []bool
-	d.SetWritebackHandler(func(b uint64, fromResize bool) {
+	var wbCauses []WritebackCause
+	d.SetWritebackHandler(func(b uint64, cause WritebackCause) {
 		wbBlocks = append(wbBlocks, b)
-		wbResize = append(wbResize, fromResize)
+		wbCauses = append(wbCauses, cause)
 	})
 	sets := uint64(d.Config().Sets())
 	// Fill both ways of set 0 dirty, then evict with a third conflicting
@@ -47,9 +47,9 @@ func TestDataCacheDemandWriteback(t *testing.T) {
 	d.AccessData(0, true)
 	d.AccessData(sets, true)
 	d.AccessData(2*sets, false) // evicts LRU (block 0)
-	if len(wbBlocks) != 1 || wbBlocks[0] != 0 || wbResize[0] {
-		t.Fatalf("writebacks = %v (resize flags %v), want demand writeback of block 0",
-			wbBlocks, wbResize)
+	if len(wbBlocks) != 1 || wbBlocks[0] != 0 || wbCauses[0] != WBDemand {
+		t.Fatalf("writebacks = %v (causes %v), want demand writeback of block 0",
+			wbBlocks, wbCauses)
 	}
 	if d.DataStats().Writebacks != 1 {
 		t.Fatalf("writeback count = %d", d.DataStats().Writebacks)
@@ -59,7 +59,7 @@ func TestDataCacheDemandWriteback(t *testing.T) {
 func TestDataCacheCleanEvictionSilent(t *testing.T) {
 	d := NewData(dcfg(1000, 100, 1<<10))
 	called := false
-	d.SetWritebackHandler(func(uint64, bool) { called = true })
+	d.SetWritebackHandler(func(uint64, WritebackCause) { called = true })
 	sets := uint64(d.Config().Sets())
 	d.AccessData(0, false)
 	d.AccessData(sets, false)
@@ -79,8 +79,8 @@ func TestDataCacheResizeWritebacks(t *testing.T) {
 		d.AccessData(uint64(b), true) // one dirty block per set
 	}
 	var resizeWBs int
-	d.SetWritebackHandler(func(b uint64, fromResize bool) {
-		if fromResize {
+	d.SetWritebackHandler(func(b uint64, cause WritebackCause) {
+		if cause == WBResize {
 			resizeWBs++
 		}
 	})

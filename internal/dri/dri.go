@@ -288,6 +288,15 @@ type Cache struct {
 	// write-back extension can flush dirty contents. fromResize is always
 	// true here; demand evictions do not pass through this hook.
 	onInvalidate func(frame int, fromResize bool)
+
+	// onAccess, when set, is called once per access with the frame that
+	// served it (the hit frame or the fill victim). Leakage policies
+	// (internal/policy) use it for per-line bookkeeping; it must not
+	// mutate the cache.
+	onAccess func(frame int, hit bool)
+	// policyGate is set while GateFrame invalidates, distinguishing a
+	// per-line policy gating from a resize in the invalidation hook.
+	policyGate bool
 }
 
 // New builds a DRI i-cache; it panics on an invalid configuration.
@@ -362,16 +371,22 @@ func (c *Cache) AccessBlock(block uint64) bool {
 		i := base + w
 		if c.valid[i] && c.tags[i] == block {
 			c.lastUse[i] = c.stamp
+			if c.onAccess != nil {
+				c.onAccess(i, true)
+			}
 			return true
 		}
 	}
 	c.stats.Misses++
 	c.intervalMisses++
-	c.fill(base, block)
+	victim := c.fill(base, block)
+	if c.onAccess != nil {
+		c.onAccess(victim, false)
+	}
 	return false
 }
 
-func (c *Cache) fill(base int, block uint64) {
+func (c *Cache) fill(base int, block uint64) int {
 	c.stats.Fills++
 	victim := base
 	found := false
@@ -397,6 +412,31 @@ func (c *Cache) fill(base int, block uint64) {
 	c.tags[victim] = block
 	c.valid[victim] = true
 	c.lastUse[victim] = c.stamp
+	return victim
+}
+
+// NumFrames returns the number of line frames (sets × assoc) at full size.
+func (c *Cache) NumFrames() int { return len(c.valid) }
+
+// SetAccessHook registers f to be called once per access with the frame
+// that served it (the hit frame or the fill victim) and whether it hit.
+// Leakage policies use it for per-line bookkeeping; f must not mutate the
+// cache.
+func (c *Cache) SetAccessHook(f func(frame int, hit bool)) { c.onAccess = f }
+
+// GateFrame powers one frame off: its contents are lost (dirty data is
+// flushed through the invalidation hook first) and, at the circuit level,
+// its cells stop leaking until the next fill re-powers them. It is the
+// per-line entry point for leakage policies (cache decay); the policyGate
+// flag lets the write-back extension attribute the flush to the policy
+// rather than to the resize machinery.
+func (c *Cache) GateFrame(frame int) {
+	c.policyGate = true
+	if c.onInvalidate != nil {
+		c.onInvalidate(frame, true)
+	}
+	c.policyGate = false
+	c.valid[frame] = false
 }
 
 // Probe reports whether block is present at the current size without

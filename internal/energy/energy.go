@@ -74,6 +74,10 @@ type Inputs struct {
 	// ExtraL2Accesses is the DRI run's L2-accesses-from-instruction-fetch
 	// minus the conventional baseline's (negative values clamp to zero).
 	ExtraL2Accesses int64
+	// ExtraPolicyNJ is the dynamic energy of per-line leakage-policy
+	// activity (drowsy wakeups, sleep-transistor actuations), priced by a
+	// PolicyModel; zero for the paper's DRI runs.
+	ExtraPolicyNJ float64
 }
 
 // Breakdown is the full §5.2 accounting for one run.
@@ -82,9 +86,12 @@ type Breakdown struct {
 	L1LeakageNJ      float64
 	ExtraL1DynamicNJ float64
 	ExtraL2DynamicNJ float64
-	EffectiveNJ      float64
-	ConvLeakageNJ    float64
-	SavingsNJ        float64
+	// ExtraPolicyDynamicNJ is the per-line policy transition energy
+	// (wakeups and gatings); zero for DRI and conventional runs.
+	ExtraPolicyDynamicNJ float64
+	EffectiveNJ          float64
+	ConvLeakageNJ        float64
+	SavingsNJ            float64
 
 	// RelativeEnergy is effective / conventional leakage energy.
 	RelativeEnergy float64
@@ -109,7 +116,8 @@ func (m Model) Evaluate(in Inputs) Breakdown {
 		extra = 0
 	}
 	b.ExtraL2DynamicNJ = m.L2AccessNJ * float64(extra)
-	b.EffectiveNJ = b.L1LeakageNJ + b.ExtraL1DynamicNJ + b.ExtraL2DynamicNJ
+	b.ExtraPolicyDynamicNJ = in.ExtraPolicyNJ
+	b.EffectiveNJ = b.L1LeakageNJ + b.ExtraL1DynamicNJ + b.ExtraL2DynamicNJ + b.ExtraPolicyDynamicNJ
 	b.ConvLeakageNJ = m.ConvLeakPerCycleNJ * float64(in.ConvCycles)
 	b.SavingsNJ = b.ConvLeakageNJ - b.EffectiveNJ
 
@@ -213,6 +221,12 @@ type TotalInputs struct {
 	// baseline's, including L2 downsize writeback bursts (L2 downsizing
 	// cost; negative clamps to zero).
 	ExtraMemAccesses int64
+
+	// L1IExtraPolicyNJ and L2ExtraPolicyNJ are each level's per-line
+	// policy transition energy (drowsy wakeups, sleep-transistor
+	// actuations), priced by a PolicyModel; zero for DRI levels.
+	L1IExtraPolicyNJ float64
+	L2ExtraPolicyNJ  float64
 }
 
 // LevelBreakdown is one cache level's share of the total account (nJ).
@@ -268,7 +282,7 @@ func (m TotalModel) Evaluate(in TotalInputs) TotalBreakdown {
 		ConvLeakageNJ:  m.L1ILeakPerCycleNJ * convCycles,
 		ActiveFraction: in.L1IAvgActiveFraction,
 		ExtraDynamicNJ: float64(in.L1IResizingTagBits)*m.L1IBitlineNJ*float64(in.L1IAccesses) +
-			m.L2AccessNJ*clamp(in.ExtraL2Accesses),
+			m.L2AccessNJ*clamp(in.ExtraL2Accesses) + in.L1IExtraPolicyNJ,
 	}
 	b.L1D = LevelBreakdown{
 		LeakageNJ:      m.L1DLeakPerCycleNJ * cycles,
@@ -280,7 +294,7 @@ func (m TotalModel) Evaluate(in TotalInputs) TotalBreakdown {
 		ConvLeakageNJ:  m.L2LeakPerCycleNJ * convCycles,
 		ActiveFraction: in.L2AvgActiveFraction,
 		ExtraDynamicNJ: float64(in.L2ResizingTagBits)*m.L2BitlineNJ*float64(in.L2Accesses) +
-			m.MemAccessNJ*clamp(in.ExtraMemAccesses),
+			m.MemAccessNJ*clamp(in.ExtraMemAccesses) + in.L2ExtraPolicyNJ,
 	}
 
 	b.EffectiveNJ = b.L1I.EffectiveNJ() + b.L1D.EffectiveNJ() + b.L2.EffectiveNJ()

@@ -1,0 +1,53 @@
+package energy
+
+// Per-policy dynamic-energy accounting. The leakage side of every policy
+// flows through the active/leakage-fraction channel (a drowsy line leaks at
+// a low-Vdd fraction instead of zero, a decayed line at zero, a gated DRI
+// set at zero), so the existing Evaluate equations already price it; what
+// remains is the dynamic energy of the per-line state machinery itself —
+// restoring a drowsy line's supply voltage on a wakeup and actuating a
+// line's sleep transistor on a mode change. Both are local events on one
+// line's supply rail, on the order of a bitline swing (the drowsy
+// literature's argument that transition energy is negligible per event),
+// so the model derives them from the CACTI-lite bitline energy rather than
+// introducing new constants.
+
+import "dricache/internal/cacti"
+
+// PolicyModel prices per-line leakage-policy transitions for one cache
+// organization.
+type PolicyModel struct {
+	// WakeupNJ is the dynamic energy to restore a drowsy line to full
+	// supply voltage (charged per wakeup hit).
+	WakeupNJ float64
+	// TransitionNJ is the energy to actuate one line's sleep transistor
+	// (charged per decay gating and per awake→drowsy drop).
+	TransitionNJ float64
+}
+
+// NewPolicyModel derives the transition constants from the CACTI-lite
+// model: a wakeup recharges the line's local rail (approximately two
+// bitline swings), a sleep-transistor actuation approximately one.
+func NewPolicyModel(m *cacti.Model, org cacti.Org) PolicyModel {
+	bitline := m.BitlineEnergyNJ(org)
+	return PolicyModel{
+		WakeupNJ:     2 * bitline,
+		TransitionNJ: bitline,
+	}
+}
+
+// PolicyFor builds the transition-cost model for an arbitrary cache
+// geometry at the 0.18µ low-Vt operating point.
+func PolicyFor(o CacheOrg) PolicyModel {
+	m := cacti.Default018()
+	return NewPolicyModel(m, cacti.Org{
+		SizeBytes: o.SizeBytes, BlockBytes: o.BlockBytes, Assoc: o.Assoc,
+		AddrBits: 32, StatusBits: 1,
+	})
+}
+
+// CostNJ prices a run's policy activity: wakeups at WakeupNJ plus sleep
+// transitions at TransitionNJ.
+func (p PolicyModel) CostNJ(wakeups, transitions uint64) float64 {
+	return float64(wakeups)*p.WakeupNJ + float64(transitions)*p.TransitionNJ
+}

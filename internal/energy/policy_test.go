@@ -1,0 +1,63 @@
+package energy
+
+import "testing"
+
+func TestPolicyModelConstants(t *testing.T) {
+	pm := PolicyFor(CacheOrg{SizeBytes: 64 << 10, BlockBytes: 32, Assoc: 1})
+	if pm.WakeupNJ <= 0 || pm.TransitionNJ <= 0 {
+		t.Fatalf("non-positive policy constants: %+v", pm)
+	}
+	if pm.WakeupNJ <= pm.TransitionNJ {
+		t.Fatalf("a wakeup (rail recharge) should cost more than a gate actuation: %+v", pm)
+	}
+	// Per-event costs are tiny relative to a cycle of array leakage — the
+	// drowsy literature's premise that transition energy is negligible.
+	m := Default64K()
+	if pm.WakeupNJ >= m.ConvLeakPerCycleNJ {
+		t.Fatalf("wakeup %v nJ not small vs leakage %v nJ/cycle", pm.WakeupNJ, m.ConvLeakPerCycleNJ)
+	}
+	if got := pm.CostNJ(10, 100); got != 10*pm.WakeupNJ+100*pm.TransitionNJ {
+		t.Fatalf("CostNJ = %v", got)
+	}
+	if pm.CostNJ(0, 0) != 0 {
+		t.Fatal("zero activity must cost zero")
+	}
+}
+
+func TestEvaluateAddsPolicyEnergy(t *testing.T) {
+	m := Default64K()
+	base := Inputs{
+		Cycles: 1000, ConvCycles: 1000,
+		L1Accesses: 1000, AvgActiveFraction: 0.5,
+	}
+	withPol := base
+	withPol.ExtraPolicyNJ = 42
+	a := m.Evaluate(base)
+	b := m.Evaluate(withPol)
+	if b.ExtraPolicyDynamicNJ != 42 {
+		t.Fatalf("ExtraPolicyDynamicNJ = %v, want 42", b.ExtraPolicyDynamicNJ)
+	}
+	if b.EffectiveNJ != a.EffectiveNJ+42 {
+		t.Fatalf("EffectiveNJ = %v, want %v", b.EffectiveNJ, a.EffectiveNJ+42)
+	}
+	if b.RelativeEnergy <= a.RelativeEnergy {
+		t.Fatal("policy energy must raise relative energy")
+	}
+}
+
+func TestTotalEvaluateAddsPolicyEnergyPerLevel(t *testing.T) {
+	m := TotalFor(defaultOrgs())
+	in := TotalInputs{
+		Cycles: 1000, ConvCycles: 1000,
+		L1IAvgActiveFraction: 1, L2AvgActiveFraction: 1,
+		L1IExtraPolicyNJ: 7, L2ExtraPolicyNJ: 11,
+	}
+	b := m.Evaluate(in)
+	if b.L1I.ExtraDynamicNJ != 7 || b.L2.ExtraDynamicNJ != 11 {
+		t.Fatalf("per-level policy energy misrouted: L1I %v, L2 %v",
+			b.L1I.ExtraDynamicNJ, b.L2.ExtraDynamicNJ)
+	}
+	if b.L1D.ExtraDynamicNJ != 0 {
+		t.Fatal("L1D has no policy and must carry no policy energy")
+	}
+}

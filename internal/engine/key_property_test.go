@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"dricache/internal/dri"
+	"dricache/internal/policy"
 	"dricache/internal/sim"
 	"dricache/internal/trace"
 )
@@ -25,7 +26,21 @@ func fullConfig() sim.Config {
 		SenseInterval: 100_000, Divisibility: 2,
 		ThrottleSaturation: 7, ThrottleIntervals: 10,
 	})
-	return sim.Default(l1, 4_000_000).WithL2(l2)
+	// Every leakage-policy field is set non-zero so the perturbation walk
+	// exercises all of them (the config is not semantically valid — KeyFor
+	// never validates — which lets one config cover every field at once).
+	l1Pol := policy.Config{
+		Kind: policy.Drowsy, IntervalInstructions: 4_000,
+		DecayIntervals: 4, WakeupCycles: 1, DrowsyLeakFraction: 0.15,
+		MissBound: 100, MinWays: 1,
+	}
+	l2Pol := policy.Config{
+		Kind: policy.Decay, IntervalInstructions: 10_000,
+		DecayIntervals: 2, WakeupCycles: 2, DrowsyLeakFraction: 0.25,
+		MissBound: 200, MinWays: 2,
+	}
+	return sim.Default(l1, 4_000_000).WithL2(l2).
+		WithL1IPolicy(l1Pol).WithL2Policy(l2Pol)
 }
 
 func testProg(t *testing.T) trace.Program {
@@ -112,11 +127,11 @@ func TestKeyChangesWithEveryConfigField(t *testing.T) {
 			t.Errorf("perturbing %s did not change the cache key", path)
 		}
 	})
-	if leaves < 25 {
-		t.Fatalf("walked only %d leaves; expected the full config tree (CPU, Mem incl. L2 params, Bpred, budget)", leaves)
+	if leaves < 40 {
+		t.Fatalf("walked only %d leaves; expected the full config tree (CPU, Mem incl. L2 params and both policy configs, Bpred, budget)", leaves)
 	}
 
-	// Spot-check the fields this PR is about: the L2 adaptive parameters.
+	// Spot-check the fields past PRs were about: the L2 adaptive parameters.
 	for _, mutate := range []func(*sim.Config){
 		func(c *sim.Config) { c.Mem.L2.Params.Enabled = false },
 		func(c *sim.Config) { c.Mem.L2.Params.MissBound++ },
@@ -127,6 +142,26 @@ func TestKeyChangesWithEveryConfigField(t *testing.T) {
 		mutate(&cfg)
 		if KeyFor(cfg, prog) == baseKey {
 			t.Error("an L2 field change left the cache key unchanged")
+		}
+	}
+
+	// Spot-check the leakage-policy selectors: two runs that differ only in
+	// policy must never share a cache entry.
+	for _, mutate := range []func(*sim.Config){
+		func(c *sim.Config) { c.Mem.L1IPolicy.Kind = policy.Decay },
+		func(c *sim.Config) { c.Mem.L1IPolicy.DrowsyLeakFraction = 0.5 },
+		func(c *sim.Config) { c.Mem.L1IPolicy.WakeupCycles++ },
+		func(c *sim.Config) { c.Mem.L1IPolicy.DecayIntervals++ },
+		func(c *sim.Config) { c.Mem.L1IPolicy.IntervalInstructions++ },
+		func(c *sim.Config) { c.Mem.L1IPolicy.MissBound++ },
+		func(c *sim.Config) { c.Mem.L1IPolicy.MinWays++ },
+		func(c *sim.Config) { c.Mem.L2Policy.Kind = policy.Drowsy },
+		func(c *sim.Config) { c.Mem.L2Policy = policy.Config{} },
+	} {
+		cfg := fullConfig()
+		mutate(&cfg)
+		if KeyFor(cfg, prog) == baseKey {
+			t.Error("a policy field change left the cache key unchanged")
 		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 
 	"dricache/internal/dri"
 	"dricache/internal/engine"
+	"dricache/internal/policy"
 	"dricache/internal/sim"
 	"dricache/internal/trace"
 )
@@ -146,6 +147,11 @@ type Task struct {
 	// Params.Enabled for a multi-level (L1×L2) DRI run. The baseline is
 	// always the all-conventional system of the same geometry.
 	L2 *dri.Config
+	// Policy, when non-nil, selects the L1 i-cache leakage-control policy
+	// (decay, drowsy, waygate, …); L2Policy likewise for the unified L2.
+	// The baseline is always the policy-free conventional system.
+	Policy   *policy.Config
+	L2Policy *policy.Config
 	// Label distinguishes task variants in results.
 	Label string
 	// Instructions overrides the runner's default budget when nonzero.
@@ -162,6 +168,12 @@ func (t Task) SimConfig(defaultInstrs uint64) sim.Config {
 	cfg := sim.Default(t.Config, n)
 	if t.L2 != nil {
 		cfg = cfg.WithL2(*t.L2)
+	}
+	if t.Policy != nil {
+		cfg = cfg.WithL1IPolicy(*t.Policy)
+	}
+	if t.L2Policy != nil {
+		cfg = cfg.WithL2Policy(*t.L2Policy)
 	}
 	return cfg
 }

@@ -1,0 +1,150 @@
+package exp
+
+// The leakage-control policy shoot-out: every benchmark runs under every
+// policy — conventional, DRI (the paper), decay, drowsy, way gating — on a
+// common geometry and baseline, producing a Table-2-style grid of relative
+// energy-delay per benchmark × policy. This is the comparison Bai et al.
+// frame (state-preserving vs state-destroying techniques win in different
+// regions of the design space) instantiated on this harness's engine.
+
+import (
+	"fmt"
+	"sort"
+
+	"dricache/internal/dri"
+	"dricache/internal/policy"
+	"dricache/internal/sim"
+	"dricache/internal/stats"
+	"dricache/internal/trace"
+)
+
+// PolicyChoice names one contender in a policy shoot-out.
+type PolicyChoice struct {
+	Name string
+	// Params configures the DRI controller (only read when Policy.Kind is
+	// dri; zero otherwise).
+	Params dri.Params
+	// Policy is the leakage-control policy selector.
+	Policy policy.Config
+}
+
+// StandardPolicyChoices returns the five contenders at the runner's scale:
+// the conventional cache, the paper's DRI with its base parameters, and the
+// default decay, drowsy, and way-gating policies.
+func (r *Runner) StandardPolicyChoices() []PolicyChoice {
+	iv := r.Scale.SenseInterval
+	return []PolicyChoice{
+		{Name: "conventional", Policy: policy.Config{Kind: policy.Conventional}},
+		{Name: "dri", Params: r.Params(iv/100, 1<<10), Policy: policy.Config{Kind: policy.DRI}},
+		{Name: "decay", Policy: policy.DefaultDecay(iv)},
+		{Name: "drowsy", Policy: policy.DefaultDrowsy(iv)},
+		{Name: "waygate", Policy: policy.DefaultWayGate(iv)},
+	}
+}
+
+// PolicyPoint is one (benchmark, policy) cell of the shoot-out grid.
+type PolicyPoint struct {
+	Bench  string
+	Policy string
+	Cmp    sim.Comparison
+}
+
+// PolicySweep runs every benchmark under every policy choice on a 64K
+// 4-way L1 i-cache (associative so way gating is admissible; all policies
+// share the geometry and therefore the single conventional baseline per
+// benchmark, which the engine deduplicates). Results are ordered benchmark-
+// major in the input order of progs and choices.
+func (r *Runner) PolicySweep(progs []trace.Program, choices []PolicyChoice) []PolicyPoint {
+	var tasks []Task
+	var points []PolicyPoint
+	for _, prog := range progs {
+		for i := range choices {
+			c := choices[i]
+			cfg := driConfig(64<<10, 4, c.Params)
+			// The conventional selector is the baseline itself; run it
+			// without the selector so its cache key coincides with the
+			// baseline's and the engine deduplicates the pair.
+			var pol *policy.Config
+			if c.Policy.Kind != policy.Conventional {
+				p := c.Policy
+				pol = &p
+			}
+			tasks = append(tasks, Task{Prog: prog, Config: cfg, Policy: pol, Label: c.Name})
+			points = append(points, PolicyPoint{Bench: prog.Name, Policy: c.Name})
+		}
+	}
+	results := r.RunAll(tasks)
+	for i := range points {
+		points[i].Cmp = results[i].Cmp
+	}
+	return points
+}
+
+// BestPolicy picks, per benchmark, the policy with the lowest relative
+// energy-delay subject to the slowdown constraint; benchmarks where no
+// policy qualifies are absent from the map.
+func BestPolicy(points []PolicyPoint, maxSlowdownPct float64) map[string]PolicyPoint {
+	best := make(map[string]PolicyPoint)
+	for _, p := range points {
+		if p.Cmp.SlowdownPct > maxSlowdownPct {
+			continue
+		}
+		cur, ok := best[p.Bench]
+		if !ok || p.Cmp.RelativeED < cur.Cmp.RelativeED {
+			best[p.Bench] = p
+		}
+	}
+	return best
+}
+
+// FormatPolicies renders the shoot-out as a benchmark × policy grid of
+// "relativeED (slowdown%)" cells, in the style of the paper's Table 2.
+func FormatPolicies(points []PolicyPoint) string {
+	var benches, policies []string
+	seenB := map[string]bool{}
+	seenP := map[string]bool{}
+	cells := map[string]sim.Comparison{}
+	for _, p := range points {
+		if !seenB[p.Bench] {
+			seenB[p.Bench] = true
+			benches = append(benches, p.Bench)
+		}
+		if !seenP[p.Policy] {
+			seenP[p.Policy] = true
+			policies = append(policies, p.Policy)
+		}
+		cells[p.Bench+"\x00"+p.Policy] = p.Cmp
+	}
+	t := stats.NewTable(append([]string{"bench"}, policies...)...)
+	for _, b := range benches {
+		row := []string{b}
+		for _, pol := range policies {
+			c, ok := cells[b+"\x00"+pol]
+			if !ok {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.3f (%+.1f%%)", c.RelativeED, c.SlowdownPct))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+// FormatBestPolicies renders BestPolicy's winners, sorted by benchmark.
+func FormatBestPolicies(best map[string]PolicyPoint) string {
+	benches := make([]string, 0, len(best))
+	for b := range best {
+		benches = append(benches, b)
+	}
+	sort.Strings(benches)
+	t := stats.NewTable("bench", "winner", "relED", "leakfrac", "slow%")
+	for _, b := range benches {
+		p := best[b]
+		t.AddRow(b, p.Policy,
+			fmt.Sprintf("%.3f", p.Cmp.RelativeED),
+			fmt.Sprintf("%.3f", p.Cmp.DRI.AvgActiveFraction),
+			fmt.Sprintf("%.1f", p.Cmp.SlowdownPct))
+	}
+	return t.String()
+}

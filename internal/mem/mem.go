@@ -19,15 +19,23 @@ import (
 
 	"dricache/internal/cache"
 	"dricache/internal/dri"
+	"dricache/internal/policy"
 )
 
 // Config describes the hierarchy.
 type Config struct {
 	L1I dri.Config
-	L1D cache.Config
+	// L1IPolicy selects the L1 i-cache leakage-control policy. The zero
+	// value preserves historical behaviour (the cache follows L1I.Params);
+	// decay and drowsy add per-line state machines, waygate maps onto the
+	// dri controller's way-resizing mode.
+	L1IPolicy policy.Config
+	L1D       cache.Config
 	// L2 is the unified L2; set L2.Params.Enabled for a resizable
 	// (multi-level DRI) L2.
 	L2 dri.Config
+	// L2Policy selects the unified L2's leakage-control policy.
+	L2Policy policy.Config
 	// L2HitLatency is the L1-miss/L2-hit penalty in cycles.
 	L2HitLatency uint64
 	// MemLatencyBase and MemLatencyPer8B define the memory access time:
@@ -57,21 +65,41 @@ func DefaultL2() dri.Config {
 	return dri.Config{SizeBytes: 1 << 20, BlockBytes: 64, Assoc: 4, AddrBits: 32}
 }
 
-// Check validates the configuration.
+// Check validates the configuration, including each level's policy and its
+// compatibility with the cache it governs.
 func (c Config) Check() error {
-	if err := c.L1I.Check(); err != nil {
+	l1i, l2, err := c.effectiveConfigs()
+	if err != nil {
+		return err
+	}
+	if err := l1i.Check(); err != nil {
 		return err
 	}
 	if err := c.L1D.Check(); err != nil {
 		return err
 	}
-	if err := c.L2.Check(); err != nil {
+	if err := l2.Check(); err != nil {
 		return fmt.Errorf("mem: L2: %w", err)
 	}
 	if c.L2.BlockBytes < c.L1I.BlockBytes || c.L2.BlockBytes < c.L1D.BlockBytes {
 		return fmt.Errorf("mem: L2 block (%d) smaller than an L1 block", c.L2.BlockBytes)
 	}
 	return nil
+}
+
+// effectiveConfigs resolves each level's policy into the dri.Config the
+// hierarchy instantiates (the waygate policy, for example, maps onto the
+// dri controller's way-resizing mode).
+func (c Config) effectiveConfigs() (l1i, l2 dri.Config, err error) {
+	l1i, err = policy.Apply(c.L1IPolicy, c.L1I)
+	if err != nil {
+		return dri.Config{}, dri.Config{}, fmt.Errorf("mem: L1I: %w", err)
+	}
+	l2, err = policy.Apply(c.L2Policy, c.L2)
+	if err != nil {
+		return dri.Config{}, dri.Config{}, fmt.Errorf("mem: L2: %w", err)
+	}
+	return l1i, l2, nil
 }
 
 // Stats accounts hierarchy traffic below the L1s.
@@ -88,6 +116,9 @@ type Stats struct {
 	// their L2 set was gated off by a downsize — the write-back cost the
 	// paper defers (§2) and the total-leakage model charges.
 	L2ResizeWritebacks uint64
+	// L2PolicyWritebacks counts dirty blocks flushed to memory because a
+	// per-line leakage policy (cache decay) gated their L2 frame.
+	L2PolicyWritebacks uint64
 }
 
 // L2Accesses returns total L2 accesses.
@@ -116,6 +147,11 @@ type Hierarchy struct {
 	// Shift from a byte address to an L2 block address.
 	l2Shift uint
 
+	// Per-line leakage-policy runtimes; nil unless the level's policy is
+	// decay or drowsy.
+	l1iPol *policy.Engine
+	l2Pol  *policy.Engine
+
 	stats Stats
 }
 
@@ -124,20 +160,36 @@ func New(cfg Config) *Hierarchy {
 	if err := cfg.Check(); err != nil {
 		panic(err)
 	}
+	l1iCfg, l2Cfg, err := cfg.effectiveConfigs()
+	if err != nil {
+		panic(err)
+	}
 	h := &Hierarchy{
 		cfg: cfg,
-		l1i: dri.New(cfg.L1I),
+		l1i: dri.New(l1iCfg),
 		l1d: cache.New(cfg.L1D),
-		l2:  dri.NewData(cfg.L2),
+		l2:  dri.NewData(l2Cfg),
 	}
-	h.l2.SetWritebackHandler(func(block uint64, fromResize bool) {
-		if fromResize {
+	if cfg.L1IPolicy.PerLine() {
+		h.l1iPol = policy.NewEngine(cfg.L1IPolicy, h.l1i)
+		h.l1i.SetAccessHook(h.l1iPol.OnAccess)
+	}
+	if cfg.L2Policy.PerLine() {
+		h.l2Pol = policy.NewEngine(cfg.L2Policy, &h.l2.Cache)
+		h.l2.SetAccessHook(h.l2Pol.OnAccess)
+	}
+	h.l2.SetWritebackHandler(func(block uint64, cause dri.WritebackCause) {
+		switch cause {
+		case dri.WBResize:
 			h.stats.L2ResizeWritebacks++
 			h.stats.MemAccesses++
-			return
-		}
-		if h.countL2DemandWB {
+		case dri.WBPolicy:
+			h.stats.L2PolicyWritebacks++
 			h.stats.MemAccesses++
+		default:
+			if h.countL2DemandWB {
+				h.stats.MemAccesses++
+			}
 		}
 	})
 	h.memLatencyL2Fill = cfg.MemLatencyBase + cfg.MemLatencyPer8B*uint64(cfg.L2.BlockBytes/8)
@@ -172,14 +224,23 @@ func (h *Hierarchy) Stats() Stats { return h.stats }
 // block address. A hit costs nothing extra; a miss goes to L2 and possibly
 // memory, and fills the i-cache.
 func (h *Hierarchy) FetchBlock(block uint64) uint64 {
-	if h.l1i.AccessBlock(block) {
-		return 0
+	hit := h.l1i.AccessBlock(block)
+	var lat uint64
+	if h.l1iPol != nil {
+		// A drowsy line pays its wakeup before the fetch can complete.
+		lat = h.l1iPol.TakePenalty()
+	}
+	if hit {
+		return lat
 	}
 	h.stats.L2AccessesFromI++
-	lat := h.cfg.L2HitLatency
+	lat += h.cfg.L2HitLatency
 	if !h.l2.AccessData(block>>h.iToL2Shift, false) {
 		h.stats.MemAccesses++
 		lat += h.memLatencyL2Fill
+	}
+	if h.l2Pol != nil {
+		lat += h.l2Pol.TakePenalty()
 	}
 	return lat
 }
@@ -214,12 +275,20 @@ func (h *Hierarchy) l1dMissFill(addr uint64, r cache.AccessResult) uint64 {
 		h.countL2DemandWB = true
 		h.l2.AccessData(r.WritebackBlock>>h.dToL2Shift, true)
 		h.countL2DemandWB = false
+		if h.l2Pol != nil {
+			// The store buffer hides writeback latency; clear the pending
+			// wakeup so it is not charged to the following demand access.
+			h.l2Pol.TakePenalty()
+		}
 	}
 	h.stats.L2AccessesFromD++
 	lat := h.cfg.L2HitLatency
 	if !h.l2.AccessData(addr>>h.l2Shift, false) {
 		h.stats.MemAccesses++
 		lat += h.memLatencyL2Fill
+	}
+	if h.l2Pol != nil {
+		lat += h.l2Pol.TakePenalty()
 	}
 	return lat
 }
@@ -229,10 +298,57 @@ func (h *Hierarchy) l1dMissFill(addr uint64, r cache.AccessResult) uint64 {
 func (h *Hierarchy) Advance(instrs, nowCycles uint64) {
 	h.l1i.Advance(instrs, nowCycles)
 	h.l2.Advance(instrs, nowCycles)
+	if h.l1iPol != nil {
+		h.l1iPol.Tick(instrs, nowCycles)
+	}
+	if h.l2Pol != nil {
+		h.l2Pol.Tick(instrs, nowCycles)
+	}
 }
 
 // Finish closes interval accounting at the end of a run.
 func (h *Hierarchy) Finish(nowCycles uint64) {
 	h.l1i.Finish(nowCycles)
 	h.l2.Finish(nowCycles)
+	if h.l1iPol != nil {
+		h.l1iPol.Finish(nowCycles)
+	}
+	if h.l2Pol != nil {
+		h.l2Pol.Finish(nowCycles)
+	}
+}
+
+// L1ILeakFraction is the L1 i-cache's cycle-weighted mean effective leakage
+// fraction under its policy: the per-line engine's integral for decay and
+// drowsy, the DRI active fraction otherwise (1 for a conventional cache).
+func (h *Hierarchy) L1ILeakFraction() float64 {
+	if h.l1iPol != nil {
+		return h.l1iPol.LeakFraction()
+	}
+	return h.l1i.AverageActiveFraction()
+}
+
+// L2LeakFraction likewise for the unified L2.
+func (h *Hierarchy) L2LeakFraction() float64 {
+	if h.l2Pol != nil {
+		return h.l2Pol.LeakFraction()
+	}
+	return h.l2.AverageActiveFraction()
+}
+
+// L1IPolicyStats returns the L1 i-cache policy counters (zero unless the
+// policy is per-line).
+func (h *Hierarchy) L1IPolicyStats() policy.Stats {
+	if h.l1iPol == nil {
+		return policy.Stats{}
+	}
+	return h.l1iPol.Stats()
+}
+
+// L2PolicyStats likewise for the unified L2.
+func (h *Hierarchy) L2PolicyStats() policy.Stats {
+	if h.l2Pol == nil {
+		return policy.Stats{}
+	}
+	return h.l2Pol.Stats()
 }

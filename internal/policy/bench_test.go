@@ -1,0 +1,51 @@
+package policy
+
+// Benchmarks for the policy hot path — the per-access decay/drowsy
+// bookkeeping that rides on every cache access — next to internal/dri's
+// cache benchmarks so regressions are measurable with benchstat:
+//
+//	go test ./internal/policy -bench . -count 10 | benchstat -
+
+import (
+	"testing"
+
+	"dricache/internal/dri"
+)
+
+func benchCache() dri.Config {
+	return dri.Config{SizeBytes: 64 << 10, BlockBytes: 32, Assoc: 4, AddrBits: 32}
+}
+
+// benchAccesses streams a mixed working set through the cache, ticking the
+// policy engine at the configured interval.
+func benchAccesses(b *testing.B, e *Engine, c *dri.Cache, tick uint64) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		block := uint64(i) * 2654435761 % 4096 // pseudo-random working set
+		c.AccessBlock(block)
+		if e != nil {
+			e.Tick(1, uint64(i))
+			e.TakePenalty()
+		}
+	}
+}
+
+// BenchmarkConventionalAccess is the no-policy baseline.
+func BenchmarkConventionalAccess(b *testing.B) {
+	c := dri.New(benchCache())
+	benchAccesses(b, nil, c, 0)
+}
+
+func BenchmarkDecayAccess(b *testing.B) {
+	c := dri.New(benchCache())
+	e := NewEngine(Config{Kind: Decay, IntervalInstructions: 10_000, DecayIntervals: 4}, c)
+	c.SetAccessHook(e.OnAccess)
+	benchAccesses(b, e, c, 10_000)
+}
+
+func BenchmarkDrowsyAccess(b *testing.B) {
+	c := dri.New(benchCache())
+	e := NewEngine(Config{Kind: Drowsy, IntervalInstructions: 4_000, WakeupCycles: 1, DrowsyLeakFraction: 0.15}, c)
+	c.SetAccessHook(e.OnAccess)
+	benchAccesses(b, e, c, 4_000)
+}

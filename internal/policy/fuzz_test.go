@@ -1,0 +1,87 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"dricache/internal/dri"
+)
+
+// FuzzConfigCheck drives the policy-config validator with arbitrary field
+// values: Check must never panic, must reject the documented invalid ranges
+// (negative decay intervals, negative wakeup penalties, drowsy leakage
+// fractions outside [0,1], unknown kinds), and any configuration it accepts
+// must Apply cleanly onto a conventional cache and, for per-line kinds,
+// build a runnable engine.
+func FuzzConfigCheck(f *testing.F) {
+	f.Add("decay", uint64(10_000), 4, 1, 0.15, uint64(100), 1)
+	f.Add("drowsy", uint64(4_000), 0, 1, 0.15, uint64(0), 0)
+	f.Add("waygate", uint64(100_000), 0, 0, 0.0, uint64(1000), 1)
+	f.Add("decay", uint64(0), -3, -7, 1.5, uint64(0), -1)
+	f.Add("", uint64(0), 0, 0, 0.0, uint64(0), 0)
+	f.Add("conventional", uint64(1), 1, 1, math.NaN(), uint64(1), 1)
+
+	f.Fuzz(func(t *testing.T, kind string, interval uint64, decayIvals, wakeup int, frac float64, missBound uint64, minWays int) {
+		cfg := Config{
+			Kind:                 Kind(kind),
+			IntervalInstructions: interval,
+			DecayIntervals:       decayIvals,
+			WakeupCycles:         wakeup,
+			DrowsyLeakFraction:   frac,
+			MissBound:            missBound,
+			MinWays:              minWays,
+		}
+		err := cfg.Check()
+		switch cfg.Kind {
+		case Decay:
+			if err == nil && (interval == 0 || decayIvals <= 0) {
+				t.Fatalf("accepted invalid decay config %+v", cfg)
+			}
+		case Drowsy:
+			if err == nil && (interval == 0 || wakeup < 0 || math.IsNaN(frac) || frac < 0 || frac > 1) {
+				t.Fatalf("accepted invalid drowsy config %+v", cfg)
+			}
+		case WayGate:
+			if err == nil && (interval == 0 || minWays < 1) {
+				t.Fatalf("accepted invalid waygate config %+v", cfg)
+			}
+		case Default, Conventional, DRI:
+			if err != nil {
+				t.Fatalf("rejected pass-through kind %q: %v", cfg.Kind, err)
+			}
+		default:
+			if err == nil {
+				t.Fatalf("accepted unknown kind %q", cfg.Kind)
+			}
+		}
+		if err != nil {
+			return
+		}
+
+		// Anything Check accepts must resolve onto a conventional 4-way
+		// cache without error (waygate included) …
+		base := dri.Config{SizeBytes: 8 << 10, BlockBytes: 32, Assoc: 4, AddrBits: 32}
+		eff, err := Apply(cfg, base)
+		if err != nil {
+			t.Fatalf("Apply rejected a checked config %+v: %v", cfg, err)
+		}
+		if err := eff.Check(); err != nil {
+			t.Fatalf("effective config invalid for %+v: %v", cfg, err)
+		}
+		// … and per-line kinds must run a short access/tick sequence.
+		if cfg.PerLine() {
+			c := dri.New(eff)
+			e := NewEngine(cfg, c)
+			c.SetAccessHook(e.OnAccess)
+			for i := uint64(0); i < 64; i++ {
+				c.AccessBlock(i % 17)
+				e.Tick(interval/8+1, i*10)
+				e.TakePenalty()
+			}
+			e.Finish(1000)
+			if lf := e.LeakFraction(); math.IsNaN(lf) || lf < 0 || lf > 1 {
+				t.Fatalf("leak fraction %v out of range for %+v", lf, cfg)
+			}
+		}
+	})
+}

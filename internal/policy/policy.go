@@ -1,0 +1,226 @@
+// Package policy makes leakage control a first-class, pluggable axis of the
+// simulated hierarchy. The source paper's DRI resizing is one point in a
+// larger design space: Bai et al. show that state-preserving (drowsy) and
+// state-destroying (gated-Vdd) techniques win in different regions of the
+// power-performance space, and Ishihara & Fallah demonstrate way-granular
+// gating as a third axis. This package defines the common contract — a
+// per-cache policy selector, per-interval observe/decide hooks, per-line
+// state transitions, and an energy accounting convention — with four
+// implementations beside the conventional (always-on) cache:
+//
+//	dri      the paper's set-granular gated-Vdd resizing, delegated to the
+//	         existing internal/dri controller (bit-identical to running it
+//	         without a policy selector);
+//	decay    per-line gated-Vdd: a line idle for DecayIntervals consecutive
+//	         intervals is powered off — contents lost, zero leakage while
+//	         off, extra misses on re-reference;
+//	drowsy   per-line state-preserving low-Vdd: every line drops to a
+//	         drowsy state each interval, keeps its contents, leaks at
+//	         DrowsyLeakFraction of normal, and charges WakeupCycles on the
+//	         next hit;
+//	waygate  whole ways of a set-associative cache are gated off under the
+//	         same miss-bound feedback loop as DRI (the dri controller's
+//	         way-resizing mode).
+//
+// The energy contract: a policy reports the cycle-weighted mean effective
+// leakage fraction of its array (LeakFraction), which scales the level's
+// conventional leakage exactly like the DRI active fraction, plus dynamic
+// transition counters (wakeups, gatings) that internal/energy prices.
+package policy
+
+import (
+	"fmt"
+	"math"
+
+	"dricache/internal/dri"
+)
+
+// Kind selects a leakage-control policy.
+type Kind string
+
+const (
+	// Default (the zero value) preserves historical behaviour: the cache
+	// follows its dri.Params — a DRI cache when enabled, conventional
+	// otherwise. Existing configurations are untouched by the policy layer.
+	Default Kind = ""
+	// Conventional pins the cache to full size, always on; it is an error
+	// to combine it with enabled dri.Params.
+	Conventional Kind = "conventional"
+	// DRI requires enabled dri.Params and behaves bit-identically to
+	// Default with the same parameters.
+	DRI Kind = "dri"
+	// Decay is per-line gated-Vdd after an idle-interval countdown.
+	Decay Kind = "decay"
+	// Drowsy is per-line state-preserving low-Vdd.
+	Drowsy Kind = "drowsy"
+	// WayGate powers off whole ways under miss-bound feedback.
+	WayGate Kind = "waygate"
+)
+
+// Kinds lists every policy kind in presentation order.
+func Kinds() []Kind { return []Kind{Conventional, DRI, Decay, Drowsy, WayGate} }
+
+// Config selects and parameterizes the leakage-control policy of one cache
+// level. Fields are only meaningful for the kinds that read them.
+type Config struct {
+	Kind Kind
+	// IntervalInstructions is the policy tick length in dynamic
+	// instructions (the decide-hook cadence for decay, drowsy, and
+	// waygate), analogous to the DRI sense interval.
+	IntervalInstructions uint64
+	// DecayIntervals is how many consecutive idle ticks power a line off
+	// (decay only).
+	DecayIntervals int
+	// WakeupCycles is the latency to access a drowsy line (drowsy only).
+	WakeupCycles int
+	// DrowsyLeakFraction is the low-Vdd leakage of a drowsy line as a
+	// fraction of normal leakage, in [0, 1] (drowsy only).
+	DrowsyLeakFraction float64
+	// MissBound is the per-tick miss count the way-gating feedback loop
+	// steers to (waygate only).
+	MissBound uint64
+	// MinWays is the minimum number of powered ways (waygate only).
+	MinWays int
+}
+
+// DefaultDecay returns the standard decay policy at the given DRI-style
+// sense interval: ticks of interval/10 with a 4-tick idle countdown, so a
+// line untouched for ~40% of a sense interval stops leaking.
+func DefaultDecay(senseInterval uint64) Config {
+	return Config{
+		Kind:                 Decay,
+		IntervalInstructions: maxU64(senseInterval/10, 1),
+		DecayIntervals:       4,
+	}
+}
+
+// DefaultDrowsy returns the standard drowsy policy at the given sense
+// interval: every line drops to low-Vdd each interval/25 instructions,
+// keeps state at ~15% of normal leakage, and pays one cycle to wake.
+func DefaultDrowsy(senseInterval uint64) Config {
+	return Config{
+		Kind:                 Drowsy,
+		IntervalInstructions: maxU64(senseInterval/25, 1),
+		WakeupCycles:         1,
+		DrowsyLeakFraction:   0.15,
+	}
+}
+
+// DefaultWayGate returns the standard way-gating policy at the given sense
+// interval: the DRI miss-bound feedback loop (1% of the interval) gating
+// one way per step down to a single powered way.
+func DefaultWayGate(senseInterval uint64) Config {
+	return Config{
+		Kind:                 WayGate,
+		IntervalInstructions: senseInterval,
+		MissBound:            senseInterval / 100,
+		MinWays:              1,
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Check validates the configuration's fields (range checks only; the
+// compatibility with a specific cache configuration is Apply's job).
+func (c Config) Check() error {
+	switch c.Kind {
+	case Default, Conventional, DRI:
+		return nil
+	case Decay:
+		switch {
+		case c.IntervalInstructions == 0:
+			return fmt.Errorf("policy: decay: zero interval")
+		case c.DecayIntervals <= 0:
+			return fmt.Errorf("policy: decay: intervals %d not positive", c.DecayIntervals)
+		}
+		return nil
+	case Drowsy:
+		switch {
+		case c.IntervalInstructions == 0:
+			return fmt.Errorf("policy: drowsy: zero interval")
+		case c.WakeupCycles < 0:
+			return fmt.Errorf("policy: drowsy: negative wakeup penalty %d", c.WakeupCycles)
+		case math.IsNaN(c.DrowsyLeakFraction) || c.DrowsyLeakFraction < 0 || c.DrowsyLeakFraction > 1:
+			return fmt.Errorf("policy: drowsy: leak fraction %v outside [0,1]", c.DrowsyLeakFraction)
+		}
+		return nil
+	case WayGate:
+		switch {
+		case c.IntervalInstructions == 0:
+			return fmt.Errorf("policy: waygate: zero interval")
+		case c.MinWays < 1:
+			return fmt.Errorf("policy: waygate: min ways %d < 1", c.MinWays)
+		}
+		return nil
+	default:
+		return fmt.Errorf("policy: unknown kind %q", c.Kind)
+	}
+}
+
+// Apply resolves the policy against a cache configuration, returning the
+// effective dri.Config the hierarchy should instantiate. Default and DRI
+// pass the configuration through untouched (bit-identical behaviour);
+// Conventional, Decay, and Drowsy require the DRI controller to be off;
+// WayGate translates itself into the dri controller's way-resizing mode.
+func Apply(p Config, base dri.Config) (dri.Config, error) {
+	if err := p.Check(); err != nil {
+		return dri.Config{}, err
+	}
+	switch p.Kind {
+	case Default:
+		return base, nil
+	case DRI:
+		if !base.Params.Enabled {
+			return dri.Config{}, fmt.Errorf("policy: dri selected but resizing parameters are not enabled")
+		}
+		return base, nil
+	case Conventional, Decay, Drowsy:
+		if base.Params.Enabled {
+			return dri.Config{}, fmt.Errorf("policy: %s cannot be combined with an enabled DRI controller", p.Kind)
+		}
+		return base, nil
+	case WayGate:
+		if base.Params.Enabled {
+			return dri.Config{}, fmt.Errorf("policy: waygate supplies its own controller; disable the DRI parameters")
+		}
+		// Validate the geometry before wayParams divides by it (Sets()),
+		// so a degenerate config surfaces as an error, not a panic.
+		if err := base.Check(); err != nil {
+			return dri.Config{}, err
+		}
+		cfg := base
+		cfg.Params = p.wayParams(base)
+		return cfg, nil
+	}
+	return dri.Config{}, fmt.Errorf("policy: unknown kind %q", p.Kind)
+}
+
+// wayParams maps the way-gating policy onto the dri controller's
+// way-resizing mode: same miss-bound feedback, one way gated per step,
+// standard 3-bit/10-interval throttle.
+func (p Config) wayParams(base dri.Config) dri.Params {
+	minWays := p.MinWays
+	if minWays > base.Assoc {
+		minWays = base.Assoc
+	}
+	return dri.Params{
+		Enabled:            true,
+		ResizeWays:         true,
+		MissBound:          p.MissBound,
+		SizeBoundBytes:     minWays * base.Sets() * base.BlockBytes,
+		SenseInterval:      p.IntervalInstructions,
+		Divisibility:       2, // ignored in way mode, but must validate
+		ThrottleSaturation: 7,
+		ThrottleIntervals:  10,
+	}
+}
+
+// PerLine reports whether the policy needs the per-line runtime Engine
+// (decay and drowsy); the other kinds are handled entirely by the dri
+// controller or by doing nothing.
+func (p Config) PerLine() bool { return p.Kind == Decay || p.Kind == Drowsy }

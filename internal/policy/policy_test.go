@@ -1,0 +1,222 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"dricache/internal/dri"
+)
+
+func baseL1() dri.Config {
+	return dri.Config{SizeBytes: 64 << 10, BlockBytes: 32, Assoc: 4, AddrBits: 32}
+}
+
+func TestCheckValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr string // "" means valid
+	}{
+		{"zero value", Config{}, ""},
+		{"conventional", Config{Kind: Conventional}, ""},
+		{"dri", Config{Kind: DRI}, ""},
+		{"decay default", DefaultDecay(100_000), ""},
+		{"drowsy default", DefaultDrowsy(100_000), ""},
+		{"waygate default", DefaultWayGate(100_000), ""},
+		{"decay zero interval", Config{Kind: Decay, DecayIntervals: 2}, "zero interval"},
+		{"decay negative intervals", Config{Kind: Decay, IntervalInstructions: 10, DecayIntervals: -1}, "not positive"},
+		{"drowsy negative wakeup", Config{Kind: Drowsy, IntervalInstructions: 10, WakeupCycles: -1}, "negative wakeup"},
+		{"drowsy leak above one", Config{Kind: Drowsy, IntervalInstructions: 10, DrowsyLeakFraction: 1.5}, "outside [0,1]"},
+		{"drowsy leak negative", Config{Kind: Drowsy, IntervalInstructions: 10, DrowsyLeakFraction: -0.1}, "outside [0,1]"},
+		{"waygate zero minways", Config{Kind: WayGate, IntervalInstructions: 10}, "min ways"},
+		{"unknown kind", Config{Kind: "sleepy"}, "unknown kind"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Check()
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestApplyCompatibility(t *testing.T) {
+	driBase := baseL1()
+	driBase.Params = dri.DefaultParams(100_000)
+	conv := baseL1()
+
+	// Default passes anything through untouched.
+	for _, base := range []dri.Config{driBase, conv} {
+		got, err := Apply(Config{}, base)
+		if err != nil || got != base {
+			t.Fatalf("Apply(default) = %+v, %v; want passthrough", got, err)
+		}
+	}
+	// DRI requires enabled params and is a passthrough.
+	if got, err := Apply(Config{Kind: DRI}, driBase); err != nil || got != driBase {
+		t.Fatalf("Apply(dri) = %+v, %v", got, err)
+	}
+	if _, err := Apply(Config{Kind: DRI}, conv); err == nil {
+		t.Fatal("Apply(dri) on a conventional cache should fail")
+	}
+	// Conventional/decay/drowsy reject an enabled controller.
+	for _, p := range []Config{{Kind: Conventional}, DefaultDecay(100_000), DefaultDrowsy(100_000)} {
+		if _, err := Apply(p, driBase); err == nil {
+			t.Errorf("Apply(%s) over enabled DRI params should fail", p.Kind)
+		}
+		if _, err := Apply(p, conv); err != nil {
+			t.Errorf("Apply(%s) on a conventional cache: %v", p.Kind, err)
+		}
+	}
+	// WayGate builds way-resizing params.
+	got, err := Apply(DefaultWayGate(100_000), conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := got.Params
+	if !p.Enabled || !p.ResizeWays {
+		t.Fatalf("waygate params = %+v; want enabled way-resizing", p)
+	}
+	if want := 1 * conv.Sets() * conv.BlockBytes; p.SizeBoundBytes != want {
+		t.Fatalf("waygate size-bound = %d, want one way = %d", p.SizeBoundBytes, want)
+	}
+	if err := got.Check(); err != nil {
+		t.Fatalf("waygate effective config invalid: %v", err)
+	}
+	// WayGate on a direct-mapped cache fails the dri check downstream.
+	dm := dri.Config{SizeBytes: 64 << 10, BlockBytes: 32, Assoc: 1, AddrBits: 32}
+	wg, err := Apply(DefaultWayGate(100_000), dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wg.Check(); err == nil {
+		t.Fatal("waygate on a direct-mapped cache should fail dri.Config.Check")
+	}
+	// A degenerate geometry must come back as an error, not a divide-by-
+	// zero panic out of wayParams.
+	for _, bad := range []dri.Config{
+		{SizeBytes: 64 << 10, BlockBytes: 32, AddrBits: 32},           // Assoc 0
+		{SizeBytes: 64 << 10, Assoc: 4, AddrBits: 32},                 // BlockBytes 0
+		{SizeBytes: 0, BlockBytes: 32, Assoc: 4, AddrBits: 32},        // size 0
+		{SizeBytes: 48 << 10, BlockBytes: 32, Assoc: 4, AddrBits: 32}, // non-power-of-2
+	} {
+		if _, err := Apply(DefaultWayGate(100_000), bad); err == nil {
+			t.Errorf("Apply(waygate) accepted degenerate geometry %+v", bad)
+		}
+	}
+}
+
+// fakeArray records gatings for engine tests.
+type fakeArray struct {
+	frames int
+	gated  []int
+}
+
+func (f *fakeArray) NumFrames() int      { return f.frames }
+func (f *fakeArray) GateFrame(frame int) { f.gated = append(f.gated, frame) }
+
+func TestDecayEngine(t *testing.T) {
+	arr := &fakeArray{frames: 8}
+	cfg := Config{Kind: Decay, IntervalInstructions: 100, DecayIntervals: 2}
+	e := NewEngine(cfg, arr)
+
+	if got := e.LeakFraction(); got != 1 {
+		t.Fatalf("initial leak fraction = %v, want 1 (all powered)", got)
+	}
+	// Touch frames 0 and 1 in tick 0; leave the rest idle.
+	e.OnAccess(0, false)
+	e.OnAccess(1, true)
+	// Three ticks: idle frames (lastTouch 0, like 0 and 1) survive ticks 1
+	// and 2 and are gated at tick 3 (idle > 2 full intervals).
+	e.Tick(200, 2000) // ticks 1, 2
+	if len(arr.gated) != 0 {
+		t.Fatalf("gated %v before the idle horizon", arr.gated)
+	}
+	// Keep frame 0 warm during tick 2.
+	e.OnAccess(0, true)
+	e.Tick(100, 3000) // tick 3: everything idle since tick 0 gates
+	if len(arr.gated) != 7 {
+		t.Fatalf("gated %d frames at tick 3, want 7 (all but the warm one)", len(arr.gated))
+	}
+	for _, f := range arr.gated {
+		if f == 0 {
+			t.Fatal("warm frame 0 was gated")
+		}
+	}
+	st := e.Stats()
+	if st.GatedLines != 7 || st.Ticks != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// A fill re-powers a gated frame.
+	e.OnAccess(3, false)
+	e.Finish(4000)
+	if lf := e.LeakFraction(); lf >= 1 {
+		t.Fatalf("leak fraction = %v, want < 1 after gating", lf)
+	}
+	if e.leakFractionNow() != 2.0/8.0 {
+		t.Fatalf("instantaneous fraction = %v, want 2/8 (frames 0 and 3 powered)", e.leakFractionNow())
+	}
+	if p := e.TakePenalty(); p != 0 {
+		t.Fatalf("decay penalty = %d, want 0", p)
+	}
+}
+
+func TestDrowsyEngine(t *testing.T) {
+	arr := &fakeArray{frames: 4}
+	cfg := Config{Kind: Drowsy, IntervalInstructions: 100, WakeupCycles: 3, DrowsyLeakFraction: 0.25}
+	e := NewEngine(cfg, arr)
+
+	if got := e.LeakFraction(); got != 1 {
+		t.Fatalf("initial leak fraction = %v, want 1 (all awake)", got)
+	}
+	e.Tick(100, 1000) // first boundary: whole array drops drowsy
+	if got := e.leakFractionNow(); got != 0.25 {
+		t.Fatalf("all-drowsy fraction = %v, want 0.25", got)
+	}
+	// A hit on a drowsy line pays the wakeup once.
+	e.OnAccess(2, true)
+	if p := e.TakePenalty(); p != 3 {
+		t.Fatalf("wakeup penalty = %d, want 3", p)
+	}
+	e.OnAccess(2, true)
+	if p := e.TakePenalty(); p != 0 {
+		t.Fatalf("awake line charged a penalty: %d", p)
+	}
+	// A fill wakes the victim without a penalty.
+	e.OnAccess(3, false)
+	if p := e.TakePenalty(); p != 0 {
+		t.Fatalf("fill charged a penalty: %d", p)
+	}
+	if got := e.leakFractionNow(); got != (2+0.25*2)/4 {
+		t.Fatalf("mixed fraction = %v", got)
+	}
+	st := e.Stats()
+	if st.Wakeups != 1 {
+		t.Fatalf("wakeups = %d, want 1", st.Wakeups)
+	}
+	if st.DrowsyTransitions != 4 {
+		t.Fatalf("transitions = %d, want 4 (first global sleep)", st.DrowsyTransitions)
+	}
+	if len(arr.gated) != 0 {
+		t.Fatal("drowsy must never gate (state-preserving)")
+	}
+	e.Finish(2000)
+	lf := e.LeakFraction()
+	if lf <= 0.25 || lf >= 1 {
+		t.Fatalf("mean leak fraction = %v, want strictly between 0.25 and 1", lf)
+	}
+}
+
+func TestEngineRejectsNonPerLine(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewEngine(waygate) should panic")
+		}
+	}()
+	NewEngine(DefaultWayGate(1000), &fakeArray{frames: 4})
+}

@@ -11,6 +11,7 @@ import (
 	"dricache/internal/dri"
 	"dricache/internal/energy"
 	"dricache/internal/mem"
+	"dricache/internal/policy"
 	"dricache/internal/trace"
 )
 
@@ -55,6 +56,20 @@ func (c Config) WithL2(l2 dri.Config) Config {
 	return c
 }
 
+// WithL1IPolicy returns cfg with the L1 i-cache leakage-control policy
+// selected — the entry point for the decay/drowsy/waygate studies.
+func (c Config) WithL1IPolicy(p policy.Config) Config {
+	c.Mem.L1IPolicy = p
+	return c
+}
+
+// WithL2Policy returns cfg with the unified L2's leakage-control policy
+// selected.
+func (c Config) WithL2Policy(p policy.Config) Config {
+	c.Mem.L2Policy = p
+	return c
+}
+
 // DRIL2 returns the paper's Table 1 L2 geometry (1M 4-way, 64-byte blocks)
 // with the given adaptive parameters.
 func DRIL2(p dri.Params) dri.Config {
@@ -91,6 +106,14 @@ type Result struct {
 	L2Events []dri.ResizeEvent
 	// L2SizeResidency maps L2 active size in bytes to cycles spent there.
 	L2SizeResidency map[int]uint64
+
+	// L1IPolicyStats and L2PolicyStats count per-line leakage-policy
+	// activity (decay gatings, drowsy wakeups); zero unless the level runs
+	// a per-line policy. For such levels AvgActiveFraction (and its L2
+	// counterpart) carry the policy's effective leakage fraction — drowsy
+	// lines leak at the low-Vdd fraction instead of zero.
+	L1IPolicyStats policy.Stats
+	L2PolicyStats  policy.Stats
 }
 
 // MissRate is the i-cache miss rate per access.
@@ -111,15 +134,17 @@ func Run(cfg Config, prog trace.Program) Result {
 		CPU:                 cpuRes,
 		ICache:              ic.Stats(),
 		Mem:                 h.Stats(),
-		AvgActiveFraction:   ic.AverageActiveFraction(),
+		AvgActiveFraction:   h.L1ILeakFraction(),
 		ResizingTagBits:     cfg.Mem.L1I.ResizingTagBits(),
 		Events:              ic.Events(),
 		SizeResidency:       ic.SizeResidency(),
 		L2:                  l2.DataStats(),
-		L2AvgActiveFraction: l2.AverageActiveFraction(),
+		L2AvgActiveFraction: h.L2LeakFraction(),
 		L2ResizingTagBits:   cfg.Mem.L2.ResizingTagBits(),
 		L2Events:            l2.Events(),
 		L2SizeResidency:     l2.SizeResidency(),
+		L1IPolicyStats:      h.L1IPolicyStats(),
+		L2PolicyStats:       h.L2PolicyStats(),
 	}
 }
 
@@ -141,12 +166,14 @@ func BaselineConfig(driCfg dri.Config) dri.Config {
 	return driCfg
 }
 
-// BaselineSimConfig strips the adaptive parameters at every resizable level
-// (L1 i-cache and L2), yielding the all-conventional system of the same
-// geometry — the baseline of a multi-level DRI comparison.
+// BaselineSimConfig strips the adaptive parameters and leakage policies at
+// every level, yielding the all-conventional system of the same geometry —
+// the baseline of a multi-level DRI or policy comparison.
 func BaselineSimConfig(cfg Config) Config {
 	cfg.Mem.L1I.Params = dri.Params{}
 	cfg.Mem.L2.Params = dri.Params{}
+	cfg.Mem.L1IPolicy = policy.Config{}
+	cfg.Mem.L2Policy = policy.Config{}
 	return cfg
 }
 
@@ -196,6 +223,12 @@ func CompareSimResults(cfg Config, conv, driRes Result) Comparison {
 	l1i := cfg.Mem.L1I
 	em := energy.ForL1(l1i.SizeBytes, l1i.BlockBytes, l1i.Assoc)
 	extraL2 := int64(driRes.Mem.L2AccessesFromI) - int64(conv.Mem.L2AccessesFromI)
+	l1iOrg := energy.CacheOrg{SizeBytes: l1i.SizeBytes, BlockBytes: l1i.BlockBytes, Assoc: l1i.Assoc}
+	l2Org := energy.CacheOrg{SizeBytes: cfg.Mem.L2.SizeBytes, BlockBytes: cfg.Mem.L2.BlockBytes, Assoc: cfg.Mem.L2.Assoc}
+	l1iPolNJ := energy.PolicyFor(l1iOrg).
+		CostNJ(driRes.L1IPolicyStats.Wakeups, driRes.L1IPolicyStats.Transitions())
+	l2PolNJ := energy.PolicyFor(l2Org).
+		CostNJ(driRes.L2PolicyStats.Wakeups, driRes.L2PolicyStats.Transitions())
 	bd := em.Evaluate(energy.Inputs{
 		Cycles:            driRes.CPU.Cycles,
 		ConvCycles:        conv.CPU.Cycles,
@@ -203,11 +236,12 @@ func CompareSimResults(cfg Config, conv, driRes Result) Comparison {
 		ResizingTagBits:   driRes.ResizingTagBits,
 		AvgActiveFraction: driRes.AvgActiveFraction,
 		ExtraL2Accesses:   extraL2,
+		ExtraPolicyNJ:     l1iPolNJ,
 	})
 	tm := energy.TotalFor(
-		energy.CacheOrg{SizeBytes: l1i.SizeBytes, BlockBytes: l1i.BlockBytes, Assoc: l1i.Assoc},
+		l1iOrg,
 		energy.CacheOrg{SizeBytes: cfg.Mem.L1D.SizeBytes, BlockBytes: cfg.Mem.L1D.BlockBytes, Assoc: cfg.Mem.L1D.Assoc},
-		energy.CacheOrg{SizeBytes: cfg.Mem.L2.SizeBytes, BlockBytes: cfg.Mem.L2.BlockBytes, Assoc: cfg.Mem.L2.Assoc})
+		l2Org)
 	total := tm.Evaluate(energy.TotalInputs{
 		Cycles:               driRes.CPU.Cycles,
 		ConvCycles:           conv.CPU.Cycles,
@@ -219,6 +253,8 @@ func CompareSimResults(cfg Config, conv, driRes Result) Comparison {
 		L2ResizingTagBits:    driRes.L2ResizingTagBits,
 		L2AvgActiveFraction:  driRes.L2AvgActiveFraction,
 		ExtraMemAccesses:     int64(driRes.Mem.MemAccesses) - int64(conv.Mem.MemAccesses),
+		L1IExtraPolicyNJ:     l1iPolNJ,
+		L2ExtraPolicyNJ:      l2PolNJ,
 	})
 	return Comparison{Conv: conv, DRI: driRes, Breakdown: bd, Total: total}
 }

@@ -1,0 +1,210 @@
+package sim
+
+// Whole-system tests of the pluggable leakage-control policies: each policy
+// must produce its characteristic observable signature against the
+// conventional baseline — decay trades extra misses for gated lines, drowsy
+// trades wakeup latency (never misses) for low-Vdd leakage, waygate walks
+// whole ways under miss-bound feedback — and dri/conventional selectors must
+// be bit-identical to not selecting a policy at all.
+
+import (
+	"testing"
+
+	"dricache/internal/dri"
+	"dricache/internal/policy"
+	"dricache/internal/trace"
+)
+
+const policyTestInstrs = 1_000_000
+
+func policyProg(t *testing.T) trace.Program {
+	t.Helper()
+	p, err := trace.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// assoc4 is a 64K 4-way geometry all five policies accept (waygate needs
+// associativity).
+func assoc4() dri.Config {
+	return dri.Config{SizeBytes: 64 << 10, BlockBytes: 32, Assoc: 4, AddrBits: 32}
+}
+
+func TestPolicySelectorsBitIdentical(t *testing.T) {
+	prog := policyProg(t)
+
+	// conventional selector == no selector on a conventional cache.
+	plain := Run(Default(assoc4(), policyTestInstrs), prog)
+	conv := Run(Default(assoc4(), policyTestInstrs).WithL1IPolicy(policy.Config{Kind: policy.Conventional}), prog)
+	if plain.CPU.Cycles != conv.CPU.Cycles || plain.ICache != conv.ICache ||
+		plain.AvgActiveFraction != conv.AvgActiveFraction {
+		t.Fatal("conventional policy selector changed observables")
+	}
+
+	// dri selector == no selector on a DRI cache.
+	driCfg := assoc4()
+	driCfg.Params = dri.DefaultParams(50_000)
+	plainDRI := Run(Default(driCfg, policyTestInstrs), prog)
+	selDRI := Run(Default(driCfg, policyTestInstrs).WithL1IPolicy(policy.Config{Kind: policy.DRI}), prog)
+	if plainDRI.CPU.Cycles != selDRI.CPU.Cycles || plainDRI.ICache != selDRI.ICache ||
+		plainDRI.AvgActiveFraction != selDRI.AvgActiveFraction {
+		t.Fatal("dri policy selector changed observables")
+	}
+}
+
+func TestDecayPolicyObservables(t *testing.T) {
+	prog := policyProg(t)
+	conv := Run(Default(assoc4(), policyTestInstrs), prog)
+	res := Run(Default(assoc4(), policyTestInstrs).WithL1IPolicy(policy.DefaultDecay(50_000)), prog)
+
+	if res.L1IPolicyStats.GatedLines == 0 {
+		t.Fatal("decay gated no lines")
+	}
+	if res.ICache.Misses <= conv.ICache.Misses {
+		t.Errorf("decay misses = %d, want > conventional %d (gated contents are lost)",
+			res.ICache.Misses, conv.ICache.Misses)
+	}
+	if f := res.AvgActiveFraction; f <= 0 || f >= 1 {
+		t.Errorf("decay leak fraction = %v, want in (0,1)", f)
+	}
+	if res.L1IPolicyStats.Wakeups != 0 {
+		t.Error("decay charged drowsy wakeups")
+	}
+	if res.CPU.Cycles < conv.CPU.Cycles {
+		t.Errorf("decay cycles = %d below conventional %d", res.CPU.Cycles, conv.CPU.Cycles)
+	}
+}
+
+func TestDrowsyPolicyObservables(t *testing.T) {
+	prog := policyProg(t)
+	conv := Run(Default(assoc4(), policyTestInstrs), prog)
+	pc := policy.DefaultDrowsy(50_000)
+	res := Run(Default(assoc4(), policyTestInstrs).WithL1IPolicy(pc), prog)
+
+	// State-preserving: exactly the conventional miss stream.
+	if res.ICache.Misses != conv.ICache.Misses || res.ICache.Accesses != conv.ICache.Accesses {
+		t.Errorf("drowsy misses/accesses = %d/%d, want conventional %d/%d (no state loss)",
+			res.ICache.Misses, res.ICache.Accesses, conv.ICache.Misses, conv.ICache.Accesses)
+	}
+	if res.L1IPolicyStats.Wakeups == 0 {
+		t.Fatal("drowsy charged no wakeups")
+	}
+	if res.CPU.Cycles <= conv.CPU.Cycles {
+		t.Errorf("drowsy cycles = %d, want > conventional %d (wakeup latency)",
+			res.CPU.Cycles, conv.CPU.Cycles)
+	}
+	// Reduced-but-nonzero leakage: the mean fraction sits strictly between
+	// the low-Vdd floor and full leakage.
+	if f := res.AvgActiveFraction; f <= pc.DrowsyLeakFraction || f >= 1 {
+		t.Errorf("drowsy leak fraction = %v, want in (%v, 1)", f, pc.DrowsyLeakFraction)
+	}
+}
+
+func TestWayGatePolicyObservables(t *testing.T) {
+	prog := policyProg(t)
+	res := Run(Default(assoc4(), policyTestInstrs).WithL1IPolicy(policy.DefaultWayGate(50_000)), prog)
+
+	if res.ICache.Downsizes == 0 {
+		t.Fatal("waygate never gated a way")
+	}
+	if f := res.AvgActiveFraction; f <= 0 || f >= 1 {
+		t.Errorf("waygate active fraction = %v, want in (0,1)", f)
+	}
+	// Way-granular gating keeps the index function: no resizing tag bits.
+	if res.ResizingTagBits != 0 {
+		t.Errorf("waygate resizing tag bits = %d, want 0", res.ResizingTagBits)
+	}
+	for _, ev := range res.Events {
+		if ev.FromWays == ev.ToWays {
+			t.Fatalf("waygate event changed sets, not ways: %+v", ev)
+		}
+	}
+}
+
+func TestPolicyComparisonsDistinct(t *testing.T) {
+	prog := policyProg(t)
+	driCfg := assoc4()
+	driCfg.Params = dri.DefaultParams(50_000)
+
+	mk := func(cfg Config) Comparison { return CompareSim(cfg, prog, nil) }
+	cmp := map[string]Comparison{
+		"dri":     mk(Default(driCfg, policyTestInstrs).WithL1IPolicy(policy.Config{Kind: policy.DRI})),
+		"decay":   mk(Default(assoc4(), policyTestInstrs).WithL1IPolicy(policy.DefaultDecay(50_000))),
+		"drowsy":  mk(Default(assoc4(), policyTestInstrs).WithL1IPolicy(policy.DefaultDrowsy(50_000))),
+		"waygate": mk(Default(assoc4(), policyTestInstrs).WithL1IPolicy(policy.DefaultWayGate(50_000))),
+	}
+	seen := map[float64]string{}
+	for name, c := range cmp {
+		if c.RelativeED <= 0 {
+			t.Errorf("%s: relative ED = %v, want > 0", name, c.RelativeED)
+		}
+		if prev, dup := seen[c.RelativeED]; dup {
+			t.Errorf("%s and %s produced identical relative ED %v", name, prev, c.RelativeED)
+		}
+		seen[c.RelativeED] = name
+	}
+	// Per-line policies price their transitions.
+	if cmp["drowsy"].ExtraPolicyDynamicNJ <= 0 {
+		t.Error("drowsy comparison carries no policy transition energy")
+	}
+	if cmp["decay"].ExtraPolicyDynamicNJ <= 0 {
+		t.Error("decay comparison carries no policy transition energy")
+	}
+	if cmp["dri"].ExtraPolicyDynamicNJ != 0 {
+		t.Error("dri comparison charged policy transition energy")
+	}
+}
+
+func TestL2PolicyRuns(t *testing.T) {
+	prog := policyProg(t)
+	cfg := Default(Conventional64K(), policyTestInstrs).WithL2Policy(policy.DefaultDrowsy(50_000))
+	res := Run(cfg, prog)
+	if res.L2PolicyStats.DrowsyTransitions == 0 {
+		t.Fatal("L2 drowsy policy made no transitions")
+	}
+	if f := res.L2AvgActiveFraction; f <= 0 || f >= 1 {
+		t.Errorf("L2 drowsy leak fraction = %v, want in (0,1)", f)
+	}
+	cmp := CompareSim(cfg, prog, nil)
+	if cmp.Total.L2.ExtraDynamicNJ <= 0 {
+		t.Error("L2 policy transitions not priced in the total account")
+	}
+}
+
+func TestL2DecayWritebackAttribution(t *testing.T) {
+	prog := policyProg(t)
+	cfg := Default(Conventional64K(), policyTestInstrs).WithL2Policy(policy.DefaultDecay(50_000))
+	res := Run(cfg, prog)
+	if res.L2PolicyStats.GatedLines == 0 {
+		t.Fatal("L2 decay gated no lines")
+	}
+	// Dirty lines gated by the policy are flushed to memory and attributed
+	// to the policy, not to the resize machinery (which never ran).
+	if res.Mem.L2PolicyWritebacks == 0 {
+		t.Error("L2 decay flushed no dirty lines (expected policy writebacks)")
+	}
+	if res.Mem.L2ResizeWritebacks != 0 || res.L2.ResizeWritebacks != 0 {
+		t.Errorf("policy gatings miscounted as resize writebacks: mem %d, cache %d",
+			res.Mem.L2ResizeWritebacks, res.L2.ResizeWritebacks)
+	}
+	if res.L2.PolicyWritebacks != res.Mem.L2PolicyWritebacks {
+		t.Errorf("cache (%d) and hierarchy (%d) policy-writeback counts disagree",
+			res.L2.PolicyWritebacks, res.Mem.L2PolicyWritebacks)
+	}
+}
+
+func TestPolicyConfigRejected(t *testing.T) {
+	driCfg := assoc4()
+	driCfg.Params = dri.DefaultParams(50_000)
+	bad := Default(driCfg, policyTestInstrs).WithL1IPolicy(policy.DefaultDecay(50_000))
+	if err := bad.Mem.Check(); err == nil {
+		t.Fatal("decay over an enabled DRI controller must be rejected")
+	}
+	// waygate on the paper's direct-mapped L1 is invalid.
+	wg := Default(Conventional64K(), policyTestInstrs).WithL1IPolicy(policy.DefaultWayGate(50_000))
+	if err := wg.Mem.Check(); err == nil {
+		t.Fatal("waygate on a direct-mapped cache must be rejected")
+	}
+}
