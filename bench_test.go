@@ -70,21 +70,90 @@ func BenchmarkTable2(b *testing.B) {
 	b.ReportMetric(standby, "standby-e9nJ")
 }
 
+// fig3Once runs the quick Figure 3 search on a fresh engine and returns
+// the mean constrained relative ED.
+func fig3Once(progs []trace.Program) float64 {
+	r := exp.NewRunner(exp.QuickScale())
+	rows := r.Figure3(exp.QuickSpace(r.Scale), progs)
+	sum := 0.0
+	for _, row := range rows {
+		sum += row.Constrained.Cmp.RelativeED
+	}
+	return sum / float64(len(rows))
+}
+
 // BenchmarkFig3 runs the best-case energy-delay search (E2/E3) over the
-// core set and reports the mean constrained relative ED.
+// core set and reports the mean constrained relative ED. The trace replay
+// store is primed first, so this measures the warm-store sweep path every
+// production sweep after the first takes; BenchmarkFig3ColdStore is the
+// generator-path counterpart.
 func BenchmarkFig3(b *testing.B) {
 	progs := coreSet(b)
+	fig3Once(progs) // prime the replay store (and pin the expected result)
 	var mean float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r := exp.NewRunner(exp.QuickScale())
-		rows := r.Figure3(exp.QuickSpace(r.Scale), progs)
-		sum := 0.0
-		for _, row := range rows {
-			sum += row.Constrained.Cmp.RelativeED
-		}
-		mean = sum / float64(len(rows))
+		mean = fig3Once(progs)
 	}
 	b.ReportMetric(mean, "mean-ED(C)")
+}
+
+// BenchmarkFig3ColdStore is BenchmarkFig3 with the replay store disabled:
+// every simulation regenerates its instruction stream through the trace
+// generator, the pre-replay-store behaviour. The warm/cold ratio is the
+// replay store's sweep-level payoff.
+func BenchmarkFig3ColdStore(b *testing.B) {
+	st := trace.SharedStore()
+	st.SetBudget(0)
+	defer st.SetBudget(trace.DefaultStoreBudget)
+	progs := coreSet(b)
+	var mean float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mean = fig3Once(progs)
+	}
+	b.ReportMetric(mean, "mean-ED(C)")
+}
+
+// policySweepOnce runs the five-policy shoot-out over progs on a fresh
+// engine and returns the grid's mean relative ED.
+func policySweepOnce(progs []trace.Program) float64 {
+	r := exp.NewRunner(exp.QuickScale())
+	points := r.PolicySweep(progs, r.StandardPolicyChoices())
+	sum := 0.0
+	for _, p := range points {
+		sum += p.Cmp.RelativeED
+	}
+	return sum / float64(len(points))
+}
+
+// BenchmarkPolicySweep measures the warm-store policy shoot-out (every
+// benchmark under conventional, DRI, decay, drowsy, and way-gating) over
+// the core set at quick scale.
+func BenchmarkPolicySweep(b *testing.B) {
+	progs := coreSet(b)
+	policySweepOnce(progs) // prime the replay store
+	var mean float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mean = policySweepOnce(progs)
+	}
+	b.ReportMetric(mean, "mean-ED")
+}
+
+// BenchmarkPolicySweepColdStore is BenchmarkPolicySweep on the generator
+// path (replay store disabled).
+func BenchmarkPolicySweepColdStore(b *testing.B) {
+	st := trace.SharedStore()
+	st.SetBudget(0)
+	defer st.SetBudget(trace.DefaultStoreBudget)
+	progs := coreSet(b)
+	var mean float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mean = policySweepOnce(progs)
+	}
+	b.ReportMetric(mean, "mean-ED")
 }
 
 // BenchmarkFig4 measures the miss-bound sensitivity study (E4).
@@ -238,6 +307,44 @@ func BenchmarkTraceGeneration(b *testing.B) {
 		for s.Next(&ins) {
 		}
 	}
+	b.ReportMetric(100_000*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkTraceReplay measures the replay-store cursor over the same
+// stream BenchmarkTraceGeneration generates; with -benchmem it
+// demonstrates the zero-allocations-per-instruction property of the hot
+// path (the only allocation is the one cursor per replayed run).
+func BenchmarkTraceReplay(b *testing.B) {
+	prog, err := trace.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := trace.NewStore(trace.DefaultStoreBudget)
+	store.Replay(prog, 100_000) // record once
+	var ins isa.Instr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := store.Stream(prog, 100_000)
+		for s.Next(&ins) {
+		}
+	}
+	b.ReportMetric(100_000*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkTraceRecord measures the record path (generate + encode): the
+// one-time cost a cold store pays before every later run replays.
+func BenchmarkTraceRecord(b *testing.B) {
+	prog, err := trace.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var bytes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store := trace.NewStore(trace.DefaultStoreBudget)
+		bytes = store.Replay(prog, 100_000).Bytes()
+	}
+	b.ReportMetric(float64(bytes)/100_000, "bytes/instr")
 	b.ReportMetric(100_000*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
 }
 

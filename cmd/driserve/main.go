@@ -5,7 +5,8 @@
 //
 // Endpoints:
 //
-//	GET  /healthz        liveness + engine cache metrics
+//	GET  /healthz        liveness + engine and trace-store metrics
+//	GET  /v1/stats       engine, trace replay store, and runtime counters
 //	GET  /v1/benchmarks  the fifteen SPEC95 stand-ins
 //	GET  /v1/policies    the leakage-control policies and their defaults
 //	POST /v1/run         one simulation (conventional, DRI, or policy)
@@ -43,6 +44,7 @@ import (
 	"time"
 
 	"dricache/internal/engine"
+	"dricache/internal/trace"
 )
 
 func main() {
@@ -51,10 +53,12 @@ func main() {
 		workers      = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		maxInstr     = flag.Uint64("maxinstructions", 50_000_000, "per-run instruction budget limit")
 		cacheLimit   = flag.Int("cachelimit", 65536, "max cached results (0 = unbounded)")
+		traceBudget  = flag.Int64("tracebudget", trace.DefaultStoreBudget, "trace replay store byte budget (0 = record nothing)")
 		drainTimeout = flag.Duration("draintimeout", 15*time.Second, "graceful-shutdown drain limit for in-flight requests")
 	)
 	flag.Parse()
 
+	trace.SharedStore().SetBudget(*traceBudget)
 	eng := engine.New(*workers)
 	eng.SetCacheLimit(*cacheLimit)
 	srv := &http.Server{

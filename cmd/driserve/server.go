@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 
 	"dricache/internal/dri"
 	"dricache/internal/energy"
@@ -33,6 +34,7 @@ func newServer(eng *engine.Engine, maxInstructions uint64) http.Handler {
 	s := &server{eng: eng, maxInstructions: maxInstructions, maxSweepPoints: 1024}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
@@ -52,6 +54,21 @@ type engineMetrics struct {
 	Parallelism int     `json:"parallelism"`
 }
 
+// traceMetrics is the wire form of the shared trace replay store's
+// counters: how many (benchmark, budget) streams are recorded, their
+// encoded footprint against the byte budget, and how the record-once /
+// replay-many traffic splits.
+type traceMetrics struct {
+	Entries     int     `json:"entries"`
+	Bytes       int64   `json:"bytes"`
+	BudgetBytes int64   `json:"budgetBytes"`
+	Hits        uint64  `json:"hits"`
+	Misses      uint64  `json:"misses"`
+	Evictions   uint64  `json:"evictions"`
+	Bypasses    uint64  `json:"bypasses"`
+	HitRate     float64 `json:"hitRate"`
+}
+
 func (s *server) metrics() engineMetrics {
 	st := s.eng.Stats()
 	return engineMetrics{
@@ -62,6 +79,20 @@ func (s *server) metrics() engineMetrics {
 		Entries:     st.Entries,
 		InFlight:    st.InFlight,
 		Parallelism: st.Parallelism,
+	}
+}
+
+func (s *server) traceMetrics() traceMetrics {
+	st := trace.SharedStore().Stats()
+	return traceMetrics{
+		Entries:     st.Entries,
+		Bytes:       st.Bytes,
+		BudgetBytes: st.BudgetBytes,
+		Hits:        st.Hits,
+		Misses:      st.Misses,
+		Evictions:   st.Evictions,
+		Bypasses:    st.Bypasses,
+		HitRate:     st.HitRate(),
 	}
 }
 
@@ -97,7 +128,26 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) (int, error) {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "engine": s.metrics()})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":     true,
+		"engine": s.metrics(),
+		"trace":  s.traceMetrics(),
+	})
+}
+
+// handleStats is the operational counters endpoint: the engine's result
+// cache and worker pool, the shared trace replay store, and process-level
+// scheduling facts — everything needed to see whether sweep traffic is
+// being served from caches or from fresh simulation work.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"engine": s.metrics(),
+		"trace":  s.traceMetrics(),
+		"runtime": map[string]any{
+			"goroutines": runtime.NumGoroutine(),
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+		},
+	})
 }
 
 // handlePolicies lists the leakage-control policies, each with its paper

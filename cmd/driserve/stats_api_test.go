@@ -1,0 +1,79 @@
+package main
+
+import (
+	"testing"
+)
+
+// traceField extracts a numeric field from the "trace" metrics object.
+func traceField(t *testing.T, out map[string]any, field string) float64 {
+	t.Helper()
+	tr, ok := out["trace"].(map[string]any)
+	if !ok {
+		t.Fatalf("response missing trace metrics: %v", out)
+	}
+	v, ok := tr[field].(float64)
+	if !ok {
+		t.Fatalf("trace metrics missing %q: %v", field, tr)
+	}
+	return v
+}
+
+// TestStatsEndpoint pins the GET /v1/stats wire shape: engine, trace
+// replay store, and runtime sections.
+func TestStatsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	out := getJSON(t, ts.URL+"/v1/stats", 200)
+	for _, section := range []string{"engine", "trace", "runtime"} {
+		if _, ok := out[section].(map[string]any); !ok {
+			t.Fatalf("/v1/stats missing %q section: %v", section, out)
+		}
+	}
+	if traceField(t, out, "budgetBytes") <= 0 {
+		t.Fatal("trace store reports a non-positive budget")
+	}
+	rt := out["runtime"].(map[string]any)
+	if rt["goroutines"].(float64) < 1 || rt["gomaxprocs"].(float64) < 1 {
+		t.Fatalf("implausible runtime section: %v", rt)
+	}
+}
+
+// TestStatsTrackReplayStore verifies the trace-store counters advance as
+// simulations record and replay streams, and that /healthz carries the
+// same section.
+func TestStatsTrackReplayStore(t *testing.T) {
+	ts := testServer(t)
+	before := getJSON(t, ts.URL+"/v1/stats", 200)
+	beforeTouches := traceField(t, before, "hits") + traceField(t, before, "misses")
+
+	// Two identical runs: the first simulates (recording or replaying the
+	// stream depending on what earlier tests left in the shared store),
+	// the second is an engine result-cache hit and never touches the
+	// trace store.
+	const body = `{"benchmark":"li","instructions":60000}`
+	postJSON(t, ts.URL+"/v1/run", body, 200)
+	mid := getJSON(t, ts.URL+"/v1/stats", 200)
+	midTouches := traceField(t, mid, "hits") + traceField(t, mid, "misses")
+	if midTouches != beforeTouches+1 {
+		t.Fatalf("first run should touch the trace store once: before %v, after %v",
+			beforeTouches, midTouches)
+	}
+	if traceField(t, mid, "entries") < 1 || traceField(t, mid, "bytes") <= 0 {
+		t.Fatalf("trace store holds no recording after a run: %v", mid["trace"])
+	}
+
+	out := postJSON(t, ts.URL+"/v1/run", body, 200)
+	if cached, _ := out["cached"].(bool); !cached {
+		t.Fatal("second identical run was not an engine cache hit")
+	}
+	after := getJSON(t, ts.URL+"/v1/stats", 200)
+	if got := traceField(t, after, "hits") + traceField(t, after, "misses"); got != midTouches {
+		t.Fatalf("engine-cached run touched the trace store: %v -> %v", midTouches, got)
+	}
+
+	// A different budget is a distinct stream: the store records again.
+	postJSON(t, ts.URL+"/v1/run", `{"benchmark":"li","instructions":70000}`, 200)
+	final := getJSON(t, ts.URL+"/healthz", 200)
+	if got := traceField(t, final, "hits") + traceField(t, final, "misses"); got != midTouches+1 {
+		t.Fatalf("distinct budget did not touch the trace store: %v -> %v", midTouches, got)
+	}
+}

@@ -9,6 +9,7 @@
 //	drisim -bench gcc -dri -compare -timeline      # DRI vs baseline + resize log
 //	drisim -bench gcc -policy drowsy -assoc 4 -compare
 //	drisim -bench gcc -policy decay -compare       # per-line gated-Vdd
+//	drisim -bench gcc -dri -compare -v             # + wall time, trace-store counters
 //	drisim -config                                 # print the Table 1 system
 //	drisim -all                                    # conventional IPC/missrate survey
 package main
@@ -19,6 +20,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"dricache/internal/dri"
 	"dricache/internal/isa"
@@ -46,6 +48,8 @@ func main() {
 		timeline  = flag.Bool("timeline", false, "print the resize event log")
 		curve     = flag.Bool("curve", false, "print the benchmark's miss rate vs fixed cache size")
 
+		verbose = flag.Bool("v", false, "report wall time and trace-store counters after the run")
+
 		policyName = flag.String("policy", "", "leakage-control policy: dri|decay|drowsy|waygate|conventional (empty = follow -dri)")
 		decayIvals = flag.Int("decayintervals", 4, "decay: idle policy ticks before a line is gated off")
 		wakeup     = flag.Int("wakeup", 1, "drowsy: wakeup penalty in cycles")
@@ -53,6 +57,13 @@ func main() {
 		minWays    = flag.Int("minways", 1, "waygate: minimum powered ways")
 	)
 	flag.Parse()
+
+	// Registered before the mode dispatch so -v covers every simulating
+	// path (-all and -curve included), not just the single-run modes.
+	start := time.Now()
+	if *verbose {
+		defer printVerbose(start)
+	}
 
 	switch {
 	case *list:
@@ -167,6 +178,17 @@ func main() {
 	if *timeline {
 		printTimeline(res)
 	}
+}
+
+// printVerbose reports wall time and the trace replay store's counters:
+// under -compare the baseline and DRI runs share one recorded stream, so
+// the store shows one miss (the recording) and one hit (the replay).
+func printVerbose(start time.Time) {
+	st := trace.SharedStore().Stats()
+	fmt.Printf("\nwall time %s\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("trace store: %d entries, %.1f MB of %.0f MB budget; %d hits, %d misses, %d evictions, %d bypasses\n",
+		st.Entries, float64(st.Bytes)/(1<<20), float64(st.BudgetBytes)/(1<<20),
+		st.Hits, st.Misses, st.Evictions, st.Bypasses)
 }
 
 func printRun(label string, r sim.Result) {

@@ -96,7 +96,21 @@ type (
 	PolicyChoice = exp.PolicyChoice
 	// PolicyPoint is one (benchmark, policy) cell of a shoot-out grid.
 	PolicyPoint = exp.PolicyPoint
+	// TraceStore is the record-once/replay-many instruction stream cache:
+	// each (benchmark, budget) stream is generated and encoded exactly
+	// once, and every simulation replays it through a zero-allocation
+	// cursor. Concurrency-safe, single-flight, byte-budgeted (LRU).
+	TraceStore = trace.Store
+	// TraceStoreStats is a snapshot of a TraceStore's counters (entries,
+	// bytes, hits, misses, evictions, bypasses); also embedded in
+	// EngineStats as Trace.
+	TraceStoreStats = trace.StoreStats
 )
+
+// SharedTraceStore returns the process-wide trace replay store every
+// simulation draws its instruction stream from. Use SetBudget to bound (or
+// with <= 0, disable) stream recording.
+func SharedTraceStore() *TraceStore { return trace.SharedStore() }
 
 // Default64KEnergyModel returns the §5.2 constants for the paper's base
 // system (0.91 nJ/cycle leakage, 0.0022 nJ per resizing bitline, 3.6 nJ

@@ -23,9 +23,11 @@ package cpu
 
 import (
 	"fmt"
+	"sync"
 
 	"dricache/internal/bpred"
 	"dricache/internal/isa"
+	"dricache/internal/mem"
 )
 
 // IMem is the instruction-fetch side of the memory hierarchy. FetchBlock is
@@ -169,9 +171,81 @@ func New(cfg Config, imem IMem, dmem DMem, bp *bpred.Predictor, ticker Ticker) *
 // Predictor exposes the branch predictor (for stats).
 func (p *Pipeline) Predictor() *bpred.Predictor { return p.bp }
 
+// rings bundles the per-run sliding-window and occupancy buffers so they
+// can be pooled across runs: a sweep executes thousands of short
+// simulations, and re-allocating ~2 KB of rings per run is measurable
+// against the replay-store hot path.
+type rings struct {
+	fetch, dispatch, commit, port, rob, lsq []uint64
+}
+
+var ringPool = sync.Pool{New: func() any { return new(rings) }}
+
+// sized returns s with exactly n zeroed elements, reusing its backing array
+// when possible.
+func sized(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func getRings(cfg *Config) *rings {
+	r := ringPool.Get().(*rings)
+	r.fetch = sized(r.fetch, cfg.FetchWidth)
+	r.dispatch = sized(r.dispatch, cfg.DispatchWidth)
+	r.commit = sized(r.commit, cfg.CommitWidth)
+	r.port = sized(r.port, cfg.MemPorts)
+	r.rob = sized(r.rob, cfg.ROBSize)
+	r.lsq = sized(r.lsq, cfg.LSQSize)
+	return r
+}
+
+func putRings(r *rings) { ringPool.Put(r) }
+
 // Run consumes the stream to completion and returns timing results.
+//
+// When the stream is a replay cursor and the memory interfaces are one
+// concrete mem.Hierarchy (the whole-system simulation path), Run switches
+// to a fused loop whose stream and memory calls are direct — no interface
+// dispatch per instruction. Both loops implement the identical timing
+// model; TestFusedMatchesGeneric and the golden suites pin them together.
 func (p *Pipeline) Run(stream isa.Stream) Result {
+	if cur, ok := stream.(*isa.ReplayCursor); ok {
+		if h, ok := p.imem.(*mem.Hierarchy); ok && p.dmemIs(h) && p.tickIs(h) {
+			return p.runFused(cur, h)
+		}
+	}
+	return p.runGeneric(stream)
+}
+
+func (p *Pipeline) dmemIs(h *mem.Hierarchy) bool {
+	hd, ok := p.dmem.(*mem.Hierarchy)
+	return ok && hd == h
+}
+
+// tickIs reports whether the ticker is absent or the same hierarchy, the
+// two shapes the fused loop handles.
+func (p *Pipeline) tickIs(h *mem.Hierarchy) bool {
+	if p.tick == nil {
+		return true
+	}
+	ht, ok := p.tick.(*mem.Hierarchy)
+	return ok && ht == h
+}
+
+// runGeneric is the interface-dispatched loop, used for foreign streams and
+// memory models.
+//
+// NOTE: runGeneric and runFused must implement the identical timing model
+// line for line; any change to one must be mirrored in the other (the
+// fused copy differs only in its stream/memory call sites).
+func (p *Pipeline) runGeneric(stream isa.Stream) Result {
 	cfg := p.cfg
+	rs := getRings(&cfg)
+	defer putRings(rs)
 	var (
 		res Result
 
@@ -182,22 +256,29 @@ func (p *Pipeline) Run(stream isa.Stream) Result {
 		// independent instructions legitimately issue before stalled older
 		// ones — so no program-order window applies there; sustained issue
 		// throughput is already capped by the dispatch width.
-		fetchRing    = make([]uint64, cfg.FetchWidth)
-		dispatchRing = make([]uint64, cfg.DispatchWidth)
-		commitRing   = make([]uint64, cfg.CommitWidth)
+		fetchRing    = rs.fetch
+		dispatchRing = rs.dispatch
+		commitRing   = rs.commit
 		// Memory ports are modeled as earliest-available-port greedy
 		// assignment.
-		portAvail = make([]uint64, cfg.MemPorts)
+		portAvail = rs.port
 
 		// Occupancy rings: commit time of instruction i−ROB (must have
 		// freed its entry before i can dispatch), and of memory op j−LSQ.
-		robRing = make([]uint64, cfg.ROBSize)
-		lsqRing = make([]uint64, cfg.LSQSize)
+		robRing = rs.rob
+		lsqRing = rs.lsq
+
+		// Ring cursors: each stage ring is walked with a wrapping index
+		// (slot i mod size) instead of per-instruction 64-bit modulos —
+		// six hardware divides per instruction otherwise.
+		fetchIdx, dispatchIdx, commitIdx, robIdx, lsqIdx int
+		// The base core has MemPorts == 1 or 2; skip the port scan when
+		// there is nothing to scan.
+		singlePort = cfg.MemPorts == 1
 
 		regReady [isa.RegCount]uint64
 
 		i        uint64 // instruction index
-		j        uint64 // memory-op index
 		ft       uint64 // last fetch time (monotone)
 		cmt      uint64 // last commit time (monotone)
 		redirect uint64 // earliest fetch time after a redirect
@@ -213,7 +294,7 @@ func (p *Pipeline) Run(stream isa.Stream) Result {
 		if redirect > f {
 			f = redirect
 		}
-		if w := fetchRing[i%uint64(cfg.FetchWidth)] + 1; w > f {
+		if w := fetchRing[fetchIdx] + 1; w > f {
 			f = w
 		}
 		if block := ins.PC >> cfg.BlockShift; block != curBlock {
@@ -224,24 +305,24 @@ func (p *Pipeline) Run(stream isa.Stream) Result {
 				res.ICacheStalls += lat
 			}
 		}
-		fetchRing[i%uint64(cfg.FetchWidth)] = f
+		fetchRing[fetchIdx] = f
 		ft = f
 
 		// ---- Dispatch (in-order, ROB occupancy) ----
 		d := f + cfg.FrontendDepth
-		if w := robRing[i%uint64(cfg.ROBSize)] + 1; w > d {
+		if w := robRing[robIdx] + 1; w > d {
 			d = w
 		}
-		if w := dispatchRing[i%uint64(cfg.DispatchWidth)] + 1; w > d {
+		if w := dispatchRing[dispatchIdx] + 1; w > d {
 			d = w
 		}
 		isMem := ins.Class.IsMem()
 		if isMem {
-			if w := lsqRing[j%uint64(cfg.LSQSize)] + 1; w > d {
+			if w := lsqRing[lsqIdx] + 1; w > d {
 				d = w
 			}
 		}
-		dispatchRing[i%uint64(cfg.DispatchWidth)] = d
+		dispatchRing[dispatchIdx] = d
 
 		// ---- Issue (dataflow + memory ports) ----
 		is := d
@@ -258,9 +339,11 @@ func (p *Pipeline) Run(stream isa.Stream) Result {
 		if isMem {
 			// Earliest-available memory port.
 			best := 0
-			for p := 1; p < cfg.MemPorts; p++ {
-				if portAvail[p] < portAvail[best] {
-					best = p
+			if !singlePort {
+				for p := 1; p < cfg.MemPorts; p++ {
+					if portAvail[p] < portAvail[best] {
+						best = p
+					}
 				}
 			}
 			if portAvail[best] > is {
@@ -313,18 +396,32 @@ func (p *Pipeline) Run(stream isa.Stream) Result {
 		if c <= cmt {
 			c = cmt
 		}
-		if w := commitRing[i%uint64(cfg.CommitWidth)] + 1; w > c {
+		if w := commitRing[commitIdx] + 1; w > c {
 			c = w
 		}
-		commitRing[i%uint64(cfg.CommitWidth)] = c
-		robRing[i%uint64(cfg.ROBSize)] = c
+		commitRing[commitIdx] = c
+		robRing[robIdx] = c
 		if isMem {
-			lsqRing[j%uint64(cfg.LSQSize)] = c
-			j++
+			lsqRing[lsqIdx] = c
+			if lsqIdx++; lsqIdx == cfg.LSQSize {
+				lsqIdx = 0
+			}
 		}
 		cmt = c
 
 		i++
+		if fetchIdx++; fetchIdx == cfg.FetchWidth {
+			fetchIdx = 0
+		}
+		if dispatchIdx++; dispatchIdx == cfg.DispatchWidth {
+			dispatchIdx = 0
+		}
+		if commitIdx++; commitIdx == cfg.CommitWidth {
+			commitIdx = 0
+		}
+		if robIdx++; robIdx == cfg.ROBSize {
+			robIdx = 0
+		}
 		tickAccum++
 		if p.tick != nil && tickAccum >= cfg.TickBatch {
 			p.tick.Advance(tickAccum, f)
@@ -333,6 +430,199 @@ func (p *Pipeline) Run(stream isa.Stream) Result {
 	}
 	if p.tick != nil && tickAccum > 0 {
 		p.tick.Advance(tickAccum, ft)
+	}
+
+	res.Instructions = i
+	res.Cycles = cmt
+	res.BPredStats = p.bp.Stats()
+	return res
+}
+
+// runFused is runGeneric specialized to the whole-system simulation shape:
+// the stream is a replay cursor — consumed in decoded batches instead of
+// one interface call per instruction — and fetch/load/store/tick all
+// resolve to one concrete mem.Hierarchy, so the per-instruction calls
+// dispatch directly instead of through interfaces.
+//
+// NOTE: keep in lockstep with runGeneric — the loops differ only in the
+// stream delivery (batched cursor vs Stream.Next) and the memory call
+// sites; the per-instruction timing model must stay line-for-line
+// identical.
+func (p *Pipeline) runFused(cur *isa.ReplayCursor, h *mem.Hierarchy) Result {
+	cfg := p.cfg
+	rs := getRings(&cfg)
+	defer putRings(rs)
+	var (
+		res Result
+
+		fetchRing    = rs.fetch
+		dispatchRing = rs.dispatch
+		commitRing   = rs.commit
+		portAvail    = rs.port
+		robRing      = rs.rob
+		lsqRing      = rs.lsq
+
+		// Ring cursors: each stage ring is walked with a wrapping index
+		// (slot i mod size) instead of per-instruction 64-bit modulos —
+		// six hardware divides per instruction otherwise.
+		fetchIdx, dispatchIdx, commitIdx, robIdx, lsqIdx int
+		singlePort                                       = cfg.MemPorts == 1
+		tick                                             = p.tick != nil
+
+		regReady [isa.RegCount]uint64
+
+		i        uint64
+		ft       uint64
+		cmt      uint64
+		redirect uint64
+		curBlock = ^uint64(0)
+
+		tickAccum uint64
+	)
+
+	for {
+		pc, memAddr, target, cls, taken, s1, s2, dst, ok := cur.NextValues()
+		if !ok {
+			break
+		}
+		// ---- Fetch ----
+		f := ft
+		if redirect > f {
+			f = redirect
+		}
+		if w := fetchRing[fetchIdx] + 1; w > f {
+			f = w
+		}
+		if block := pc >> cfg.BlockShift; block != curBlock {
+			curBlock = block
+			res.FetchGroups++
+			if lat := h.FetchBlock(block); lat > 0 {
+				f += lat
+				res.ICacheStalls += lat
+			}
+		}
+		fetchRing[fetchIdx] = f
+		ft = f
+
+		// ---- Dispatch (in-order, ROB occupancy) ----
+		d := f + cfg.FrontendDepth
+		if w := robRing[robIdx] + 1; w > d {
+			d = w
+		}
+		if w := dispatchRing[dispatchIdx] + 1; w > d {
+			d = w
+		}
+		isMem := cls.IsMem()
+		if isMem {
+			if w := lsqRing[lsqIdx] + 1; w > d {
+				d = w
+			}
+		}
+		dispatchRing[dispatchIdx] = d
+
+		// ---- Issue (dataflow + memory ports) ----
+		is := d
+		if s1 != isa.NoReg {
+			if r := regReady[s1]; r > is {
+				is = r
+			}
+		}
+		if s2 != isa.NoReg {
+			if r := regReady[s2]; r > is {
+				is = r
+			}
+		}
+		if isMem {
+			best := 0
+			if !singlePort {
+				for p := 1; p < cfg.MemPorts; p++ {
+					if portAvail[p] < portAvail[best] {
+						best = p
+					}
+				}
+			}
+			if portAvail[best] > is {
+				is = portAvail[best]
+			}
+			portAvail[best] = is + 1
+		}
+
+		// ---- Execute/complete ----
+		ct := is + cfg.Latency[cls]
+		switch cls {
+		case isa.Load:
+			res.Loads++
+			ct += h.Load(memAddr)
+		case isa.Store:
+			res.Stores++
+			h.Store(memAddr)
+		case isa.Branch:
+			res.Branches++
+			if p.bp.PredictBranch(pc, taken) {
+				res.Mispredicts++
+				redirect = ct + cfg.RedirectPenalty
+			} else if taken {
+				if p.bp.PredictTarget(pc, target) {
+					redirect = ct + cfg.RedirectPenalty
+				}
+			}
+		case isa.Jump:
+			if p.bp.PredictTarget(pc, target) {
+				redirect = ct + cfg.RedirectPenalty
+			}
+		case isa.Call:
+			p.bp.Call(pc + isa.InstrBytes)
+			if p.bp.PredictTarget(pc, target) {
+				redirect = ct + cfg.RedirectPenalty
+			}
+		case isa.Ret:
+			if p.bp.Return(target) {
+				redirect = ct + cfg.RedirectPenalty
+			}
+		}
+		if dst != isa.NoReg {
+			regReady[dst] = ct
+		}
+
+		// ---- Commit (in-order) ----
+		c := ct + 1
+		if c <= cmt {
+			c = cmt
+		}
+		if w := commitRing[commitIdx] + 1; w > c {
+			c = w
+		}
+		commitRing[commitIdx] = c
+		robRing[robIdx] = c
+		if isMem {
+			lsqRing[lsqIdx] = c
+			if lsqIdx++; lsqIdx == cfg.LSQSize {
+				lsqIdx = 0
+			}
+		}
+		cmt = c
+
+		i++
+		if fetchIdx++; fetchIdx == cfg.FetchWidth {
+			fetchIdx = 0
+		}
+		if dispatchIdx++; dispatchIdx == cfg.DispatchWidth {
+			dispatchIdx = 0
+		}
+		if commitIdx++; commitIdx == cfg.CommitWidth {
+			commitIdx = 0
+		}
+		if robIdx++; robIdx == cfg.ROBSize {
+			robIdx = 0
+		}
+		tickAccum++
+		if tick && tickAccum >= cfg.TickBatch {
+			h.Advance(tickAccum, f)
+			tickAccum = 0
+		}
+	}
+	if tick && tickAccum > 0 {
+		h.Advance(tickAccum, ft)
 	}
 
 	res.Instructions = i

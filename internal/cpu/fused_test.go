@@ -1,0 +1,115 @@
+package cpu
+
+import (
+	"testing"
+
+	"dricache/internal/bpred"
+	"dricache/internal/dri"
+	"dricache/internal/isa"
+	"dricache/internal/mem"
+	"dricache/internal/trace"
+)
+
+// TestFusedMatchesGeneric pins the fused replay loop to the generic
+// interface loop: the same stream through the same system configuration
+// must yield bit-identical results whichever loop runs — the invariant
+// that keeps golden suites unchanged now that sim.Run takes the fused
+// path. Exercised across port counts and with/without DRI ticking.
+func TestFusedMatchesGeneric(t *testing.T) {
+	prog, err := trace.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 150_000
+	rep, exact := isa.RecordStream(prog.Stream(n), n)
+	if !exact {
+		t.Fatal("recording inexact")
+	}
+
+	l1iConv := dri.Config{SizeBytes: 64 << 10, BlockBytes: 32, Assoc: 1, AddrBits: 32}
+	l1iDRI := l1iConv
+	l1iDRI.Params = dri.Params{
+		Enabled: true, MissBound: 100, SizeBoundBytes: 1 << 10,
+		SenseInterval: 10_000, Divisibility: 2,
+		ThrottleSaturation: 7, ThrottleIntervals: 10,
+	}
+
+	cases := []struct {
+		name string
+		l1i  dri.Config
+		mut  func(*Config)
+	}{
+		{"conventional", l1iConv, nil},
+		{"dri", l1iDRI, nil},
+		{"single-port", l1iDRI, func(c *Config) { c.MemPorts = 1 }},
+		{"quad-port", l1iConv, func(c *Config) { c.MemPorts = 4 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			if tc.mut != nil {
+				tc.mut(&cfg)
+			}
+			run := func(stream isa.Stream) (Result, mem.Stats, dri.Stats) {
+				h := mem.New(mem.DefaultConfig(tc.l1i))
+				p := New(cfg, h, h, bpred.New(bpred.DefaultConfig()), h)
+				r := p.Run(stream)
+				h.Finish(r.Cycles)
+				return r, h.Stats(), h.ICache().Stats()
+			}
+
+			cur := rep.Cursor()
+			fusedRes, fusedMem, fusedIC := run(&cur)
+
+			// The generic loop via a non-cursor stream over the identical
+			// instructions.
+			var instrs []isa.Instr
+			var ins isa.Instr
+			c2 := rep.Cursor()
+			for c2.Next(&ins) {
+				instrs = append(instrs, ins)
+			}
+			genRes, genMem, genIC := run(&isa.SliceStream{Instrs: instrs})
+
+			if fusedRes != genRes {
+				t.Errorf("cpu.Result diverged:\n  fused   %+v\n  generic %+v", fusedRes, genRes)
+			}
+			if fusedMem != genMem {
+				t.Errorf("mem.Stats diverged:\n  fused   %+v\n  generic %+v", fusedMem, genMem)
+			}
+			if fusedIC != genIC {
+				t.Errorf("dri.Stats diverged:\n  fused   %+v\n  generic %+v", fusedIC, genIC)
+			}
+		})
+	}
+}
+
+// TestFusedPathTaken asserts the dispatch logic actually selects the fused
+// loop for the whole-system shape and the generic loop otherwise (guarding
+// against silent de-optimization).
+func TestFusedPathTaken(t *testing.T) {
+	l1i := dri.Config{SizeBytes: 64 << 10, BlockBytes: 32, Assoc: 1, AddrBits: 32}
+	h := mem.New(mem.DefaultConfig(l1i))
+	p := New(DefaultConfig(), h, h, nil, h)
+	rep, _ := isa.RecordStream(&isa.SliceStream{}, 0)
+	cur := rep.Cursor()
+	if !(p.tickIs(h) && p.dmemIs(h)) {
+		t.Fatal("whole-system shape not recognized as fusable")
+	}
+	_ = cur
+
+	// Foreign dmem defeats fusing.
+	p2 := New(DefaultConfig(), h, &perfectDMem{}, nil, h)
+	if p2.dmemIs(h) {
+		t.Fatal("foreign dmem reported as fusable")
+	}
+	// A foreign ticker defeats fusing; a nil one does not.
+	p3 := New(DefaultConfig(), h, h, nil, &countTicker{})
+	if p3.tickIs(h) {
+		t.Fatal("foreign ticker reported as fusable")
+	}
+	p4 := New(DefaultConfig(), h, h, nil, nil)
+	if !p4.tickIs(h) {
+		t.Fatal("nil ticker should be fusable")
+	}
+}

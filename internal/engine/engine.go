@@ -74,6 +74,11 @@ type Stats struct {
 	InFlight int
 	// Parallelism is the current worker limit.
 	Parallelism int
+	// Trace snapshots the shared trace replay store feeding every engine's
+	// simulations (a process-wide cache one level below the result cache:
+	// a result-cache miss still replays its instruction stream rather than
+	// regenerating it).
+	Trace trace.StoreStats
 }
 
 // Requests counts all requests seen.
@@ -194,6 +199,7 @@ func (e *Engine) Stats() Stats {
 		Entries:     e.completed,
 		InFlight:    e.inFlight,
 		Parallelism: e.effectiveLimit(),
+		Trace:       trace.SharedStore().Stats(),
 	}
 }
 

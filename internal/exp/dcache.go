@@ -64,7 +64,9 @@ func (r *Runner) dcacheOne(b trace.Program, missBound uint64, sizeBound int) DCa
 	conv := mk(false)
 	adaptive := mk(true)
 
-	stream := b.Stream(r.Scale.Instructions)
+	// The replay store turns the per-benchmark stream into a record-once
+	// artifact shared with the whole-system runs at this budget.
+	stream := trace.StreamFor(b, r.Scale.Instructions)
 	var ins isa.Instr
 	var instrs uint64
 	for stream.Next(&ins) {

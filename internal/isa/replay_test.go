@@ -1,0 +1,149 @@
+package isa
+
+import (
+	"testing"
+)
+
+// sampleInstrs exercises every class, PC discontinuities, register
+// presence/absence, and address deltas in both directions.
+func sampleInstrs() []Instr {
+	return []Instr{
+		{PC: 0x40_0000, Class: IntALU, Src1: 9, Src2: NoReg, Dst: 10},
+		{PC: 0x40_0004, Class: IntMul, Src1: 10, Src2: 11, Dst: 12},
+		{PC: 0x40_0008, Class: Load, MemAddr: 0x4000_0000, Src1: 12, Src2: NoReg, Dst: 13},
+		{PC: 0x40_000C, Class: Store, MemAddr: 0x4000_0008, Src1: 13, Src2: 9, Dst: NoReg},
+		{PC: 0x40_0010, Class: Load, MemAddr: 0x3FFF_FF00, Src1: 9, Src2: NoReg, Dst: 14}, // backward delta
+		{PC: 0x40_0014, Class: Branch, Taken: true, Target: 0x40_0000, Src1: 14, Src2: NoReg, Dst: NoReg},
+		{PC: 0x40_0000, Class: FPAdd, Src1: 41, Src2: 42, Dst: 43}, // backward PC
+		{PC: 0x40_0004, Class: FPMul, Src1: 43, Src2: 44, Dst: 45},
+		{PC: 0x40_0008, Class: FPDiv, Src1: 45, Src2: 46, Dst: 47},
+		{PC: 0x40_000C, Class: Jump, Target: 0x41_0000, Src1: NoReg, Src2: NoReg, Dst: NoReg},
+		{PC: 0x41_0000, Class: Call, Target: 0x42_0000, Src1: NoReg, Src2: NoReg, Dst: NoReg},
+		{PC: 0x42_0000, Class: Ret, Target: 0x41_0004, Src1: NoReg, Src2: NoReg, Dst: NoReg},
+		{PC: 0x41_0004, Class: Branch, Taken: false, Target: 0x41_000C, Src1: 8, Src2: NoReg, Dst: NoReg},
+		{PC: 0x41_0008, Class: Store, MemAddr: 0, Src1: 8, Src2: 8, Dst: NoReg}, // zero address
+		{PC: 0x41_000C, Class: IntALU, Src1: 0, Src2: 0, Dst: 0},                // register 0 is not NoReg
+	}
+}
+
+func TestReplayRoundTrip(t *testing.T) {
+	instrs := sampleInstrs()
+	rep, exact := RecordStream(&SliceStream{Instrs: instrs}, uint64(len(instrs)))
+	if !exact {
+		t.Fatal("recording reported inexact for in-envelope instructions")
+	}
+	if rep.Len() != uint64(len(instrs)) {
+		t.Fatalf("Len = %d, want %d", rep.Len(), len(instrs))
+	}
+	cur := rep.Cursor()
+	var ins Instr
+	for i, want := range instrs {
+		if !cur.Next(&ins) {
+			t.Fatalf("cursor ended at %d, want %d instructions", i, len(instrs))
+		}
+		if ins != want {
+			t.Fatalf("instr %d: got %+v, want %+v", i, ins, want)
+		}
+	}
+	if cur.Next(&ins) {
+		t.Fatal("cursor yielded an instruction past the end")
+	}
+}
+
+func TestReplayCursorReset(t *testing.T) {
+	instrs := sampleInstrs()
+	rep, _ := RecordStream(&SliceStream{Instrs: instrs}, 0)
+	cur := rep.Cursor()
+	var ins Instr
+	for cur.Next(&ins) {
+	}
+	cur.Reset()
+	n := 0
+	for cur.Next(&ins) {
+		if ins != instrs[n] {
+			t.Fatalf("after Reset, instr %d: got %+v, want %+v", n, ins, instrs[n])
+		}
+		n++
+	}
+	if n != len(instrs) {
+		t.Fatalf("after Reset, replayed %d instructions, want %d", n, len(instrs))
+	}
+}
+
+func TestReplayEmpty(t *testing.T) {
+	rep, exact := RecordStream(&SliceStream{}, 0)
+	if !exact || rep.Len() != 0 || rep.Bytes() != 0 {
+		t.Fatalf("empty recording: exact=%v len=%d bytes=%d", exact, rep.Len(), rep.Bytes())
+	}
+	cur := rep.Cursor()
+	var ins Instr
+	if cur.Next(&ins) {
+		t.Fatal("empty cursor yielded an instruction")
+	}
+}
+
+func TestReplayInexactOutOfEnvelope(t *testing.T) {
+	cases := []Instr{
+		{PC: 4, Class: IntALU, MemAddr: 8, Src1: NoReg, Src2: NoReg, Dst: NoReg}, // ALU with MemAddr
+		{PC: 4, Class: Load, Target: 8, Src1: NoReg, Src2: NoReg, Dst: NoReg},    // Load with Target
+		{PC: 4, Class: Jump, MemAddr: 8, Src1: NoReg, Src2: NoReg, Dst: NoReg},   // Jump with MemAddr
+		{PC: 4, Class: Class(17), Src1: NoReg, Src2: NoReg, Dst: NoReg},          // class overflow
+	}
+	for i, c := range cases {
+		r := NewRecorder(1)
+		r.Add(&c)
+		if r.Exact() {
+			t.Errorf("case %d (%+v): recorder claims exact", i, c)
+		}
+	}
+}
+
+// TestReplayConcurrentCursors verifies a single Replay supports independent
+// concurrent cursors (run with -race).
+func TestReplayConcurrentCursors(t *testing.T) {
+	instrs := sampleInstrs()
+	rep, _ := RecordStream(&SliceStream{Instrs: instrs}, 0)
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func() {
+			cur := rep.Cursor()
+			var ins Instr
+			for i := 0; cur.Next(&ins); i++ {
+				if ins != instrs[i] {
+					done <- errString("cursor diverged")
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+// BenchmarkReplayCursorNext measures the raw decode cost per instruction;
+// with -benchmem it demonstrates the zero-allocation property.
+func BenchmarkReplayCursorNext(b *testing.B) {
+	instrs := sampleInstrs()
+	var all []Instr
+	for len(all) < 4096 {
+		all = append(all, instrs...)
+	}
+	rep, _ := RecordStream(&SliceStream{Instrs: all}, uint64(len(all)))
+	cur := rep.Cursor()
+	var ins Instr
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !cur.Next(&ins) {
+			cur.Reset()
+		}
+	}
+}

@@ -222,9 +222,21 @@ func (h *Hierarchy) Stats() Stats { return h.stats }
 
 // FetchBlock implements cpu.IMem: an instruction fetch of the given L1I
 // block address. A hit costs nothing extra; a miss goes to L2 and possibly
-// memory, and fills the i-cache.
+// memory, and fills the i-cache. The policy-free hit path — the common case
+// by far — is kept branch-minimal so the pipeline's fused loop pays only
+// the tag probe; miss handling and per-line-policy penalties live in
+// fetchSlow.
 func (h *Hierarchy) FetchBlock(block uint64) uint64 {
 	hit := h.l1i.AccessBlock(block)
+	if hit && h.l1iPol == nil {
+		return 0
+	}
+	return h.fetchSlow(block, hit)
+}
+
+// fetchSlow charges a fetch that missed in L1I or runs under a per-line
+// policy. The L1I access has already happened; hit is its outcome.
+func (h *Hierarchy) fetchSlow(block uint64, hit bool) uint64 {
 	var lat uint64
 	if h.l1iPol != nil {
 		// A drowsy line pays its wakeup before the fetch can complete.
