@@ -11,6 +11,7 @@
 package dricache
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -154,6 +155,46 @@ func BenchmarkPolicySweepColdStore(b *testing.B) {
 		mean = policySweepOnce(progs)
 	}
 	b.ReportMetric(mean, "mean-ED")
+}
+
+// laneSweepConfigs builds n distinct DRI configurations — a miss-bound
+// ladder on the 64K direct-mapped geometry — sharing one instruction
+// budget, the shape of one sweep benchmark's worth of lane work.
+func laneSweepConfigs(n int, instrs uint64) []SimConfig {
+	cfgs := make([]SimConfig, n)
+	for i := range cfgs {
+		p := DefaultParams(50_000)
+		p.MissBound = uint64(50 * (i + 1))
+		cfgs[i] = NewSimConfig(NewDRI(64<<10, 1, p), instrs)
+	}
+	return cfgs
+}
+
+// BenchmarkLaneSweep measures the lane executor on a warm store: N
+// configurations of one benchmark advanced lock-step over a single decode
+// of its recorded stream — the inner loop of every sweep once the engine
+// cache and trace store are primed. Aggregate lane-instrs/s against
+// BenchmarkFullSystemSimulation's solo instrs/s is the per-lane saving
+// from sharing the decode and the branch-predictor walk.
+func BenchmarkLaneSweep(b *testing.B) {
+	prog, err := BenchmarkByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const instrs = 1_000_000
+	for _, lanes := range []int{8, 16} {
+		b.Run(fmt.Sprintf("%dlanes", lanes), func(b *testing.B) {
+			cfgs := laneSweepConfigs(lanes, instrs)
+			RunLanes(cfgs, prog) // prime the replay store
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				RunLanes(cfgs, prog)
+			}
+			b.ReportMetric(
+				float64(instrs)*float64(lanes)*float64(b.N)/b.Elapsed().Seconds(),
+				"lane-instrs/s")
+		})
+	}
 }
 
 // BenchmarkFig4 measures the miss-bound sensitivity study (E4).

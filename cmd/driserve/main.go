@@ -13,9 +13,17 @@
 //	POST /v1/compare     vs the conventional baseline with §5.2 energy
 //	POST /v1/sweep       a (benchmark × miss-bound × size-bound) grid
 //
+// Sweep traffic executes on the engine's lane scheduler: requests that
+// survive the result cache are grouped by (benchmark, budget) and each
+// group runs as lock-step lanes over a single decode of its instruction
+// stream (-lanes bounds the lanes per batch; 0 is the GOMAXPROCS-aware
+// automatic policy). /v1/stats and /healthz expose the lane counters, and
+// -pprof <port> serves net/http/pprof on a localhost-only listener for
+// production profiling.
+//
 // Examples:
 //
-//	driserve -addr :8080 -workers 8
+//	driserve -addr :8080 -workers 8 -lanes 16 -pprof 6060
 //	curl localhost:8080/v1/benchmarks
 //	curl -d '{"benchmark":"applu","cache":{"dri":{"missBound":256,"sizeBoundBytes":1024}}}' \
 //	    localhost:8080/v1/compare
@@ -38,6 +46,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,16 +60,22 @@ func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		workers      = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		lanes        = flag.Int("lanes", 0, "max simulation lanes per sweep batch (0 = automatic, GOMAXPROCS-aware)")
 		maxInstr     = flag.Uint64("maxinstructions", 50_000_000, "per-run instruction budget limit")
 		cacheLimit   = flag.Int("cachelimit", 65536, "max cached results (0 = unbounded)")
 		traceBudget  = flag.Int64("tracebudget", trace.DefaultStoreBudget, "trace replay store byte budget (0 = record nothing)")
 		drainTimeout = flag.Duration("draintimeout", 15*time.Second, "graceful-shutdown drain limit for in-flight requests")
+		pprofPort    = flag.Int("pprof", 0, "serve net/http/pprof on 127.0.0.1:<port> (0 = disabled)")
 	)
 	flag.Parse()
 
 	trace.SharedStore().SetBudget(*traceBudget)
 	eng := engine.New(*workers)
 	eng.SetCacheLimit(*cacheLimit)
+	eng.SetLanes(*lanes)
+	if *pprofPort > 0 {
+		go servePprof(*pprofPort)
+	}
 	srv := &http.Server{
 		Handler:           logRequests(newServer(eng, *maxInstr)),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -110,6 +125,24 @@ func runServer(ctx context.Context, srv *http.Server, ln net.Listener, drain tim
 		log.Printf("drain limit reached: %v", err)
 	}
 	return nil
+}
+
+// servePprof exposes the net/http/pprof profiling handlers on a
+// localhost-only listener, kept off the public API mux so production
+// profiling never rides the service port. Registration is explicit (not the
+// DefaultServeMux side effect) so nothing else can leak onto the listener.
+func servePprof(port int) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	log.Printf("pprof listening on http://%s/debug/pprof/", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("pprof server: %v", err)
+	}
 }
 
 func logRequests(h http.Handler) http.Handler {

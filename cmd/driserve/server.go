@@ -82,6 +82,38 @@ func (s *server) metrics() engineMetrics {
 	}
 }
 
+// laneMetrics is the wire form of the lane executor's counters: the
+// engine's batch scheduler (how sweep traffic grouped into shared-decode
+// batches and how many stream decode passes that saved) plus the
+// process-wide executor counters underneath it (lock-step passes actually
+// run, including lanes from non-engine callers, and store-bypass
+// fallbacks).
+type laneMetrics struct {
+	Groups        uint64 `json:"groups"`
+	Batches       uint64 `json:"batches"`
+	Lanes         uint64 `json:"lanes"`
+	DecodeSaved   uint64 `json:"decodeSaved"`
+	LanesPerBatch int    `json:"lanesPerBatch"` // 0 = automatic
+	ExecBatches   uint64 `json:"execBatches"`
+	ExecLanes     uint64 `json:"execLanes"`
+	Fallbacks     uint64 `json:"fallbacks"`
+}
+
+func (s *server) laneMetrics() laneMetrics {
+	eng := s.eng.Stats().Lanes
+	exec := sim.ReadLaneStats()
+	return laneMetrics{
+		Groups:        eng.Groups,
+		Batches:       eng.Batches,
+		Lanes:         eng.Lanes,
+		DecodeSaved:   eng.DecodeSaved,
+		LanesPerBatch: eng.LanesPerBatch,
+		ExecBatches:   exec.Batches,
+		ExecLanes:     exec.Lanes,
+		Fallbacks:     exec.Fallbacks,
+	}
+}
+
 func (s *server) traceMetrics() traceMetrics {
 	st := trace.SharedStore().Stats()
 	return traceMetrics{
@@ -131,6 +163,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":     true,
 		"engine": s.metrics(),
+		"lanes":  s.laneMetrics(),
 		"trace":  s.traceMetrics(),
 	})
 }
@@ -142,6 +175,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"engine": s.metrics(),
+		"lanes":  s.laneMetrics(),
 		"trace":  s.traceMetrics(),
 		"runtime": map[string]any{
 			"goroutines": runtime.NumGoroutine(),

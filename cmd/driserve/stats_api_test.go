@@ -18,14 +18,21 @@ func traceField(t *testing.T, out map[string]any, field string) float64 {
 	return v
 }
 
-// TestStatsEndpoint pins the GET /v1/stats wire shape: engine, trace
-// replay store, and runtime sections.
+// TestStatsEndpoint pins the GET /v1/stats wire shape: engine, lane
+// executor, trace replay store, and runtime sections.
 func TestStatsEndpoint(t *testing.T) {
 	ts := testServer(t)
 	out := getJSON(t, ts.URL+"/v1/stats", 200)
-	for _, section := range []string{"engine", "trace", "runtime"} {
+	for _, section := range []string{"engine", "lanes", "trace", "runtime"} {
 		if _, ok := out[section].(map[string]any); !ok {
 			t.Fatalf("/v1/stats missing %q section: %v", section, out)
+		}
+	}
+	lanes := out["lanes"].(map[string]any)
+	for _, field := range []string{"groups", "batches", "lanes", "decodeSaved",
+		"lanesPerBatch", "execBatches", "execLanes", "fallbacks"} {
+		if _, ok := lanes[field].(float64); !ok {
+			t.Fatalf("lanes metrics missing %q: %v", field, lanes)
 		}
 	}
 	if traceField(t, out, "budgetBytes") <= 0 {
@@ -34,6 +41,40 @@ func TestStatsEndpoint(t *testing.T) {
 	rt := out["runtime"].(map[string]any)
 	if rt["goroutines"].(float64) < 1 || rt["gomaxprocs"].(float64) < 1 {
 		t.Fatalf("implausible runtime section: %v", rt)
+	}
+}
+
+// TestStatsTrackLaneScheduler verifies a sweep advances the engine's lane
+// scheduler counters (each test server has a fresh engine, so the sweep's
+// simulations are this engine's first lane batches) and that /healthz
+// carries the same section.
+func TestStatsTrackLaneScheduler(t *testing.T) {
+	ts := testServer(t)
+	const sweep = `{"benchmarks":["li"],"instructions":60000,"senseInterval":30000,` +
+		`"missBounds":[100,300],"sizeBounds":[1024,4096]}`
+	postJSON(t, ts.URL+"/v1/sweep", sweep, 200)
+	out := getJSON(t, ts.URL+"/healthz", 200)
+	lanes, ok := out["lanes"].(map[string]any)
+	if !ok {
+		t.Fatalf("/healthz missing lanes section: %v", out)
+	}
+	// 2×2 grid plus the shared baseline: five simulations in one
+	// (benchmark, budget) lane group.
+	if got := lanes["groups"].(float64); got != 1 {
+		t.Errorf("lane groups = %v, want 1", got)
+	}
+	if got := lanes["lanes"].(float64); got != 5 {
+		t.Errorf("lanes = %v, want 5", got)
+	}
+	batches := lanes["batches"].(float64)
+	if batches < 1 || batches > 5 {
+		t.Errorf("batches = %v, want within [1,5]", batches)
+	}
+	if got := lanes["decodeSaved"].(float64); got != 5-batches {
+		t.Errorf("decodeSaved = %v, want lanes-batches = %v", got, 5-batches)
+	}
+	if got := lanes["execLanes"].(float64); got < 1 {
+		t.Errorf("executor lanes = %v after a sweep", got)
 	}
 }
 

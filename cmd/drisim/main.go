@@ -180,15 +180,21 @@ func main() {
 	}
 }
 
-// printVerbose reports wall time and the trace replay store's counters:
-// under -compare the baseline and DRI runs share one recorded stream, so
-// the store shows one miss (the recording) and one hit (the replay).
+// printVerbose reports wall time, the trace replay store's counters, and
+// the lane executor's counters: under -compare the baseline and the
+// leakage-controlled run execute as two lanes over a single decode of one
+// recorded stream, so the store shows one miss (the recording) and the lane
+// executor one batch carrying two lanes (one decode pass saved).
 func printVerbose(start time.Time) {
 	st := trace.SharedStore().Stats()
 	fmt.Printf("\nwall time %s\n", time.Since(start).Round(time.Millisecond))
 	fmt.Printf("trace store: %d entries, %.1f MB of %.0f MB budget; %d hits, %d misses, %d evictions, %d bypasses\n",
 		st.Entries, float64(st.Bytes)/(1<<20), float64(st.BudgetBytes)/(1<<20),
 		st.Hits, st.Misses, st.Evictions, st.Bypasses)
+	if ls := sim.ReadLaneStats(); ls.Batches > 0 || ls.Fallbacks > 0 {
+		fmt.Printf("lane executor: %d batches carrying %d lanes (%d decode passes saved, %d fallbacks)\n",
+			ls.Batches, ls.Lanes, ls.DecodeSaved, ls.Fallbacks)
+	}
 }
 
 func printRun(label string, r sim.Result) {

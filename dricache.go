@@ -105,12 +105,31 @@ type (
 	// bytes, hits, misses, evictions, bypasses); also embedded in
 	// EngineStats as Trace.
 	TraceStoreStats = trace.StoreStats
+	// LaneStats is a snapshot of the lane executor's process-wide counters:
+	// lock-step multi-lane passes run, the simulations they carried, the
+	// stream decode passes that saved, and store-bypass fallbacks.
+	LaneStats = sim.LaneStats
+	// EngineLaneStats counts an Engine's batch scheduler activity (lane
+	// groups formed, batches executed, decode passes saved); embedded in
+	// EngineStats as Lanes.
+	EngineLaneStats = engine.LaneStats
 )
 
 // SharedTraceStore returns the process-wide trace replay store every
 // simulation draws its instruction stream from. Use SetBudget to bound (or
 // with <= 0, disable) stream recording.
 func SharedTraceStore() *TraceStore { return trace.SharedStore() }
+
+// RunLanes simulates bench under every configuration in one pass over its
+// instruction stream: the stream is decoded once and the configurations
+// advance as lock-step lanes, each returning a Result bit-identical to
+// Run of that configuration alone. All configurations must share one
+// instruction budget. For cached, deduplicated sweeps prefer submitting
+// through an Engine (its RunMany batches this way automatically).
+func RunLanes(cfgs []SimConfig, bench Benchmark) []Result { return sim.RunLanes(cfgs, bench) }
+
+// ReadLaneStats returns the process-wide lane executor counters.
+func ReadLaneStats() LaneStats { return sim.ReadLaneStats() }
 
 // Default64KEnergyModel returns the §5.2 constants for the paper's base
 // system (0.91 nJ/cycle leakage, 0.0022 nJ per resizing bitline, 3.6 nJ

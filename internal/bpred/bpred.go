@@ -118,6 +118,14 @@ func New(cfg Config) *Predictor {
 // Stats returns a copy of the counters.
 func (p *Predictor) Stats() Stats { return p.stats }
 
+// Config returns the predictor's configuration. Predictor state is purely
+// stream-driven (every update depends only on the sequence of control
+// instructions, never on timing), so two freshly built predictors with equal
+// configurations walk identical state over the same instruction stream —
+// the property the lane executor exploits to share one predictor across
+// simulation lanes.
+func (p *Predictor) Config() Config { return p.cfg }
+
 func taken(counter uint8) bool { return counter >= 2 }
 
 func bump(counter uint8, t bool) uint8 {

@@ -107,6 +107,17 @@ func (c *Cache) Config() Config { return c.cfg }
 // Stats returns a copy of the statistics.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// Reset restores the cache to its just-constructed state while keeping its
+// allocated frame arrays, so one instance can serve many runs.
+func (c *Cache) Reset() {
+	clear(c.tags)
+	clear(c.valid)
+	clear(c.dirty)
+	clear(c.lastUse)
+	c.stamp = 0
+	c.stats = Stats{}
+}
+
 // Block converts a byte address to a block address.
 func (c *Cache) Block(addr uint64) uint64 { return addr >> c.offsetBits }
 

@@ -239,9 +239,10 @@ func (p *Pipeline) tickIs(h *mem.Hierarchy) bool {
 // runGeneric is the interface-dispatched loop, used for foreign streams and
 // memory models.
 //
-// NOTE: runGeneric and runFused must implement the identical timing model
-// line for line; any change to one must be mirrored in the other (the
-// fused copy differs only in its stream/memory call sites).
+// NOTE: runGeneric and lane.step (lanes.go) must implement the identical
+// timing model line for line; any change to one must be mirrored in the
+// other (the lane copy differs only in its stream/memory/predictor call
+// sites).
 func (p *Pipeline) runGeneric(stream isa.Stream) Result {
 	cfg := p.cfg
 	rs := getRings(&cfg)
@@ -439,194 +440,22 @@ func (p *Pipeline) runGeneric(stream isa.Stream) Result {
 }
 
 // runFused is runGeneric specialized to the whole-system simulation shape:
-// the stream is a replay cursor — consumed in decoded batches instead of
-// one interface call per instruction — and fetch/load/store/tick all
-// resolve to one concrete mem.Hierarchy, so the per-instruction calls
-// dispatch directly instead of through interfaces.
-//
-// NOTE: keep in lockstep with runGeneric — the loops differ only in the
-// stream delivery (batched cursor vs Stream.Next) and the memory call
-// sites; the per-instruction timing model must stay line-for-line
-// identical.
+// the stream is a replay cursor — consumed as decoded register values
+// instead of one interface call per instruction — and fetch/load/store/tick
+// all resolve to one concrete mem.Hierarchy, so the per-instruction calls
+// dispatch directly instead of through interfaces. It is the one-lane case
+// of the lane executor (lanes.go): the per-instruction stage advance lives
+// in lane.step, shared with RunLanes.
 func (p *Pipeline) runFused(cur *isa.ReplayCursor, h *mem.Hierarchy) Result {
-	cfg := p.cfg
-	rs := getRings(&cfg)
-	defer putRings(rs)
-	var (
-		res Result
-
-		fetchRing    = rs.fetch
-		dispatchRing = rs.dispatch
-		commitRing   = rs.commit
-		portAvail    = rs.port
-		robRing      = rs.rob
-		lsqRing      = rs.lsq
-
-		// Ring cursors: each stage ring is walked with a wrapping index
-		// (slot i mod size) instead of per-instruction 64-bit modulos —
-		// six hardware divides per instruction otherwise.
-		fetchIdx, dispatchIdx, commitIdx, robIdx, lsqIdx int
-		singlePort                                       = cfg.MemPorts == 1
-		tick                                             = p.tick != nil
-
-		regReady [isa.RegCount]uint64
-
-		i        uint64
-		ft       uint64
-		cmt      uint64
-		redirect uint64
-		curBlock = ^uint64(0)
-
-		tickAccum uint64
-	)
-
+	g := predLane{bp: p.bp}
+	ln := newLane(p.cfg, h, p.tick != nil, &g)
 	for {
 		pc, memAddr, target, cls, taken, s1, s2, dst, ok := cur.NextValues()
 		if !ok {
 			break
 		}
-		// ---- Fetch ----
-		f := ft
-		if redirect > f {
-			f = redirect
-		}
-		if w := fetchRing[fetchIdx] + 1; w > f {
-			f = w
-		}
-		if block := pc >> cfg.BlockShift; block != curBlock {
-			curBlock = block
-			res.FetchGroups++
-			if lat := h.FetchBlock(block); lat > 0 {
-				f += lat
-				res.ICacheStalls += lat
-			}
-		}
-		fetchRing[fetchIdx] = f
-		ft = f
-
-		// ---- Dispatch (in-order, ROB occupancy) ----
-		d := f + cfg.FrontendDepth
-		if w := robRing[robIdx] + 1; w > d {
-			d = w
-		}
-		if w := dispatchRing[dispatchIdx] + 1; w > d {
-			d = w
-		}
-		isMem := cls.IsMem()
-		if isMem {
-			if w := lsqRing[lsqIdx] + 1; w > d {
-				d = w
-			}
-		}
-		dispatchRing[dispatchIdx] = d
-
-		// ---- Issue (dataflow + memory ports) ----
-		is := d
-		if s1 != isa.NoReg {
-			if r := regReady[s1]; r > is {
-				is = r
-			}
-		}
-		if s2 != isa.NoReg {
-			if r := regReady[s2]; r > is {
-				is = r
-			}
-		}
-		if isMem {
-			best := 0
-			if !singlePort {
-				for p := 1; p < cfg.MemPorts; p++ {
-					if portAvail[p] < portAvail[best] {
-						best = p
-					}
-				}
-			}
-			if portAvail[best] > is {
-				is = portAvail[best]
-			}
-			portAvail[best] = is + 1
-		}
-
-		// ---- Execute/complete ----
-		ct := is + cfg.Latency[cls]
-		switch cls {
-		case isa.Load:
-			res.Loads++
-			ct += h.Load(memAddr)
-		case isa.Store:
-			res.Stores++
-			h.Store(memAddr)
-		case isa.Branch:
-			res.Branches++
-			if p.bp.PredictBranch(pc, taken) {
-				res.Mispredicts++
-				redirect = ct + cfg.RedirectPenalty
-			} else if taken {
-				if p.bp.PredictTarget(pc, target) {
-					redirect = ct + cfg.RedirectPenalty
-				}
-			}
-		case isa.Jump:
-			if p.bp.PredictTarget(pc, target) {
-				redirect = ct + cfg.RedirectPenalty
-			}
-		case isa.Call:
-			p.bp.Call(pc + isa.InstrBytes)
-			if p.bp.PredictTarget(pc, target) {
-				redirect = ct + cfg.RedirectPenalty
-			}
-		case isa.Ret:
-			if p.bp.Return(target) {
-				redirect = ct + cfg.RedirectPenalty
-			}
-		}
-		if dst != isa.NoReg {
-			regReady[dst] = ct
-		}
-
-		// ---- Commit (in-order) ----
-		c := ct + 1
-		if c <= cmt {
-			c = cmt
-		}
-		if w := commitRing[commitIdx] + 1; w > c {
-			c = w
-		}
-		commitRing[commitIdx] = c
-		robRing[robIdx] = c
-		if isMem {
-			lsqRing[lsqIdx] = c
-			if lsqIdx++; lsqIdx == cfg.LSQSize {
-				lsqIdx = 0
-			}
-		}
-		cmt = c
-
-		i++
-		if fetchIdx++; fetchIdx == cfg.FetchWidth {
-			fetchIdx = 0
-		}
-		if dispatchIdx++; dispatchIdx == cfg.DispatchWidth {
-			dispatchIdx = 0
-		}
-		if commitIdx++; commitIdx == cfg.CommitWidth {
-			commitIdx = 0
-		}
-		if robIdx++; robIdx == cfg.ROBSize {
-			robIdx = 0
-		}
-		tickAccum++
-		if tick && tickAccum >= cfg.TickBatch {
-			h.Advance(tickAccum, f)
-			tickAccum = 0
-		}
+		g.predict(pc, target, cls, taken)
+		ln.step(pc, memAddr, target, cls, taken, s1, s2, dst)
 	}
-	if tick && tickAccum > 0 {
-		h.Advance(tickAccum, ft)
-	}
-
-	res.Instructions = i
-	res.Cycles = cmt
-	res.BPredStats = p.bp.Stats()
-	return res
+	return ln.finish()
 }

@@ -1,0 +1,321 @@
+// The lane executor: the per-instruction stage advance of the fused
+// whole-system loop, extracted into a reusable lane so that N independent
+// simulations of the *same* instruction stream can share a single decode
+// pass. A sweep evaluates one benchmark across many cache/policy
+// configurations; replay-decoding the stream once and stepping every lane
+// lock-step removes the per-configuration decode (and, for lanes with equal
+// predictor configurations, the branch-predictor walk) from the sweep's
+// critical path while keeping every lane bit-identical to running alone.
+package cpu
+
+import (
+	"dricache/internal/bpred"
+	"dricache/internal/isa"
+	"dricache/internal/mem"
+)
+
+// predLane carries the branch-prediction outcomes of the current
+// instruction for every lane sharing one predictor. Predictor state is
+// purely stream-driven (see bpred.Predictor.Config), so lanes with equal
+// predictor configurations — over the same stream — observe identical
+// prediction outcomes and statistics; the leader predictor is walked once
+// per instruction and its outcomes fan out to the whole group.
+type predLane struct {
+	bp *bpred.Predictor
+	// mispred is true when a conditional branch's direction was
+	// mispredicted; tgtMiss is true when the BTB/RAS target of the current
+	// control instruction was wrong (a fetch redirect at execute).
+	mispred bool
+	tgtMiss bool
+}
+
+// predict walks the predictor for one instruction, recording the outcomes.
+// The call pattern must match the solo timing model exactly: the BTB is
+// consulted (and trained) for a conditional branch only when the direction
+// was correctly predicted taken.
+func (g *predLane) predict(pc, target uint64, cls isa.Class, taken bool) {
+	switch cls {
+	case isa.Branch:
+		g.mispred = g.bp.PredictBranch(pc, taken)
+		g.tgtMiss = !g.mispred && taken && g.bp.PredictTarget(pc, target)
+	case isa.Jump:
+		g.tgtMiss = g.bp.PredictTarget(pc, target)
+	case isa.Call:
+		g.bp.Call(pc + isa.InstrBytes)
+		g.tgtMiss = g.bp.PredictTarget(pc, target)
+	case isa.Ret:
+		g.tgtMiss = g.bp.Return(target)
+	}
+}
+
+// lane is the complete per-simulation timing state of one configuration:
+// stage rings, dataflow scoreboard, fetch/commit cursors, and the lane's
+// own memory hierarchy. One lane advanced by step over a decoded stream is
+// the fused loop of Pipeline.Run; N lanes advanced lock-step share the
+// decode.
+type lane struct {
+	cfg  Config
+	h    *mem.Hierarchy
+	pred *predLane
+	rs   *rings
+
+	fetchRing    []uint64
+	dispatchRing []uint64
+	commitRing   []uint64
+	portAvail    []uint64
+	robRing      []uint64
+	lsqRing      []uint64
+
+	fetchIdx    int
+	dispatchIdx int
+	commitIdx   int
+	robIdx      int
+	lsqIdx      int
+
+	singlePort bool
+	tick       bool
+
+	regReady [isa.RegCount]uint64
+
+	count     uint64 // instructions retired
+	ft        uint64 // last fetch time (monotone)
+	cmt       uint64 // last commit time (monotone)
+	redirect  uint64 // earliest fetch time after a redirect
+	curBlock  uint64
+	tickAccum uint64
+
+	res Result
+}
+
+// newLane builds the per-run state for one configuration over its own
+// hierarchy, drawing the stage rings from the shared pool.
+func newLane(cfg Config, h *mem.Hierarchy, tick bool, pred *predLane) *lane {
+	rs := getRings(&cfg)
+	return &lane{
+		cfg:          cfg,
+		h:            h,
+		pred:         pred,
+		rs:           rs,
+		fetchRing:    rs.fetch,
+		dispatchRing: rs.dispatch,
+		commitRing:   rs.commit,
+		portAvail:    rs.port,
+		robRing:      rs.rob,
+		lsqRing:      rs.lsq,
+		singlePort:   cfg.MemPorts == 1,
+		tick:         tick,
+		curBlock:     ^uint64(0),
+	}
+}
+
+// step advances the lane by one decoded instruction. The lane's predLane
+// must already hold this instruction's prediction outcomes.
+//
+// NOTE: this is the timing model of runGeneric specialized to a concrete
+// mem.Hierarchy and pre-walked branch prediction; keep the stage logic in
+// lockstep with runGeneric line for line (the copies differ only in the
+// stream/memory/predictor call sites).
+func (ln *lane) step(pc, memAddr, target uint64, cls isa.Class, taken bool, s1, s2, dst uint8) {
+	cfg := &ln.cfg
+
+	// ---- Fetch ----
+	f := ln.ft
+	if ln.redirect > f {
+		f = ln.redirect
+	}
+	if w := ln.fetchRing[ln.fetchIdx] + 1; w > f {
+		f = w
+	}
+	if block := pc >> cfg.BlockShift; block != ln.curBlock {
+		ln.curBlock = block
+		ln.res.FetchGroups++
+		if lat := ln.h.FetchBlock(block); lat > 0 {
+			f += lat
+			ln.res.ICacheStalls += lat
+		}
+	}
+	ln.fetchRing[ln.fetchIdx] = f
+	ln.ft = f
+
+	// ---- Dispatch (in-order, ROB occupancy) ----
+	d := f + cfg.FrontendDepth
+	if w := ln.robRing[ln.robIdx] + 1; w > d {
+		d = w
+	}
+	if w := ln.dispatchRing[ln.dispatchIdx] + 1; w > d {
+		d = w
+	}
+	isMem := cls.IsMem()
+	if isMem {
+		if w := ln.lsqRing[ln.lsqIdx] + 1; w > d {
+			d = w
+		}
+	}
+	ln.dispatchRing[ln.dispatchIdx] = d
+
+	// ---- Issue (dataflow + memory ports) ----
+	is := d
+	if s1 != isa.NoReg {
+		if r := ln.regReady[s1]; r > is {
+			is = r
+		}
+	}
+	if s2 != isa.NoReg {
+		if r := ln.regReady[s2]; r > is {
+			is = r
+		}
+	}
+	if isMem {
+		best := 0
+		if !ln.singlePort {
+			for p := 1; p < cfg.MemPorts; p++ {
+				if ln.portAvail[p] < ln.portAvail[best] {
+					best = p
+				}
+			}
+		}
+		if ln.portAvail[best] > is {
+			is = ln.portAvail[best]
+		}
+		ln.portAvail[best] = is + 1
+	}
+
+	// ---- Execute/complete ----
+	ct := is + cfg.Latency[cls]
+	switch cls {
+	case isa.Load:
+		ln.res.Loads++
+		ct += ln.h.Load(memAddr)
+	case isa.Store:
+		ln.res.Stores++
+		ln.h.Store(memAddr)
+	case isa.Branch:
+		ln.res.Branches++
+		if ln.pred.mispred {
+			ln.res.Mispredicts++
+			ln.redirect = ct + cfg.RedirectPenalty
+		} else if taken && ln.pred.tgtMiss {
+			// Correctly predicted taken with a BTB target miss: a fetch
+			// redirect at execute, like a mispredict.
+			ln.redirect = ct + cfg.RedirectPenalty
+		}
+	case isa.Jump, isa.Call, isa.Ret:
+		if ln.pred.tgtMiss {
+			ln.redirect = ct + cfg.RedirectPenalty
+		}
+	}
+	if dst != isa.NoReg {
+		ln.regReady[dst] = ct
+	}
+
+	// ---- Commit (in-order) ----
+	c := ct + 1
+	if c <= ln.cmt {
+		c = ln.cmt
+	}
+	if w := ln.commitRing[ln.commitIdx] + 1; w > c {
+		c = w
+	}
+	ln.commitRing[ln.commitIdx] = c
+	ln.robRing[ln.robIdx] = c
+	if isMem {
+		ln.lsqRing[ln.lsqIdx] = c
+		if ln.lsqIdx++; ln.lsqIdx == cfg.LSQSize {
+			ln.lsqIdx = 0
+		}
+	}
+	ln.cmt = c
+
+	ln.count++
+	if ln.fetchIdx++; ln.fetchIdx == cfg.FetchWidth {
+		ln.fetchIdx = 0
+	}
+	if ln.dispatchIdx++; ln.dispatchIdx == cfg.DispatchWidth {
+		ln.dispatchIdx = 0
+	}
+	if ln.commitIdx++; ln.commitIdx == cfg.CommitWidth {
+		ln.commitIdx = 0
+	}
+	if ln.robIdx++; ln.robIdx == cfg.ROBSize {
+		ln.robIdx = 0
+	}
+	ln.tickAccum++
+	if ln.tick && ln.tickAccum >= cfg.TickBatch {
+		ln.h.Advance(ln.tickAccum, f)
+		ln.tickAccum = 0
+	}
+}
+
+// finish flushes the trailing tick batch, assembles the Result, and returns
+// the lane's rings to the pool. The lane must not be stepped afterwards.
+func (ln *lane) finish() Result {
+	if ln.tick && ln.tickAccum > 0 {
+		ln.h.Advance(ln.tickAccum, ln.ft)
+	}
+	ln.res.Instructions = ln.count
+	ln.res.Cycles = ln.cmt
+	ln.res.BPredStats = ln.pred.bp.Stats()
+	putRings(ln.rs)
+	ln.rs = nil
+	return ln.res
+}
+
+// laneFor validates that p has the fused whole-system shape (stream-side,
+// data-side, and ticker all one concrete mem.Hierarchy, or a nil ticker)
+// and builds its lane. It panics otherwise: RunLanes callers construct the
+// pipelines themselves, so a foreign memory model here is a programming
+// error, not a runtime condition.
+func laneFor(p *Pipeline, pred *predLane) *lane {
+	h, ok := p.imem.(*mem.Hierarchy)
+	if !ok || !p.dmemIs(h) || !p.tickIs(h) {
+		panic("cpu: RunLanes requires pipelines whose memory interfaces are a single concrete mem.Hierarchy")
+	}
+	return newLane(p.cfg, h, p.tick != nil, pred)
+}
+
+// RunLanes consumes the replay cursor once and advances one lane per
+// pipeline in lock-step, returning the per-lane results in input order.
+// Each lane owns its pipeline timing state and memory hierarchy, so every
+// result is bit-identical to running that pipeline alone over the same
+// stream; the lanes share only the immutable decoded instruction values.
+//
+// Lanes whose predictors have equal configurations additionally share one
+// branch-predictor walk (the group's first predictor); prediction is
+// stream-driven, so the shared outcomes and statistics are exactly those a
+// solo run would compute. Every pipeline must be freshly constructed — a
+// predictor that has already consumed instructions would diverge from its
+// group.
+func RunLanes(cur *isa.ReplayCursor, pipes []*Pipeline) []Result {
+	if len(pipes) == 0 {
+		return nil
+	}
+	lanes := make([]*lane, len(pipes))
+	var groups []*predLane
+	byCfg := make(map[bpred.Config]*predLane, 1)
+	for i, p := range pipes {
+		g := byCfg[p.bp.Config()]
+		if g == nil {
+			g = &predLane{bp: p.bp}
+			byCfg[p.bp.Config()] = g
+			groups = append(groups, g)
+		}
+		lanes[i] = laneFor(p, g)
+	}
+	for {
+		pc, memAddr, target, cls, taken, s1, s2, dst, ok := cur.NextValues()
+		if !ok {
+			break
+		}
+		for _, g := range groups {
+			g.predict(pc, target, cls, taken)
+		}
+		for _, ln := range lanes {
+			ln.step(pc, memAddr, target, cls, taken, s1, s2, dst)
+		}
+	}
+	out := make([]Result, len(lanes))
+	for i, ln := range lanes {
+		out[i] = ln.finish()
+	}
+	return out
+}

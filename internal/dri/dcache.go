@@ -66,6 +66,15 @@ func NewData(cfg Config) *DataCache {
 	return d
 }
 
+// Reset restores the data cache to its just-constructed state, keeping its
+// allocated arrays and registered handlers (the embedded controller's
+// invalidation hook stays wired to the dirty-state tracking).
+func (d *DataCache) Reset() {
+	d.Cache.Reset()
+	clear(d.dirty)
+	d.dstats = DataStats{}
+}
+
 // SetWritebackHandler registers a sink for writeback traffic (e.g. the L2).
 func (d *DataCache) SetWritebackHandler(h func(block uint64, cause WritebackCause)) {
 	d.onWriteback = h

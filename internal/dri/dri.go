@@ -335,6 +335,40 @@ func offsetBits(block int) uint {
 // Config returns the configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
+// Reset restores the cache to its just-constructed state while keeping its
+// allocated arrays (and any registered hooks), so one instance can serve
+// many runs of the same configuration without re-allocating the frame
+// state. Previously returned Events slices are left untouched (the log
+// starts a fresh backing array); SizeResidency snapshots are copies and are
+// likewise unaffected.
+func (c *Cache) Reset() {
+	clear(c.tags)
+	clear(c.valid)
+	clear(c.lastUse)
+	c.stamp = 0
+	c.activeSets = c.totalSets
+	c.activeWays = c.assoc
+	c.indexMask = uint64(c.totalSets - 1)
+	c.intervalMisses = 0
+	c.intervalInstrs = 0
+	c.intervalIndex = 0
+	c.throttle = 0
+	c.throttleBlocked = 0
+	c.lastResize = nil
+	c.fullSizeMissAvg = 0
+	c.fullSizeSkipped = false
+	c.fullSizeRefValid = false
+	c.resizedLastIval = false
+	c.lastAccessMark = 0
+	c.lastCycleMark = 0
+	c.fractionNum = 0
+	c.fractionDen = 0
+	clear(c.sizeResidency)
+	c.stats = Stats{}
+	c.events = nil
+	c.policyGate = false
+}
+
 // ActiveSets returns the number of currently powered sets.
 func (c *Cache) ActiveSets() int { return c.activeSets }
 

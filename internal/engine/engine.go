@@ -58,6 +58,24 @@ func KeyFor(cfg sim.Config, prog trace.Program) Key {
 	return Key(hex.EncodeToString(h.Sum(nil)))
 }
 
+// LaneStats counts the engine's batch scheduler activity: RunMany groups
+// pending simulations by (benchmark, budget), partitions each group into
+// lane batches, and executes every batch as a single pass over the stream.
+type LaneStats struct {
+	// Groups counts lane groups formed (distinct (benchmark, budget)
+	// streams among simulations that actually had to run).
+	Groups uint64
+	// Batches counts lane batches executed (one stream decode each).
+	Batches uint64
+	// Lanes counts the simulations those batches carried.
+	Lanes uint64
+	// DecodeSaved counts stream decode passes avoided versus sequential
+	// execution: Lanes − Batches.
+	DecodeSaved uint64
+	// LanesPerBatch is the current lane-partition limit (0 = automatic).
+	LanesPerBatch int
+}
+
 // Stats is a snapshot of the engine's cache and pool counters.
 type Stats struct {
 	// Hits counts requests served from a completed cache entry.
@@ -74,6 +92,8 @@ type Stats struct {
 	InFlight int
 	// Parallelism is the current worker limit.
 	Parallelism int
+	// Lanes snapshots the batch scheduler counters.
+	Lanes LaneStats
 	// Trace snapshots the shared trace replay store feeding every engine's
 	// simulations (a process-wide cache one level below the result cache:
 	// a result-cache miss still replays its instruction stream rather than
@@ -122,21 +142,65 @@ type Engine struct {
 	deduped    uint64
 	inFlight   int
 
-	// runFn executes one simulation; swapped by tests to count and stall
-	// executions. Defaults to sim.Run.
-	runFn func(sim.Config, trace.Program) sim.Result
+	// lanes is the lane-partition limit for RunMany batches; <= 0 selects
+	// the GOMAXPROCS-aware automatic policy (see planBatches).
+	lanes       uint64
+	laneGroups  uint64
+	laneBatches uint64
+	laneRuns    uint64
+	decodeSaved uint64
+
+	// runFn executes one simulation and runLanesFn one lane batch; swapped
+	// together by tests (setRunFn) to count and stall executions. Default
+	// to sim.Run / sim.RunLanes.
+	runFn      func(sim.Config, trace.Program) sim.Result
+	runLanesFn func([]sim.Config, trace.Program) []sim.Result
 }
 
 // New returns an engine whose worker pool is bounded at workers concurrent
 // simulations; workers <= 0 means runtime.GOMAXPROCS(0).
 func New(workers int) *Engine {
 	e := &Engine{
-		limit:   workers,
-		entries: make(map[Key]*entry),
-		runFn:   sim.Run,
+		limit:      workers,
+		entries:    make(map[Key]*entry),
+		runFn:      sim.Run,
+		runLanesFn: sim.RunLanes,
 	}
 	e.slot = sync.NewCond(&e.mu)
 	return e
+}
+
+// setRunFn swaps the simulation executor (a test seam): single runs call f
+// directly and lane batches loop it, so counting/stalling stubs observe
+// every simulation regardless of how the scheduler partitions work.
+func (e *Engine) setRunFn(f func(sim.Config, trace.Program) sim.Result) {
+	e.runFn = f
+	e.runLanesFn = func(cfgs []sim.Config, p trace.Program) []sim.Result {
+		out := make([]sim.Result, len(cfgs))
+		for i, c := range cfgs {
+			out[i] = f(c, p)
+		}
+		return out
+	}
+}
+
+// SetLanes bounds how many simulations of one (benchmark, budget) group a
+// single lane batch may carry; n <= 0 restores the automatic GOMAXPROCS-
+// aware policy (as many lanes per batch as keeps every worker busy).
+func (e *Engine) SetLanes(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	e.lanes = uint64(n)
+}
+
+// Lanes returns the configured lane-partition limit (0 = automatic).
+func (e *Engine) Lanes() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return int(e.lanes)
 }
 
 // Parallelism returns the effective worker limit.
@@ -199,7 +263,14 @@ func (e *Engine) Stats() Stats {
 		Entries:     e.completed,
 		InFlight:    e.inFlight,
 		Parallelism: e.effectiveLimit(),
-		Trace:       trace.SharedStore().Stats(),
+		Lanes: LaneStats{
+			Groups:        e.laneGroups,
+			Batches:       e.laneBatches,
+			Lanes:         e.laneRuns,
+			DecodeSaved:   e.decodeSaved,
+			LanesPerBatch: int(e.lanes),
+		},
+		Trace: trace.SharedStore().Stats(),
 	}
 }
 
@@ -382,17 +453,7 @@ type Request struct {
 
 // RunBatch executes the requests concurrently under the worker limit and
 // returns results in input order. Duplicate requests within (or across)
-// batches are simulated once.
-func (e *Engine) RunBatch(reqs []Request) []sim.Result {
-	out := make([]sim.Result, len(reqs))
-	var wg sync.WaitGroup
-	for i := range reqs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			out[i] = e.Run(reqs[i].Config, reqs[i].Prog)
-		}(i)
-	}
-	wg.Wait()
-	return out
-}
+// batches are simulated once. It is RunMany: requests that share an
+// instruction stream and survive the cache execute as lane batches over a
+// single decode of that stream.
+func (e *Engine) RunBatch(reqs []Request) []sim.Result { return e.RunMany(reqs) }

@@ -42,11 +42,11 @@ const quickInstrs = 500_000
 // long enough for concurrent submissions to pile up in flight.
 func countingEngine(workers int, delay time.Duration, executions *atomic.Int64) *Engine {
 	e := New(workers)
-	e.runFn = func(cfg sim.Config, p trace.Program) sim.Result {
+	e.setRunFn(func(cfg sim.Config, p trace.Program) sim.Result {
 		executions.Add(1)
 		time.Sleep(delay)
 		return sim.Result{Benchmark: p.Name}
-	}
+	})
 	return e
 }
 
@@ -118,7 +118,7 @@ func TestParallelismBound(t *testing.T) {
 	var executions atomic.Int64
 	var running, peak atomic.Int64
 	e := New(limit)
-	e.runFn = func(cfg sim.Config, p trace.Program) sim.Result {
+	e.setRunFn(func(cfg sim.Config, p trace.Program) sim.Result {
 		executions.Add(1)
 		now := running.Add(1)
 		for {
@@ -130,7 +130,7 @@ func TestParallelismBound(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 		running.Add(-1)
 		return sim.Result{}
-	}
+	})
 
 	var reqs []Request
 	base := quickDRI()
@@ -343,13 +343,13 @@ func TestCacheLimitEvictsOldest(t *testing.T) {
 func TestPanicPropagatesAndUncaches(t *testing.T) {
 	var calls atomic.Int64
 	e := New(2)
-	e.runFn = func(cfg sim.Config, p trace.Program) sim.Result {
+	e.setRunFn(func(cfg sim.Config, p trace.Program) sim.Result {
 		if calls.Add(1) == 1 {
 			time.Sleep(10 * time.Millisecond)
 			panic("boom")
 		}
 		return sim.Result{Benchmark: p.Name}
-	}
+	})
 	cfg := sim.Default(quickDRI(), quickInstrs)
 	p := prog(t, "applu")
 
@@ -383,11 +383,11 @@ func TestPanicPropagatesAndUncaches(t *testing.T) {
 
 	// A baseline panic inside CompareCached surfaces on the caller.
 	e2 := New(2)
-	e2.runFn = func(cfg sim.Config, p trace.Program) sim.Result {
+	e2.setRunFn(func(cfg sim.Config, p trace.Program) sim.Result {
 		if !cfg.Mem.L1I.Params.Enabled {
 			panic("baseline boom")
 		}
 		return sim.Result{Benchmark: p.Name}
-	}
+	})
 	mustPanic("compare", func() { e2.Compare(quickDRI(), p, quickInstrs) })
 }

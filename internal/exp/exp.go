@@ -19,7 +19,6 @@ package exp
 
 import (
 	"fmt"
-	"sync"
 
 	"dricache/internal/dri"
 	"dricache/internal/engine"
@@ -186,20 +185,26 @@ type TaskResult struct {
 
 // RunAll executes tasks through the engine, preserving input order. The
 // engine bounds concurrency and deduplicates: identical tasks — and all
-// shared conventional baselines — are simulated once.
+// shared conventional baselines — are simulated once. The whole list is
+// submitted as one RunMany batch, so every task's variant and baseline that
+// survive the result cache execute as lanes over a single decode of their
+// benchmark's instruction stream instead of one replay pass per point.
 func (r *Runner) RunAll(tasks []Task) []TaskResult {
 	eng := r.Engine()
-	out := make([]TaskResult, len(tasks))
-	var wg sync.WaitGroup
-	for i := range tasks {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			t := tasks[i]
-			out[i] = TaskResult{Task: t, Cmp: eng.CompareSim(t.SimConfig(r.Scale.Instructions), t.Prog)}
-		}(i)
+	cfgs := make([]sim.Config, len(tasks))
+	reqs := make([]engine.Request, 0, 2*len(tasks))
+	for i, t := range tasks {
+		cfg := t.SimConfig(r.Scale.Instructions)
+		cfgs[i] = cfg
+		reqs = append(reqs,
+			engine.Request{Config: sim.BaselineSimConfig(cfg), Prog: t.Prog},
+			engine.Request{Config: cfg, Prog: t.Prog})
 	}
-	wg.Wait()
+	results := eng.RunMany(reqs)
+	out := make([]TaskResult, len(tasks))
+	for i, t := range tasks {
+		out[i] = TaskResult{Task: t, Cmp: sim.CompareSimResults(cfgs[i], results[2*i], results[2*i+1])}
+	}
 	return out
 }
 

@@ -100,6 +100,30 @@ func NewEngine(cfg Config, arr Array) *Engine {
 	return e
 }
 
+// Reset restores the engine to its just-constructed state (every frame
+// powered/awake, counters and integrals zeroed) while keeping its allocated
+// per-line arrays, so one instance can serve many runs.
+func (e *Engine) Reset() {
+	clear(e.lastTouch)
+	if e.powered != nil {
+		for i := range e.powered {
+			e.powered[i] = true
+		}
+		e.poweredCount = e.frames
+	}
+	if e.drowsy != nil {
+		clear(e.drowsy)
+		e.awakeCount = e.frames
+	}
+	e.tickIndex = 0
+	e.tickInstrs = 0
+	e.pendingPenalty = 0
+	e.lastCycleMark = 0
+	e.leakNum = 0
+	e.leakDen = 0
+	e.stats = Stats{}
+}
+
 // OnAccess is the cache's access hook: frame served the access (the hit
 // frame or the fill victim). It must be registered via the cache's
 // SetAccessHook so every hit and fill flows through it.

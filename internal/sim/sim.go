@@ -129,12 +129,22 @@ func (r Result) MissRate() float64 { return r.ICache.MissRate() }
 // generation (guarded by the trace property suite), so results do not
 // depend on store state.
 func Run(cfg Config, prog trace.Program) Result {
-	h := mem.New(cfg.Mem)
+	h := acquireHierarchy(cfg.Mem)
 	bp := bpred.New(cfg.Bpred)
 	pipe := cpu.New(cfg.CPU, h, h, bp, h)
 	stream := trace.StreamFor(prog, cfg.Instructions)
 	cpuRes := pipe.Run(stream)
 	h.Finish(cpuRes.Cycles)
+	res := assemble(cfg, prog, cpuRes, h)
+	releaseHierarchy(cfg.Mem, h)
+	return res
+}
+
+// assemble collects every observable of a finished run into a Result. The
+// snapshots it takes (stats copies, the residency map copy, the event log's
+// final backing array) do not alias hierarchy state that a later Reset
+// mutates, so the hierarchy may be returned to the pool immediately after.
+func assemble(cfg Config, prog trace.Program, cpuRes cpu.Result, h *mem.Hierarchy) Result {
 	ic := h.ICache()
 	l2 := h.L2()
 	return Result{
@@ -202,16 +212,16 @@ func Compare(driCfg dri.Config, prog trace.Program, instructions uint64, base *R
 // CompareSim runs prog under the full system configuration cfg (which may
 // resize the L1 i-cache, the L2, or both) and its all-conventional
 // baseline, and evaluates both energy models. The baseline may be supplied
-// (pre-computed) via base; pass nil to run it here.
+// (pre-computed) via base; pass nil to run it here — the pair then executes
+// as two lanes over a single decode of the replay stream (RunLanes), which
+// is bit-identical to two sequential runs.
 func CompareSim(cfg Config, prog trace.Program, base *Result) Comparison {
-	var conv Result
-	if base != nil {
-		conv = *base
-	} else {
-		conv = Run(BaselineSimConfig(cfg), prog)
+	if base == nil {
+		rs := RunLanes([]Config{BaselineSimConfig(cfg), cfg}, prog)
+		return CompareSimResults(cfg, rs[0], rs[1])
 	}
 	driRes := Run(cfg, prog)
-	return CompareSimResults(cfg, conv, driRes)
+	return CompareSimResults(cfg, *base, driRes)
 }
 
 // CompareResults evaluates the energy models over a pre-computed
