@@ -6,12 +6,22 @@
 // Endpoints:
 //
 //	GET  /healthz        liveness + engine and trace-store metrics
+//	GET  /metrics        Prometheus text exposition of the full registry
 //	GET  /v1/stats       engine, trace replay store, and runtime counters
+//	GET  /v1/metrics     the same registry snapshot as JSON
 //	GET  /v1/benchmarks  the fifteen SPEC95 stand-ins
 //	GET  /v1/policies    the leakage-control policies and their defaults
 //	POST /v1/run         one simulation (conventional, DRI, or policy)
 //	POST /v1/compare     vs the conventional baseline with §5.2 energy
 //	POST /v1/sweep       a (benchmark × miss-bound × size-bound) grid
+//
+// Appending ?trace=1 to /v1/run, /v1/compare, or /v1/sweep returns the
+// request's span tree (validate → cache lookup → batch grouping → stream
+// decode → lane run → compare/assemble) under a "trace" key; without it the
+// tree is logged at debug level. Every request carries an X-Request-ID
+// (inbound value honored) through the structured access log. -mutexprofile
+// and -blockprofile enable the runtime contention profiles the -pprof
+// listener serves.
 //
 // Sweep traffic executes on the engine's lane scheduler: requests that
 // survive the result cache are grouped by (benchmark, budget) and each
@@ -43,12 +53,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -66,18 +77,37 @@ func main() {
 		traceBudget  = flag.Int64("tracebudget", trace.DefaultStoreBudget, "trace replay store byte budget (0 = record nothing)")
 		drainTimeout = flag.Duration("draintimeout", 15*time.Second, "graceful-shutdown drain limit for in-flight requests")
 		pprofPort    = flag.Int("pprof", 0, "serve net/http/pprof on 127.0.0.1:<port> (0 = disabled)")
+		mutexProfile = flag.Int("mutexprofile", 0, "mutex contention profile sampling rate, 1/n events (0 = disabled)")
+		blockProfile = flag.Int("blockprofile", 0, "goroutine blocking profile sampling rate in ns (0 = disabled)")
+		logLevel     = flag.String("loglevel", "info", "log level: debug, info, warn, error (debug also logs span trees)")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "invalid -loglevel %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
 
 	trace.SharedStore().SetBudget(*traceBudget)
 	eng := engine.New(*workers)
 	eng.SetCacheLimit(*cacheLimit)
 	eng.SetLanes(*lanes)
+	// The pprof listener serves whatever the runtime samples; contention
+	// profiles stay empty unless these rates are set.
+	if *mutexProfile > 0 {
+		runtime.SetMutexProfileFraction(*mutexProfile)
+	}
+	if *blockProfile > 0 {
+		runtime.SetBlockProfileRate(*blockProfile)
+	}
 	if *pprofPort > 0 {
 		go servePprof(*pprofPort)
 	}
 	srv := &http.Server{
-		Handler:           logRequests(newServer(eng, *maxInstr)),
+		Handler:           newServer(eng, *maxInstr),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ln, err := net.Listen("tcp", *addr)
@@ -85,8 +115,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	log.Printf("driserve listening on %s (workers=%d, max instructions/run=%d)",
-		ln.Addr(), eng.Parallelism(), *maxInstr)
+	logger.Info("driserve listening",
+		"addr", ln.Addr().String(),
+		"workers", eng.Parallelism(),
+		"maxInstructionsPerRun", *maxInstr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -94,7 +126,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	log.Print("driserve stopped")
+	logger.Info("driserve stopped")
 }
 
 // runServer serves on ln until ctx is cancelled (SIGINT/SIGTERM in main),
@@ -110,7 +142,7 @@ func runServer(ctx context.Context, srv *http.Server, ln net.Listener, drain tim
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down; draining in-flight requests (limit %s)", drain)
+	slog.Info("shutting down; draining in-flight requests", "limit", drain)
 	sctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	err := srv.Shutdown(sctx)
@@ -122,7 +154,7 @@ func runServer(ctx context.Context, srv *http.Server, ln net.Listener, drain tim
 	if err != nil {
 		// The drain timeout expired with requests still in flight; their
 		// connections were closed forcibly. Report but do not fail.
-		log.Printf("drain limit reached: %v", err)
+		slog.Warn("drain limit reached", "err", err)
 	}
 	return nil
 }
@@ -139,16 +171,8 @@ func servePprof(port int) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	addr := fmt.Sprintf("127.0.0.1:%d", port)
-	log.Printf("pprof listening on http://%s/debug/pprof/", addr)
+	slog.Info("pprof listening", "url", fmt.Sprintf("http://%s/debug/pprof/", addr))
 	if err := http.ListenAndServe(addr, mux); err != nil {
-		log.Printf("pprof server: %v", err)
+		slog.Error("pprof server", "err", err)
 	}
-}
-
-func logRequests(h http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		h.ServeHTTP(w, r)
-		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
-	})
 }

@@ -4,14 +4,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
-	"runtime"
 
 	"dricache/internal/dri"
 	"dricache/internal/energy"
 	"dricache/internal/engine"
 	"dricache/internal/exp"
 	"dricache/internal/mem"
+	"dricache/internal/obs"
 	"dricache/internal/policy"
 	"dricache/internal/sim"
 	"dricache/internal/trace"
@@ -28,19 +29,38 @@ type server struct {
 	maxInstructions uint64
 	// maxSweepPoints caps benchmarks × miss-bounds × size-bounds per sweep.
 	maxSweepPoints int
+	// reg is the server's metrics registry: engine, lane, trace-store,
+	// simulation, runtime, and HTTP instruments; every stats surface is a
+	// view over it (see obs.go).
+	reg   *obs.Registry
+	httpm *httpInstruments
+	log   *slog.Logger
 }
 
 func newServer(eng *engine.Engine, maxInstructions uint64) http.Handler {
-	s := &server{eng: eng, maxInstructions: maxInstructions, maxSweepPoints: 1024}
+	s := &server{
+		eng:             eng,
+		maxInstructions: maxInstructions,
+		maxSweepPoints:  1024,
+		reg:             obs.NewRegistry(),
+		log:             slog.Default(),
+	}
+	eng.RegisterMetrics(s.reg)
+	trace.SharedStore().RegisterMetrics(s.reg)
+	sim.RegisterMetrics(s.reg)
+	obs.RegisterRuntimeMetrics(s.reg)
+	s.httpm = newHTTPInstruments(s.reg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetricsJSON)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/compare", s.handleCompare)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	return mux
+	return s.instrument(mux)
 }
 
 // engineMetrics is the cache/pool snapshot attached to every response.
@@ -70,16 +90,7 @@ type traceMetrics struct {
 }
 
 func (s *server) metrics() engineMetrics {
-	st := s.eng.Stats()
-	return engineMetrics{
-		Hits:        st.Hits,
-		Misses:      st.Misses,
-		Deduped:     st.Deduped,
-		HitRate:     st.HitRate(),
-		Entries:     st.Entries,
-		InFlight:    st.InFlight,
-		Parallelism: st.Parallelism,
-	}
+	return engineMetricsFrom(s.reg.Snapshot())
 }
 
 // laneMetrics is the wire form of the lane executor's counters: the
@@ -97,35 +108,6 @@ type laneMetrics struct {
 	ExecBatches   uint64 `json:"execBatches"`
 	ExecLanes     uint64 `json:"execLanes"`
 	Fallbacks     uint64 `json:"fallbacks"`
-}
-
-func (s *server) laneMetrics() laneMetrics {
-	eng := s.eng.Stats().Lanes
-	exec := sim.ReadLaneStats()
-	return laneMetrics{
-		Groups:        eng.Groups,
-		Batches:       eng.Batches,
-		Lanes:         eng.Lanes,
-		DecodeSaved:   eng.DecodeSaved,
-		LanesPerBatch: eng.LanesPerBatch,
-		ExecBatches:   exec.Batches,
-		ExecLanes:     exec.Lanes,
-		Fallbacks:     exec.Fallbacks,
-	}
-}
-
-func (s *server) traceMetrics() traceMetrics {
-	st := trace.SharedStore().Stats()
-	return traceMetrics{
-		Entries:     st.Entries,
-		Bytes:       st.Bytes,
-		BudgetBytes: st.BudgetBytes,
-		Hits:        st.Hits,
-		Misses:      st.Misses,
-		Evictions:   st.Evictions,
-		Bypasses:    st.Bypasses,
-		HitRate:     st.HitRate(),
-	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -160,26 +142,30 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) (int, error) {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":     true,
-		"engine": s.metrics(),
-		"lanes":  s.laneMetrics(),
-		"trace":  s.traceMetrics(),
+		"engine": engineMetricsFrom(snap),
+		"lanes":  laneMetricsFrom(snap),
+		"trace":  traceMetricsFrom(snap),
 	})
 }
 
 // handleStats is the operational counters endpoint: the engine's result
 // cache and worker pool, the shared trace replay store, and process-level
 // scheduling facts — everything needed to see whether sweep traffic is
-// being served from caches or from fresh simulation work.
+// being served from caches or from fresh simulation work. Every block is a
+// view over one registry snapshot, the same registry /metrics exposes, so
+// the surfaces cannot diverge.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"engine": s.metrics(),
-		"lanes":  s.laneMetrics(),
-		"trace":  s.traceMetrics(),
+		"engine": engineMetricsFrom(snap),
+		"lanes":  laneMetricsFrom(snap),
+		"trace":  traceMetricsFrom(snap),
 		"runtime": map[string]any{
-			"goroutines": runtime.NumGoroutine(),
-			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"goroutines": int(snap.Value("go_goroutines")),
+			"gomaxprocs": int(snap.Value("go_gomaxprocs")),
 		},
 	})
 }
@@ -580,17 +566,22 @@ func summarize(res *sim.Result) resultSummary {
 }
 
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	_, sp := obs.StartSpan(ctx, "validate")
 	cfg, prog, status, err := s.decodeRun(w, r)
+	sp.End()
 	if err != nil {
 		writeError(w, status, "%v", err)
 		return
 	}
-	res, cached := s.eng.RunCached(cfg, prog)
-	writeJSON(w, http.StatusOK, map[string]any{
+	res, cached := s.eng.RunCachedCtx(ctx, cfg, prog)
+	resp := map[string]any{
 		"result": summarize(res),
 		"cached": cached,
 		"engine": s.metrics(),
-	})
+	}
+	s.attachTrace(r, resp)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // levelSummary is one cache level's share of the total-leakage account.
@@ -669,7 +660,10 @@ func summarizeComparison(cmp sim.Comparison) comparisonSummary {
 }
 
 func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	_, sp := obs.StartSpan(ctx, "validate")
 	cfg, prog, status, err := s.decodeRun(w, r)
+	sp.End()
 	if err != nil {
 		writeError(w, status, "%v", err)
 		return
@@ -681,15 +675,17 @@ func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
 			"compare requires a DRI or policy configuration (set cache.dri and/or l2.dri, or a policy)")
 		return
 	}
-	cmp, outcome := s.eng.CompareSimCached(cfg, prog)
-	writeJSON(w, http.StatusOK, map[string]any{
+	cmp, outcome := s.eng.CompareSimCachedCtx(ctx, cfg, prog)
+	resp := map[string]any{
 		"comparison": summarizeComparison(cmp),
 		"cached": map[string]bool{
 			"baseline": outcome.BaselineCached,
 			"dri":      outcome.DRICached,
 		},
 		"engine": s.metrics(),
-	})
+	}
+	s.attachTrace(r, resp)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 type sweepRequest struct {
@@ -724,6 +720,12 @@ type sweepPoint struct {
 }
 
 func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	// End is first-write-wins: the deferred call closes the span on every
+	// validation error return, the explicit call before RunAllCtx on the
+	// success path.
+	_, vsp := obs.StartSpan(ctx, "validate")
+	defer vsp.End()
 	var req sweepRequest
 	if status, err := decodeBody(w, r, &req); status != 0 {
 		writeError(w, status, "%v", err)
@@ -854,7 +856,9 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	results := runner.RunAll(tasks)
+	vsp.End()
+	s.httpm.sweepPoints.Observe(float64(points))
+	results := runner.RunAllCtx(ctx, tasks)
 
 	rows := make(map[string][]sweepPoint, len(progs))
 	for _, tr := range results {
@@ -865,9 +869,11 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			Comparison: summarizeComparison(tr.Cmp),
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"points": points,
 		"rows":   rows,
 		"engine": s.metrics(),
-	})
+	}
+	s.attachTrace(r, resp)
+	writeJSON(w, http.StatusOK, resp)
 }

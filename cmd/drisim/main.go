@@ -9,7 +9,7 @@
 //	drisim -bench gcc -dri -compare -timeline      # DRI vs baseline + resize log
 //	drisim -bench gcc -policy drowsy -assoc 4 -compare
 //	drisim -bench gcc -policy decay -compare       # per-line gated-Vdd
-//	drisim -bench gcc -dri -compare -v             # + wall time, trace-store counters
+//	drisim -bench gcc -dri -compare -v             # + wall time, metrics registry snapshot
 //	drisim -config                                 # print the Table 1 system
 //	drisim -all                                    # conventional IPC/missrate survey
 package main
@@ -24,6 +24,7 @@ import (
 
 	"dricache/internal/dri"
 	"dricache/internal/isa"
+	"dricache/internal/obs"
 	"dricache/internal/policy"
 	"dricache/internal/sim"
 	"dricache/internal/stats"
@@ -48,7 +49,7 @@ func main() {
 		timeline  = flag.Bool("timeline", false, "print the resize event log")
 		curve     = flag.Bool("curve", false, "print the benchmark's miss rate vs fixed cache size")
 
-		verbose = flag.Bool("v", false, "report wall time and trace-store counters after the run")
+		verbose = flag.Bool("v", false, "report wall time and a metrics registry snapshot after the run")
 
 		policyName = flag.String("policy", "", "leakage-control policy: dri|decay|drowsy|waygate|conventional (empty = follow -dri)")
 		decayIvals = flag.Int("decayintervals", 4, "decay: idle policy ticks before a line is gated off")
@@ -180,21 +181,18 @@ func main() {
 	}
 }
 
-// printVerbose reports wall time, the trace replay store's counters, and
-// the lane executor's counters: under -compare the baseline and the
-// leakage-controlled run execute as two lanes over a single decode of one
-// recorded stream, so the store shows one miss (the recording) and the lane
-// executor one batch carrying two lanes (one decode pass saved).
+// printVerbose reports wall time and a snapshot of the shared metrics
+// registry — the same counters driserve exposes at /metrics: simulation and
+// policy totals, the trace replay store, and the lane executor (under
+// -compare the baseline and the leakage-controlled run execute as two lanes
+// over a single decode of one recorded stream, so the store shows one miss
+// and the lane executor one batch carrying two lanes).
 func printVerbose(start time.Time) {
-	st := trace.SharedStore().Stats()
+	reg := obs.NewRegistry()
+	sim.RegisterMetrics(reg)
+	trace.SharedStore().RegisterMetrics(reg)
 	fmt.Printf("\nwall time %s\n", time.Since(start).Round(time.Millisecond))
-	fmt.Printf("trace store: %d entries, %.1f MB of %.0f MB budget; %d hits, %d misses, %d evictions, %d bypasses\n",
-		st.Entries, float64(st.Bytes)/(1<<20), float64(st.BudgetBytes)/(1<<20),
-		st.Hits, st.Misses, st.Evictions, st.Bypasses)
-	if ls := sim.ReadLaneStats(); ls.Batches > 0 || ls.Fallbacks > 0 {
-		fmt.Printf("lane executor: %d batches carrying %d lanes (%d decode passes saved, %d fallbacks)\n",
-			ls.Batches, ls.Lanes, ls.DecodeSaved, ls.Fallbacks)
-	}
+	fmt.Print(reg.Snapshot().Format())
 }
 
 func printRun(label string, r sim.Result) {

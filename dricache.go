@@ -34,6 +34,7 @@ import (
 	"dricache/internal/engine"
 	"dricache/internal/exp"
 	"dricache/internal/mem"
+	"dricache/internal/obs"
 	"dricache/internal/policy"
 	"dricache/internal/sim"
 	"dricache/internal/trace"
@@ -113,6 +114,20 @@ type (
 	// groups formed, batches executed, decode passes saved); embedded in
 	// EngineStats as Lanes.
 	EngineLaneStats = engine.LaneStats
+	// MetricsRegistry is a typed metrics registry (counters, gauges,
+	// histograms; atomic hot path) with Prometheus text exposition via its
+	// snapshots. Build one with NewMetricsRegistry, add an Engine with its
+	// RegisterMetrics method, and serve or print Snapshot().
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time view of a MetricsRegistry. Its
+	// WritePrometheus method emits text exposition format 0.0.4; Format
+	// renders an aligned human-readable summary for CLI footers.
+	MetricsSnapshot = obs.Snapshot
+	// MetricsFamily is one named metric family within a MetricsSnapshot.
+	MetricsFamily = obs.Family
+	// SpanTree is the JSON form of a request's span tree, as returned by
+	// driserve's ?trace=1 responses.
+	SpanTree = obs.SpanTree
 )
 
 // SharedTraceStore returns the process-wide trace replay store every
@@ -130,6 +145,20 @@ func RunLanes(cfgs []SimConfig, bench Benchmark) []Result { return sim.RunLanes(
 
 // ReadLaneStats returns the process-wide lane executor counters.
 func ReadLaneStats() LaneStats { return sim.ReadLaneStats() }
+
+// NewMetricsRegistry returns a metrics registry pre-wired with the
+// process-wide collectors: the shared trace replay store, the lane executor
+// and simulation counters, and the Go runtime. Register an Engine's cache
+// and pool metrics into it with the Engine's RegisterMetrics method. Print
+// Snapshot().Format() for a CLI summary, or serve Snapshot's WritePrometheus
+// for scraping (driserve does both).
+func NewMetricsRegistry() *MetricsRegistry {
+	r := obs.NewRegistry()
+	sim.RegisterMetrics(r)
+	trace.SharedStore().RegisterMetrics(r)
+	obs.RegisterRuntimeMetrics(r)
+	return r
+}
 
 // Default64KEnergyModel returns the §5.2 constants for the paper's base
 // system (0.91 nJ/cycle leakage, 0.0022 nJ per resizing bitline, 3.6 nJ

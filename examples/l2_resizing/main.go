@@ -43,6 +43,11 @@ func main() {
 	show("L1-only DRI", dricache.CompareJoint(l1DRI, l2Conv, bench, instructions))
 	show("L2-only DRI", dricache.CompareJoint(l1Conv, l2DRI, bench, instructions))
 	show("joint L1+L2 DRI", dricache.CompareJoint(l1DRI, l2DRI, bench, instructions))
+
+	// The same counters driserve serves at /metrics: simulation, policy,
+	// trace-store, and lane-executor totals from the shared registry.
+	fmt.Println("shared metrics registry snapshot:")
+	fmt.Print(dricache.NewMetricsRegistry().Snapshot().Format())
 }
 
 func show(name string, cmp dricache.Comparison) {

@@ -60,4 +60,9 @@ func main() {
 				p.Cmp.DRI.L1IPolicyStats.Wakeups, p.Cmp.DRI.L1IPolicyStats.GatedLines)
 		}
 	}
+
+	// The same counters driserve serves at /metrics: simulation, policy,
+	// trace-store, and lane-executor totals from the shared registry.
+	fmt.Println("\nshared metrics registry snapshot:")
+	fmt.Print(dricache.NewMetricsRegistry().Snapshot().Format())
 }

@@ -11,12 +11,15 @@
 package engine
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"sync"
 
+	"dricache/internal/obs"
 	"dricache/internal/sim"
 	"dricache/internal/trace"
 )
@@ -83,6 +86,14 @@ type laneClaim struct {
 // uncached (so later requests retry) and the panic propagates to the
 // caller and to every coalesced waiter, matching Run's contract.
 func (e *Engine) RunMany(reqs []Request) []sim.Result {
+	return e.RunManyCtx(context.Background(), reqs)
+}
+
+// RunManyCtx is RunMany under a context: with an obs trace attached, the
+// cache-resolution pass, the batch-forming step, and every lane batch
+// (annotated with its benchmark and lane count) are recorded as child
+// spans. Results are identical to RunMany.
+func (e *Engine) RunManyCtx(ctx context.Context, reqs []Request) []sim.Result {
 	out := make([]sim.Result, len(reqs))
 	if len(reqs) == 0 {
 		return out
@@ -103,6 +114,7 @@ func (e *Engine) RunMany(reqs []Request) []sim.Result {
 		claimed = make(map[Key]*laneClaim)
 	)
 
+	_, lookup := obs.StartSpan(ctx, "cache_lookup")
 	e.mu.Lock()
 	for i := range reqs {
 		key := KeyFor(reqs[i].Config, reqs[i].Prog)
@@ -141,7 +153,11 @@ func (e *Engine) RunMany(reqs []Request) []sim.Result {
 	workers := e.effectiveLimit()
 	runLanes := e.runLanesFn
 	e.mu.Unlock()
+	lookup.SetAttr("requests", strconv.Itoa(len(reqs)))
+	lookup.SetAttr("claimed", strconv.Itoa(len(claimed)))
+	lookup.End()
 
+	_, grouping := obs.StartSpan(ctx, "batch_grouping")
 	type batch struct {
 		prog   trace.Program
 		claims []*laneClaim
@@ -165,6 +181,9 @@ func (e *Engine) RunMany(reqs []Request) []sim.Result {
 		e.decodeSaved += uint64(totalClaims - len(batches))
 		e.mu.Unlock()
 	}
+	grouping.SetAttr("groups", strconv.Itoa(len(groups)))
+	grouping.SetAttr("batches", strconv.Itoa(len(batches)))
+	grouping.End()
 
 	var (
 		wg       sync.WaitGroup
@@ -175,7 +194,13 @@ func (e *Engine) RunMany(reqs []Request) []sim.Result {
 		wg.Add(1)
 		go func(b batch) {
 			defer wg.Done()
+			bctx, sp := obs.StartSpan(ctx, "lane_run")
+			sp.SetAttr("benchmark", b.prog.Name)
+			sp.SetAttr("lanes", strconv.Itoa(len(b.claims)))
+			defer sp.End()
+			_, qs := obs.StartSpan(bctx, "queue_wait")
 			e.acquireSlot()
+			qs.End()
 			defer e.releaseSlot()
 			// A lane panic poisons the whole batch: uncache every claim so
 			// later requests retry, wake the waiters with the panic value,
@@ -203,7 +228,7 @@ func (e *Engine) RunMany(reqs []Request) []sim.Result {
 			for j, c := range b.claims {
 				cfgs[j] = c.cfg
 			}
-			rs := runLanes(cfgs, b.prog)
+			rs := runLanes(bctx, cfgs, b.prog)
 			e.mu.Lock()
 			for j, c := range b.claims {
 				res := rs[j]

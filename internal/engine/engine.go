@@ -26,6 +26,7 @@
 package engine
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -34,6 +35,7 @@ import (
 	"sync"
 
 	"dricache/internal/dri"
+	"dricache/internal/obs"
 	"dricache/internal/sim"
 	"dricache/internal/trace"
 )
@@ -90,6 +92,10 @@ type Stats struct {
 	Entries int
 	// InFlight is the number of simulations currently executing or queued.
 	InFlight int
+	// Running is the number of simulations currently holding a worker slot.
+	Running int
+	// Waiting is the number of simulations queued for a worker slot.
+	Waiting int
 	// Parallelism is the current worker limit.
 	Parallelism int
 	// Lanes snapshots the batch scheduler counters.
@@ -130,6 +136,7 @@ type Engine struct {
 	slot    *sync.Cond // signaled when a worker slot frees or the limit grows
 	limit   int        // worker limit; <=0 means runtime.GOMAXPROCS(0)
 	running int        // simulations currently holding a slot
+	waiting int        // simulations queued for a slot
 
 	entries map[Key]*entry
 	// order tracks completed entries in completion order for FIFO
@@ -152,9 +159,9 @@ type Engine struct {
 
 	// runFn executes one simulation and runLanesFn one lane batch; swapped
 	// together by tests (setRunFn) to count and stall executions. Default
-	// to sim.Run / sim.RunLanes.
-	runFn      func(sim.Config, trace.Program) sim.Result
-	runLanesFn func([]sim.Config, trace.Program) []sim.Result
+	// to sim.RunCtx / sim.RunLanesCtx.
+	runFn      func(context.Context, sim.Config, trace.Program) sim.Result
+	runLanesFn func(context.Context, []sim.Config, trace.Program) []sim.Result
 }
 
 // New returns an engine whose worker pool is bounded at workers concurrent
@@ -163,8 +170,8 @@ func New(workers int) *Engine {
 	e := &Engine{
 		limit:      workers,
 		entries:    make(map[Key]*entry),
-		runFn:      sim.Run,
-		runLanesFn: sim.RunLanes,
+		runFn:      sim.RunCtx,
+		runLanesFn: sim.RunLanesCtx,
 	}
 	e.slot = sync.NewCond(&e.mu)
 	return e
@@ -174,8 +181,10 @@ func New(workers int) *Engine {
 // directly and lane batches loop it, so counting/stalling stubs observe
 // every simulation regardless of how the scheduler partitions work.
 func (e *Engine) setRunFn(f func(sim.Config, trace.Program) sim.Result) {
-	e.runFn = f
-	e.runLanesFn = func(cfgs []sim.Config, p trace.Program) []sim.Result {
+	e.runFn = func(_ context.Context, cfg sim.Config, p trace.Program) sim.Result {
+		return f(cfg, p)
+	}
+	e.runLanesFn = func(_ context.Context, cfgs []sim.Config, p trace.Program) []sim.Result {
 		out := make([]sim.Result, len(cfgs))
 		for i, c := range cfgs {
 			out[i] = f(c, p)
@@ -262,6 +271,8 @@ func (e *Engine) Stats() Stats {
 		Deduped:     e.deduped,
 		Entries:     e.completed,
 		InFlight:    e.inFlight,
+		Running:     e.running,
+		Waiting:     e.waiting,
 		Parallelism: e.effectiveLimit(),
 		Lanes: LaneStats{
 			Groups:        e.laneGroups,
@@ -283,18 +294,30 @@ func (e *Engine) Run(cfg sim.Config, prog trace.Program) sim.Result {
 // RunCached is Run reporting whether the result was served without
 // executing a new simulation (a completed cache hit or an in-flight join).
 func (e *Engine) RunCached(cfg sim.Config, prog trace.Program) (*sim.Result, bool) {
+	return e.RunCachedCtx(context.Background(), cfg, prog)
+}
+
+// RunCachedCtx is RunCached under a context: with an obs trace attached the
+// cache lookup (including any wait on an in-flight twin) and — on a miss —
+// the queue wait and simulation are recorded as child spans.
+func (e *Engine) RunCachedCtx(ctx context.Context, cfg sim.Config, prog trace.Program) (*sim.Result, bool) {
+	_, lookup := obs.StartSpan(ctx, "cache_lookup")
 	key := KeyFor(cfg, prog)
 
 	e.mu.Lock()
 	if ent, ok := e.entries[key]; ok {
+		cached := "hit"
 		select {
 		case <-ent.done:
 			e.hits++
 		default:
 			e.deduped++
+			cached = "join"
 		}
 		e.mu.Unlock()
 		<-ent.done
+		lookup.SetAttr("outcome", cached)
+		lookup.End()
 		if ent.panicVal != nil {
 			panic(ent.panicVal)
 		}
@@ -305,6 +328,8 @@ func (e *Engine) RunCached(cfg sim.Config, prog trace.Program) (*sim.Result, boo
 	e.misses++
 	e.inFlight++
 	e.mu.Unlock()
+	lookup.SetAttr("outcome", "miss")
+	lookup.End()
 
 	// On a simulation panic, uncache the entry (so later requests retry),
 	// propagate the panic value to every coalesced waiter, and re-panic.
@@ -319,7 +344,7 @@ func (e *Engine) RunCached(cfg sim.Config, prog trace.Program) (*sim.Result, boo
 			panic(pv)
 		}
 	}()
-	res := e.execute(cfg, prog)
+	res := e.execute(ctx, cfg, prog)
 
 	e.mu.Lock()
 	ent.res = &res
@@ -342,9 +367,11 @@ func (e *Engine) RunShared(cfg sim.Config, prog trace.Program) *sim.Result {
 // acquireSlot blocks until a worker slot is free and claims it.
 func (e *Engine) acquireSlot() {
 	e.mu.Lock()
+	e.waiting++
 	for e.running >= e.effectiveLimit() {
 		e.slot.Wait()
 	}
+	e.waiting--
 	e.running++
 	e.mu.Unlock()
 }
@@ -359,13 +386,17 @@ func (e *Engine) releaseSlot() {
 // execute runs one simulation under the worker limit. Waiters coalesced on
 // an entry do not hold slots, so composite operations (Compare, sweeps) can
 // block on shared work without deadlocking the pool.
-func (e *Engine) execute(cfg sim.Config, prog trace.Program) sim.Result {
+func (e *Engine) execute(ctx context.Context, cfg sim.Config, prog trace.Program) sim.Result {
+	_, qs := obs.StartSpan(ctx, "queue_wait")
 	e.acquireSlot()
+	qs.End()
 	defer e.releaseSlot()
 	e.mu.Lock()
 	run := e.runFn
 	e.mu.Unlock()
-	return run(cfg, prog)
+	ctx, sp := obs.StartSpan(ctx, "simulate")
+	defer sp.End()
+	return run(ctx, cfg, prog)
 }
 
 // Do runs f under the engine's worker limit without touching the result
@@ -412,6 +443,14 @@ func (e *Engine) CompareSim(cfg sim.Config, prog trace.Program) sim.Comparison {
 // L1×L2 sweeps share their baseline and every repeated point, while runs
 // that differ only in L2 parameters are (correctly) distinct entries.
 func (e *Engine) CompareSimCached(cfg sim.Config, prog trace.Program) (sim.Comparison, CompareOutcome) {
+	return e.CompareSimCachedCtx(context.Background(), cfg, prog)
+}
+
+// CompareSimCachedCtx is CompareSimCached under a context: the baseline and
+// DRI runs record their spans concurrently under the caller's trace (the
+// obs span tree is safe for parallel children), and the energy accounting
+// is recorded as a compare_assemble span.
+func (e *Engine) CompareSimCachedCtx(ctx context.Context, cfg sim.Config, prog trace.Program) (sim.Comparison, CompareOutcome) {
 	var (
 		conv       *sim.Result
 		convCached bool
@@ -424,16 +463,18 @@ func (e *Engine) CompareSimCached(cfg sim.Config, prog trace.Program) (sim.Compa
 		// Re-raise a baseline panic on the caller's goroutine instead of
 		// crashing the process.
 		defer func() { convPanic = recover() }()
-		conv, convCached = e.RunCached(sim.BaselineSimConfig(cfg), prog)
+		conv, convCached = e.RunCachedCtx(ctx, sim.BaselineSimConfig(cfg), prog)
 	}()
-	driRes, driCached := e.RunCached(cfg, prog)
+	driRes, driCached := e.RunCachedCtx(ctx, cfg, prog)
 	wg.Wait()
 	if convPanic != nil {
 		panic(convPanic)
 	}
 
-	return sim.CompareSimResults(cfg, *conv, *driRes),
-		CompareOutcome{BaselineCached: convCached, DRICached: driCached}
+	_, sp := obs.StartSpan(ctx, "compare_assemble")
+	cmp := sim.CompareSimResults(cfg, *conv, *driRes)
+	sp.End()
+	return cmp, CompareOutcome{BaselineCached: convCached, DRICached: driCached}
 }
 
 // CompareOutcome reports the cache outcome of one Compare.

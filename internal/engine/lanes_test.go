@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"sync/atomic"
@@ -79,7 +80,7 @@ func TestSetLanesCapsBatchSize(t *testing.T) {
 		mu    sync.Mutex
 		sizes []int
 	)
-	e.runLanesFn = func(cfgs []sim.Config, p trace.Program) []sim.Result {
+	e.runLanesFn = func(_ context.Context, cfgs []sim.Config, p trace.Program) []sim.Result {
 		mu.Lock()
 		sizes = append(sizes, len(cfgs))
 		mu.Unlock()

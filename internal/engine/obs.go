@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"dricache/internal/obs"
+)
+
+// RegisterMetrics registers the engine's result-cache, worker-pool, and
+// batch-scheduler counters with the registry. Values are collected at
+// scrape time from Stats(), so the engine's own counters stay the single
+// source of truth. Call once per (engine, registry) pair — registering two
+// engines in one registry panics on the duplicate names, by design: a
+// registry describes one serving process.
+func (e *Engine) RegisterMetrics(r *obs.Registry) {
+	stat := func(f func(Stats) float64) func() float64 {
+		return func() float64 { return f(e.Stats()) }
+	}
+	r.NewCounterFunc("engine_cache_hits_total",
+		"Requests served from a completed result-cache entry.",
+		stat(func(s Stats) float64 { return float64(s.Hits) }))
+	r.NewCounterFunc("engine_cache_misses_total",
+		"Requests that executed a simulation.",
+		stat(func(s Stats) float64 { return float64(s.Misses) }))
+	r.NewCounterFunc("engine_cache_deduped_total",
+		"Requests that joined an identical in-flight simulation.",
+		stat(func(s Stats) float64 { return float64(s.Deduped) }))
+	r.NewGaugeFunc("engine_cache_entries",
+		"Completed results held in the cache.",
+		stat(func(s Stats) float64 { return float64(s.Entries) }))
+	r.NewGaugeFunc("engine_inflight",
+		"Simulations currently executing or queued.",
+		stat(func(s Stats) float64 { return float64(s.InFlight) }))
+	r.NewGaugeFunc("engine_workers",
+		"Current worker-pool limit.",
+		stat(func(s Stats) float64 { return float64(s.Parallelism) }))
+	r.NewGaugeFunc("engine_pool_running",
+		"Simulations currently holding a worker slot.",
+		stat(func(s Stats) float64 { return float64(s.Running) }))
+	r.NewGaugeFunc("engine_pool_queue_depth",
+		"Simulations queued for a worker slot.",
+		stat(func(s Stats) float64 { return float64(s.Waiting) }))
+	r.NewGaugeFunc("engine_pool_utilization",
+		"Fraction of the worker limit currently in use.",
+		stat(func(s Stats) float64 {
+			if s.Parallelism <= 0 {
+				return 0
+			}
+			return float64(s.Running) / float64(s.Parallelism)
+		}))
+	r.NewCounterFunc("engine_lane_groups_total",
+		"Lane groups formed by the batch scheduler.",
+		stat(func(s Stats) float64 { return float64(s.Lanes.Groups) }))
+	r.NewCounterFunc("engine_lane_batches_total",
+		"Lane batches executed by the batch scheduler.",
+		stat(func(s Stats) float64 { return float64(s.Lanes.Batches) }))
+	r.NewCounterFunc("engine_lane_lanes_total",
+		"Simulations carried by scheduler lane batches.",
+		stat(func(s Stats) float64 { return float64(s.Lanes.Lanes) }))
+	r.NewCounterFunc("engine_lane_decode_saved_total",
+		"Decode passes the batch scheduler avoided versus sequential runs.",
+		stat(func(s Stats) float64 { return float64(s.Lanes.DecodeSaved) }))
+	r.NewGaugeFunc("engine_lanes_per_batch",
+		"Configured lane-partition limit (0 = automatic).",
+		stat(func(s Stats) float64 { return float64(s.Lanes.LanesPerBatch) }))
+}

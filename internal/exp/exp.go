@@ -18,10 +18,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"dricache/internal/dri"
 	"dricache/internal/engine"
+	"dricache/internal/obs"
 	"dricache/internal/policy"
 	"dricache/internal/sim"
 	"dricache/internal/trace"
@@ -190,6 +192,13 @@ type TaskResult struct {
 // survive the result cache execute as lanes over a single decode of their
 // benchmark's instruction stream instead of one replay pass per point.
 func (r *Runner) RunAll(tasks []Task) []TaskResult {
+	return r.RunAllCtx(context.Background(), tasks)
+}
+
+// RunAllCtx is RunAll under a context: the engine's batch stages and the
+// final energy-model accounting record spans when the context carries an
+// obs trace.
+func (r *Runner) RunAllCtx(ctx context.Context, tasks []Task) []TaskResult {
 	eng := r.Engine()
 	cfgs := make([]sim.Config, len(tasks))
 	reqs := make([]engine.Request, 0, 2*len(tasks))
@@ -200,11 +209,13 @@ func (r *Runner) RunAll(tasks []Task) []TaskResult {
 			engine.Request{Config: sim.BaselineSimConfig(cfg), Prog: t.Prog},
 			engine.Request{Config: cfg, Prog: t.Prog})
 	}
-	results := eng.RunMany(reqs)
+	results := eng.RunManyCtx(ctx, reqs)
+	_, sp := obs.StartSpan(ctx, "compare_assemble")
 	out := make([]TaskResult, len(tasks))
 	for i, t := range tasks {
 		out[i] = TaskResult{Task: t, Cmp: sim.CompareSimResults(cfgs[i], results[2*i], results[2*i+1])}
 	}
+	sp.End()
 	return out
 }
 

@@ -1,0 +1,166 @@
+package obs
+
+// Prometheus text exposition (format version 0.0.4), hand-rolled over a
+// registry snapshot so the module stays dependency-free. The encoder covers
+// exactly what the registry can hold — counters, gauges, and fixed-bucket
+// histograms with flat labels — which is a small, stable subset of the
+// format: # HELP / # TYPE comment lines, escaped label values, cumulative
+// le-bucket lines plus _sum and _count for histograms.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the snapshot in Prometheus text exposition format.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, f := range s.Families {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+			return err
+		}
+		for _, sm := range f.Samples {
+			if sm.Histogram != nil {
+				if err := writeHistogram(w, f.Name, sm); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n",
+				f.Name, formatLabels(sm.Labels, nil), formatValue(sm.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, sm Sample) error {
+	h := sm.Histogram
+	cum := uint64(0)
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		le := L("le", formatValue(bound))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, formatLabels(sm.Labels, &le), cum); err != nil {
+			return err
+		}
+	}
+	le := L("le", "+Inf")
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		name, formatLabels(sm.Labels, &le), h.Count); err != nil {
+		return err
+	}
+	labels := formatLabels(sm.Labels, nil)
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatValue(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count)
+	return err
+}
+
+// formatValue renders a float the way Prometheus clients do: shortest
+// round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatLabels renders {k="v",...}; extra (if non-nil) is appended last —
+// used for the histogram le label. Returns "" for no labels.
+func formatLabels(labels []Label, extra *Label) string {
+	if len(labels) == 0 && extra == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	write := func(l Label) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	for _, l := range labels {
+		write(l)
+	}
+	if extra != nil {
+		write(*extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(v string) string { return helpEscaper.Replace(v) }
+
+// formatHuman renders a value for Format: integral values (counters, byte
+// and entry gauges) print as plain integers rather than the e-notation
+// FormatFloat falls into past 2^21.
+func formatHuman(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return formatValue(v)
+}
+
+// Format renders the snapshot as an aligned human-readable summary — the
+// shared formatting that cmd/drisim -v and the examples print instead of
+// bespoke per-tool counter dumps. Histograms are summarized as
+// count/sum/mean.
+func (s Snapshot) Format() string {
+	var b strings.Builder
+	type row struct{ name, value string }
+	var rows []row
+	for _, f := range s.Families {
+		for _, sm := range f.Samples {
+			name := f.Name + formatLabels(sm.Labels, nil)
+			if sm.Histogram != nil {
+				h := sm.Histogram
+				mean := 0.0
+				if h.Count > 0 {
+					mean = h.Sum / float64(h.Count)
+				}
+				rows = append(rows, row{name,
+					fmt.Sprintf("count=%d sum=%s mean=%s", h.Count, formatHuman(h.Sum), formatHuman(mean))})
+				continue
+			}
+			rows = append(rows, row{name, formatHuman(sm.Value)})
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	width := 0
+	for _, r := range rows {
+		if len(r.name) > width {
+			width = len(r.name)
+		}
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s  %s\n", width, r.name, r.value)
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition encoding: HELP/TYPE lines,
+// label escaping, cumulative histogram buckets with an +Inf terminator, and
+// _sum/_count companions.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("engine_cache_hits_total", "Cache hits.")
+	c.Add(5)
+	g := r.NewGauge("trace_store_bytes", "Recorded bytes held.")
+	g.Set(1024)
+	h := r.NewHistogram("http_request_duration_seconds", "Request latency.",
+		[]float64{0.001, 0.01, 0.1}, L("path", "/v1/run"))
+	h.Observe(0.0005)
+	h.Observe(0.002)
+	h.Observe(0.05)
+	h.Observe(3)
+	e := r.NewCounter("weird", "Help with \\ and\nnewline.", L("q", `a"b\c`))
+	e.Inc()
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP engine_cache_hits_total Cache hits.
+# TYPE engine_cache_hits_total counter
+engine_cache_hits_total 5
+# HELP trace_store_bytes Recorded bytes held.
+# TYPE trace_store_bytes gauge
+trace_store_bytes 1024
+# HELP http_request_duration_seconds Request latency.
+# TYPE http_request_duration_seconds histogram
+http_request_duration_seconds_bucket{path="/v1/run",le="0.001"} 1
+http_request_duration_seconds_bucket{path="/v1/run",le="0.01"} 2
+http_request_duration_seconds_bucket{path="/v1/run",le="0.1"} 3
+http_request_duration_seconds_bucket{path="/v1/run",le="+Inf"} 4
+http_request_duration_seconds_sum{path="/v1/run"} 3.0525
+http_request_duration_seconds_count{path="/v1/run"} 4
+# HELP weird Help with \\ and\nnewline.
+# TYPE weird counter
+weird{q="a\"b\\c"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestFormatHumanReadable(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("b_total", "").Add(2)
+	r.NewCounter("a_total", "").Add(1)
+	h := r.NewHistogram("lat", "", []float64{1})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	out := r.Snapshot().Format()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3:\n%s", len(lines), out)
+	}
+	// Sorted by name.
+	if !strings.HasPrefix(lines[0], "a_total") || !strings.HasPrefix(lines[1], "b_total") ||
+		!strings.HasPrefix(lines[2], "lat") {
+		t.Errorf("unexpected order:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "count=2") || !strings.Contains(lines[2], "mean=1") {
+		t.Errorf("histogram summary missing count/mean: %q", lines[2])
+	}
+}

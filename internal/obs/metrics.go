@@ -1,0 +1,390 @@
+// Package obs is the zero-dependency observability substrate: a typed
+// metrics registry (counters, gauges, fixed-bucket histograms; atomic and
+// allocation-free on the hot path), Prometheus text exposition, a
+// request-scoped span recorder propagated through context, and request-ID
+// helpers for structured logging.
+//
+// The package deliberately imports nothing outside the standard library and
+// nothing from the rest of this module, so every layer — trace store, lane
+// executor, engine, HTTP service — can register its counters without import
+// cycles. Instruments are cheap enough to update from simulation code (one
+// atomic op), while collector functions (NewCounterFunc/NewGaugeFunc) defer
+// reading existing counter structs to scrape time, so instrumenting a
+// subsystem costs nothing until somebody looks.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one name/value pair attached to a metric.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Kind is the metric type.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Counter is a monotonically increasing integer count. The zero value is
+// ready to use; all methods are safe for concurrent use and allocation-free.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 value that may go up and down. The zero value is ready
+// to use; all methods are safe for concurrent use and allocation-free.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (negative to subtract).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. Bounds are inclusive
+// upper limits in ascending order; an implicit +Inf bucket catches the
+// overflow. Observe is one binary search plus three atomic ops — safe for
+// concurrent use and allocation-free.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bound >= v; le semantics are inclusive, so a value equal to a
+	// bound lands in that bound's bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// snapshot copies the bucket state. Counts and sum are read without a global
+// lock, so a concurrent snapshot may be off by in-flight observations — fine
+// for monitoring.
+func (h *Histogram) snapshot() *HistogramValue {
+	counts := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return &HistogramValue{Bounds: h.bounds, Counts: counts, Sum: h.Sum(), Count: h.Count()}
+}
+
+// ExponentialBuckets returns n bucket bounds starting at start and growing
+// by factor: start, start·factor, start·factor², …
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExponentialBuckets requires start > 0, factor > 1, n >= 1")
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// DefLatencyBuckets spans 100µs to ~104s exponentially — wide enough for
+// metadata endpoints and full sweep requests alike.
+var DefLatencyBuckets = ExponentialBuckets(100e-6, 2, 21)
+
+// Meter tracks a monotonically increasing total and derives a rate from it.
+// Add is one atomic op; Rate computes the delta over the window since the
+// previous Rate call (min 1s), so repeated scrapes inside a second reuse the
+// last value.
+type Meter struct {
+	total atomic.Uint64
+
+	mu        sync.Mutex
+	lastTotal uint64
+	lastAt    time.Time
+	rate      float64
+}
+
+// NewMeter returns a meter whose first Rate call averages over the meter's
+// lifetime.
+func NewMeter() *Meter { return &Meter{lastAt: time.Now()} }
+
+// Add adds n to the total.
+func (m *Meter) Add(n uint64) { m.total.Add(n) }
+
+// Total returns the running total.
+func (m *Meter) Total() uint64 { return m.total.Load() }
+
+// Rate returns the total's per-second rate over the window since the
+// previous Rate call that advanced the window (at least one second ago).
+func (m *Meter) Rate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now()
+	if dt := now.Sub(m.lastAt); dt >= time.Second {
+		t := m.total.Load()
+		m.rate = float64(t-m.lastTotal) / dt.Seconds()
+		m.lastTotal = t
+		m.lastAt = now
+	}
+	return m.rate
+}
+
+// metric is one registered instrument or collector under a family.
+type metric struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64 // collector; reads deferred to scrape time
+}
+
+// family groups every metric sharing one name (and therefore one help
+// string and one type).
+type family struct {
+	name, help string
+	kind       Kind
+	metrics    []*metric
+	byKey      map[string]*metric
+}
+
+// Registry is a set of named metric families. All methods are safe for
+// concurrent use. Registration (New*) panics on a duplicate name+labels or
+// on re-using a name with a different type — metric identity is programmer
+// error territory, caught loudly at startup.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	order []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: make(map[string]*family)} }
+
+func labelKey(labels []Label) string {
+	k := ""
+	for _, l := range labels {
+		k += l.Key + "\x00" + l.Value + "\x00"
+	}
+	return k
+}
+
+func (r *Registry) register(name, help string, kind Kind, labels []Label) *metric {
+	if name == "" {
+		panic("obs: metric name must not be empty")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, byKey: make(map[string]*metric)}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, kind, f.kind))
+	}
+	key := labelKey(labels)
+	if _, ok := f.byKey[key]; ok {
+		panic(fmt.Sprintf("obs: duplicate metric %q with labels %v", name, labels))
+	}
+	m := &metric{labels: append([]Label(nil), labels...)}
+	f.byKey[key] = m
+	f.metrics = append(f.metrics, m)
+	return m
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string, labels ...Label) *Counter {
+	m := r.register(name, help, KindCounter, labels)
+	m.c = &Counter{}
+	return m.c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string, labels ...Label) *Gauge {
+	m := r.register(name, help, KindGauge, labels)
+	m.g = &Gauge{}
+	return m.g
+}
+
+// NewHistogram registers and returns a histogram with the given inclusive
+// upper bounds (ascending; +Inf is implicit).
+func (r *Registry) NewHistogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	m := r.register(name, help, KindHistogram, labels)
+	m.h = newHistogram(bounds)
+	return m.h
+}
+
+// NewCounterFunc registers a counter collected by calling fn at scrape time
+// — the bridge from existing counter structs (engine stats, store stats) to
+// the registry without duplicating state.
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, KindCounter, labels).fn = fn
+}
+
+// NewGaugeFunc registers a gauge collected by calling fn at scrape time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, KindGauge, labels).fn = fn
+}
+
+// Sample is one collected metric value.
+type Sample struct {
+	Labels    []Label         `json:"labels,omitempty"`
+	Value     float64         `json:"value"`
+	Histogram *HistogramValue `json:"histogram,omitempty"`
+}
+
+// HistogramValue is a collected histogram: per-bucket counts (the last entry
+// is the +Inf overflow bucket), total count, and sum.
+type HistogramValue struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Family is one collected metric family in registration order.
+type Family struct {
+	Name    string   `json:"name"`
+	Help    string   `json:"help"`
+	Type    string   `json:"type"`
+	Samples []Sample `json:"samples"`
+}
+
+// Snapshot is a point-in-time collection of a registry, the single source
+// every human- and machine-readable view (Prometheus exposition, JSON
+// endpoints, CLI summaries) derives from.
+type Snapshot struct {
+	Families []Family `json:"families"`
+}
+
+// Snapshot collects every family. Collector functions run outside the
+// registry lock, so a collector may itself read locked subsystem state.
+func (r *Registry) Snapshot() Snapshot {
+	type pending struct {
+		fam *Family
+		m   *metric
+		idx int
+	}
+	r.mu.Lock()
+	fams := make([]Family, 0, len(r.order))
+	var todo []pending
+	for _, name := range r.order {
+		f := r.fams[name]
+		fam := Family{Name: f.name, Help: f.help, Type: f.kind.String(),
+			Samples: make([]Sample, len(f.metrics))}
+		fams = append(fams, fam)
+		for i, m := range f.metrics {
+			todo = append(todo, pending{fam: &fams[len(fams)-1], m: m, idx: i})
+		}
+	}
+	r.mu.Unlock()
+
+	for _, p := range todo {
+		s := Sample{Labels: p.m.labels}
+		switch {
+		case p.m.fn != nil:
+			s.Value = p.m.fn()
+		case p.m.c != nil:
+			s.Value = float64(p.m.c.Value())
+		case p.m.g != nil:
+			s.Value = p.m.g.Value()
+		case p.m.h != nil:
+			s.Histogram = p.m.h.snapshot()
+			s.Value = float64(s.Histogram.Count)
+		}
+		p.fam.Samples[p.idx] = s
+	}
+	return Snapshot{Families: fams}
+}
+
+// Family returns the named family, if collected.
+func (s Snapshot) Family(name string) (Family, bool) {
+	for _, f := range s.Families {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Family{}, false
+}
+
+// Value returns the sum of the named family's sample values (histograms
+// contribute their observation count), or 0 if the family is absent — the
+// lookup JSON views use to stay thin over the registry.
+func (s Snapshot) Value(name string) float64 {
+	f, ok := s.Family(name)
+	if !ok {
+		return 0
+	}
+	v := 0.0
+	for _, sm := range f.Samples {
+		v += sm.Value
+	}
+	return v
+}

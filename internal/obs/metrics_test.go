@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketMath(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h", "test", []float64{1, 2, 4})
+
+	// le semantics are inclusive: a value equal to a bound lands in that
+	// bound's bucket.
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 5, 100} {
+		h.Observe(v)
+	}
+	hv := h.snapshot()
+	want := []uint64{2, 2, 2, 2} // (-inf,1], (1,2], (2,4], (4,+inf)
+	if len(hv.Counts) != len(want) {
+		t.Fatalf("counts length = %d, want %d", len(hv.Counts), len(want))
+	}
+	for i, w := range want {
+		if hv.Counts[i] != w {
+			t.Errorf("bucket %d count = %d, want %d", i, hv.Counts[i], w)
+		}
+	}
+	if hv.Count != 8 {
+		t.Errorf("Count = %d, want 8", hv.Count)
+	}
+	if wantSum := 0.5 + 1 + 1.5 + 2 + 3 + 4 + 5 + 100; math.Abs(hv.Sum-wantSum) > 1e-9 {
+		t.Errorf("Sum = %v, want %v", hv.Sum, wantSum)
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	b := ExponentialBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(b) != len(want) {
+		t.Fatalf("len = %d, want %d", len(b), len(want))
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Errorf("bucket[%d] = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestConcurrentRegistryUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c", "counter")
+	g := r.NewGauge("g", "gauge")
+	h := r.NewHistogram("h", "histogram", []float64{0.5})
+	m := NewMeter()
+
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(1)
+				m.Add(1)
+				// Snapshot concurrently with updates to catch races.
+				if i%200 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	const total = workers * perWorker
+	if c.Value() != total {
+		t.Errorf("counter = %d, want %d", c.Value(), total)
+	}
+	if g.Value() != total {
+		t.Errorf("gauge = %v, want %d", g.Value(), total)
+	}
+	if h.Count() != total {
+		t.Errorf("histogram count = %d, want %d", h.Count(), total)
+	}
+	if h.Sum() != total {
+		t.Errorf("histogram sum = %v, want %d", h.Sum(), total)
+	}
+	if m.Total() != total {
+		t.Errorf("meter total = %d, want %d", m.Total(), total)
+	}
+}
+
+func TestCollectorFuncs(t *testing.T) {
+	r := NewRegistry()
+	n := 0.0
+	r.NewCounterFunc("cf", "collected counter", func() float64 { return n })
+	r.NewGaugeFunc("gf", "collected gauge", func() float64 { return n * 2 })
+	n = 21
+	s := r.Snapshot()
+	if v := s.Value("cf"); v != 21 {
+		t.Errorf("cf = %v, want 21", v)
+	}
+	if v := s.Value("gf"); v != 42 {
+		t.Errorf("gf = %v, want 42", v)
+	}
+}
+
+func TestLabeledSamplesShareFamily(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("reqs", "requests", L("path", "/a"))
+	b := r.NewCounter("reqs", "requests", L("path", "/b"))
+	a.Add(3)
+	b.Add(4)
+	s := r.Snapshot()
+	f, ok := s.Family("reqs")
+	if !ok {
+		t.Fatal("family reqs missing")
+	}
+	if len(f.Samples) != 2 {
+		t.Fatalf("samples = %d, want 2", len(f.Samples))
+	}
+	if v := s.Value("reqs"); v != 7 {
+		t.Errorf("summed value = %v, want 7", v)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup", "x")
+	assertPanics(t, "duplicate name+labels", func() { r.NewCounter("dup", "x") })
+	assertPanics(t, "kind mismatch", func() { r.NewGauge("dup", "x") })
+}
+
+func assertPanics(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,19 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntimeMetrics registers the Go runtime gauges every serving
+// process wants on its scrape: goroutine count, GOMAXPROCS, and heap
+// occupancy.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.NewGaugeFunc("go_goroutines", "Current number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.NewGaugeFunc("go_gomaxprocs", "GOMAXPROCS.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	r.NewGaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.HeapAlloc)
+		})
+}

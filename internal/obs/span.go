@@ -1,0 +1,171 @@
+package obs
+
+// Request-scoped tracing. A Trace is attached to a context at the edge of
+// the system (driserve middleware, a CLI run) and StartSpan then times named
+// stages anywhere below it — engine cache lookup, batch grouping, stream
+// decode, lane run, compare/assemble — building a tree that mirrors the
+// call structure. Contexts without a trace cost one Value lookup and a nil
+// check per StartSpan: every span method is safe on a nil receiver, so
+// instrumented code never branches on "is tracing on".
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+type traceCtxKey struct{}
+
+// Span is one timed stage of a request. All methods are safe on a nil
+// receiver (the not-tracing case) and safe for concurrent use, so parallel
+// stages (lane batches, the compare baseline goroutine) can hang children
+// off one parent.
+type Span struct {
+	name  string
+	start time.Time
+	trace *Trace
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    []Label
+	children []*Span
+}
+
+// Trace is the root of one request's span tree.
+type Trace struct {
+	root *Span
+}
+
+// NewTrace starts a trace rooted at a span with the given name and returns
+// a derived context carrying it. Pass the context through the request path
+// and call End on the returned root span when the request finishes.
+func NewTrace(ctx context.Context, name string) (context.Context, *Span) {
+	t := &Trace{}
+	t.root = &Span{name: name, start: time.Now(), trace: t}
+	return context.WithValue(ctx, traceCtxKey{}, t.root), t.root
+}
+
+// StartSpan starts a child of the innermost span in ctx and returns a
+// context carrying the child. When ctx carries no trace both returns are
+// usable no-ops: the original context and a nil span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(traceCtxKey{}).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := &Span{name: name, start: time.Now(), trace: parent.trace}
+	parent.mu.Lock()
+	parent.children = append(parent.children, child)
+	parent.mu.Unlock()
+	return context.WithValue(ctx, traceCtxKey{}, child), child
+}
+
+// SpanFromContext returns the innermost span in ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(traceCtxKey{}).(*Span)
+	return s
+}
+
+// End marks the span finished. Safe to call once per span; later reads see
+// the recorded end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr attaches a key/value annotation to the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, L(key, value))
+	s.mu.Unlock()
+}
+
+// SpanTree is the JSON shape of a recorded span: offsets are microseconds
+// relative to the tree's root start, so stage durations can be read against
+// the request wall time directly.
+type SpanTree struct {
+	Name           string     `json:"name"`
+	OffsetMicros   int64      `json:"offsetMicros"`
+	DurationMicros int64      `json:"durationMicros"`
+	Attrs          []Label    `json:"attrs,omitempty"`
+	Children       []SpanTree `json:"children,omitempty"`
+}
+
+// Duration returns the span's recorded duration (time to now if not ended).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// Tree materializes the span and its descendants as a SpanTree with offsets
+// relative to this span's start. Call on the root after End for the full
+// request tree. Unended descendants are closed at the time of the call.
+func (s *Span) Tree() SpanTree {
+	if s == nil {
+		return SpanTree{}
+	}
+	return s.tree(s.start)
+}
+
+func (s *Span) tree(origin time.Time) SpanTree {
+	s.mu.Lock()
+	end := s.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	attrs := append([]Label(nil), s.attrs...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	t := SpanTree{
+		Name:           s.name,
+		OffsetMicros:   s.start.Sub(origin).Microseconds(),
+		DurationMicros: end.Sub(s.start).Microseconds(),
+		Attrs:          attrs,
+	}
+	for _, c := range children {
+		t.Children = append(t.Children, c.tree(origin))
+	}
+	return t
+}
+
+// NewRequestID returns a 16-hex-character random request identifier.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; a constant ID keeps
+		// logging functional rather than panicking the request path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+type requestIDKey struct{}
+
+// WithRequestID returns ctx carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the request ID in ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

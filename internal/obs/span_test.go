@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeShape(t *testing.T) {
+	ctx, root := NewTrace(context.Background(), "request")
+	ctx1, validate := StartSpan(ctx, "validate")
+	validate.End()
+	_ = ctx1
+	ctx2, sim := StartSpan(ctx, "simulate")
+	_, decode := StartSpan(ctx2, "stream_decode")
+	decode.SetAttr("benchmark", "go")
+	decode.End()
+	sim.End()
+	root.End()
+
+	tree := root.Tree()
+	if tree.Name != "request" {
+		t.Fatalf("root name = %q", tree.Name)
+	}
+	if len(tree.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(tree.Children))
+	}
+	if tree.Children[0].Name != "validate" || tree.Children[1].Name != "simulate" {
+		t.Errorf("children = %q, %q", tree.Children[0].Name, tree.Children[1].Name)
+	}
+	simTree := tree.Children[1]
+	if len(simTree.Children) != 1 || simTree.Children[0].Name != "stream_decode" {
+		t.Fatalf("simulate children wrong: %+v", simTree.Children)
+	}
+	dec := simTree.Children[0]
+	if len(dec.Attrs) != 1 || dec.Attrs[0].Key != "benchmark" || dec.Attrs[0].Value != "go" {
+		t.Errorf("attrs = %+v", dec.Attrs)
+	}
+	// Offsets are root-relative and ordered; child durations fit inside the
+	// root duration.
+	if tree.OffsetMicros != 0 {
+		t.Errorf("root offset = %d, want 0", tree.OffsetMicros)
+	}
+	for _, c := range tree.Children {
+		if c.OffsetMicros < 0 || c.OffsetMicros+c.DurationMicros > tree.DurationMicros+1 {
+			t.Errorf("child %q [%d, +%d] outside root duration %d",
+				c.Name, c.OffsetMicros, c.DurationMicros, tree.DurationMicros)
+		}
+	}
+}
+
+func TestStartSpanWithoutTraceIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "anything")
+	if sp != nil {
+		t.Fatal("expected nil span without a trace in context")
+	}
+	if ctx2 != ctx {
+		t.Error("context should pass through unchanged")
+	}
+	// All methods must be nil-safe.
+	sp.End()
+	sp.SetAttr("k", "v")
+	if d := sp.Duration(); d != 0 {
+		t.Errorf("nil span duration = %v", d)
+	}
+	if tr := sp.Tree(); tr.Name != "" {
+		t.Errorf("nil span tree = %+v", tr)
+	}
+}
+
+func TestConcurrentChildren(t *testing.T) {
+	ctx, root := NewTrace(context.Background(), "request")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, sp := StartSpan(ctx, "lane_run")
+			time.Sleep(time.Millisecond)
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	tree := root.Tree()
+	if len(tree.Children) != 16 {
+		t.Fatalf("children = %d, want 16", len(tree.Children))
+	}
+	for _, c := range tree.Children {
+		if c.DurationMicros <= 0 {
+			t.Errorf("child duration = %d, want > 0", c.DurationMicros)
+		}
+	}
+}
+
+func TestRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("lengths = %d, %d, want 16", len(a), len(b))
+	}
+	if a == b {
+		t.Error("two request IDs collided")
+	}
+	ctx := WithRequestID(context.Background(), a)
+	if got := RequestIDFrom(ctx); got != a {
+		t.Errorf("RequestIDFrom = %q, want %q", got, a)
+	}
+	if got := RequestIDFrom(context.Background()); got != "" {
+		t.Errorf("empty ctx id = %q", got)
+	}
+}

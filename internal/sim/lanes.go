@@ -11,12 +11,16 @@ package sim
 // sequential runs.
 
 import (
+	"context"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"dricache/internal/bpred"
 	"dricache/internal/cpu"
 	"dricache/internal/mem"
+	"dricache/internal/obs"
 	"dricache/internal/trace"
 )
 
@@ -111,6 +115,15 @@ func releaseHierarchy(cfg mem.Config, h *mem.Hierarchy) {
 // the stream there is no shared decode to amortize and the configurations
 // run sequentially.
 func RunLanes(cfgs []Config, prog trace.Program) []Result {
+	return RunLanesCtx(context.Background(), cfgs, prog)
+}
+
+// RunLanesCtx is RunLanes under a context: with an obs trace attached the
+// stream record/fetch, lock-step pipeline pass, and result assembly are
+// recorded as child spans, and the lane goroutine is labeled
+// (runtime/pprof) with the benchmark and lane count. Results are identical
+// to RunLanes.
+func RunLanesCtx(ctx context.Context, cfgs []Config, prog trace.Program) []Result {
 	out := make([]Result, len(cfgs))
 	if len(cfgs) == 0 {
 		return out
@@ -122,41 +135,52 @@ func RunLanes(cfgs []Config, prog trace.Program) []Result {
 		}
 	}
 	if len(cfgs) == 1 {
-		out[0] = Run(cfgs[0], prog)
+		out[0] = RunCtx(ctx, cfgs[0], prog)
 		return out
 	}
+	_, sp := obs.StartSpan(ctx, "stream_decode")
+	sp.SetAttr("benchmark", prog.Name)
 	rep := trace.SharedStore().Replay(prog, budget)
+	sp.End()
 	if rep == nil {
 		laneFallbacks.Add(uint64(len(cfgs)))
 		for i, c := range cfgs {
-			out[i] = Run(c, prog)
+			out[i] = RunCtx(ctx, c, prog)
 		}
 		return out
 	}
 
-	hs := make([]*mem.Hierarchy, len(cfgs))
-	pipes := make([]*cpu.Pipeline, len(cfgs))
-	// One predictor per distinct predictor configuration: cpu.RunLanes walks
-	// only the leader of each config group anyway, so per-lane predictors
-	// would be constructed and never stepped.
-	preds := make(map[bpred.Config]*bpred.Predictor, 1)
-	for i, c := range cfgs {
-		h := acquireHierarchy(c.Mem)
-		hs[i] = h
-		bp := preds[c.Bpred]
-		if bp == nil {
-			bp = bpred.New(c.Bpred)
-			preds[c.Bpred] = bp
-		}
-		pipes[i] = cpu.New(c.CPU, h, h, bp, h)
-	}
-	cur := rep.Cursor()
-	cpuRes := cpu.RunLanes(&cur, pipes)
-	for i, c := range cfgs {
-		hs[i].Finish(cpuRes[i].Cycles)
-		out[i] = assemble(c, prog, cpuRes[i], hs[i])
-		releaseHierarchy(c.Mem, hs[i])
-	}
+	pprof.Do(ctx, pprof.Labels("benchmark", prog.Name, "lanes", strconv.Itoa(len(cfgs))),
+		func(ctx context.Context) {
+			hs := make([]*mem.Hierarchy, len(cfgs))
+			pipes := make([]*cpu.Pipeline, len(cfgs))
+			// One predictor per distinct predictor configuration: cpu.RunLanes walks
+			// only the leader of each config group anyway, so per-lane predictors
+			// would be constructed and never stepped.
+			preds := make(map[bpred.Config]*bpred.Predictor, 1)
+			for i, c := range cfgs {
+				h := acquireHierarchy(c.Mem)
+				hs[i] = h
+				bp := preds[c.Bpred]
+				if bp == nil {
+					bp = bpred.New(c.Bpred)
+					preds[c.Bpred] = bp
+				}
+				pipes[i] = cpu.New(c.CPU, h, h, bp, h)
+			}
+			_, sp := obs.StartSpan(ctx, "pipeline")
+			sp.SetAttr("lanes", strconv.Itoa(len(cfgs)))
+			cur := rep.Cursor()
+			cpuRes := cpu.RunLanes(&cur, pipes)
+			sp.End()
+			_, sp = obs.StartSpan(ctx, "assemble")
+			for i, c := range cfgs {
+				hs[i].Finish(cpuRes[i].Cycles)
+				out[i] = assemble(c, prog, cpuRes[i], hs[i])
+				releaseHierarchy(c.Mem, hs[i])
+			}
+			sp.End()
+		})
 	laneLanes.Add(uint64(len(cfgs)))
 	laneBatches.Add(1)
 	return out

@@ -1,0 +1,75 @@
+package sim
+
+// Process-wide simulation telemetry. Every completed run — single or lane —
+// flows through noteRun, so the counters here are the one authoritative
+// account of simulation volume regardless of which executor produced it:
+// total runs, total simulated instructions (with a windowed instrs/s rate),
+// and aggregated per-line policy activity. RegisterMetrics projects them,
+// plus the lane-executor counters, into an obs.Registry.
+
+import (
+	"sync/atomic"
+
+	"dricache/internal/obs"
+	"dricache/internal/policy"
+)
+
+var (
+	simRuns    atomic.Uint64
+	instrMeter = obs.NewMeter()
+
+	polWakeups atomic.Uint64
+	polGated   atomic.Uint64
+	polDrowsy  atomic.Uint64
+)
+
+// noteRun accounts one completed simulation; called from assemble so every
+// execution path (Run, RunLanes, pooled or not) is counted exactly once.
+func noteRun(res *Result) {
+	simRuns.Add(1)
+	instrMeter.Add(res.CPU.Instructions)
+	for _, ps := range [2]policy.Stats{res.L1IPolicyStats, res.L2PolicyStats} {
+		polWakeups.Add(ps.Wakeups)
+		polGated.Add(ps.GatedLines)
+		polDrowsy.Add(ps.DrowsyTransitions)
+	}
+}
+
+// RegisterMetrics registers the process-wide simulation counters — run and
+// instruction volume, throughput, leakage-policy activity, and the lane
+// executor — with the registry.
+func RegisterMetrics(r *obs.Registry) {
+	counter := func(v *atomic.Uint64) func() float64 {
+		return func() float64 { return float64(v.Load()) }
+	}
+	r.NewCounterFunc("sim_runs_total",
+		"Simulations completed process-wide.", counter(&simRuns))
+	r.NewCounterFunc("sim_instructions_total",
+		"Dynamic instructions simulated process-wide.",
+		func() float64 { return float64(instrMeter.Total()) })
+	r.NewGaugeFunc("sim_instructions_per_second",
+		"Simulated instruction throughput, windowed at one second.",
+		instrMeter.Rate)
+	r.NewCounterFunc("sim_policy_wakeups_total",
+		"Drowsy-line wakeups across all runs.", counter(&polWakeups))
+	r.NewCounterFunc("sim_policy_gated_lines_total",
+		"Lines powered off by decay across all runs.", counter(&polGated))
+	r.NewCounterFunc("sim_policy_drowsy_transitions_total",
+		"Awake-to-drowsy line transitions across all runs.", counter(&polDrowsy))
+
+	lane := func(f func(LaneStats) uint64) func() float64 {
+		return func() float64 { return float64(f(ReadLaneStats())) }
+	}
+	r.NewCounterFunc("sim_lane_batches_total",
+		"Multi-lane executions (one shared decode pass each).",
+		lane(func(s LaneStats) uint64 { return s.Batches }))
+	r.NewCounterFunc("sim_lane_lanes_total",
+		"Simulations carried by multi-lane executions.",
+		lane(func(s LaneStats) uint64 { return s.Lanes }))
+	r.NewCounterFunc("sim_lane_decode_saved_total",
+		"Stream decode passes avoided versus sequential execution.",
+		lane(func(s LaneStats) uint64 { return s.DecodeSaved }))
+	r.NewCounterFunc("sim_lane_fallbacks_total",
+		"RunLanes simulations that fell back to sequential execution.",
+		lane(func(s LaneStats) uint64 { return s.Fallbacks }))
+}

@@ -6,11 +6,15 @@
 package sim
 
 import (
+	"context"
+	"runtime/pprof"
+
 	"dricache/internal/bpred"
 	"dricache/internal/cpu"
 	"dricache/internal/dri"
 	"dricache/internal/energy"
 	"dricache/internal/mem"
+	"dricache/internal/obs"
 	"dricache/internal/policy"
 	"dricache/internal/trace"
 )
@@ -129,15 +133,46 @@ func (r Result) MissRate() float64 { return r.ICache.MissRate() }
 // generation (guarded by the trace property suite), so results do not
 // depend on store state.
 func Run(cfg Config, prog trace.Program) Result {
-	h := acquireHierarchy(cfg.Mem)
-	bp := bpred.New(cfg.Bpred)
-	pipe := cpu.New(cfg.CPU, h, h, bp, h)
-	stream := trace.StreamFor(prog, cfg.Instructions)
-	cpuRes := pipe.Run(stream)
-	h.Finish(cpuRes.Cycles)
-	res := assemble(cfg, prog, cpuRes, h)
-	releaseHierarchy(cfg.Mem, h)
+	return RunCtx(context.Background(), cfg, prog)
+}
+
+// RunCtx is Run under a context: when the context carries an obs trace the
+// run's stages (stream decode, pipeline, assemble) are recorded as child
+// spans, and the worker goroutine is labeled (runtime/pprof) with the
+// benchmark and policy so CPU profiles attribute samples per workload.
+// Results are identical to Run.
+func RunCtx(ctx context.Context, cfg Config, prog trace.Program) Result {
+	var res Result
+	pprof.Do(ctx, pprof.Labels("benchmark", prog.Name, "policy", policyLabel(cfg)),
+		func(ctx context.Context) {
+			h := acquireHierarchy(cfg.Mem)
+			bp := bpred.New(cfg.Bpred)
+			pipe := cpu.New(cfg.CPU, h, h, bp, h)
+			_, sp := obs.StartSpan(ctx, "stream_decode")
+			stream := trace.StreamFor(prog, cfg.Instructions)
+			sp.End()
+			_, sp = obs.StartSpan(ctx, "pipeline")
+			cpuRes := pipe.Run(stream)
+			sp.End()
+			h.Finish(cpuRes.Cycles)
+			_, sp = obs.StartSpan(ctx, "assemble")
+			res = assemble(cfg, prog, cpuRes, h)
+			sp.End()
+			releaseHierarchy(cfg.Mem, h)
+		})
 	return res
+}
+
+// policyLabel names the effective L1 i-cache leakage scheme of cfg for
+// profile attribution.
+func policyLabel(cfg Config) string {
+	if k := cfg.Mem.L1IPolicy.Kind; k != policy.Default {
+		return string(k)
+	}
+	if cfg.Mem.L1I.Params.Enabled {
+		return string(policy.DRI)
+	}
+	return string(policy.Conventional)
 }
 
 // assemble collects every observable of a finished run into a Result. The
@@ -147,7 +182,7 @@ func Run(cfg Config, prog trace.Program) Result {
 func assemble(cfg Config, prog trace.Program, cpuRes cpu.Result, h *mem.Hierarchy) Result {
 	ic := h.ICache()
 	l2 := h.L2()
-	return Result{
+	res := Result{
 		Benchmark:           prog.Name,
 		CPU:                 cpuRes,
 		ICache:              ic.Stats(),
@@ -164,6 +199,8 @@ func assemble(cfg Config, prog trace.Program, cpuRes cpu.Result, h *mem.Hierarch
 		L1IPolicyStats:      h.L1IPolicyStats(),
 		L2PolicyStats:       h.L2PolicyStats(),
 	}
+	noteRun(&res)
+	return res
 }
 
 // Comparison pairs a DRI run with its conventional baseline and the energy

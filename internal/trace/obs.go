@@ -1,0 +1,34 @@
+package trace
+
+import "dricache/internal/obs"
+
+// RegisterMetrics registers the store's occupancy gauges and traffic
+// counters with the registry. Values are collected at scrape time from
+// Stats(), so the store keeps its single source of truth and pays nothing
+// on the record/replay path.
+func (s *Store) RegisterMetrics(r *obs.Registry) {
+	stat := func(f func(StoreStats) float64) func() float64 {
+		return func() float64 { return f(s.Stats()) }
+	}
+	r.NewGaugeFunc("trace_store_entries",
+		"Recorded instruction streams currently held.",
+		stat(func(st StoreStats) float64 { return float64(st.Entries) }))
+	r.NewGaugeFunc("trace_store_bytes",
+		"Total encoded size of held recordings.",
+		stat(func(st StoreStats) float64 { return float64(st.Bytes) }))
+	r.NewGaugeFunc("trace_store_budget_bytes",
+		"Byte budget beyond which recordings are evicted.",
+		stat(func(st StoreStats) float64 { return float64(st.BudgetBytes) }))
+	r.NewCounterFunc("trace_store_hits_total",
+		"Stream requests served from a completed or in-flight recording.",
+		stat(func(st StoreStats) float64 { return float64(st.Hits) }))
+	r.NewCounterFunc("trace_store_misses_total",
+		"Stream requests that recorded a stream.",
+		stat(func(st StoreStats) float64 { return float64(st.Misses) }))
+	r.NewCounterFunc("trace_store_evictions_total",
+		"Recordings dropped to respect the byte budget.",
+		stat(func(st StoreStats) float64 { return float64(st.Evictions) }))
+	r.NewCounterFunc("trace_store_bypasses_total",
+		"Stream requests that skipped the store (budget too small).",
+		stat(func(st StoreStats) float64 { return float64(st.Bypasses) }))
+}
