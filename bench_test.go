@@ -344,6 +344,51 @@ func BenchmarkFullSystemSimulation(b *testing.B) {
 	b.ReportMetric((after-before)/elapsed, "registry-instrs/s")
 }
 
+// BenchmarkWayMemo measures the memoized sweep path: a memo-table-size
+// ladder of way-memoization configurations on the 64K 4-way L1, advanced
+// lock-step over one decode of applu — the shape an engine.RunMany policy
+// sweep executes. Per-set link registers let every lane skip the memory
+// hierarchy entirely on a memoized fetch (the sequential-PC shortcut skips
+// even the block compare inside straight-line runs), so the aggregate
+// lane-instrs/s headline against BenchmarkLaneSweep's DRI lanes is the
+// memoized tag path's sweep-level speedup. The solo-instrs/s metric is the
+// single-configuration fused loop under the same policy, against
+// BenchmarkFullSystemSimulation; memo-hit-share is the fraction of L1I
+// accesses the per-set link table served without a tag probe.
+func BenchmarkWayMemo(b *testing.B) {
+	bench, err := BenchmarkByName("applu")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const (
+		instrs = 1_000_000
+		lanes  = 8
+	)
+	cfgs := make([]SimConfig, lanes)
+	for i := range cfgs {
+		pol := NewWayMemo(50_000)
+		if i > 0 {
+			pol.MemoTableEntries = 32 << i // 64, 128, … 4096-entry tables
+		}
+		cfgs[i] = NewSimConfig(NewConventional(64<<10, 4), instrs).WithL1IPolicy(pol)
+	}
+	rs := RunLanes(cfgs, bench) // prime the replay store
+	solo := cfgs[:1]
+	b.Run("sweep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			RunLanes(cfgs, bench)
+		}
+		b.ReportMetric(float64(instrs)*lanes*float64(b.N)/b.Elapsed().Seconds(), "lane-instrs/s")
+		b.ReportMetric(float64(rs[0].Mem.L1ITagProbesSkipped)/float64(rs[0].ICache.Accesses), "memo-hit-share")
+	})
+	b.Run("solo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			RunLanes(solo, bench)
+		}
+		b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+	})
+}
+
 // BenchmarkTraceGeneration measures the synthetic workload generator alone.
 func BenchmarkTraceGeneration(b *testing.B) {
 	prog, err := trace.ByName("gcc")

@@ -54,6 +54,24 @@ func TestErrorPathsReturnStructuredErrors(t *testing.T) {
 		{"sweep point limit", "/v1/sweep",
 			`{"missBounds":[1,2,3,4,5,6,7,8,9,10],"sizeBounds":[1024,2048,4096,8192,16384,32768,65536]}`,
 			http.StatusBadRequest, "exceeds server limit"},
+		{"unknown policy kind", "/v1/run",
+			`{"benchmark":"applu","policy":{"kind":"sleepy"}}`,
+			http.StatusBadRequest, "unknown policy kind"},
+		{"memo table not a power of two", "/v1/run",
+			`{"benchmark":"applu","policy":{"kind":"waymemo","memoTableEntries":3}}`,
+			http.StatusBadRequest, "power of two"},
+		{"memo table too large", "/v1/run",
+			`{"benchmark":"applu","policy":{"kind":"waymemo","memoTableEntries":2097152}}`,
+			http.StatusBadRequest, "exceed maximum"},
+		{"memo table negative", "/v1/run",
+			`{"benchmark":"applu","policy":{"kind":"waymemo","memoTableEntries":-8}}`,
+			http.StatusBadRequest, "negative"},
+		{"waymemo on L2 with non-power-of-two sets", "/v1/run",
+			`{"benchmark":"applu","l2":{"assoc":3,"policy":{"kind":"waymemo"}}}`,
+			http.StatusBadRequest, "sets"},
+		{"waymemo over enabled dri controller", "/v1/run",
+			`{"benchmark":"applu","cache":{"dri":{}},"policy":{"kind":"waymemo"}}`,
+			http.StatusBadRequest, "waymemo"},
 	}
 	for _, c := range cases {
 		out := postJSON(t, ts.URL+c.path, c.body, c.wantStatus)

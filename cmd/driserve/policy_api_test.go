@@ -13,10 +13,10 @@ func TestPoliciesEndpoint(t *testing.T) {
 	ts := testServer(t)
 	out := getJSON(t, ts.URL+"/v1/policies", http.StatusOK)
 	rows, ok := out["policies"].([]any)
-	if !ok || len(rows) != 5 {
-		t.Fatalf("policies = %v, want 5 entries", out["policies"])
+	if !ok || len(rows) != 6 {
+		t.Fatalf("policies = %v, want 6 entries", out["policies"])
 	}
-	want := map[string]bool{"conventional": false, "dri": false, "decay": false, "drowsy": false, "waygate": false}
+	want := map[string]bool{"conventional": false, "dri": false, "decay": false, "drowsy": false, "waygate": false, "waymemo": false}
 	for _, r := range rows {
 		m := r.(map[string]any)
 		kind, _ := m["kind"].(string)

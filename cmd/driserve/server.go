@@ -189,6 +189,7 @@ func (s *server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 			DrowsyLeakFraction:   c.DrowsyLeakFraction,
 			MissBound:            c.MissBound,
 			MinWays:              c.MinWays,
+			MemoTableEntries:     c.MemoTableEntries,
 		}
 	}
 	const iv = 100_000
@@ -220,8 +221,14 @@ func (s *server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 		{
 			Kind:        string(policy.WayGate),
 			Description: "whole ways powered off under the same miss-bound feedback loop (requires associativity >= 2)",
-			Paper:       "way-granular gating after Ishihara & Fallah's way memoization",
+			Paper:       "way-granular gated-Vdd, the way-grain alternative to the paper's set-granular resizing",
 			Defaults:    toReq(policy.DefaultWayGate(iv)),
+		},
+		{
+			Kind:        string(policy.WayMemo),
+			Description: "per-set MRU link registers: a memoized fetch skips the tag array and all non-selected data ways (a dynamic-energy policy; leakage is the baseline's)",
+			Paper:       "Ishihara & Fallah — way memoization (arXiv 0710.4703)",
+			Defaults:    toReq(policy.DefaultWayMemo(iv)),
 		},
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"policies": rows})
@@ -256,7 +263,7 @@ type driRequest struct {
 // policyRequest selects a leakage-control policy for one cache level. Zero
 // parameter fields take the policy's defaults at the chosen interval.
 type policyRequest struct {
-	// Kind is one of conventional, dri, decay, drowsy, waygate.
+	// Kind is one of conventional, dri, decay, drowsy, waygate, waymemo.
 	Kind string `json:"kind"`
 	// IntervalInstructions is the policy tick length (defaults per kind).
 	IntervalInstructions uint64 `json:"intervalInstructions"`
@@ -270,6 +277,9 @@ type policyRequest struct {
 	MissBound uint64 `json:"missBound"`
 	// MinWays is the waygate minimum powered-way count.
 	MinWays int `json:"minWays"`
+	// MemoTableEntries sizes the waymemo link-register table (a power of
+	// two; 0 = one entry per set).
+	MemoTableEntries int `json:"memoTableEntries"`
 }
 
 // cacheRequest describes the L1 i-cache; zero values take the paper's base
@@ -408,6 +418,8 @@ func buildPolicyConfig(p *policyRequest, senseInterval uint64) (policy.Config, e
 		cfg = policy.DefaultDrowsy(senseInterval)
 	case policy.WayGate:
 		cfg = policy.DefaultWayGate(senseInterval)
+	case policy.WayMemo:
+		cfg = policy.DefaultWayMemo(senseInterval)
 	default:
 		return policy.Config{}, fmt.Errorf("unknown policy kind %q (see GET /v1/policies)", p.Kind)
 	}
@@ -428,6 +440,9 @@ func buildPolicyConfig(p *policyRequest, senseInterval uint64) (policy.Config, e
 	}
 	if p.MinWays != 0 {
 		cfg.MinWays = p.MinWays
+	}
+	if p.MemoTableEntries != 0 {
+		cfg.MemoTableEntries = p.MemoTableEntries
 	}
 	if err := cfg.Check(); err != nil {
 		return policy.Config{}, err
@@ -536,6 +551,9 @@ type resultSummary struct {
 	L2PolicyWakeups    uint64 `json:"l2PolicyWakeups,omitempty"`
 	L2PolicyGatedLines uint64 `json:"l2PolicyGatedLines,omitempty"`
 	L2PolicyWritebacks uint64 `json:"l2PolicyWritebacks,omitempty"`
+	// Way-memoization activity (zero unless a waymemo policy ran).
+	TagProbesSkipped   uint64 `json:"tagProbesSkipped,omitempty"`
+	L2TagProbesSkipped uint64 `json:"l2TagProbesSkipped,omitempty"`
 }
 
 func summarize(res *sim.Result) resultSummary {
@@ -562,6 +580,8 @@ func summarize(res *sim.Result) resultSummary {
 		L2PolicyWakeups:     res.L2PolicyStats.Wakeups,
 		L2PolicyGatedLines:  res.L2PolicyStats.GatedLines,
 		L2PolicyWritebacks:  res.Mem.L2PolicyWritebacks,
+		TagProbesSkipped:    res.Mem.L1ITagProbesSkipped,
+		L2TagProbesSkipped:  res.Mem.L2TagProbesSkipped,
 	}
 }
 
@@ -615,6 +635,7 @@ type comparisonSummary struct {
 	DynamicShareOfED    float64      `json:"dynamicShareOfED"`
 	SlowdownPct         float64      `json:"slowdownPct"`
 	ExtraPolicyNJ       float64      `json:"extraPolicyNJ,omitempty"`
+	MemoSavedNJ         float64      `json:"memoSavedNJ,omitempty"`
 	AvgActiveFraction   float64      `json:"avgActiveFraction"`
 	L2AvgActiveFraction float64      `json:"l2AvgActiveFraction"`
 	ConvCycles          uint64       `json:"convCycles"`
@@ -641,6 +662,7 @@ func summarizeComparison(cmp sim.Comparison) comparisonSummary {
 		DynamicShareOfED:    cmp.DynamicShareOfED,
 		SlowdownPct:         cmp.SlowdownPct,
 		ExtraPolicyNJ:       cmp.ExtraPolicyDynamicNJ,
+		MemoSavedNJ:         cmp.MemoSavedDynamicNJ,
 		AvgActiveFraction:   cmp.DRI.AvgActiveFraction,
 		L2AvgActiveFraction: cmp.DRI.L2AvgActiveFraction,
 		ConvCycles:          cmp.Conv.CPU.Cycles,

@@ -51,11 +51,12 @@ func main() {
 
 		verbose = flag.Bool("v", false, "report wall time and a metrics registry snapshot after the run")
 
-		policyName = flag.String("policy", "", "leakage-control policy: dri|decay|drowsy|waygate|conventional (empty = follow -dri)")
+		policyName = flag.String("policy", "", "leakage-control policy: dri|decay|drowsy|waygate|waymemo|conventional (empty = follow -dri)")
 		decayIvals = flag.Int("decayintervals", 4, "decay: idle policy ticks before a line is gated off")
 		wakeup     = flag.Int("wakeup", 1, "drowsy: wakeup penalty in cycles")
 		drowsyLeak = flag.Float64("drowsyleak", 0.15, "drowsy: low-Vdd leakage fraction in [0,1]")
 		minWays    = flag.Int("minways", 1, "waygate: minimum powered ways")
+		memoTable  = flag.Int("memotable", 0, "waymemo: link-register table entries (power of two; 0 = one per set)")
 	)
 	flag.Parse()
 
@@ -127,8 +128,12 @@ func main() {
 		c.MissBound = *missBound
 		c.MinWays = *minWays
 		pol = &c
+	case "waymemo":
+		c := policy.DefaultWayMemo(*interval)
+		c.MemoTableEntries = *memoTable
+		pol = &c
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -policy %q (want dri|decay|drowsy|waygate|conventional)\n", *policyName)
+		fmt.Fprintf(os.Stderr, "unknown -policy %q (want dri|decay|drowsy|waygate|waymemo|conventional)\n", *policyName)
 		os.Exit(1)
 	}
 
@@ -210,6 +215,10 @@ func printRun(label string, r sim.Result) {
 	if ps := r.L1IPolicyStats; ps.Ticks > 0 {
 		fmt.Printf("  policy        %12d ticks  (gated lines %d, wakeups %d, sleep transitions %d)\n",
 			ps.Ticks, ps.GatedLines, ps.Wakeups, ps.DrowsyTransitions)
+	}
+	if n := r.Mem.L1ITagProbesSkipped; n > 0 {
+		fmt.Printf("  memo hits     %12d   (%.1f%% of accesses skipped the tag probe)\n",
+			n, 100*float64(n)/float64(r.ICache.Accesses))
 	}
 	if len(r.SizeResidency) > 0 {
 		sizes := make([]int, 0, len(r.SizeResidency))

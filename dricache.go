@@ -88,7 +88,8 @@ type (
 	// LevelBreakdown is one cache level's share of a TotalBreakdown.
 	LevelBreakdown = energy.LevelBreakdown
 	// PolicyConfig selects and parameterizes a leakage-control policy for
-	// one cache level: conventional, dri, decay, drowsy, or waygate.
+	// one cache level: conventional, dri, decay, drowsy, waygate, or
+	// waymemo.
 	PolicyConfig = policy.Config
 	// PolicyStats counts per-line policy activity (decay gatings, drowsy
 	// wakeups and sleep transitions).
@@ -245,9 +246,18 @@ func NewDrowsy(senseInterval uint64) PolicyConfig { return policy.DefaultDrowsy(
 
 // NewWayGate returns the standard way-gating policy at the given sense
 // interval: whole ways powered off under the same miss-bound feedback loop
-// as DRI (after Ishihara & Fallah's way memoization). It requires a
-// set-associative cache.
+// as DRI. It requires a set-associative cache.
 func NewWayGate(senseInterval uint64) PolicyConfig { return policy.DefaultWayGate(senseInterval) }
+
+// NewWayMemo returns the way-memoization policy (after Ishihara & Fallah):
+// per-set MRU link registers remember the way that served the last access,
+// and a memoized fetch skips the tag array and every non-selected data way.
+// Unlike the leakage policies it attacks dynamic energy — the cache stays
+// full-size and always on, results are cycle-identical to the conventional
+// baseline, and the §5.2 accounting credits the skipped tag probes. Set
+// MemoTableEntries on the returned config to model a smaller (aliasing)
+// link table.
+func NewWayMemo(senseInterval uint64) PolicyConfig { return policy.DefaultWayMemo(senseInterval) }
 
 // ComparePolicy runs bench under the given L1 i-cache and leakage-control
 // policy against the conventional baseline of the same geometry, returning

@@ -1,13 +1,14 @@
 // Policy shoot-out: the leakage-control design space as a grid. Every
 // benchmark runs under every policy — conventional, the paper's DRI, cache
-// decay (per-line gated-Vdd), drowsy (per-line low-Vdd), and way gating —
-// on a common 64K 4-way L1 i-cache, so the techniques are scored against
-// the same conventional baseline. This is the comparison Bai et al. frame:
-// state-preserving and state-destroying techniques win in different regions
-// of the power-performance space, and the grid shows which region each
-// benchmark occupies.
+// decay (per-line gated-Vdd), drowsy (per-line low-Vdd), way gating, and
+// way memoization (a dynamic-energy contender) — on a common 64K 4-way L1
+// i-cache, so the techniques are scored against the same conventional
+// baseline. This is the comparison Bai et al. frame: state-preserving and
+// state-destroying techniques win in different regions of the
+// power-performance space, and the grid shows which region each benchmark
+// occupies.
 //
-// The sweep runs through the shared simulation engine, so all five policies
+// The sweep runs through the shared simulation engine, so all six policies
 // of a benchmark reuse one conventional baseline simulation.
 package main
 

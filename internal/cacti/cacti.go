@@ -193,6 +193,29 @@ func (m *Model) DynamicReadEnergyNJ(o Org) float64 {
 	return e
 }
 
+// memoBitsSkipped returns the array bits a way-memoization hit does not
+// cycle: the whole tag array slice of the set (tags + resizing bits +
+// status of every way) and the data of every non-selected way. Only the one
+// memoized way's data is read.
+func (o Org) memoBitsSkipped() int {
+	return o.bitsPerAccess() - o.BlockBytes*8
+}
+
+// MemoSavedEnergyNJ returns the dynamic energy one way-memoization hit
+// saves relative to a full read access, in nanojoules: the skipped bits'
+// bitline swings, sense amps, routing, and wordline drive. The set decoder
+// still fires (the link register only replaces the tag match), so decode
+// energy is not credited. This is the per-hit saving the waymemo policy
+// feeds the §5.2 accounting as a TagProbesSkipped credit.
+func (m *Model) MemoSavedEnergyNJ(o Org) float64 {
+	bits := float64(o.memoBitsSkipped())
+	ebl := m.bitlineCapPF(m.subarrayRows(o)) * m.Tech.Vdd * m.Tech.Vdd * 1e-3
+	route := m.ERouteNJPerBit * math.Sqrt(float64(o.SizeBytes)/65536.0)
+	e := bits * (ebl + m.ESenseAmpNJ + route)
+	e += bits * m.EWordlineNJPerCol
+	return e
+}
+
 // LeakagePerCycleNJ returns the active-mode leakage energy per cycle of the
 // organization's data array in nanojoules. The paper computes conventional
 // i-cache leakage from the data array (0.91 nJ/cycle for 64K at low Vt);

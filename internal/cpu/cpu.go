@@ -440,22 +440,23 @@ func (p *Pipeline) runGeneric(stream isa.Stream) Result {
 }
 
 // runFused is runGeneric specialized to the whole-system simulation shape:
-// the stream is a replay cursor — consumed as decoded register values
-// instead of one interface call per instruction — and fetch/load/store/tick
-// all resolve to one concrete mem.Hierarchy, so the per-instruction calls
-// dispatch directly instead of through interfaces. It is the one-lane case
-// of the lane executor (lanes.go): the per-instruction stage advance lives
-// in lane.step, shared with RunLanes.
+// the stream is a replay cursor — consumed chunk-at-a-time into a flat
+// decoded buffer instead of one interface call per instruction — and
+// fetch/load/store/tick all resolve to one concrete mem.Hierarchy, so the
+// per-instruction calls dispatch directly instead of through interfaces. It
+// is the one-lane case of the lane executor (lanes.go): the stage advance
+// lives in lane.stepChunk, shared with RunLanes.
 func (p *Pipeline) runFused(cur *isa.ReplayCursor, h *mem.Hierarchy) Result {
 	g := predLane{bp: p.bp}
 	ln := newLane(p.cfg, h, p.tick != nil, &g)
+	var buf [laneChunk]isa.DecodedInstr
 	for {
-		pc, memAddr, target, cls, taken, s1, s2, dst, ok := cur.NextValues()
-		if !ok {
+		n := cur.NextChunk(buf[:])
+		if n == 0 {
 			break
 		}
-		g.predict(pc, target, cls, taken)
-		ln.step(pc, memAddr, target, cls, taken, s1, s2, dst)
+		g.predictChunk(buf[:n])
+		ln.stepChunk(buf[:n])
 	}
 	return ln.finish()
 }

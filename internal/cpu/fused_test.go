@@ -7,6 +7,7 @@ import (
 	"dricache/internal/dri"
 	"dricache/internal/isa"
 	"dricache/internal/mem"
+	"dricache/internal/policy"
 	"dricache/internal/trace"
 )
 
@@ -81,6 +82,65 @@ func TestFusedMatchesGeneric(t *testing.T) {
 				t.Errorf("dri.Stats diverged:\n  fused   %+v\n  generic %+v", fusedIC, genIC)
 			}
 		})
+	}
+}
+
+// TestFusedMemoMatchesGeneric pins the memoized fused loop — the lane fast
+// path that probes the way-memoization link table and skips FetchBlock, plus
+// the SeqPC same-block shortcut — to the generic interface loop, across all
+// benchmarks. Way memoization must be a pure accelerator: identical cycles,
+// identical cache statistics (including the memo-hit counts themselves),
+// identical energy inputs.
+func TestFusedMemoMatchesGeneric(t *testing.T) {
+	benches := trace.Benchmarks()
+	if testing.Short() {
+		benches = benches[:3]
+	}
+	const n = 150_000
+	l1i := dri.Config{SizeBytes: 64 << 10, BlockBytes: 32, Assoc: 4, AddrBits: 32}
+	memCfg := mem.DefaultConfig(l1i)
+	memCfg.L1IPolicy = policy.DefaultWayMemo(50_000)
+	memCfg.L2Policy = policy.DefaultWayMemo(50_000)
+	var totalMemoHits uint64
+	for _, b := range benches {
+		t.Run(b.Name, func(t *testing.T) {
+			rep, exact := isa.RecordStream(b.Stream(n), n)
+			if !exact {
+				t.Fatal("recording inexact")
+			}
+			run := func(stream isa.Stream) (Result, mem.Stats, dri.Stats) {
+				h := mem.New(memCfg)
+				p := New(DefaultConfig(), h, h, bpred.New(bpred.DefaultConfig()), h)
+				r := p.Run(stream)
+				h.Finish(r.Cycles)
+				return r, h.Stats(), h.ICache().Stats()
+			}
+
+			cur := rep.Cursor()
+			fusedRes, fusedMem, fusedIC := run(&cur)
+			totalMemoHits += fusedIC.MemoHits
+
+			var instrs []isa.Instr
+			var ins isa.Instr
+			c2 := rep.Cursor()
+			for c2.Next(&ins) {
+				instrs = append(instrs, ins)
+			}
+			genRes, genMem, genIC := run(&isa.SliceStream{Instrs: instrs})
+
+			if fusedRes != genRes {
+				t.Errorf("cpu.Result diverged:\n  fused   %+v\n  generic %+v", fusedRes, genRes)
+			}
+			if fusedMem != genMem {
+				t.Errorf("mem.Stats diverged:\n  fused   %+v\n  generic %+v", fusedMem, genMem)
+			}
+			if fusedIC != genIC {
+				t.Errorf("dri.Stats diverged:\n  fused   %+v\n  generic %+v", fusedIC, genIC)
+			}
+		})
+	}
+	if totalMemoHits == 0 {
+		t.Error("no benchmark recorded a memo hit on the fused path; the fast path is not engaged")
 	}
 }
 

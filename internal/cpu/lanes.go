@@ -10,41 +10,60 @@ package cpu
 
 import (
 	"dricache/internal/bpred"
+	"dricache/internal/dri"
 	"dricache/internal/isa"
 	"dricache/internal/mem"
 )
 
-// predLane carries the branch-prediction outcomes of the current
-// instruction for every lane sharing one predictor. Predictor state is
-// purely stream-driven (see bpred.Predictor.Config), so lanes with equal
-// predictor configurations — over the same stream — observe identical
-// prediction outcomes and statistics; the leader predictor is walked once
-// per instruction and its outcomes fan out to the whole group.
-type predLane struct {
-	bp *bpred.Predictor
-	// mispred is true when a conditional branch's direction was
-	// mispredicted; tgtMiss is true when the BTB/RAS target of the current
-	// control instruction was wrong (a fetch redirect at execute).
+// laneChunk is the number of decoded instructions a lane pass consumes at a
+// time: a chunk of isa.DecodedInstr (8 KiB) plus per-group prediction
+// outcomes stay L1-resident while each lane sweeps the whole chunk with its
+// own timing state hot in registers — instead of every lane's state
+// thrashing through the cache once per instruction.
+const laneChunk = 256
+
+// predOut carries one instruction's branch-prediction outcomes: mispred is
+// true when a conditional branch's direction was mispredicted; tgtMiss is
+// true when the BTB/RAS target of a control instruction was wrong (a fetch
+// redirect at execute).
+type predOut struct {
 	mispred bool
 	tgtMiss bool
 }
 
-// predict walks the predictor for one instruction, recording the outcomes.
-// The call pattern must match the solo timing model exactly: the BTB is
-// consulted (and trained) for a conditional branch only when the direction
-// was correctly predicted taken.
-func (g *predLane) predict(pc, target uint64, cls isa.Class, taken bool) {
-	switch cls {
-	case isa.Branch:
-		g.mispred = g.bp.PredictBranch(pc, taken)
-		g.tgtMiss = !g.mispred && taken && g.bp.PredictTarget(pc, target)
-	case isa.Jump:
-		g.tgtMiss = g.bp.PredictTarget(pc, target)
-	case isa.Call:
-		g.bp.Call(pc + isa.InstrBytes)
-		g.tgtMiss = g.bp.PredictTarget(pc, target)
-	case isa.Ret:
-		g.tgtMiss = g.bp.Return(target)
+// predLane holds one predictor group's per-chunk prediction outcomes for
+// every lane sharing one predictor. Predictor state is purely stream-driven
+// (see bpred.Predictor.Config), so lanes with equal predictor
+// configurations — over the same stream — observe identical prediction
+// outcomes and statistics; the leader predictor is walked once per chunk
+// and its outcomes fan out to the whole group.
+type predLane struct {
+	bp   *bpred.Predictor
+	outs [laneChunk]predOut
+}
+
+// predictChunk walks the predictor over one decoded chunk, recording each
+// instruction's outcomes. The call pattern must match the solo timing model
+// exactly: the BTB is consulted (and trained) for a conditional branch only
+// when the direction was correctly predicted taken.
+func (g *predLane) predictChunk(buf []isa.DecodedInstr) {
+	bp := g.bp
+	for k := range buf {
+		e := &buf[k]
+		var o predOut
+		switch e.Cls {
+		case isa.Branch:
+			o.mispred = bp.PredictBranch(e.PC, e.Taken)
+			o.tgtMiss = !o.mispred && e.Taken && bp.PredictTarget(e.PC, e.Target)
+		case isa.Jump:
+			o.tgtMiss = bp.PredictTarget(e.PC, e.Target)
+		case isa.Call:
+			bp.Call(e.PC + isa.InstrBytes)
+			o.tgtMiss = bp.PredictTarget(e.PC, e.Target)
+		case isa.Ret:
+			o.tgtMiss = bp.Return(e.Target)
+		}
+		g.outs[k] = o
 	}
 }
 
@@ -82,7 +101,19 @@ type lane struct {
 	cmt       uint64 // last commit time (monotone)
 	redirect  uint64 // earliest fetch time after a redirect
 	curBlock  uint64
+	blockMask uint64 // low BlockShift bits of a PC
 	tickAccum uint64
+
+	// memo is the lane's L1 i-cache when way memoization is enabled (nil
+	// otherwise). A fetch-block transition whose target the link registers
+	// already name skips mem.FetchBlock entirely — MemoHit is a pure probe —
+	// and the hits accumulate locally, flushed into the cache's statistics by
+	// finish. Way memoization never runs under a per-line policy or a live
+	// DRI controller (policy.Apply forbids both), so a memoized hit has no
+	// side effect beyond the two counters and zero latency: the bypass is
+	// bit-identical to calling FetchBlock.
+	memo     *dri.Cache
+	memoHits uint64
 
 	res Result
 }
@@ -91,6 +122,10 @@ type lane struct {
 // hierarchy, drawing the stage rings from the shared pool.
 func newLane(cfg Config, h *mem.Hierarchy, tick bool, pred *predLane) *lane {
 	rs := getRings(&cfg)
+	var memo *dri.Cache
+	if ic := h.ICache(); ic.WayMemoEnabled() {
+		memo = ic
+	}
 	return &lane{
 		cfg:          cfg,
 		h:            h,
@@ -105,150 +140,186 @@ func newLane(cfg Config, h *mem.Hierarchy, tick bool, pred *predLane) *lane {
 		singlePort:   cfg.MemPorts == 1,
 		tick:         tick,
 		curBlock:     ^uint64(0),
+		blockMask:    uint64(1)<<cfg.BlockShift - 1,
+		memo:         memo,
 	}
 }
 
-// step advances the lane by one decoded instruction. The lane's predLane
-// must already hold this instruction's prediction outcomes.
+// stepChunk advances the lane by one decoded chunk. The lane's predLane
+// must already hold the chunk's prediction outcomes (predictChunk over the
+// same buf). Per-instruction, e.Seq is the replay cursor's free
+// PC-sequentiality signal (isa.DecodedInstr.Seq); when the PC is
+// additionally not block-aligned, the instruction provably shares the
+// previous instruction's fetch block, so the block compare (and any i-cache
+// traffic) is skipped without consulting curBlock. A constant-false Seq is
+// always correct — it is purely an accelerator. The lane's timing state is
+// staged into locals for the whole chunk, so the per-instruction stage
+// advance runs register-to-register.
 //
 // NOTE: this is the timing model of runGeneric specialized to a concrete
 // mem.Hierarchy and pre-walked branch prediction; keep the stage logic in
 // lockstep with runGeneric line for line (the copies differ only in the
-// stream/memory/predictor call sites).
-func (ln *lane) step(pc, memAddr, target uint64, cls isa.Class, taken bool, s1, s2, dst uint8) {
+// stream/memory/predictor call sites and the block-transition fast paths,
+// which fire exactly when runGeneric's `block != curBlock` is false or the
+// memoized way serves the fetch at zero cost).
+func (ln *lane) stepChunk(buf []isa.DecodedInstr) {
 	cfg := &ln.cfg
+	var (
+		ft        = ln.ft
+		cmt       = ln.cmt
+		redirect  = ln.redirect
+		curBlock  = ln.curBlock
+		blockMask = ln.blockMask
+	)
+	for k := range buf {
+		e := &buf[k]
 
-	// ---- Fetch ----
-	f := ln.ft
-	if ln.redirect > f {
-		f = ln.redirect
-	}
-	if w := ln.fetchRing[ln.fetchIdx] + 1; w > f {
-		f = w
-	}
-	if block := pc >> cfg.BlockShift; block != ln.curBlock {
-		ln.curBlock = block
-		ln.res.FetchGroups++
-		if lat := ln.h.FetchBlock(block); lat > 0 {
-			f += lat
-			ln.res.ICacheStalls += lat
+		// ---- Fetch ----
+		f := ft
+		if redirect > f {
+			f = redirect
 		}
-	}
-	ln.fetchRing[ln.fetchIdx] = f
-	ln.ft = f
-
-	// ---- Dispatch (in-order, ROB occupancy) ----
-	d := f + cfg.FrontendDepth
-	if w := ln.robRing[ln.robIdx] + 1; w > d {
-		d = w
-	}
-	if w := ln.dispatchRing[ln.dispatchIdx] + 1; w > d {
-		d = w
-	}
-	isMem := cls.IsMem()
-	if isMem {
-		if w := ln.lsqRing[ln.lsqIdx] + 1; w > d {
-			d = w
+		if w := ln.fetchRing[ln.fetchIdx] + 1; w > f {
+			f = w
 		}
-	}
-	ln.dispatchRing[ln.dispatchIdx] = d
-
-	// ---- Issue (dataflow + memory ports) ----
-	is := d
-	if s1 != isa.NoReg {
-		if r := ln.regReady[s1]; r > is {
-			is = r
-		}
-	}
-	if s2 != isa.NoReg {
-		if r := ln.regReady[s2]; r > is {
-			is = r
-		}
-	}
-	if isMem {
-		best := 0
-		if !ln.singlePort {
-			for p := 1; p < cfg.MemPorts; p++ {
-				if ln.portAvail[p] < ln.portAvail[best] {
-					best = p
+		pc := e.PC
+		if !e.Seq || pc&blockMask == 0 {
+			if block := pc >> cfg.BlockShift; block != curBlock {
+				curBlock = block
+				ln.res.FetchGroups++
+				if ln.memo != nil && ln.memo.MemoHit(block) {
+					ln.memoHits++
+				} else if lat := ln.h.FetchBlock(block); lat > 0 {
+					f += lat
+					ln.res.ICacheStalls += lat
 				}
 			}
 		}
-		if ln.portAvail[best] > is {
-			is = ln.portAvail[best]
-		}
-		ln.portAvail[best] = is + 1
-	}
+		ln.fetchRing[ln.fetchIdx] = f
+		ft = f
 
-	// ---- Execute/complete ----
-	ct := is + cfg.Latency[cls]
-	switch cls {
-	case isa.Load:
-		ln.res.Loads++
-		ct += ln.h.Load(memAddr)
-	case isa.Store:
-		ln.res.Stores++
-		ln.h.Store(memAddr)
-	case isa.Branch:
-		ln.res.Branches++
-		if ln.pred.mispred {
-			ln.res.Mispredicts++
-			ln.redirect = ct + cfg.RedirectPenalty
-		} else if taken && ln.pred.tgtMiss {
-			// Correctly predicted taken with a BTB target miss: a fetch
-			// redirect at execute, like a mispredict.
-			ln.redirect = ct + cfg.RedirectPenalty
+		// ---- Dispatch (in-order, ROB occupancy) ----
+		d := f + cfg.FrontendDepth
+		if w := ln.robRing[ln.robIdx] + 1; w > d {
+			d = w
 		}
-	case isa.Jump, isa.Call, isa.Ret:
-		if ln.pred.tgtMiss {
-			ln.redirect = ct + cfg.RedirectPenalty
+		if w := ln.dispatchRing[ln.dispatchIdx] + 1; w > d {
+			d = w
 		}
-	}
-	if dst != isa.NoReg {
-		ln.regReady[dst] = ct
-	}
+		cls := e.Cls
+		isMem := cls.IsMem()
+		if isMem {
+			if w := ln.lsqRing[ln.lsqIdx] + 1; w > d {
+				d = w
+			}
+		}
+		ln.dispatchRing[ln.dispatchIdx] = d
 
-	// ---- Commit (in-order) ----
-	c := ct + 1
-	if c <= ln.cmt {
-		c = ln.cmt
-	}
-	if w := ln.commitRing[ln.commitIdx] + 1; w > c {
-		c = w
-	}
-	ln.commitRing[ln.commitIdx] = c
-	ln.robRing[ln.robIdx] = c
-	if isMem {
-		ln.lsqRing[ln.lsqIdx] = c
-		if ln.lsqIdx++; ln.lsqIdx == cfg.LSQSize {
-			ln.lsqIdx = 0
+		// ---- Issue (dataflow + memory ports) ----
+		is := d
+		if e.S1 != isa.NoReg {
+			if r := ln.regReady[e.S1]; r > is {
+				is = r
+			}
+		}
+		if e.S2 != isa.NoReg {
+			if r := ln.regReady[e.S2]; r > is {
+				is = r
+			}
+		}
+		if isMem {
+			best := 0
+			if !ln.singlePort {
+				for p := 1; p < cfg.MemPorts; p++ {
+					if ln.portAvail[p] < ln.portAvail[best] {
+						best = p
+					}
+				}
+			}
+			if ln.portAvail[best] > is {
+				is = ln.portAvail[best]
+			}
+			ln.portAvail[best] = is + 1
+		}
+
+		// ---- Execute/complete ----
+		ct := is + cfg.Latency[cls]
+		switch cls {
+		case isa.Load:
+			ln.res.Loads++
+			ct += ln.h.Load(e.MemAddr)
+		case isa.Store:
+			ln.res.Stores++
+			ln.h.Store(e.MemAddr)
+		case isa.Branch:
+			ln.res.Branches++
+			if o := ln.pred.outs[k]; o.mispred {
+				ln.res.Mispredicts++
+				redirect = ct + cfg.RedirectPenalty
+			} else if e.Taken && o.tgtMiss {
+				// Correctly predicted taken with a BTB target miss: a fetch
+				// redirect at execute, like a mispredict.
+				redirect = ct + cfg.RedirectPenalty
+			}
+		case isa.Jump, isa.Call, isa.Ret:
+			if ln.pred.outs[k].tgtMiss {
+				redirect = ct + cfg.RedirectPenalty
+			}
+		}
+		if e.Dst != isa.NoReg {
+			ln.regReady[e.Dst] = ct
+		}
+
+		// ---- Commit (in-order) ----
+		c := ct + 1
+		if c <= cmt {
+			c = cmt
+		}
+		if w := ln.commitRing[ln.commitIdx] + 1; w > c {
+			c = w
+		}
+		ln.commitRing[ln.commitIdx] = c
+		ln.robRing[ln.robIdx] = c
+		if isMem {
+			ln.lsqRing[ln.lsqIdx] = c
+			if ln.lsqIdx++; ln.lsqIdx == cfg.LSQSize {
+				ln.lsqIdx = 0
+			}
+		}
+		cmt = c
+
+		if ln.fetchIdx++; ln.fetchIdx == cfg.FetchWidth {
+			ln.fetchIdx = 0
+		}
+		if ln.dispatchIdx++; ln.dispatchIdx == cfg.DispatchWidth {
+			ln.dispatchIdx = 0
+		}
+		if ln.commitIdx++; ln.commitIdx == cfg.CommitWidth {
+			ln.commitIdx = 0
+		}
+		if ln.robIdx++; ln.robIdx == cfg.ROBSize {
+			ln.robIdx = 0
+		}
+		ln.tickAccum++
+		if ln.tick && ln.tickAccum >= cfg.TickBatch {
+			ln.h.Advance(ln.tickAccum, f)
+			ln.tickAccum = 0
 		}
 	}
-	ln.cmt = c
-
-	ln.count++
-	if ln.fetchIdx++; ln.fetchIdx == cfg.FetchWidth {
-		ln.fetchIdx = 0
-	}
-	if ln.dispatchIdx++; ln.dispatchIdx == cfg.DispatchWidth {
-		ln.dispatchIdx = 0
-	}
-	if ln.commitIdx++; ln.commitIdx == cfg.CommitWidth {
-		ln.commitIdx = 0
-	}
-	if ln.robIdx++; ln.robIdx == cfg.ROBSize {
-		ln.robIdx = 0
-	}
-	ln.tickAccum++
-	if ln.tick && ln.tickAccum >= cfg.TickBatch {
-		ln.h.Advance(ln.tickAccum, f)
-		ln.tickAccum = 0
-	}
+	ln.ft = ft
+	ln.cmt = cmt
+	ln.redirect = redirect
+	ln.curBlock = curBlock
+	ln.count += uint64(len(buf))
 }
 
 // finish flushes the trailing tick batch, assembles the Result, and returns
 // the lane's rings to the pool. The lane must not be stepped afterwards.
 func (ln *lane) finish() Result {
+	if ln.memo != nil && ln.memoHits > 0 {
+		ln.memo.AddMemoHits(ln.memoHits)
+		ln.memoHits = 0
+	}
 	if ln.tick && ln.tickAccum > 0 {
 		ln.h.Advance(ln.tickAccum, ln.ft)
 	}
@@ -301,16 +372,17 @@ func RunLanes(cur *isa.ReplayCursor, pipes []*Pipeline) []Result {
 		}
 		lanes[i] = laneFor(p, g)
 	}
+	var buf [laneChunk]isa.DecodedInstr
 	for {
-		pc, memAddr, target, cls, taken, s1, s2, dst, ok := cur.NextValues()
-		if !ok {
+		n := cur.NextChunk(buf[:])
+		if n == 0 {
 			break
 		}
 		for _, g := range groups {
-			g.predict(pc, target, cls, taken)
+			g.predictChunk(buf[:n])
 		}
 		for _, ln := range lanes {
-			ln.step(pc, memAddr, target, cls, taken, s1, s2, dst)
+			ln.stepChunk(buf[:n])
 		}
 	}
 	out := make([]Result, len(lanes))

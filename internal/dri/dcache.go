@@ -120,6 +120,19 @@ func (d *DataCache) AccessData(block uint64, write bool) bool {
 		d.dstats.Writes++
 	}
 	c := &d.Cache
+	if c.memoBlock != nil {
+		// Way-memoization fast path (see Cache.AccessBlock). The link
+		// names the serving frame, so a memoized write can still set its
+		// dirty bit without a tag probe.
+		if e := c.memoEntry(block); c.memoFrame[e] >= 0 && c.memoBlock[e] == block {
+			c.stats.Accesses++
+			c.stats.MemoHits++
+			if write {
+				d.dirty[c.memoFrame[e]] = true
+			}
+			return true
+		}
+	}
 	c.stats.Accesses++
 	c.stamp++
 	set := int(block & c.indexMask)
@@ -130,6 +143,11 @@ func (d *DataCache) AccessData(block uint64, write bool) bool {
 			c.lastUse[i] = c.stamp
 			if write {
 				d.dirty[i] = true
+			}
+			if c.memoBlock != nil {
+				e := c.memoEntry(block)
+				c.memoBlock[e] = block
+				c.memoFrame[e] = int32(i)
 			}
 			if c.onAccess != nil {
 				c.onAccess(i, true)
@@ -151,6 +169,11 @@ func (d *DataCache) AccessData(block uint64, write bool) bool {
 	c.valid[victim] = true
 	c.lastUse[victim] = c.stamp
 	d.dirty[victim] = write
+	if c.memoBlock != nil {
+		e := c.memoEntry(block)
+		c.memoBlock[e] = block
+		c.memoFrame[e] = int32(victim)
+	}
 	if c.onAccess != nil {
 		c.onAccess(victim, false)
 	}

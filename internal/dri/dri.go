@@ -222,6 +222,11 @@ type Stats struct {
 	BlockedDownsizes uint64
 	// SizeBoundHits counts downsize decisions suppressed by the size-bound.
 	SizeBoundHits uint64
+	// MemoHits counts accesses served by a way-memoization link register
+	// (EnableWayMemo): the tag probe and the non-selected data ways were
+	// skipped. Always zero when way memoization is off. Memo hits are
+	// included in Accesses but deliberately not in Misses or Fills.
+	MemoHits uint64
 }
 
 // MissRate returns Misses/Accesses, or 0 for an untouched cache.
@@ -251,6 +256,17 @@ type Cache struct {
 	valid   []bool
 	lastUse []uint64
 	stamp   uint64
+
+	// Way-memoization link registers (nil unless EnableWayMemo): entry
+	// e = (set index & memoMask) holds the set's most-recently-used block
+	// and the frame serving it (-1 = no live link). The residency
+	// invariant — a live link always names a resident block — holds
+	// because links are written only on hits and fills, and the only way
+	// a block leaves the cache is a fill or invalidation in its own set,
+	// which overwrites or clears that set's entry.
+	memoBlock []uint64
+	memoFrame []int32
+	memoMask  uint64
 
 	// Interval machinery.
 	intervalMisses uint64
@@ -367,6 +383,77 @@ func (c *Cache) Reset() {
 	c.stats = Stats{}
 	c.events = nil
 	c.policyGate = false
+	// A recycled hierarchy must not leak memoization state across runs:
+	// stale links into the fresh (invalid) frames would turn into
+	// phantom hits.
+	c.clearMemo()
+}
+
+// EnableWayMemo activates way memoization with a link table of the given
+// entry count (0 = one entry per set). The count must be a power of two —
+// internal/policy validates user input; this panics on an internal misuse.
+func (c *Cache) EnableWayMemo(entries int) {
+	if entries <= 0 {
+		entries = c.totalSets
+	}
+	if entries&(entries-1) != 0 {
+		panic(fmt.Sprintf("dri: memo table entries %d not a power of two", entries))
+	}
+	c.memoBlock = make([]uint64, entries)
+	c.memoFrame = make([]int32, entries)
+	c.memoMask = uint64(entries - 1)
+	c.clearMemo()
+}
+
+// WayMemoEnabled reports whether the link table is active.
+func (c *Cache) WayMemoEnabled() bool { return c.memoBlock != nil }
+
+func (c *Cache) clearMemo() {
+	for i := range c.memoFrame {
+		c.memoFrame[i] = -1
+	}
+}
+
+// memoEntry returns the link-table slot for a block: sets alias onto the
+// table with a mask, so a smaller table trades hits for hardware but can
+// never produce a false hit (all blocks of one set share one slot, and
+// fills overwrite it).
+func (c *Cache) memoEntry(block uint64) uint64 {
+	return (block & c.indexMask) & c.memoMask
+}
+
+// MemoHit reports whether block would be served by a live link register —
+// the exact predicate of AccessBlock's memoization fast path — without
+// touching statistics or replacement state. The fused simulator uses it to
+// bypass whole hierarchy lookups, flushing the skipped accounting later
+// through AddMemoHits.
+func (c *Cache) MemoHit(block uint64) bool {
+	if c.memoBlock == nil {
+		return false
+	}
+	e := c.memoEntry(block)
+	return c.memoFrame[e] >= 0 && c.memoBlock[e] == block
+}
+
+// AddMemoHits accounts n memoized accesses in one batch: Accesses and
+// MemoHits advance exactly as n AccessBlock memo hits would (no stamp,
+// replacement, or hook activity — a memo hit bypasses all of it).
+func (c *Cache) AddMemoHits(n uint64) {
+	c.stats.Accesses += n
+	c.stats.MemoHits += n
+}
+
+// unmemoFrame drops a link register that names the given frame; called
+// whenever a frame is invalidated outside the fill path (policy gating,
+// resize machinery), where no new link replaces it.
+func (c *Cache) unmemoFrame(frame int) {
+	if c.memoBlock == nil {
+		return
+	}
+	e := uint64(frame/c.assoc) & c.memoMask
+	if c.memoFrame[e] == int32(frame) {
+		c.memoFrame[e] = -1
+	}
 }
 
 // ActiveSets returns the number of currently powered sets.
@@ -397,6 +484,17 @@ func (c *Cache) Block(addr uint64) uint64 { return addr >> c.offBits }
 // reports whether it hit. Misses fill the block into the set selected by
 // the current size mask (timing is the caller's concern).
 func (c *Cache) AccessBlock(block uint64) bool {
+	if c.memoBlock != nil {
+		// Way-memoization fast path: a live link to this block serves the
+		// access from the memoized way alone — no tag probe, no
+		// replacement-state update, no policy hook (the skipped work is
+		// the point; MemoHit/AddMemoHits mirror this exactly).
+		if e := c.memoEntry(block); c.memoFrame[e] >= 0 && c.memoBlock[e] == block {
+			c.stats.Accesses++
+			c.stats.MemoHits++
+			return true
+		}
+	}
 	c.stats.Accesses++
 	c.stamp++
 	set := int(block & c.indexMask)
@@ -405,6 +503,11 @@ func (c *Cache) AccessBlock(block uint64) bool {
 		i := base + w
 		if c.valid[i] && c.tags[i] == block {
 			c.lastUse[i] = c.stamp
+			if c.memoBlock != nil {
+				e := c.memoEntry(block)
+				c.memoBlock[e] = block
+				c.memoFrame[e] = int32(i)
+			}
 			if c.onAccess != nil {
 				c.onAccess(i, true)
 			}
@@ -446,6 +549,14 @@ func (c *Cache) fill(base int, block uint64) int {
 	c.tags[victim] = block
 	c.valid[victim] = true
 	c.lastUse[victim] = c.stamp
+	if c.memoBlock != nil {
+		// The fill both installs the set's new MRU link and — because all
+		// blocks of a set share one slot — severs any link to the evicted
+		// victim, preserving the residency invariant.
+		e := c.memoEntry(block)
+		c.memoBlock[e] = block
+		c.memoFrame[e] = int32(victim)
+	}
 	return victim
 }
 
@@ -471,6 +582,7 @@ func (c *Cache) GateFrame(frame int) {
 	}
 	c.policyGate = false
 	c.valid[frame] = false
+	c.unmemoFrame(frame)
 }
 
 // Probe reports whether block is present at the current size without
@@ -641,6 +753,12 @@ func (c *Cache) resize(dir ResizeDirection, misses, nowCycles uint64) {
 			c.onInvalidate(frame, true)
 		}
 		c.valid[frame] = false
+	}
+	if c.memoBlock != nil {
+		// Resizing changes the index mask, so per-frame link surgery is
+		// unsound; drop every link. (The waymemo policy forbids resizing —
+		// this guards direct library use of both features.)
+		c.clearMemo()
 	}
 	switch {
 	case p.FlushOnResize:

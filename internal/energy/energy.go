@@ -28,6 +28,10 @@ type Model struct {
 	BitlineNJ float64
 	// L2AccessNJ is the dynamic energy per L2 access (the paper's 3.6 nJ).
 	L2AccessNJ float64
+	// MemoSavedNJ is the dynamic energy one way-memoization hit saves on
+	// the L1: the skipped tag probe plus the non-selected data ways, from
+	// the CACTI-lite tag/bitline split (cacti.MemoSavedEnergyNJ).
+	MemoSavedNJ float64
 }
 
 // NewModel derives the constants for the given L1 i-cache and L2
@@ -37,6 +41,7 @@ func NewModel(m *cacti.Model, l1 cacti.Org, l2 cacti.Org) Model {
 		ConvLeakPerCycleNJ: m.LeakagePerCycleNJ(l1, false),
 		BitlineNJ:          m.BitlineEnergyNJ(l1),
 		L2AccessNJ:         m.DynamicReadEnergyNJ(l2),
+		MemoSavedNJ:        m.MemoSavedEnergyNJ(l1),
 	}
 }
 
@@ -78,6 +83,10 @@ type Inputs struct {
 	// activity (drowsy wakeups, sleep-transistor actuations), priced by a
 	// PolicyModel; zero for the paper's DRI runs.
 	ExtraPolicyNJ float64
+	// TagProbesSkipped is the number of L1 accesses served by a
+	// way-memoization link register (the waymemo policy); each is credited
+	// MemoSavedNJ of dynamic energy. Zero for every other policy.
+	TagProbesSkipped uint64
 }
 
 // Breakdown is the full §5.2 accounting for one run.
@@ -89,9 +98,15 @@ type Breakdown struct {
 	// ExtraPolicyDynamicNJ is the per-line policy transition energy
 	// (wakeups and gatings); zero for DRI and conventional runs.
 	ExtraPolicyDynamicNJ float64
-	EffectiveNJ          float64
-	ConvLeakageNJ        float64
-	SavingsNJ            float64
+	// MemoSavedDynamicNJ is the dynamic energy credited for skipped tag
+	// probes under way memoization (TagProbesSkipped × MemoSavedNJ). It is
+	// subtracted from EffectiveNJ: way memoization attacks the dynamic
+	// side, so its win appears as a credit against the leakage-dominated
+	// account rather than a scaled leakage term.
+	MemoSavedDynamicNJ float64
+	EffectiveNJ        float64
+	ConvLeakageNJ      float64
+	SavingsNJ          float64
 
 	// RelativeEnergy is effective / conventional leakage energy.
 	RelativeEnergy float64
@@ -117,7 +132,8 @@ func (m Model) Evaluate(in Inputs) Breakdown {
 	}
 	b.ExtraL2DynamicNJ = m.L2AccessNJ * float64(extra)
 	b.ExtraPolicyDynamicNJ = in.ExtraPolicyNJ
-	b.EffectiveNJ = b.L1LeakageNJ + b.ExtraL1DynamicNJ + b.ExtraL2DynamicNJ + b.ExtraPolicyDynamicNJ
+	b.MemoSavedDynamicNJ = float64(in.TagProbesSkipped) * m.MemoSavedNJ
+	b.EffectiveNJ = b.L1LeakageNJ + b.ExtraL1DynamicNJ + b.ExtraL2DynamicNJ + b.ExtraPolicyDynamicNJ - b.MemoSavedDynamicNJ
 	b.ConvLeakageNJ = m.ConvLeakPerCycleNJ * float64(in.ConvCycles)
 	b.SavingsNJ = b.ConvLeakageNJ - b.EffectiveNJ
 
@@ -173,6 +189,11 @@ type TotalModel struct {
 	// an order of magnitude above the L2 access energy, the usual
 	// inter-level ratio in CACTI-class models.
 	MemAccessNJ float64
+	// L1IMemoSavedNJ and L2MemoSavedNJ are the dynamic energies one
+	// way-memoization hit saves at each level (skipped tag probe plus
+	// non-selected data ways, from the CACTI-lite split).
+	L1IMemoSavedNJ float64
+	L2MemoSavedNJ  float64
 }
 
 // NewTotalModel derives the hierarchy constants from the CACTI-lite model.
@@ -186,6 +207,8 @@ func NewTotalModel(m *cacti.Model, l1i, l1d, l2 cacti.Org) TotalModel {
 		L2BitlineNJ:       m.BitlineEnergyNJ(l2),
 		L2AccessNJ:        l2Access,
 		MemAccessNJ:       10 * l2Access,
+		L1IMemoSavedNJ:    m.MemoSavedEnergyNJ(l1i),
+		L2MemoSavedNJ:     m.MemoSavedEnergyNJ(l2),
 	}
 }
 
@@ -227,6 +250,11 @@ type TotalInputs struct {
 	// actuations), priced by a PolicyModel; zero for DRI levels.
 	L1IExtraPolicyNJ float64
 	L2ExtraPolicyNJ  float64
+
+	// L1ITagProbesSkipped and L2TagProbesSkipped count each level's
+	// way-memoization hits; each is credited that level's MemoSavedNJ.
+	L1ITagProbesSkipped uint64
+	L2TagProbesSkipped  uint64
 }
 
 // LevelBreakdown is one cache level's share of the total account (nJ).
@@ -240,12 +268,18 @@ type LevelBreakdown struct {
 	// resizing tag bitlines plus the extra next-level accesses its
 	// downsizing caused.
 	ExtraDynamicNJ float64
+	// MemoSavedDynamicNJ is the dynamic energy credited to this level for
+	// way-memoization hits (skipped tag probes); zero unless the level
+	// runs the waymemo policy.
+	MemoSavedDynamicNJ float64
 	// ActiveFraction is the level's cycle-weighted mean active fraction.
 	ActiveFraction float64
 }
 
 // EffectiveNJ is the level's total effective energy.
-func (l LevelBreakdown) EffectiveNJ() float64 { return l.LeakageNJ + l.ExtraDynamicNJ }
+func (l LevelBreakdown) EffectiveNJ() float64 {
+	return l.LeakageNJ + l.ExtraDynamicNJ - l.MemoSavedDynamicNJ
+}
 
 // TotalBreakdown is the whole-hierarchy account for one run pair.
 type TotalBreakdown struct {
@@ -283,6 +317,7 @@ func (m TotalModel) Evaluate(in TotalInputs) TotalBreakdown {
 		ActiveFraction: in.L1IAvgActiveFraction,
 		ExtraDynamicNJ: float64(in.L1IResizingTagBits)*m.L1IBitlineNJ*float64(in.L1IAccesses) +
 			m.L2AccessNJ*clamp(in.ExtraL2Accesses) + in.L1IExtraPolicyNJ,
+		MemoSavedDynamicNJ: float64(in.L1ITagProbesSkipped) * m.L1IMemoSavedNJ,
 	}
 	b.L1D = LevelBreakdown{
 		LeakageNJ:      m.L1DLeakPerCycleNJ * cycles,
@@ -295,6 +330,7 @@ func (m TotalModel) Evaluate(in TotalInputs) TotalBreakdown {
 		ActiveFraction: in.L2AvgActiveFraction,
 		ExtraDynamicNJ: float64(in.L2ResizingTagBits)*m.L2BitlineNJ*float64(in.L2Accesses) +
 			m.MemAccessNJ*clamp(in.ExtraMemAccesses) + in.L2ExtraPolicyNJ,
+		MemoSavedDynamicNJ: float64(in.L2TagProbesSkipped) * m.L2MemoSavedNJ,
 	}
 
 	b.EffectiveNJ = b.L1I.EffectiveNJ() + b.L1D.EffectiveNJ() + b.L2.EffectiveNJ()

@@ -163,22 +163,21 @@ func (e *Engine) RunManyCtx(ctx context.Context, reqs []Request) []sim.Result {
 		claims []*laneClaim
 	}
 	var batches []batch
-	totalClaims := 0
 	for _, gk := range order {
 		g := groups[gk]
-		totalClaims += len(g.claims)
 		lanes := lanesFor(len(g.claims), len(groups), workers, limit)
 		for start := 0; start < len(g.claims); start += lanes {
 			end := min(start+lanes, len(g.claims))
 			batches = append(batches, batch{prog: g.prog, claims: g.claims[start:end]})
 		}
 	}
+	// Groups are a batch-forming fact and counted here; batch and lane
+	// execution (and the decode passes they save) are counted when each
+	// batch completes, because only the executor knows whether a batch
+	// really shared one decode pass or fell back to sequential runs.
 	if len(batches) > 0 {
 		e.mu.Lock()
 		e.laneGroups += uint64(len(groups))
-		e.laneBatches += uint64(len(batches))
-		e.laneRuns += uint64(totalClaims)
-		e.decodeSaved += uint64(totalClaims - len(batches))
 		e.mu.Unlock()
 	}
 	grouping.SetAttr("groups", strconv.Itoa(len(groups)))
@@ -228,8 +227,13 @@ func (e *Engine) RunManyCtx(ctx context.Context, reqs []Request) []sim.Result {
 			for j, c := range b.claims {
 				cfgs[j] = c.cfg
 			}
-			rs := runLanes(bctx, cfgs, b.prog)
+			rs, shared := runLanes(bctx, cfgs, b.prog)
 			e.mu.Lock()
+			e.laneBatches++
+			e.laneRuns += uint64(len(b.claims))
+			if shared {
+				e.decodeSaved += uint64(len(b.claims) - 1)
+			}
 			for j, c := range b.claims {
 				res := rs[j]
 				c.ent.res = &res

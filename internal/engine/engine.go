@@ -159,9 +159,12 @@ type Engine struct {
 
 	// runFn executes one simulation and runLanesFn one lane batch; swapped
 	// together by tests (setRunFn) to count and stall executions. Default
-	// to sim.RunCtx / sim.RunLanesCtx.
+	// to sim.RunCtx / sim.RunLanesNotedCtx. runLanesFn's second result
+	// reports whether the batch actually shared one decode pass — false on
+	// the trace-store-bypass sequential fallback, where no decode saving
+	// may be credited.
 	runFn      func(context.Context, sim.Config, trace.Program) sim.Result
-	runLanesFn func(context.Context, []sim.Config, trace.Program) []sim.Result
+	runLanesFn func(context.Context, []sim.Config, trace.Program) ([]sim.Result, bool)
 }
 
 // New returns an engine whose worker pool is bounded at workers concurrent
@@ -171,7 +174,7 @@ func New(workers int) *Engine {
 		limit:      workers,
 		entries:    make(map[Key]*entry),
 		runFn:      sim.RunCtx,
-		runLanesFn: sim.RunLanesCtx,
+		runLanesFn: sim.RunLanesNotedCtx,
 	}
 	e.slot = sync.NewCond(&e.mu)
 	return e
@@ -184,12 +187,14 @@ func (e *Engine) setRunFn(f func(sim.Config, trace.Program) sim.Result) {
 	e.runFn = func(_ context.Context, cfg sim.Config, p trace.Program) sim.Result {
 		return f(cfg, p)
 	}
-	e.runLanesFn = func(_ context.Context, cfgs []sim.Config, p trace.Program) []sim.Result {
+	e.runLanesFn = func(_ context.Context, cfgs []sim.Config, p trace.Program) ([]sim.Result, bool) {
 		out := make([]sim.Result, len(cfgs))
 		for i, c := range cfgs {
 			out[i] = f(c, p)
 		}
-		return out
+		// The stub stands in for the lock-step executor, so a multi-lane
+		// batch counts as a shared decode pass.
+		return out, len(cfgs) > 1
 	}
 }
 

@@ -80,7 +80,7 @@ func TestSetLanesCapsBatchSize(t *testing.T) {
 		mu    sync.Mutex
 		sizes []int
 	)
-	e.runLanesFn = func(_ context.Context, cfgs []sim.Config, p trace.Program) []sim.Result {
+	e.runLanesFn = func(_ context.Context, cfgs []sim.Config, p trace.Program) ([]sim.Result, bool) {
 		mu.Lock()
 		sizes = append(sizes, len(cfgs))
 		mu.Unlock()
@@ -88,7 +88,7 @@ func TestSetLanesCapsBatchSize(t *testing.T) {
 		for i := range out {
 			out[i] = sim.Result{Benchmark: p.Name}
 		}
-		return out
+		return out, len(cfgs) > 1
 	}
 	e.SetLanes(2)
 	if got := e.Lanes(); got != 2 {
@@ -181,6 +181,56 @@ func TestRunManyPanicPoisonsBatch(t *testing.T) {
 	}
 	if s = e.Stats(); s.Entries != 3 {
 		t.Fatalf("entries = %d after retry, want 3", s.Entries)
+	}
+}
+
+// TestRunManyStoreBypassNoDecodeSaved is the regression test for the
+// trace-store-bypass accounting bug: with the store's budget at zero,
+// sim.RunLanes falls back to sequential execution, so the engine must not
+// credit decode passes saved — while the batches and lanes it scheduled
+// (and per-request hit/dedup accounting, including an in-call duplicate
+// joining mid-batch) stay exactly as on the lane path.
+func TestRunManyStoreBypassNoDecodeSaved(t *testing.T) {
+	st := trace.SharedStore()
+	st.SetBudget(0)
+	defer st.SetBudget(trace.DefaultStoreBudget)
+
+	p := prog(t, "applu")
+	e := New(2)
+	reqs := []Request{
+		{Config: cfgAt(0), Prog: p},
+		{Config: cfgAt(1), Prog: p},
+		{Config: cfgAt(2), Prog: p},
+		{Config: cfgAt(1), Prog: p}, // in-call duplicate joins mid-batch
+	}
+	out := e.RunMany(reqs)
+	if !reflect.DeepEqual(out[1], out[3]) {
+		t.Error("in-call duplicate diverges from its claim's result")
+	}
+	for i, c := range []sim.Config{cfgAt(0), cfgAt(1), cfgAt(2), cfgAt(1)} {
+		if want := sim.Run(c, p); !reflect.DeepEqual(out[i], want) {
+			t.Errorf("bypass out[%d] diverges from a solo run", i)
+		}
+	}
+
+	s := e.Stats()
+	if s.Lanes.DecodeSaved != 0 {
+		t.Errorf("DecodeSaved = %d on the store-bypass fallback, want 0", s.Lanes.DecodeSaved)
+	}
+	if s.Lanes.Lanes != 3 {
+		t.Errorf("lanes = %d, want 3 (duplicate must not be double-counted)", s.Lanes.Lanes)
+	}
+	if s.Misses != 3 || s.Deduped != 1 {
+		t.Errorf("misses/deduped = %d/%d, want 3/1", s.Misses, s.Deduped)
+	}
+
+	// Restore the store and rerun fresh requests: now the batch really
+	// shares one decode pass and the credit returns.
+	st.SetBudget(trace.DefaultStoreBudget)
+	e2 := New(1)
+	e2.RunMany(reqs[:3])
+	if s := e2.Stats(); s.Lanes.DecodeSaved != 2 {
+		t.Errorf("DecodeSaved = %d on the lane path, want 2", s.Lanes.DecodeSaved)
 	}
 }
 

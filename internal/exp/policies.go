@@ -28,9 +28,9 @@ type PolicyChoice struct {
 	Policy policy.Config
 }
 
-// StandardPolicyChoices returns the five contenders at the runner's scale:
-// the conventional cache, the paper's DRI with its base parameters, and the
-// default decay, drowsy, and way-gating policies.
+// StandardPolicyChoices returns the six contenders at the runner's scale:
+// the conventional cache, the paper's DRI with its base parameters, the
+// default decay, drowsy, and way-gating policies, and way memoization.
 func (r *Runner) StandardPolicyChoices() []PolicyChoice {
 	iv := r.Scale.SenseInterval
 	return []PolicyChoice{
@@ -39,6 +39,7 @@ func (r *Runner) StandardPolicyChoices() []PolicyChoice {
 		{Name: "decay", Policy: policy.DefaultDecay(iv)},
 		{Name: "drowsy", Policy: policy.DefaultDrowsy(iv)},
 		{Name: "waygate", Policy: policy.DefaultWayGate(iv)},
+		{Name: "waymemo", Policy: policy.DefaultWayMemo(iv)},
 	}
 }
 

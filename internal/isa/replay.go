@@ -73,6 +73,7 @@ type ReplayCursor struct {
 	auxPos  int
 	prevPC  uint64
 	prevMem uint64
+	seq     bool
 }
 
 // Reset rewinds the cursor to the first instruction.
@@ -83,6 +84,15 @@ func (c *ReplayCursor) Len() uint64 { return c.r.n }
 
 // Replay returns the underlying recorded stream.
 func (c *ReplayCursor) Replay() *Replay { return c.r }
+
+// SeqPC reports whether the instruction most recently decoded by
+// NextValues (or Next) was PC-sequential: its PC is the previous
+// instruction's PC plus InstrBytes. The delta encoding carries this fact in
+// the meta byte, so the signal is free — the fused simulator combines it
+// with the PC's offset within a fetch block to detect same-block runs
+// without recomputing and comparing block addresses. False before the first
+// instruction of the stream.
+func (c *ReplayCursor) SeqPC() bool { return c.seq }
 
 // Next implements Stream.
 func (c *ReplayCursor) Next(ins *Instr) bool {
@@ -114,7 +124,8 @@ func (c *ReplayCursor) NextValues() (pc, memAddr, target uint64, cls Class, take
 	}
 	m := c.r.meta[c.i]
 	pc = c.prevPC + InstrBytes
-	if m&metaSeqPC == 0 {
+	c.seq = m&metaSeqPC != 0
+	if !c.seq {
 		d, n := uvarint(c.r.pcs, c.pcPos)
 		c.pcPos = n
 		pc += unzigzag(d)
@@ -143,6 +154,112 @@ func (c *ReplayCursor) NextValues() (pc, memAddr, target uint64, cls Class, take
 	c.prevPC = pc
 	c.i++
 	return pc, memAddr, target, cls, m&metaTaken != 0, s1, s2, dst, true
+}
+
+// DecodedInstr is one replay-decoded instruction in flat struct-of-fields
+// form: the NextValues tuple plus the SeqPC flag, laid out so a chunk of
+// them is a contiguous, branch-free read for the simulator's hot loop.
+type DecodedInstr struct {
+	PC      uint64
+	MemAddr uint64
+	Target  uint64
+	Cls     Class
+	Taken   bool
+	// Seq is the SeqPC signal for this instruction (PC == previous PC +
+	// InstrBytes), carried per-instruction so chunked consumers keep the
+	// same-block fast path NextValues callers get from SeqPC.
+	Seq bool
+	S1  uint8
+	S2  uint8
+	Dst uint8
+}
+
+// NextChunk decodes up to len(buf) instructions into buf and returns the
+// number decoded (0 at end of stream). It advances the cursor exactly as
+// len(buf) NextValues calls would — SeqPC afterwards reports the last
+// decoded instruction — but amortizes the decoder state across the chunk:
+// cursor fields live in registers for the whole run and the common one-byte
+// varint deltas skip the loop in uvarint.
+func (c *ReplayCursor) NextChunk(buf []DecodedInstr) int {
+	r := c.r
+	if c.i >= r.n {
+		return 0
+	}
+	var (
+		i       = c.i
+		pcPos   = c.pcPos
+		regPos  = c.regPos
+		auxPos  = c.auxPos
+		prevPC  = c.prevPC
+		prevMem = c.prevMem
+		seq     = c.seq
+		meta    = r.meta
+		pcs     = r.pcs
+		regs    = r.regs
+		aux     = r.aux
+	)
+	n := 0
+	for n < len(buf) && i < r.n {
+		m := meta[i]
+		pc := prevPC + InstrBytes
+		seq = m&metaSeqPC != 0
+		if !seq {
+			var d uint64
+			if x := pcs[pcPos]; x < 0x80 {
+				d = uint64(x)
+				pcPos++
+			} else {
+				d, pcPos = uvarint(pcs, pcPos)
+			}
+			pc += unzigzag(d)
+		}
+		cls := Class(m & metaClassMask)
+		e := &buf[n]
+		e.PC = pc
+		e.Cls = cls
+		e.Taken = m&metaTaken != 0
+		e.Seq = seq
+		if m&metaRegs != 0 {
+			e.S1 = regs[regPos]
+			e.S2 = regs[regPos+1]
+			e.Dst = regs[regPos+2]
+			regPos += 3
+		} else {
+			e.S1, e.S2, e.Dst = NoReg, NoReg, NoReg
+		}
+		e.MemAddr, e.Target = 0, 0
+		if cls.IsMem() {
+			var d uint64
+			if x := aux[auxPos]; x < 0x80 {
+				d = uint64(x)
+				auxPos++
+			} else {
+				d, auxPos = uvarint(aux, auxPos)
+			}
+			prevMem += unzigzag(d)
+			e.MemAddr = prevMem
+		} else if cls.IsControl() {
+			var d uint64
+			if x := aux[auxPos]; x < 0x80 {
+				d = uint64(x)
+				auxPos++
+			} else {
+				d, auxPos = uvarint(aux, auxPos)
+			}
+			e.Target = pc + unzigzag(d)
+		}
+		prevPC = pc
+		i++
+		n++
+	}
+	c.i = i
+	c.pcPos = pcPos
+	c.regPos = regPos
+	c.auxPos = auxPos
+	c.prevPC = prevPC
+	c.prevMem = prevMem
+	c.seq = seq
+	return n
 }
 
 // Recorder builds a Replay by appending instructions in program order.

@@ -119,6 +119,13 @@ type Stats struct {
 	// L2PolicyWritebacks counts dirty blocks flushed to memory because a
 	// per-line leakage policy (cache decay) gated their L2 frame.
 	L2PolicyWritebacks uint64
+	// L1ITagProbesSkipped counts L1 i-cache accesses served by a
+	// way-memoization link register (the waymemo policy): the tag probe
+	// and the non-selected data ways were skipped, which the energy model
+	// credits from the CACTI-lite tag/bitline split.
+	L1ITagProbesSkipped uint64
+	// L2TagProbesSkipped likewise for the unified L2.
+	L2TagProbesSkipped uint64
 }
 
 // L2Accesses returns total L2 accesses.
@@ -178,6 +185,12 @@ func New(cfg Config) *Hierarchy {
 		h.l2Pol = policy.NewEngine(cfg.L2Policy, &h.l2.Cache)
 		h.l2.SetAccessHook(h.l2Pol.OnAccess)
 	}
+	if cfg.L1IPolicy.Kind == policy.WayMemo {
+		h.l1i.EnableWayMemo(cfg.L1IPolicy.MemoTableEntries)
+	}
+	if cfg.L2Policy.Kind == policy.WayMemo {
+		h.l2.EnableWayMemo(cfg.L2Policy.MemoTableEntries)
+	}
 	h.l2.SetWritebackHandler(func(block uint64, cause dri.WritebackCause) {
 		switch cause {
 		case dri.WBResize:
@@ -217,8 +230,16 @@ func (h *Hierarchy) DCache() *cache.Cache { return h.l1d }
 // are zero).
 func (h *Hierarchy) L2() *dri.DataCache { return h.l2 }
 
-// Stats returns a copy of the traffic counters.
-func (h *Hierarchy) Stats() Stats { return h.stats }
+// Stats returns a copy of the traffic counters. The tag-probes-skipped
+// fields are views of the per-level memoization counters, folded in here so
+// every consumer of hierarchy stats sees them without reaching into the
+// caches.
+func (h *Hierarchy) Stats() Stats {
+	s := h.stats
+	s.L1ITagProbesSkipped = h.l1i.Stats().MemoHits
+	s.L2TagProbesSkipped = h.l2.Stats().MemoHits
+	return s
+}
 
 // Reset restores the hierarchy to its just-constructed state while keeping
 // every allocated cache array and policy line map — a hierarchy for the

@@ -14,14 +14,17 @@ import (
 // must Apply cleanly onto a conventional cache and, for per-line kinds,
 // build a runnable engine.
 func FuzzConfigCheck(f *testing.F) {
-	f.Add("decay", uint64(10_000), 4, 1, 0.15, uint64(100), 1)
-	f.Add("drowsy", uint64(4_000), 0, 1, 0.15, uint64(0), 0)
-	f.Add("waygate", uint64(100_000), 0, 0, 0.0, uint64(1000), 1)
-	f.Add("decay", uint64(0), -3, -7, 1.5, uint64(0), -1)
-	f.Add("", uint64(0), 0, 0, 0.0, uint64(0), 0)
-	f.Add("conventional", uint64(1), 1, 1, math.NaN(), uint64(1), 1)
+	f.Add("decay", uint64(10_000), 4, 1, 0.15, uint64(100), 1, 0)
+	f.Add("drowsy", uint64(4_000), 0, 1, 0.15, uint64(0), 0, 0)
+	f.Add("waygate", uint64(100_000), 0, 0, 0.0, uint64(1000), 1, 0)
+	f.Add("decay", uint64(0), -3, -7, 1.5, uint64(0), -1, 0)
+	f.Add("", uint64(0), 0, 0, 0.0, uint64(0), 0, 0)
+	f.Add("conventional", uint64(1), 1, 1, math.NaN(), uint64(1), 1, 0)
+	f.Add("waymemo", uint64(50_000), 0, 0, 0.0, uint64(0), 0, 256)
+	f.Add("waymemo", uint64(50_000), 0, 0, 0.0, uint64(0), 0, 3)
+	f.Add("waymemo", uint64(50_000), 0, 0, 0.0, uint64(0), 0, -64)
 
-	f.Fuzz(func(t *testing.T, kind string, interval uint64, decayIvals, wakeup int, frac float64, missBound uint64, minWays int) {
+	f.Fuzz(func(t *testing.T, kind string, interval uint64, decayIvals, wakeup int, frac float64, missBound uint64, minWays, memoTable int) {
 		cfg := Config{
 			Kind:                 Kind(kind),
 			IntervalInstructions: interval,
@@ -30,6 +33,7 @@ func FuzzConfigCheck(f *testing.F) {
 			DrowsyLeakFraction:   frac,
 			MissBound:            missBound,
 			MinWays:              minWays,
+			MemoTableEntries:     memoTable,
 		}
 		err := cfg.Check()
 		switch cfg.Kind {
@@ -44,6 +48,15 @@ func FuzzConfigCheck(f *testing.F) {
 		case WayGate:
 			if err == nil && (interval == 0 || minWays < 1) {
 				t.Fatalf("accepted invalid waygate config %+v", cfg)
+			}
+		case WayMemo:
+			bad := memoTable < 0 || memoTable > MaxMemoTableEntries ||
+				(memoTable != 0 && memoTable&(memoTable-1) != 0)
+			if err == nil && bad {
+				t.Fatalf("accepted invalid waymemo config %+v", cfg)
+			}
+			if err != nil && !bad {
+				t.Fatalf("rejected valid waymemo config %+v: %v", cfg, err)
 			}
 		case Default, Conventional, DRI:
 			if err != nil {

@@ -5,7 +5,7 @@
 // power-performance space, and Ishihara & Fallah demonstrate way-granular
 // gating as a third axis. This package defines the common contract — a
 // per-cache policy selector, per-interval observe/decide hooks, per-line
-// state transitions, and an energy accounting convention — with four
+// state transitions, and an energy accounting convention — with five
 // implementations beside the conventional (always-on) cache:
 //
 //	dri      the paper's set-granular gated-Vdd resizing, delegated to the
@@ -20,7 +20,12 @@
 //	         next hit;
 //	waygate  whole ways of a set-associative cache are gated off under the
 //	         same miss-bound feedback loop as DRI (the dri controller's
-//	         way-resizing mode).
+//	         way-resizing mode);
+//	waymemo  Ishihara & Fallah's way memoization: per-set link registers
+//	         remember the most-recently-used way, and an access to the
+//	         memoized block skips the tag probe and the non-selected data
+//	         ways — a dynamic-energy policy (leakage is untouched) that
+//	         also lets the simulator bypass whole cache lookups.
 //
 // The energy contract: a policy reports the cycle-weighted mean effective
 // leakage fraction of its array (LeakFraction), which scales the level's
@@ -55,10 +60,20 @@ const (
 	Drowsy Kind = "drowsy"
 	// WayGate powers off whole ways under miss-bound feedback.
 	WayGate Kind = "waygate"
+	// WayMemo memoizes the most-recently-used way per set in a table of
+	// link registers: a hit on the memoized block skips the tag-array
+	// probe and the non-selected data ways entirely (Ishihara & Fallah's
+	// way memoization), cutting dynamic — not leakage — energy.
+	WayMemo Kind = "waymemo"
 )
 
 // Kinds lists every policy kind in presentation order.
-func Kinds() []Kind { return []Kind{Conventional, DRI, Decay, Drowsy, WayGate} }
+func Kinds() []Kind { return []Kind{Conventional, DRI, Decay, Drowsy, WayGate, WayMemo} }
+
+// MaxMemoTableEntries bounds the way-memoization link table: one entry per
+// set of the largest modeled cache is plenty, and the cap keeps fuzzed or
+// hostile configurations from allocating unbounded tables.
+const MaxMemoTableEntries = 1 << 20
 
 // Config selects and parameterizes the leakage-control policy of one cache
 // level. Fields are only meaningful for the kinds that read them.
@@ -81,6 +96,12 @@ type Config struct {
 	MissBound uint64
 	// MinWays is the minimum number of powered ways (waygate only).
 	MinWays int
+	// MemoTableEntries sizes the way-memoization link table (waymemo
+	// only). It must be a power of two no larger than MaxMemoTableEntries;
+	// 0 means one entry per cache set. Smaller tables alias sets onto
+	// shared entries — cheaper hardware, fewer memoization hits, never
+	// incorrect.
+	MemoTableEntries int
 }
 
 // DefaultDecay returns the standard decay policy at the given DRI-style
@@ -115,6 +136,18 @@ func DefaultWayGate(senseInterval uint64) Config {
 		IntervalInstructions: senseInterval,
 		MissBound:            senseInterval / 100,
 		MinWays:              1,
+	}
+}
+
+// DefaultWayMemo returns the standard way-memoization policy: one link
+// register per cache set (MemoTableEntries 0 = auto). Way memoization has
+// no interval machinery — links update on every access — so the sense
+// interval only labels the configuration for symmetry with the other
+// constructors.
+func DefaultWayMemo(senseInterval uint64) Config {
+	return Config{
+		Kind:                 WayMemo,
+		IntervalInstructions: senseInterval,
 	}
 }
 
@@ -157,6 +190,16 @@ func (c Config) Check() error {
 			return fmt.Errorf("policy: waygate: min ways %d < 1", c.MinWays)
 		}
 		return nil
+	case WayMemo:
+		switch {
+		case c.MemoTableEntries < 0:
+			return fmt.Errorf("policy: waymemo: memo table entries %d negative", c.MemoTableEntries)
+		case c.MemoTableEntries > MaxMemoTableEntries:
+			return fmt.Errorf("policy: waymemo: memo table entries %d exceed maximum %d", c.MemoTableEntries, MaxMemoTableEntries)
+		case c.MemoTableEntries > 0 && c.MemoTableEntries&(c.MemoTableEntries-1) != 0:
+			return fmt.Errorf("policy: waymemo: memo table entries %d not a power of two", c.MemoTableEntries)
+		}
+		return nil
 	default:
 		return fmt.Errorf("policy: unknown kind %q", c.Kind)
 	}
@@ -182,6 +225,17 @@ func Apply(p Config, base dri.Config) (dri.Config, error) {
 	case Conventional, Decay, Drowsy:
 		if base.Params.Enabled {
 			return dri.Config{}, fmt.Errorf("policy: %s cannot be combined with an enabled DRI controller", p.Kind)
+		}
+		return base, nil
+	case WayMemo:
+		if base.Params.Enabled {
+			return dri.Config{}, fmt.Errorf("policy: waymemo cannot be combined with an enabled DRI controller")
+		}
+		// Validate the geometry here (non-power-of-two set counts, zero
+		// associativity, …) so a bad base surfaces as an error the server
+		// can map to a 400, not a panic when the link table is sized.
+		if err := base.Check(); err != nil {
+			return dri.Config{}, err
 		}
 		return base, nil
 	case WayGate:

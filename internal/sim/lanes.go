@@ -124,9 +124,20 @@ func RunLanes(cfgs []Config, prog trace.Program) []Result {
 // (runtime/pprof) with the benchmark and lane count. Results are identical
 // to RunLanes.
 func RunLanesCtx(ctx context.Context, cfgs []Config, prog trace.Program) []Result {
+	out, _ := RunLanesNotedCtx(ctx, cfgs, prog)
+	return out
+}
+
+// RunLanesNotedCtx is RunLanesCtx that additionally reports whether the
+// configurations actually shared one decode pass. It returns false when
+// there was nothing to share (zero or one configuration) or when the trace
+// store could not hold the stream and the configurations ran sequentially —
+// callers accounting decode passes saved (the engine's batch scheduler)
+// must not credit those executions.
+func RunLanesNotedCtx(ctx context.Context, cfgs []Config, prog trace.Program) ([]Result, bool) {
 	out := make([]Result, len(cfgs))
 	if len(cfgs) == 0 {
-		return out
+		return out, false
 	}
 	budget := cfgs[0].Instructions
 	for _, c := range cfgs[1:] {
@@ -136,7 +147,7 @@ func RunLanesCtx(ctx context.Context, cfgs []Config, prog trace.Program) []Resul
 	}
 	if len(cfgs) == 1 {
 		out[0] = RunCtx(ctx, cfgs[0], prog)
-		return out
+		return out, false
 	}
 	_, sp := obs.StartSpan(ctx, "stream_decode")
 	sp.SetAttr("benchmark", prog.Name)
@@ -147,7 +158,7 @@ func RunLanesCtx(ctx context.Context, cfgs []Config, prog trace.Program) []Resul
 		for i, c := range cfgs {
 			out[i] = RunCtx(ctx, c, prog)
 		}
-		return out
+		return out, false
 	}
 
 	pprof.Do(ctx, pprof.Labels("benchmark", prog.Name, "lanes", strconv.Itoa(len(cfgs))),
@@ -183,5 +194,5 @@ func RunLanesCtx(ctx context.Context, cfgs []Config, prog trace.Program) []Resul
 		})
 	laneLanes.Add(uint64(len(cfgs)))
 	laneBatches.Add(1)
-	return out
+	return out, true
 }

@@ -10,13 +10,18 @@ import (
 )
 
 // laneMixConfigs is the lane-executor property mix: every leakage-control
-// regime (conventional, DRI, decay, drowsy, way-gating) plus L1+L2 variants
-// sharing one instruction budget, so a single RunLanes pass exercises every
-// policy engine and both cache levels side by side.
+// regime (conventional, DRI, decay, drowsy, way-gating, way memoization)
+// plus L1+L2 variants sharing one instruction budget, so a single RunLanes
+// pass exercises every policy engine and both cache levels side by side.
+// The waymemo lane appears twice: identical lanes must produce identical
+// results (each lane owns its hierarchy and link table — no cross-lane
+// memoization state).
 func laneMixConfigs(n uint64) []Config {
 	const iv = 50_000
 	conv4 := Conventional64K()
 	conv4.Assoc = 4
+	memoSmall := policy.DefaultWayMemo(iv)
+	memoSmall.MemoTableEntries = 64
 	return []Config{
 		Default(Conventional64K(), n),
 		Default(DRI64K(dri.DefaultParams(iv)), n),
@@ -25,6 +30,9 @@ func laneMixConfigs(n uint64) []Config {
 		Default(conv4, n).WithL1IPolicy(policy.DefaultDrowsy(iv)),
 		Default(conv4, n).WithL1IPolicy(policy.DefaultWayGate(iv)),
 		Default(Conventional64K(), n).WithL2Policy(policy.DefaultDecay(iv)),
+		Default(conv4, n).WithL1IPolicy(policy.DefaultWayMemo(iv)),
+		Default(conv4, n).WithL1IPolicy(policy.DefaultWayMemo(iv)),
+		Default(conv4, n).WithL1IPolicy(memoSmall).WithL2Policy(policy.DefaultWayMemo(iv)),
 	}
 }
 

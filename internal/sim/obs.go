@@ -21,6 +21,7 @@ var (
 	polWakeups atomic.Uint64
 	polGated   atomic.Uint64
 	polDrowsy  atomic.Uint64
+	memoHits   atomic.Uint64
 )
 
 // noteRun accounts one completed simulation; called from assemble so every
@@ -32,6 +33,9 @@ func noteRun(res *Result) {
 		polWakeups.Add(ps.Wakeups)
 		polGated.Add(ps.GatedLines)
 		polDrowsy.Add(ps.DrowsyTransitions)
+	}
+	if n := res.Mem.L1ITagProbesSkipped + res.Mem.L2TagProbesSkipped; n > 0 {
+		memoHits.Add(n)
 	}
 }
 
@@ -56,6 +60,9 @@ func RegisterMetrics(r *obs.Registry) {
 		"Lines powered off by decay across all runs.", counter(&polGated))
 	r.NewCounterFunc("sim_policy_drowsy_transitions_total",
 		"Awake-to-drowsy line transitions across all runs.", counter(&polDrowsy))
+	r.NewCounterFunc("sim_policy_memo_hits_total",
+		"Way-memoization hits (tag probes skipped) across all runs.",
+		counter(&memoHits))
 
 	lane := func(f func(LaneStats) uint64) func() float64 {
 		return func() float64 { return float64(f(ReadLaneStats())) }

@@ -292,6 +292,7 @@ func CompareSimResults(cfg Config, conv, driRes Result) Comparison {
 		AvgActiveFraction: driRes.AvgActiveFraction,
 		ExtraL2Accesses:   extraL2,
 		ExtraPolicyNJ:     l1iPolNJ,
+		TagProbesSkipped:  driRes.Mem.L1ITagProbesSkipped,
 	})
 	tm := energy.TotalFor(
 		l1iOrg,
@@ -310,6 +311,8 @@ func CompareSimResults(cfg Config, conv, driRes Result) Comparison {
 		ExtraMemAccesses:     int64(driRes.Mem.MemAccesses) - int64(conv.Mem.MemAccesses),
 		L1IExtraPolicyNJ:     l1iPolNJ,
 		L2ExtraPolicyNJ:      l2PolNJ,
+		L1ITagProbesSkipped:  driRes.Mem.L1ITagProbesSkipped,
+		L2TagProbesSkipped:   driRes.Mem.L2TagProbesSkipped,
 	})
 	return Comparison{Conv: conv, DRI: driRes, Breakdown: bd, Total: total}
 }
