@@ -99,6 +99,34 @@ func BenchmarkFig3(b *testing.B) {
 	b.ReportMetric(mean, "mean-ED(C)")
 }
 
+// fig3TimelineOnce is fig3Once with the interval flight recorder attached
+// to every simulation in the sweep.
+func fig3TimelineOnce(progs []trace.Program) float64 {
+	scale := exp.QuickScale()
+	scale.Timeline = TimelineConfig{Enabled: true}
+	r := exp.NewRunner(scale)
+	rows := r.Figure3(exp.QuickSpace(r.Scale), progs)
+	sum := 0.0
+	for _, row := range rows {
+		sum += row.Constrained.Cmp.RelativeED
+	}
+	return sum / float64(len(rows))
+}
+
+// BenchmarkFig3Timeline is BenchmarkFig3 with per-interval recording on for
+// every lane; its delta over BenchmarkFig3 is the flight recorder's whole
+// overhead (budgeted at <= 5%).
+func BenchmarkFig3Timeline(b *testing.B) {
+	progs := coreSet(b)
+	fig3TimelineOnce(progs) // prime the replay store
+	var mean float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mean = fig3TimelineOnce(progs)
+	}
+	b.ReportMetric(mean, "mean-ED(C)")
+}
+
 // BenchmarkFig3ColdStore is BenchmarkFig3 with the replay store disabled:
 // every simulation regenerates its instruction stream through the trace
 // generator, the pre-replay-store behaviour. The warm/cold ratio is the

@@ -19,6 +19,7 @@ package main
 import (
 	"log/slog"
 	"net/http"
+	"strings"
 	"time"
 
 	"dricache/internal/obs"
@@ -29,7 +30,18 @@ import (
 var servedPaths = []string{
 	"/healthz", "/metrics",
 	"/v1/stats", "/v1/metrics", "/v1/benchmarks", "/v1/policies",
-	"/v1/run", "/v1/compare", "/v1/sweep",
+	"/v1/run", "/v1/compare", "/v1/sweep", "/v1/runs/:id/progress",
+}
+
+// metricPath collapses parameterized routes to their pattern so per-path
+// metric cardinality stays bounded by servedPaths. The placeholder is
+// spelled :id (not {id}) to keep label values free of braces, which the
+// stricter exposition-format consumers reject.
+func metricPath(p string) string {
+	if strings.HasPrefix(p, "/v1/runs/") && strings.HasSuffix(p, "/progress") {
+		return "/v1/runs/:id/progress"
+	}
+	return p
 }
 
 var statusClasses = []string{"2xx", "3xx", "4xx", "5xx"}
@@ -93,6 +105,14 @@ func (r *statusRecorder) WriteHeader(status int) {
 	r.ResponseWriter.WriteHeader(status)
 }
 
+// Flush forwards to the underlying writer so streaming handlers (the SSE
+// progress stream) can push events through the middleware.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // instrument is the outermost middleware: request ID, span-tree root,
 // per-path latency/status metrics, and the slog access log.
 func (s *server) instrument(next http.Handler) http.Handler {
@@ -112,7 +132,7 @@ func (s *server) instrument(next http.Handler) http.Handler {
 		root.End()
 
 		elapsed := time.Since(start)
-		s.httpm.observe(r.URL.Path, rec.status, elapsed)
+		s.httpm.observe(metricPath(r.URL.Path), rec.status, elapsed)
 		s.log.LogAttrs(ctx, slog.LevelInfo, "request",
 			slog.String("requestId", reqID),
 			slog.String("method", r.Method),

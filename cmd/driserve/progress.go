@@ -1,0 +1,231 @@
+package main
+
+// Live progress streaming. Every /v1/run, /v1/compare, and /v1/sweep
+// request registers a progress entry under its request ID; while the
+// simulation is in flight, interval heartbeats from the flight recorder
+// (timeline.WithSink) and sweep-point completions from the engine's batch
+// scheduler (engine.WithProgress) are published into the entry, and a
+// final "done" event closes it. GET /v1/runs/{id}/progress serves the
+// entry as a Server-Sent Events stream: buffered events replay first, then
+// live events until done or client disconnect. Completed entries are
+// retained (bounded) so a stream opened after a fast run still observes
+// its events. This is the SSE groundwork for the async job API (ROADMAP
+// item 5).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"dricache/internal/engine"
+	"dricache/internal/obs"
+	"dricache/internal/timeline"
+)
+
+const (
+	// maxProgressEntries bounds retained (including completed) entries;
+	// the oldest completed entries are evicted first.
+	maxProgressEntries = 256
+	// maxProgressEvents bounds each entry's replay buffer. Interval
+	// heartbeats beyond it are dropped (and counted); the terminal "done"
+	// event is always delivered.
+	maxProgressEvents = 1024
+	// subscriberBuffer is each live subscriber's channel depth; a
+	// subscriber that stalls past it misses intermediate events but still
+	// observes completion via the entry's done flag.
+	subscriberBuffer = 64
+)
+
+// sseEvent is one named progress event; Data is its JSON payload.
+type sseEvent struct {
+	Type string
+	Data []byte
+}
+
+// progressEntry is the event history and live-subscriber set of one
+// request.
+type progressEntry struct {
+	id string
+
+	mu      sync.Mutex
+	events  []sseEvent
+	dropped uint64
+	done    bool
+	subs    map[chan sseEvent]struct{}
+}
+
+// publish appends one event and fans it out to live subscribers.
+func (e *progressEntry) publish(typ string, payload map[string]any) {
+	payload["requestId"] = e.id
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return
+	}
+	ev := sseEvent{Type: typ, Data: data}
+	e.mu.Lock()
+	if e.done {
+		e.mu.Unlock()
+		return
+	}
+	if len(e.events) >= maxProgressEvents && typ != "done" {
+		e.dropped++
+		e.mu.Unlock()
+		return
+	}
+	e.events = append(e.events, ev)
+	if typ == "done" {
+		e.done = true
+	}
+	for ch := range e.subs {
+		select {
+		case ch <- ev:
+		default:
+			// A stalled subscriber misses this event; the replay buffer and
+			// done flag keep completion observable.
+		}
+	}
+	e.mu.Unlock()
+}
+
+// progressHub indexes progress entries by request ID.
+type progressHub struct {
+	mu      sync.Mutex
+	entries map[string]*progressEntry
+	order   []string
+}
+
+func newProgressHub() *progressHub {
+	return &progressHub{entries: make(map[string]*progressEntry)}
+}
+
+// begin registers (or replaces) the entry for one request ID and evicts
+// the oldest entries beyond the retention bound.
+func (h *progressHub) begin(id string) *progressEntry {
+	e := &progressEntry{id: id, subs: make(map[chan sseEvent]struct{})}
+	h.mu.Lock()
+	if _, ok := h.entries[id]; !ok {
+		h.order = append(h.order, id)
+	}
+	h.entries[id] = e
+	for len(h.order) > maxProgressEntries {
+		victim := h.order[0]
+		h.order = h.order[1:]
+		delete(h.entries, victim)
+	}
+	h.mu.Unlock()
+	return e
+}
+
+// lookup returns the entry for id, or nil.
+func (h *progressHub) lookup(id string) *progressEntry {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.entries[id]
+}
+
+// finish publishes the terminal event and marks the entry done.
+func (e *progressEntry) finish(payload map[string]any) {
+	if payload == nil {
+		payload = map[string]any{}
+	}
+	e.mu.Lock()
+	dropped := e.dropped
+	e.mu.Unlock()
+	if dropped > 0 {
+		payload["droppedEvents"] = dropped
+	}
+	e.publish("done", payload)
+}
+
+// subscribe returns the entry's buffered events so far plus a live channel
+// for what follows; the caller must unsubscribe the channel.
+func (e *progressEntry) subscribe() ([]sseEvent, chan sseEvent, bool) {
+	ch := make(chan sseEvent, subscriberBuffer)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	buffered := append([]sseEvent(nil), e.events...)
+	if e.done {
+		return buffered, nil, true
+	}
+	e.subs[ch] = struct{}{}
+	return buffered, ch, false
+}
+
+func (e *progressEntry) unsubscribe(ch chan sseEvent) {
+	e.mu.Lock()
+	delete(e.subs, ch)
+	e.mu.Unlock()
+}
+
+// progressCtx wires the live hooks for one request: interval heartbeats
+// from any timeline-enabled lane and sweep-point completions from the
+// engine's batch scheduler.
+func (s *server) progressCtx(r *http.Request) (context.Context, *progressEntry) {
+	ctx := r.Context()
+	ent := s.progress.begin(obs.RequestIDFrom(ctx))
+	ctx = timeline.WithSink(ctx, func(p timeline.Point) {
+		ent.publish("interval", map[string]any{
+			"endInstructions": p.EndInstructions,
+			"ipc":             p.IPC,
+			"l1iMisses":       p.L1IMisses,
+			"activeFraction":  p.L1IActiveFraction,
+			"activeSets":      p.ActiveSets,
+			"activeWays":      p.ActiveWays,
+			"energyNJ":        p.EnergyNJ,
+		})
+	})
+	ctx = engine.WithProgress(ctx, func(done, total int, benchmark string) {
+		ent.publish("sweep", map[string]any{
+			"done":      done,
+			"total":     total,
+			"benchmark": benchmark,
+		})
+	})
+	return ctx, ent
+}
+
+// handleProgress serves GET /v1/runs/{id}/progress as an SSE stream.
+func (s *server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ent := s.progress.lookup(id)
+	if ent == nil {
+		writeError(w, http.StatusNotFound, "no run or sweep in progress (or retained) with request id %q", id)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	write := func(ev sseEvent) {
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, ev.Data)
+	}
+	buffered, live, done := ent.subscribe()
+	for _, ev := range buffered {
+		write(ev)
+	}
+	fl.Flush()
+	if done {
+		return
+	}
+	defer ent.unsubscribe(live)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-live:
+			write(ev)
+			fl.Flush()
+			if ev.Type == "done" {
+				return
+			}
+		}
+	}
+}

@@ -35,6 +35,9 @@ type server struct {
 	reg   *obs.Registry
 	httpm *httpInstruments
 	log   *slog.Logger
+	// progress tracks per-request progress entries for the SSE stream at
+	// /v1/runs/{id}/progress.
+	progress *progressHub
 }
 
 func newServer(eng *engine.Engine, maxInstructions uint64) http.Handler {
@@ -44,6 +47,7 @@ func newServer(eng *engine.Engine, maxInstructions uint64) http.Handler {
 		maxSweepPoints:  1024,
 		reg:             obs.NewRegistry(),
 		log:             slog.Default(),
+		progress:        newProgressHub(),
 	}
 	eng.RegisterMetrics(s.reg)
 	trace.SharedStore().RegisterMetrics(s.reg)
@@ -60,6 +64,7 @@ func newServer(eng *engine.Engine, maxInstructions uint64) http.Handler {
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/compare", s.handleCompare)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/runs/{id}/progress", s.handleProgress)
 	return s.instrument(mux)
 }
 
@@ -585,8 +590,30 @@ func summarize(res *sim.Result) resultSummary {
 	}
 }
 
+// wantTimeline reports whether the request opted into interval recording
+// with ?timeline=1.
+func wantTimeline(r *http.Request) bool { return r.URL.Query().Get("timeline") == "1" }
+
+// checkTimeline gates a ?timeline=1 request on the replay path being
+// available: the interval recorder only runs in the fused/lane executors,
+// which require the trace store to hold (or admit) the stream. A stream
+// the store would bypass falls back to the generic loop with no interval
+// sampling, so the request is rejected up front instead of silently
+// returning an empty timeline.
+func checkTimeline(prog trace.Program, instrs uint64) error {
+	if trace.SharedStore().WouldBypass(prog, instrs) {
+		return fmt.Errorf(
+			"timeline=1 unavailable: stream %q at %d instructions bypasses the trace replay store "+
+				"(interval sampling requires the replay path); lower instructions or raise the store budget",
+			prog.Name, instrs)
+	}
+	return nil
+}
+
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
-	ctx := r.Context()
+	ctx, ent := s.progressCtx(r)
+	outcome := "error"
+	defer func() { ent.finish(map[string]any{"outcome": outcome}) }()
 	_, sp := obs.StartSpan(ctx, "validate")
 	cfg, prog, status, err := s.decodeRun(w, r)
 	sp.End()
@@ -594,12 +621,23 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
+	if wantTimeline(r) {
+		if err := checkTimeline(prog, cfg.Instructions); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		cfg.Timeline.Enabled = true
+	}
 	res, cached := s.eng.RunCachedCtx(ctx, cfg, prog)
 	resp := map[string]any{
 		"result": summarize(res),
 		"cached": cached,
 		"engine": s.metrics(),
 	}
+	if cfg.Timeline.Enabled {
+		resp["timeline"] = res.Timeline
+	}
+	outcome = "ok"
 	s.attachTrace(r, resp)
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -682,13 +720,23 @@ func summarizeComparison(cmp sim.Comparison) comparisonSummary {
 }
 
 func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
-	ctx := r.Context()
+	ctx, ent := s.progressCtx(r)
+	outcome := "error"
+	defer func() { ent.finish(map[string]any{"outcome": outcome}) }()
 	_, sp := obs.StartSpan(ctx, "validate")
 	cfg, prog, status, err := s.decodeRun(w, r)
 	sp.End()
 	if err != nil {
 		writeError(w, status, "%v", err)
 		return
+	}
+	if wantTimeline(r) {
+		if err := checkTimeline(prog, cfg.Instructions); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		// BaselineSimConfig keeps Timeline, so both sides record.
+		cfg.Timeline.Enabled = true
 	}
 	// decodeRun normalizes conventional selectors away, so "nothing but
 	// the baseline" is exactly "the config equals its own baseline".
@@ -697,15 +745,22 @@ func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
 			"compare requires a DRI or policy configuration (set cache.dri and/or l2.dri, or a policy)")
 		return
 	}
-	cmp, outcome := s.eng.CompareSimCachedCtx(ctx, cfg, prog)
+	cmp, cacheOutcome := s.eng.CompareSimCachedCtx(ctx, cfg, prog)
 	resp := map[string]any{
 		"comparison": summarizeComparison(cmp),
 		"cached": map[string]bool{
-			"baseline": outcome.BaselineCached,
-			"dri":      outcome.DRICached,
+			"baseline": cacheOutcome.BaselineCached,
+			"dri":      cacheOutcome.DRICached,
 		},
 		"engine": s.metrics(),
 	}
+	if cfg.Timeline.Enabled {
+		resp["timeline"] = map[string]any{
+			"baseline": cmp.Conv.Timeline,
+			"dri":      cmp.DRI.Timeline,
+		}
+	}
+	outcome = "ok"
 	s.attachTrace(r, resp)
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -742,7 +797,9 @@ type sweepPoint struct {
 }
 
 func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	ctx := r.Context()
+	ctx, ent := s.progressCtx(r)
+	outcome := "error"
+	defer func() { ent.finish(map[string]any{"outcome": outcome}) }()
 	// End is first-write-wins: the deferred call closes the span on every
 	// validation error return, the explicit call before RunAllCtx on the
 	// success path.
@@ -896,6 +953,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		"rows":   rows,
 		"engine": s.metrics(),
 	}
+	outcome = "ok"
 	s.attachTrace(r, resp)
 	writeJSON(w, http.StatusOK, resp)
 }

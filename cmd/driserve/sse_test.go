@@ -1,0 +1,267 @@
+package main
+
+// httptest coverage of the live progress stream: request IDs propagate into
+// every event payload, a fast already-finished run still replays its full
+// event history, a disconnecting client releases its subscription, and a
+// timeline request the replay path cannot serve is rejected up front with a
+// structured 400.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dricache/internal/engine"
+)
+
+// sseMessage is one parsed SSE frame.
+type sseMessage struct {
+	event string
+	data  map[string]any
+}
+
+// readSSE drains one SSE stream to EOF and parses its frames.
+func readSSE(t *testing.T, url string) []sseMessage {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d, want 200", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	var msgs []sseMessage
+	var cur sseMessage
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.data); err != nil {
+				t.Fatalf("malformed event data %q: %v", line, err)
+			}
+		case line == "":
+			if cur.event != "" || cur.data != nil {
+				msgs = append(msgs, cur)
+				cur = sseMessage{}
+			}
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return msgs
+}
+
+func postWithRequestID(t *testing.T, url, reqID, body string, wantStatus int) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", reqID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s = %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != reqID {
+		t.Fatalf("response X-Request-ID = %q, want %q", got, reqID)
+	}
+}
+
+// TestProgressStreamRequestID runs a timeline-enabled simulation under a
+// caller-chosen request ID, then replays its progress stream and checks
+// that every event carries that ID and the stream terminates with "done".
+func TestProgressStreamRequestID(t *testing.T) {
+	ts := testServer(t)
+	const reqID = "sse-test-run"
+	postWithRequestID(t, ts.URL+"/v1/run?timeline=1", reqID,
+		`{"benchmark":"applu","instructions":400000}`, http.StatusOK)
+
+	msgs := readSSE(t, ts.URL+"/v1/runs/"+reqID+"/progress")
+	if len(msgs) < 2 {
+		t.Fatalf("got %d events, want interval heartbeats plus done", len(msgs))
+	}
+	var intervals int
+	for _, m := range msgs {
+		if m.data["requestId"] != reqID {
+			t.Fatalf("event %q carries requestId %v, want %q", m.event, m.data["requestId"], reqID)
+		}
+		if m.event == "interval" {
+			intervals++
+			if m.data["endInstructions"].(float64) <= 0 {
+				t.Fatalf("interval event without endInstructions: %v", m.data)
+			}
+		}
+	}
+	if intervals == 0 {
+		t.Fatal("no interval heartbeats in stream")
+	}
+	last := msgs[len(msgs)-1]
+	if last.event != "done" || last.data["outcome"] != "ok" {
+		t.Fatalf("stream did not end with done/ok: %+v", last)
+	}
+}
+
+// TestProgressStreamSweep checks that sweep requests publish per-batch
+// completion events.
+func TestProgressStreamSweep(t *testing.T) {
+	ts := testServer(t)
+	const reqID = "sse-test-sweep"
+	postWithRequestID(t, ts.URL+"/v1/sweep", reqID,
+		`{"benchmarks":["applu"],"missBounds":[100,400],"sizeBounds":[1024,4096],
+		  "instructions":400000,"senseInterval":50000}`, http.StatusOK)
+
+	msgs := readSSE(t, ts.URL+"/v1/runs/"+reqID+"/progress")
+	var sweeps int
+	for _, m := range msgs {
+		if m.event != "sweep" {
+			continue
+		}
+		sweeps++
+		done, total := m.data["done"].(float64), m.data["total"].(float64)
+		if done <= 0 || total <= 0 || done > total {
+			t.Fatalf("implausible sweep progress: %v", m.data)
+		}
+		if m.data["benchmark"] != "applu" {
+			t.Fatalf("sweep event benchmark = %v", m.data["benchmark"])
+		}
+	}
+	if sweeps == 0 {
+		t.Fatal("no sweep progress events in stream")
+	}
+	if last := msgs[len(msgs)-1]; last.event != "done" {
+		t.Fatalf("stream did not end with done: %+v", last)
+	}
+}
+
+func TestProgressUnknownID(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/v1/runs/never-seen/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id = %d, want 404", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["error"] == nil || out["error"] == "" {
+		t.Fatalf("404 without structured error: %v", out)
+	}
+}
+
+// syncRecorder is a minimal concurrency-safe ResponseWriter+Flusher: the
+// SSE handler writes from its own goroutine while the test polls the body.
+type syncRecorder struct {
+	mu sync.Mutex
+	h  http.Header
+	b  strings.Builder
+}
+
+func (r *syncRecorder) Header() http.Header {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.h == nil {
+		r.h = make(http.Header)
+	}
+	return r.h
+}
+
+func (r *syncRecorder) Write(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.b.Write(p)
+}
+
+func (r *syncRecorder) WriteHeader(int) {}
+func (r *syncRecorder) Flush()          {}
+
+func (r *syncRecorder) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.b.String()
+}
+
+// TestProgressClientDisconnect subscribes to an in-flight entry, drops the
+// client, and checks the handler returns and releases its subscription.
+func TestProgressClientDisconnect(t *testing.T) {
+	s := &server{progress: newProgressHub()}
+	ent := s.progress.begin("live")
+	ent.publish("interval", map[string]any{"endInstructions": 1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodGet, "/v1/runs/live/progress", nil).WithContext(ctx)
+	req.SetPathValue("id", "live")
+	rec := &syncRecorder{}
+
+	returned := make(chan struct{})
+	go func() {
+		s.handleProgress(rec, req)
+		close(returned)
+	}()
+
+	// The buffered event must arrive before any disconnect.
+	deadline := time.After(5 * time.Second)
+	for {
+		if strings.Contains(rec.String(), "event: interval") {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("buffered event never written")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	cancel()
+	select {
+	case <-returned:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler did not return on client disconnect")
+	}
+	ent.mu.Lock()
+	subs := len(ent.subs)
+	ent.mu.Unlock()
+	if subs != 0 {
+		t.Fatalf("disconnect left %d live subscriptions", subs)
+	}
+}
+
+// TestTimelineBypassRejected asks for interval recording on a stream the
+// trace replay store would refuse to admit; the request must fail up front
+// with a structured 400 rather than silently returning no timeline.
+func TestTimelineBypassRejected(t *testing.T) {
+	// A budget beyond the store's admission threshold (store budget / 4
+	// at ~8 bytes per instruction) forces the generic no-replay path.
+	ts := httptest.NewServer(newServer(engine.New(0), 100_000_000))
+	t.Cleanup(ts.Close)
+	out := postJSON(t, ts.URL+"/v1/run?timeline=1",
+		`{"benchmark":"applu","instructions":50000000}`, http.StatusBadRequest)
+	msg, _ := out["error"].(string)
+	if !strings.Contains(msg, "timeline=1 unavailable") {
+		t.Fatalf("error %q does not explain the bypass", msg)
+	}
+}

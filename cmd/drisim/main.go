@@ -26,28 +26,30 @@ import (
 	"dricache/internal/isa"
 	"dricache/internal/obs"
 	"dricache/internal/policy"
+	"dricache/internal/render"
 	"dricache/internal/sim"
 	"dricache/internal/stats"
+	"dricache/internal/timeline"
 	"dricache/internal/trace"
 )
 
 func main() {
 	var (
-		benchName = flag.String("bench", "applu", "benchmark name (see -list)")
-		list      = flag.Bool("list", false, "list benchmarks and exit")
-		all       = flag.Bool("all", false, "survey all benchmarks with the conventional cache")
-		config    = flag.Bool("config", false, "print the simulated system configuration (Table 1)")
-		n         = flag.Uint64("n", 4_000_000, "dynamic instruction budget")
-		size      = flag.Int("size", 64<<10, "L1 i-cache size in bytes")
-		assoc     = flag.Int("assoc", 1, "L1 i-cache associativity")
-		useDRI    = flag.Bool("dri", false, "enable DRI resizing")
-		missBound = flag.Uint64("missbound", 256, "misses per sense-interval before upsizing")
-		sizeBound = flag.Int("sizebound", 1<<10, "minimum cache size in bytes")
-		interval  = flag.Uint64("interval", 100_000, "sense-interval length in instructions")
-		div       = flag.Int("divisibility", 2, "resizing factor")
-		compare   = flag.Bool("compare", false, "also run the conventional baseline and report energy")
-		timeline  = flag.Bool("timeline", false, "print the resize event log")
-		curve     = flag.Bool("curve", false, "print the benchmark's miss rate vs fixed cache size")
+		benchName    = flag.String("bench", "applu", "benchmark name (see -list)")
+		list         = flag.Bool("list", false, "list benchmarks and exit")
+		all          = flag.Bool("all", false, "survey all benchmarks with the conventional cache")
+		config       = flag.Bool("config", false, "print the simulated system configuration (Table 1)")
+		n            = flag.Uint64("n", 4_000_000, "dynamic instruction budget")
+		size         = flag.Int("size", 64<<10, "L1 i-cache size in bytes")
+		assoc        = flag.Int("assoc", 1, "L1 i-cache associativity")
+		useDRI       = flag.Bool("dri", false, "enable DRI resizing")
+		missBound    = flag.Uint64("missbound", 256, "misses per sense-interval before upsizing")
+		sizeBound    = flag.Int("sizebound", 1<<10, "minimum cache size in bytes")
+		interval     = flag.Uint64("interval", 100_000, "sense-interval length in instructions")
+		div          = flag.Int("divisibility", 2, "resizing factor")
+		compare      = flag.Bool("compare", false, "also run the conventional baseline and report energy")
+		showTimeline = flag.Bool("timeline", false, "record per-interval telemetry and print adaptation traces")
+		curve        = flag.Bool("curve", false, "print the benchmark's miss rate vs fixed cache size")
 
 		verbose = flag.Bool("v", false, "report wall time and a metrics registry snapshot after the run")
 
@@ -141,6 +143,9 @@ func main() {
 	if pol != nil {
 		cfg = cfg.WithL1IPolicy(*pol)
 	}
+	if *showTimeline {
+		cfg = cfg.WithTimeline(timeline.Config{Enabled: true})
+	}
 	if err := cfg.Mem.Check(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -173,16 +178,19 @@ func main() {
 		fmt.Printf("  relative E-D        %12.3f  (leakage %.3f + dynamic %.3f)\n",
 			cmp.RelativeED, cmp.LeakageShareOfED, cmp.DynamicShareOfED)
 		fmt.Printf("  slowdown            %12.2f %%\n", cmp.SlowdownPct)
-		if *timeline {
-			printTimeline(cmp.DRI)
+		if *showTimeline {
+			fmt.Println()
+			render.Timeline(os.Stdout, "conventional", cmp.Conv.Timeline)
+			render.Timeline(os.Stdout, label, cmp.DRI.Timeline)
 		}
 		return
 	}
 
 	res := sim.Run(cfg, prog)
 	printRun(prog.Name, res)
-	if *timeline {
-		printTimeline(res)
+	if *showTimeline {
+		fmt.Println()
+		render.Timeline(os.Stdout, prog.Name, res.Timeline)
 	}
 }
 
@@ -231,15 +239,6 @@ func printRun(label string, r sim.Result) {
 			fmt.Printf(" %dK:%d", s>>10, r.SizeResidency[s])
 		}
 		fmt.Println()
-	}
-}
-
-func printTimeline(r sim.Result) {
-	fmt.Println("\nresize timeline:")
-	for _, ev := range r.Events {
-		fmt.Printf("  interval %4d  %-8s  %4dK -> %4dK  (interval misses %d)\n",
-			ev.Interval, ev.Direction,
-			ev.FromSets*32>>10, ev.ToSets*32>>10, ev.Misses)
 	}
 }
 

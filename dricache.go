@@ -28,6 +28,8 @@
 package dricache
 
 import (
+	"io"
+
 	"dricache/internal/circuit"
 	"dricache/internal/dri"
 	"dricache/internal/energy"
@@ -36,7 +38,9 @@ import (
 	"dricache/internal/mem"
 	"dricache/internal/obs"
 	"dricache/internal/policy"
+	"dricache/internal/render"
 	"dricache/internal/sim"
+	"dricache/internal/timeline"
 	"dricache/internal/trace"
 )
 
@@ -129,6 +133,19 @@ type (
 	// SpanTree is the JSON form of a request's span tree, as returned by
 	// driserve's ?trace=1 responses.
 	SpanTree = obs.SpanTree
+	// TimelineConfig enables and bounds the interval flight recorder on a
+	// SimConfig (via its WithTimeline method): per-interval telemetry is
+	// sampled at sense-interval boundaries into a bounded point buffer that
+	// pair-merges adjacent intervals when full, so memory stays O(MaxPoints)
+	// regardless of run length.
+	TimelineConfig = timeline.Config
+	// TimelineSeries is the recorded per-interval series of one run,
+	// attached to Result.Timeline when recording was enabled.
+	TimelineSeries = timeline.Series
+	// TimelinePoint is one interval (or merged interval range) of a
+	// TimelineSeries: per-level miss counts, active fraction, policy state,
+	// IPC, and the interval's incremental energy.
+	TimelinePoint = timeline.Point
 )
 
 // SharedTraceStore returns the process-wide trace replay store every
@@ -202,6 +219,23 @@ func NewDRI(sizeBytes, assoc int, params CacheParams) CacheConfig {
 // L1 i-cache for the given number of dynamic instructions.
 func Run(cfg CacheConfig, bench Benchmark, instructions uint64) Result {
 	return sim.Run(sim.Default(cfg, instructions), bench)
+}
+
+// RunTimeline is Run with the interval flight recorder enabled: the
+// returned Result carries a Timeline series sampled at the cache's
+// sense-interval boundaries. Pass a zero TimelineConfig (beyond Enabled,
+// set by this function) via NewSimConfig + SimConfig.WithTimeline for
+// custom intervals or point caps.
+func RunTimeline(cfg CacheConfig, bench Benchmark, instructions uint64) Result {
+	simCfg := sim.Default(cfg, instructions).WithTimeline(timeline.Config{Enabled: true})
+	return sim.Run(simCfg, bench)
+}
+
+// RenderTimeline draws a recorded series as ASCII sparkline adaptation
+// traces (active fraction, per-interval misses, IPC, and any policy
+// activity) — the same renderer drisim -timeline uses.
+func RenderTimeline(w io.Writer, label string, s *TimelineSeries) {
+	render.Timeline(w, label, s)
 }
 
 // Compare runs bench under both cfg and a conventional cache of the same

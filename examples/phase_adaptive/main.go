@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 
@@ -23,7 +24,7 @@ func main() {
 	params.SizeBoundBytes = 2 << 10
 
 	cfg := dricache.NewDRI(64<<10, 1, params)
-	res := dricache.Run(cfg, bench, 4_000_000)
+	res := dricache.RunTimeline(cfg, bench, 4_000_000)
 
 	fmt.Printf("%s: %d resizes (%d down, %d up), %d throttle trips\n\n",
 		bench.Name, len(res.Events), res.ICache.Downsizes, res.ICache.Upsizes,
@@ -37,6 +38,10 @@ func main() {
 		size = ev.ToSets * 32 // direct-mapped: sets × block bytes
 		printBar(ev.Interval, size)
 	}
+
+	// The same adaptation seen through the interval flight recorder.
+	fmt.Println("\nadaptation trace (per sense interval):")
+	dricache.RenderTimeline(os.Stdout, bench.Name, res.Timeline)
 
 	// Residency histogram.
 	fmt.Println("\ncycles spent at each size:")

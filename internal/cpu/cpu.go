@@ -28,6 +28,7 @@ import (
 	"dricache/internal/bpred"
 	"dricache/internal/isa"
 	"dricache/internal/mem"
+	"dricache/internal/timeline"
 )
 
 // IMem is the instruction-fetch side of the memory hierarchy. FetchBlock is
@@ -154,7 +155,17 @@ type Pipeline struct {
 	dmem DMem
 	bp   *bpred.Predictor
 	tick Ticker
+	// rec, when non-nil, is the interval flight recorder sampled by the
+	// fused loop and the lane executor (see lane.recSample). The generic
+	// interface loop ignores it — foreign memory models have no hierarchy
+	// to snapshot.
+	rec *timeline.Recorder
 }
+
+// SetTimeline attaches an interval flight recorder to the pipeline's fused
+// loop (and its lane in RunLanes). A nil recorder — the default — costs
+// nothing: the only residue is one nil check per decoded chunk.
+func (p *Pipeline) SetTimeline(rec *timeline.Recorder) { p.rec = rec }
 
 // New builds a pipeline over the given memory interfaces; ticker may be nil.
 // It panics on an invalid configuration.
@@ -448,7 +459,7 @@ func (p *Pipeline) runGeneric(stream isa.Stream) Result {
 // lives in lane.stepChunk, shared with RunLanes.
 func (p *Pipeline) runFused(cur *isa.ReplayCursor, h *mem.Hierarchy) Result {
 	g := predLane{bp: p.bp}
-	ln := newLane(p.cfg, h, p.tick != nil, &g)
+	ln := newLane(p.cfg, h, p.tick != nil, &g, p.rec)
 	var buf [laneChunk]isa.DecodedInstr
 	for {
 		n := cur.NextChunk(buf[:])

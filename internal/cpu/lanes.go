@@ -13,6 +13,7 @@ import (
 	"dricache/internal/dri"
 	"dricache/internal/isa"
 	"dricache/internal/mem"
+	"dricache/internal/timeline"
 )
 
 // laneChunk is the number of decoded instructions a lane pass consumes at a
@@ -115,16 +116,27 @@ type lane struct {
 	memo     *dri.Cache
 	memoHits uint64
 
+	// rec, when non-nil, is the interval flight recorder: every time count
+	// crosses recNext the lane snapshots its hierarchy. Disabled-recorder
+	// overhead is one nil check per chunk, outside the per-instruction
+	// stage advance.
+	rec     *timeline.Recorder
+	recNext uint64
+
 	res Result
 }
 
 // newLane builds the per-run state for one configuration over its own
 // hierarchy, drawing the stage rings from the shared pool.
-func newLane(cfg Config, h *mem.Hierarchy, tick bool, pred *predLane) *lane {
+func newLane(cfg Config, h *mem.Hierarchy, tick bool, pred *predLane, rec *timeline.Recorder) *lane {
 	rs := getRings(&cfg)
 	var memo *dri.Cache
 	if ic := h.ICache(); ic.WayMemoEnabled() {
 		memo = ic
+	}
+	var recNext uint64
+	if rec != nil {
+		recNext = rec.Interval()
 	}
 	return &lane{
 		cfg:          cfg,
@@ -142,6 +154,8 @@ func newLane(cfg Config, h *mem.Hierarchy, tick bool, pred *predLane) *lane {
 		curBlock:     ^uint64(0),
 		blockMask:    uint64(1)<<cfg.BlockShift - 1,
 		memo:         memo,
+		rec:          rec,
+		recNext:      recNext,
 	}
 }
 
@@ -311,6 +325,30 @@ func (ln *lane) stepChunk(buf []isa.DecodedInstr) {
 	ln.redirect = redirect
 	ln.curBlock = curBlock
 	ln.count += uint64(len(buf))
+	if ln.rec != nil && ln.count >= ln.recNext {
+		ln.recSample()
+		for ln.recNext <= ln.count {
+			ln.recNext += ln.rec.Interval()
+		}
+	}
+}
+
+// recSample snapshots the lane's hierarchy into the flight recorder. The
+// hierarchy fills the cache/policy fields; the lane overlays its own
+// cursors plus any memo hits not yet flushed into the cache statistics
+// (AddMemoHits counts each hit as an access too, so pending hits are added
+// to both fields — the sampled totals match the end-of-run accounting
+// exactly).
+func (ln *lane) recSample() {
+	var s timeline.Sample
+	ln.h.TimelineSnapshot(&s)
+	s.Instructions = ln.count
+	s.Cycles = ln.cmt
+	if ln.memoHits > 0 {
+		s.L1IAccesses += ln.memoHits
+		s.MemoHits += ln.memoHits
+	}
+	ln.rec.Record(s)
 }
 
 // finish flushes the trailing tick batch, assembles the Result, and returns
@@ -322,6 +360,12 @@ func (ln *lane) finish() Result {
 	}
 	if ln.tick && ln.tickAccum > 0 {
 		ln.h.Advance(ln.tickAccum, ln.ft)
+	}
+	if ln.rec != nil {
+		// Final flush after the trailing tick: the recorder folds a sample
+		// at an already-recorded boundary into its last point, so the
+		// series always re-aggregates exactly to the end-of-run counters.
+		ln.recSample()
 	}
 	ln.res.Instructions = ln.count
 	ln.res.Cycles = ln.cmt
@@ -341,7 +385,7 @@ func laneFor(p *Pipeline, pred *predLane) *lane {
 	if !ok || !p.dmemIs(h) || !p.tickIs(h) {
 		panic("cpu: RunLanes requires pipelines whose memory interfaces are a single concrete mem.Hierarchy")
 	}
-	return newLane(p.cfg, h, p.tick != nil, pred)
+	return newLane(p.cfg, h, p.tick != nil, pred, p.rec)
 }
 
 // RunLanes consumes the replay cursor once and advances one lane per

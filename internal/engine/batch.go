@@ -188,6 +188,13 @@ func (e *Engine) RunManyCtx(ctx context.Context, reqs []Request) []sim.Result {
 		wg       sync.WaitGroup
 		panicMu  sync.Mutex
 		panicVal any
+
+		// Sweep progress: report completed claims over total claims to a
+		// context-carried observer after each batch.
+		progress  = progressFrom(ctx)
+		progMu    sync.Mutex
+		progDone  int
+		progTotal = len(claimed)
 	)
 	for _, b := range batches {
 		wg.Add(1)
@@ -246,6 +253,13 @@ func (e *Engine) RunManyCtx(ctx context.Context, reqs []Request) []sim.Result {
 			e.mu.Unlock()
 			for _, c := range b.claims {
 				close(c.ent.done)
+			}
+			if progress != nil {
+				progMu.Lock()
+				progDone += len(b.claims)
+				done := progDone
+				progMu.Unlock()
+				progress(done, progTotal, b.prog.Name)
 			}
 		}(b)
 	}

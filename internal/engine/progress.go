@@ -1,0 +1,29 @@
+package engine
+
+// Context-carried sweep progress. RunManyCtx reports each completed lane
+// batch to a ProgressFunc found on its context, so callers holding a sweep
+// open — the SSE progress stream in driserve, a future async job API — can
+// surface point-level completion without polling engine counters.
+
+import "context"
+
+// ProgressFunc observes sweep execution: done of total claimed simulations
+// have completed, the latest batch having simulated benchmark. Cache hits
+// and coalesced duplicates are excluded from total — progress counts real
+// executions. It may be called from many batch goroutines concurrently and
+// must be safe for concurrent use.
+type ProgressFunc func(done, total int, benchmark string)
+
+type progressKey struct{}
+
+// WithProgress returns a context carrying fn; RunManyCtx under that
+// context calls it after every completed lane batch.
+func WithProgress(ctx context.Context, fn ProgressFunc) context.Context {
+	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+// progressFrom returns the ProgressFunc carried by ctx, or nil.
+func progressFrom(ctx context.Context) ProgressFunc {
+	fn, _ := ctx.Value(progressKey{}).(ProgressFunc)
+	return fn
+}

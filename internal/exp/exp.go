@@ -26,6 +26,7 @@ import (
 	"dricache/internal/obs"
 	"dricache/internal/policy"
 	"dricache/internal/sim"
+	"dricache/internal/timeline"
 	"dricache/internal/trace"
 )
 
@@ -35,6 +36,10 @@ type Scale struct {
 	Instructions uint64
 	// SenseInterval in dynamic instructions.
 	SenseInterval uint64
+	// Timeline, when Enabled, attaches the interval flight recorder to
+	// every simulation the runner submits (variants and baselines alike),
+	// so each Result carries a per-interval Timeline series.
+	Timeline timeline.Config
 }
 
 // DefaultScale is used by the cmd tools: long enough for ~40 sense
@@ -204,6 +209,9 @@ func (r *Runner) RunAllCtx(ctx context.Context, tasks []Task) []TaskResult {
 	reqs := make([]engine.Request, 0, 2*len(tasks))
 	for i, t := range tasks {
 		cfg := t.SimConfig(r.Scale.Instructions)
+		if r.Scale.Timeline.Enabled {
+			cfg = cfg.WithTimeline(r.Scale.Timeline)
+		}
 		cfgs[i] = cfg
 		reqs = append(reqs,
 			engine.Request{Config: sim.BaselineSimConfig(cfg), Prog: t.Prog},

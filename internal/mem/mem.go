@@ -20,6 +20,7 @@ import (
 	"dricache/internal/cache"
 	"dricache/internal/dri"
 	"dricache/internal/policy"
+	"dricache/internal/timeline"
 )
 
 // Config describes the hierarchy.
@@ -388,6 +389,38 @@ func (h *Hierarchy) L2LeakFraction() float64 {
 		return h.l2Pol.LeakFraction()
 	}
 	return h.l2.AverageActiveFraction()
+}
+
+// TimelineSnapshot fills the hierarchy-owned fields of an interval
+// flight-recorder sample: per-level cumulative counters and the
+// instantaneous array state (live geometry, leakage fraction, per-line
+// policy line counts). The caller (the pipeline lane) overlays its own
+// instruction/cycle cursors and pending memo hits.
+func (h *Hierarchy) TimelineSnapshot(s *timeline.Sample) {
+	l1i := h.l1i.Stats()
+	s.L1IAccesses = l1i.Accesses
+	s.L1IMisses = l1i.Misses
+	s.MemoHits = l1i.MemoHits
+	l2 := h.l2.Stats()
+	s.L2Accesses = l2.Accesses
+	s.L2Misses = l2.Misses
+	s.L2AccessesFromI = h.stats.L2AccessesFromI
+	s.MemAccesses = h.stats.MemAccesses
+	s.ActiveSets = h.l1i.ActiveSets()
+	s.ActiveWays = h.l1i.ActiveWays()
+	if h.l1iPol != nil {
+		s.L1IActiveFraction = h.l1iPol.LeakFractionNow()
+		s.Wakeups = h.l1iPol.Stats().Wakeups
+		s.GatedLines = h.l1iPol.LiveGatedLines()
+		s.DrowsyLines = h.l1iPol.LiveDrowsyLines()
+	} else {
+		s.L1IActiveFraction = h.l1i.ActiveFractionNow()
+	}
+	if h.l2Pol != nil {
+		s.L2ActiveFraction = h.l2Pol.LeakFractionNow()
+	} else {
+		s.L2ActiveFraction = h.l2.ActiveFractionNow()
+	}
 }
 
 // L1IPolicyStats returns the L1 i-cache policy counters (zero unless the

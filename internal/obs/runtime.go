@@ -1,11 +1,36 @@
 package obs
 
-import "runtime"
+import (
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync"
+)
 
 // RegisterRuntimeMetrics registers the Go runtime gauges every serving
-// process wants on its scrape: goroutine count, GOMAXPROCS, and heap
-// occupancy.
+// process wants on its scrape: a build_info identity gauge, goroutine
+// count, GOMAXPROCS, heap occupancy, GC cycle count, and a GC pause
+// histogram.
 func RegisterRuntimeMetrics(r *Registry) {
+	version := "unknown"
+	revision := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				revision = s.Value
+			}
+		}
+	}
+	r.NewGaugeFunc("dricache_build_info",
+		"Build identity; constant 1, the information is in the labels.",
+		func() float64 { return 1 },
+		L("version", version),
+		L("revision", revision),
+		L("go_version", runtime.Version()),
+		L("gomaxprocs", strconv.Itoa(runtime.GOMAXPROCS(0))))
 	r.NewGaugeFunc("go_goroutines", "Current number of goroutines.",
 		func() float64 { return float64(runtime.NumGoroutine()) })
 	r.NewGaugeFunc("go_gomaxprocs", "GOMAXPROCS.",
@@ -16,4 +41,42 @@ func RegisterRuntimeMetrics(r *Registry) {
 			runtime.ReadMemStats(&m)
 			return float64(m.HeapAlloc)
 		})
+
+	// GC pauses land in a histogram by draining runtime.MemStats.PauseNs —
+	// a 256-entry ring of recent pause durations — on every scrape of the
+	// cycle counter. Pauses between scrapes beyond the ring's depth are
+	// dropped; at any plausible scrape interval the ring is ample.
+	gc := &gcPauses{}
+	pauses := r.NewHistogram("go_gc_pause_seconds",
+		"Garbage-collection stop-the-world pause durations.",
+		ExponentialBuckets(1e-6, 4, 12))
+	r.NewCounterFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() float64 { return float64(gc.drain(pauses)) })
+}
+
+// gcPauses tracks which GC cycles have already been fed to the pause
+// histogram, so repeated scrapes observe each pause exactly once.
+type gcPauses struct {
+	mu   sync.Mutex
+	seen uint32
+}
+
+// drain observes the pauses of cycles completed since the last call and
+// returns the total completed cycle count.
+func (g *gcPauses) drain(h *Histogram) uint32 {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	from := g.seen
+	if n := m.NumGC - from; n > uint32(len(m.PauseNs)) {
+		from = m.NumGC - uint32(len(m.PauseNs))
+	}
+	for c := from; c < m.NumGC; c++ {
+		// Cycle number c+1's pause lives at PauseNs[(c+1+255)%256], i.e.
+		// index c modulo the ring size.
+		h.Observe(float64(m.PauseNs[c%uint32(len(m.PauseNs))]) / 1e9)
+	}
+	g.seen = m.NumGC
+	return m.NumGC
 }

@@ -241,3 +241,26 @@ func (e *Engine) LeakFraction() float64 {
 
 // Stats returns a copy of the counters.
 func (e *Engine) Stats() Stats { return e.stats }
+
+// LeakFractionNow exposes the instantaneous effective leakage fraction to
+// observers (the interval flight recorder) without touching the
+// integration state.
+func (e *Engine) LeakFractionNow() float64 { return e.leakFractionNow() }
+
+// LiveGatedLines is the number of frames currently powered off by decay
+// (zero for other policies).
+func (e *Engine) LiveGatedLines() int {
+	if e.cfg.Kind == Decay {
+		return e.frames - e.poweredCount
+	}
+	return 0
+}
+
+// LiveDrowsyLines is the number of frames currently at low Vdd (zero for
+// non-drowsy policies).
+func (e *Engine) LiveDrowsyLines() int {
+	if e.cfg.Kind == Drowsy {
+		return e.frames - e.awakeCount
+	}
+	return 0
+}

@@ -1,0 +1,89 @@
+// Package render draws interval flight-recorder series as ASCII
+// adaptation traces — the textual counterpart of the paper's
+// size-over-time figures — shared between drisim's -timeline mode and the
+// examples.
+package render
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dricache/internal/timeline"
+)
+
+// levels are the eighth-block glyphs of a sparkline, lowest to highest.
+var levels = []rune("▁▂▃▄▅▆▇█")
+
+// spark renders vals scaled between lo and hi (hi <= lo renders the
+// all-low line).
+func spark(vals []float64, lo, hi float64) string {
+	var b strings.Builder
+	for _, v := range vals {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(levels)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(levels) {
+				idx = len(levels) - 1
+			}
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
+
+// row prints one named sparkline with its observed range.
+func row(w io.Writer, name string, vals []float64, unit string) {
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		lo, hi = min(lo, v), max(hi, v)
+	}
+	fmt.Fprintf(w, "  %-8s %s  %.4g..%.4g%s\n", name, spark(vals, 0, hi), lo, hi, unit)
+}
+
+// Timeline renders one series as a labeled block of sparklines: active
+// fraction (the adaptation trace proper), per-interval misses, IPC, and —
+// when the run exercised them — memo hits, gated/drowsy lines, and
+// wakeups. A nil series notes that no intervals were recorded.
+func Timeline(w io.Writer, label string, s *timeline.Series) {
+	if s == nil || len(s.Points) == 0 {
+		fmt.Fprintf(w, "%s: no interval timeline recorded\n", label)
+		return
+	}
+	fmt.Fprintf(w, "%s: %d points × %d-instr base interval (%d samples, %d merges)\n",
+		label, len(s.Points), s.IntervalInstructions, s.Samples, s.Merges)
+	n := len(s.Points)
+	active := make([]float64, n)
+	misses := make([]float64, n)
+	ipc := make([]float64, n)
+	memo := make([]float64, n)
+	gated := make([]float64, n)
+	wake := make([]float64, n)
+	var anyMemo, anyGated, anyWake bool
+	for i, p := range s.Points {
+		active[i] = p.L1IActiveFraction
+		misses[i] = float64(p.L1IMisses)
+		ipc[i] = p.IPC
+		memo[i] = float64(p.MemoHits)
+		gated[i] = float64(p.GatedLines + p.DrowsyLines)
+		wake[i] = float64(p.Wakeups)
+		anyMemo = anyMemo || p.MemoHits > 0
+		anyGated = anyGated || p.GatedLines+p.DrowsyLines > 0
+		anyWake = anyWake || p.Wakeups > 0
+	}
+	row(w, "active", active, " frac")
+	row(w, "misses", misses, "/ival")
+	row(w, "ipc", ipc, "")
+	if anyMemo {
+		row(w, "memo", memo, "/ival")
+	}
+	if anyGated {
+		row(w, "asleep", gated, " lines")
+	}
+	if anyWake {
+		row(w, "wakeups", wake, "/ival")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"dricache/internal/cpu"
 	"dricache/internal/mem"
 	"dricache/internal/obs"
+	"dricache/internal/timeline"
 	"dricache/internal/trace"
 )
 
@@ -165,6 +166,7 @@ func RunLanesNotedCtx(ctx context.Context, cfgs []Config, prog trace.Program) ([
 		func(ctx context.Context) {
 			hs := make([]*mem.Hierarchy, len(cfgs))
 			pipes := make([]*cpu.Pipeline, len(cfgs))
+			recs := make([]*timeline.Recorder, len(cfgs))
 			// One predictor per distinct predictor configuration: cpu.RunLanes walks
 			// only the leader of each config group anyway, so per-lane predictors
 			// would be constructed and never stepped.
@@ -178,6 +180,8 @@ func RunLanesNotedCtx(ctx context.Context, cfgs []Config, prog trace.Program) ([
 					preds[c.Bpred] = bp
 				}
 				pipes[i] = cpu.New(c.CPU, h, h, bp, h)
+				recs[i] = newRecorder(ctx, c)
+				pipes[i].SetTimeline(recs[i])
 			}
 			_, sp := obs.StartSpan(ctx, "pipeline")
 			sp.SetAttr("lanes", strconv.Itoa(len(cfgs)))
@@ -187,7 +191,7 @@ func RunLanesNotedCtx(ctx context.Context, cfgs []Config, prog trace.Program) ([
 			_, sp = obs.StartSpan(ctx, "assemble")
 			for i, c := range cfgs {
 				hs[i].Finish(cpuRes[i].Cycles)
-				out[i] = assemble(c, prog, cpuRes[i], hs[i])
+				out[i] = assemble(c, prog, cpuRes[i], hs[i], recs[i])
 				releaseHierarchy(c.Mem, hs[i])
 			}
 			sp.End()

@@ -22,6 +22,11 @@ var (
 	polGated   atomic.Uint64
 	polDrowsy  atomic.Uint64
 	memoHits   atomic.Uint64
+
+	intervalRuns    atomic.Uint64
+	intervalPoints  atomic.Uint64
+	intervalSamples atomic.Uint64
+	intervalMerges  atomic.Uint64
 )
 
 // noteRun accounts one completed simulation; called from assemble so every
@@ -36,6 +41,12 @@ func noteRun(res *Result) {
 	}
 	if n := res.Mem.L1ITagProbesSkipped + res.Mem.L2TagProbesSkipped; n > 0 {
 		memoHits.Add(n)
+	}
+	if tl := res.Timeline; tl != nil {
+		intervalRuns.Add(1)
+		intervalPoints.Add(uint64(len(tl.Points)))
+		intervalSamples.Add(tl.Samples)
+		intervalMerges.Add(tl.Merges)
 	}
 }
 
@@ -63,6 +74,18 @@ func RegisterMetrics(r *obs.Registry) {
 	r.NewCounterFunc("sim_policy_memo_hits_total",
 		"Way-memoization hits (tag probes skipped) across all runs.",
 		counter(&memoHits))
+	r.NewCounterFunc("sim_interval_runs_total",
+		"Simulations that produced an interval timeline.",
+		counter(&intervalRuns))
+	r.NewCounterFunc("sim_interval_points_total",
+		"Interval points retained across all timelines (after merging).",
+		counter(&intervalPoints))
+	r.NewCounterFunc("sim_interval_samples_total",
+		"Raw interval boundary samples taken by the flight recorders.",
+		counter(&intervalSamples))
+	r.NewCounterFunc("sim_interval_merges_total",
+		"Flight-recorder pair-merge compactions (each halves resolution).",
+		counter(&intervalMerges))
 
 	lane := func(f func(LaneStats) uint64) func() float64 {
 		return func() float64 { return float64(f(ReadLaneStats())) }

@@ -16,6 +16,7 @@ import (
 	"dricache/internal/mem"
 	"dricache/internal/obs"
 	"dricache/internal/policy"
+	"dricache/internal/timeline"
 	"dricache/internal/trace"
 )
 
@@ -26,6 +27,17 @@ type Config struct {
 	Bpred bpred.Config
 	// Instructions is the dynamic instruction budget.
 	Instructions uint64
+	// Timeline enables the per-interval flight recorder; the zero value
+	// records nothing and costs nothing. It participates in the engine
+	// cache key (a timeline-enabled run is a distinct result) and stays
+	// comparable like the rest of Config.
+	Timeline timeline.Config
+}
+
+// WithTimeline returns cfg with interval recording configured.
+func (c Config) WithTimeline(t timeline.Config) Config {
+	c.Timeline = t
+	return c
 }
 
 // Default returns the paper's Table 1 system around the given L1 i-cache,
@@ -118,6 +130,13 @@ type Result struct {
 	// lines leak at the low-Vdd fraction instead of zero.
 	L1IPolicyStats policy.Stats
 	L2PolicyStats  policy.Stats
+
+	// Timeline is the per-interval flight-recorder series; nil unless
+	// Config.Timeline.Enabled and the run went through an instrumented
+	// executor (the fused loop or the lane executor — the generic
+	// interface loop, used when the trace store bypasses a stream, has no
+	// hierarchy to sample).
+	Timeline *timeline.Series
 }
 
 // MissRate is the i-cache miss rate per access.
@@ -148,6 +167,8 @@ func RunCtx(ctx context.Context, cfg Config, prog trace.Program) Result {
 			h := acquireHierarchy(cfg.Mem)
 			bp := bpred.New(cfg.Bpred)
 			pipe := cpu.New(cfg.CPU, h, h, bp, h)
+			rec := newRecorder(ctx, cfg)
+			pipe.SetTimeline(rec)
 			_, sp := obs.StartSpan(ctx, "stream_decode")
 			stream := trace.StreamFor(prog, cfg.Instructions)
 			sp.End()
@@ -156,7 +177,7 @@ func RunCtx(ctx context.Context, cfg Config, prog trace.Program) Result {
 			sp.End()
 			h.Finish(cpuRes.Cycles)
 			_, sp = obs.StartSpan(ctx, "assemble")
-			res = assemble(cfg, prog, cpuRes, h)
+			res = assemble(cfg, prog, cpuRes, h, rec)
 			sp.End()
 			releaseHierarchy(cfg.Mem, h)
 		})
@@ -175,11 +196,43 @@ func policyLabel(cfg Config) string {
 	return string(policy.Conventional)
 }
 
+// newRecorder builds the interval flight recorder for one run, or nil when
+// recording is off. The sampling interval defaults to the configuration's
+// own adaptation cadence — the DRI sense interval, else a per-line
+// policy's tick interval — so points align with the decisions they
+// observe; energy rates come from the same CACTI-lite model the end-of-run
+// accounting uses. A live point sink carried by ctx (timeline.WithSink)
+// becomes the recorder's OnPoint hook.
+func newRecorder(ctx context.Context, cfg Config) *timeline.Recorder {
+	if !cfg.Timeline.Enabled {
+		return nil
+	}
+	l1i := cfg.Mem.L1I
+	var fallback uint64
+	if l1i.Params.Enabled {
+		fallback = l1i.Params.SenseInterval
+	} else if cfg.Mem.L1IPolicy.PerLine() {
+		fallback = cfg.Mem.L1IPolicy.IntervalInstructions
+	}
+	em := energy.ForL1(l1i.SizeBytes, l1i.BlockBytes, l1i.Assoc)
+	rec := timeline.NewRecorder(cfg.Timeline, fallback, timeline.EnergyRates{
+		L1ILeakPerCycleNJ: em.ConvLeakPerCycleNJ,
+		BitlineNJ:         em.BitlineNJ,
+		L2AccessNJ:        em.L2AccessNJ,
+		MemoSavedNJ:       em.MemoSavedNJ,
+		ResizingTagBits:   l1i.ResizingTagBits(),
+	})
+	if sink := timeline.SinkFrom(ctx); sink != nil {
+		rec.OnPoint = sink
+	}
+	return rec
+}
+
 // assemble collects every observable of a finished run into a Result. The
 // snapshots it takes (stats copies, the residency map copy, the event log's
 // final backing array) do not alias hierarchy state that a later Reset
 // mutates, so the hierarchy may be returned to the pool immediately after.
-func assemble(cfg Config, prog trace.Program, cpuRes cpu.Result, h *mem.Hierarchy) Result {
+func assemble(cfg Config, prog trace.Program, cpuRes cpu.Result, h *mem.Hierarchy, rec *timeline.Recorder) Result {
 	ic := h.ICache()
 	l2 := h.L2()
 	res := Result{
@@ -198,6 +251,7 @@ func assemble(cfg Config, prog trace.Program, cpuRes cpu.Result, h *mem.Hierarch
 		L2SizeResidency:     l2.SizeResidency(),
 		L1IPolicyStats:      h.L1IPolicyStats(),
 		L2PolicyStats:       h.L2PolicyStats(),
+		Timeline:            rec.Series(),
 	}
 	noteRun(&res)
 	return res

@@ -1,0 +1,157 @@
+package sim
+
+// Property tests of the interval flight recorder against the simulator
+// proper: a recorded series must re-aggregate exactly to the run's final
+// counters (the recorder is a decomposition of the totals, never an
+// estimate), and enabling it must not perturb the simulation at all.
+
+import (
+	"reflect"
+	"testing"
+
+	"dricache/internal/dri"
+	"dricache/internal/policy"
+	"dricache/internal/timeline"
+	"dricache/internal/trace"
+)
+
+// timelineConfigs builds the six policy variants (conventional, dri,
+// decay, drowsy, waygate, waymemo) on a 64K 4-way geometry at one
+// instruction budget and sense interval.
+func timelineConfigs(n, iv uint64) []Config {
+	driCfg := assoc4()
+	driCfg.Params = dri.DefaultParams(iv)
+	return []Config{
+		Default(assoc4(), n),
+		Default(driCfg, n),
+		Default(assoc4(), n).WithL1IPolicy(policy.DefaultDecay(iv)),
+		Default(assoc4(), n).WithL1IPolicy(policy.DefaultDrowsy(iv)),
+		Default(assoc4(), n).WithL1IPolicy(policy.DefaultWayGate(iv)),
+		Default(assoc4(), n).WithL1IPolicy(policy.DefaultWayMemo(iv)),
+	}
+}
+
+var timelinePolicyNames = []string{"conventional", "dri", "decay", "drowsy", "waygate", "waymemo"}
+
+// checkReaggregates asserts that the series' point deltas sum exactly to
+// the result's final counters.
+func checkReaggregates(t *testing.T, label string, r Result) {
+	t.Helper()
+	tl := r.Timeline
+	if tl == nil || len(tl.Points) == 0 {
+		t.Fatalf("%s: no timeline recorded", label)
+	}
+	if len(tl.Points) > tl.MaxPoints {
+		t.Fatalf("%s: %d points exceed cap %d", label, len(tl.Points), tl.MaxPoints)
+	}
+	var cycles, l1iAcc, l1iMiss, l2Acc, l2Miss, l2FromI, mem, memo, wake uint64
+	var prevEnd uint64
+	for i, p := range tl.Points {
+		if p.StartInstructions != prevEnd {
+			t.Fatalf("%s: point %d starts at %d, want %d (gap or overlap)",
+				label, i, p.StartInstructions, prevEnd)
+		}
+		prevEnd = p.EndInstructions
+		cycles += p.Cycles
+		l1iAcc += p.L1IAccesses
+		l1iMiss += p.L1IMisses
+		l2Acc += p.L2Accesses
+		l2Miss += p.L2Misses
+		l2FromI += p.L2AccessesFromI
+		mem += p.MemAccesses
+		memo += p.MemoHits
+		wake += p.Wakeups
+	}
+	type check struct {
+		name      string
+		got, want uint64
+	}
+	for _, c := range []check{
+		{"end instructions", prevEnd, r.CPU.Instructions},
+		{"cycles", cycles, r.CPU.Cycles},
+		{"l1i accesses", l1iAcc, r.ICache.Accesses},
+		{"l1i misses", l1iMiss, r.ICache.Misses},
+		{"l2 accesses", l2Acc, r.L2.Accesses},
+		{"l2 misses", l2Miss, r.L2.Misses},
+		{"l2 accesses from i", l2FromI, r.Mem.L2AccessesFromI},
+		{"mem accesses", mem, r.Mem.MemAccesses},
+		{"memo hits", memo, r.ICache.MemoHits},
+		{"wakeups", wake, r.L1IPolicyStats.Wakeups},
+	} {
+		if c.got != c.want {
+			t.Errorf("%s: Σ %s over %d points = %d, final counter = %d",
+				label, c.name, len(tl.Points), c.got, c.want)
+		}
+	}
+}
+
+// TestTimelineReaggregatesExactly runs every benchmark under all six
+// policies through the lane executor with recording on and checks the
+// decomposition property on each result.
+func TestTimelineReaggregatesExactly(t *testing.T) {
+	benches := trace.Benchmarks()
+	n := uint64(400_000)
+	if testing.Short() {
+		benches = benches[:3]
+		n = 200_000
+	}
+	const iv = 20_000
+	for _, bench := range benches {
+		cfgs := timelineConfigs(n, iv)
+		for i := range cfgs {
+			cfgs[i] = cfgs[i].WithTimeline(timeline.Config{Enabled: true})
+		}
+		for i, r := range RunLanes(cfgs, bench) {
+			checkReaggregates(t, bench.Name+"/"+timelinePolicyNames[i], r)
+		}
+	}
+}
+
+// TestTimelineRecorderDoesNotPerturb checks that a recorder-on run is
+// bit-identical to the recorder-off run once the Timeline series itself is
+// set aside.
+func TestTimelineRecorderDoesNotPerturb(t *testing.T) {
+	prog := policyProg(t)
+	const n, iv = 400_000, 20_000
+	off := RunLanes(timelineConfigs(n, iv), prog)
+	cfgs := timelineConfigs(n, iv)
+	for i := range cfgs {
+		cfgs[i] = cfgs[i].WithTimeline(timeline.Config{Enabled: true})
+	}
+	on := RunLanes(cfgs, prog)
+	for i := range off {
+		got := on[i]
+		if got.Timeline == nil {
+			t.Fatalf("%s: recording enabled but no series", timelinePolicyNames[i])
+		}
+		got.Timeline = nil
+		if !reflect.DeepEqual(off[i], got) {
+			t.Errorf("%s: recorder-on result differs from recorder-off", timelinePolicyNames[i])
+		}
+	}
+}
+
+// TestTimelineCapMerges forces heavy merging with a tiny point cap and
+// checks both the bound and that merging cannot break the decomposition.
+func TestTimelineCapMerges(t *testing.T) {
+	prog := policyProg(t)
+	driCfg := assoc4()
+	driCfg.Params = dri.DefaultParams(10_000)
+	cfg := Default(driCfg, 1_000_000).WithTimeline(timeline.Config{
+		Enabled:              true,
+		IntervalInstructions: 10_000,
+		MaxPoints:            4,
+	})
+	r := Run(cfg, prog)
+	tl := r.Timeline
+	if tl == nil {
+		t.Fatal("no timeline recorded")
+	}
+	if len(tl.Points) > 4 {
+		t.Fatalf("cap 4 not enforced: %d points", len(tl.Points))
+	}
+	if tl.Merges == 0 {
+		t.Fatal("expected merges with 100 intervals into 4 points")
+	}
+	checkReaggregates(t, "dri/capped", r)
+}

@@ -1,0 +1,207 @@
+package timeline
+
+import (
+	"math"
+	"testing"
+)
+
+// synthSample builds a deterministic cumulative sample at instruction count
+// n so counter totals are easy to predict in assertions.
+func synthSample(n uint64) Sample {
+	return Sample{
+		Instructions:      n,
+		Cycles:            2 * n,
+		L1IAccesses:       n,
+		L1IMisses:         n / 10,
+		L2Accesses:        n / 10,
+		L2Misses:          n / 100,
+		L2AccessesFromI:   n / 20,
+		MemAccesses:       n / 100,
+		MemoHits:          n / 4,
+		Wakeups:           n / 50,
+		ActiveSets:        int(n % 64),
+		ActiveWays:        1,
+		L1IActiveFraction: 0.5,
+	}
+}
+
+func TestNewRecorderDisabled(t *testing.T) {
+	if r := NewRecorder(Config{}, 1000, EnergyRates{}); r != nil {
+		t.Fatalf("disabled config produced a recorder: %+v", r)
+	}
+	var r *Recorder
+	if s := r.Series(); s != nil {
+		t.Fatalf("nil recorder Series() = %+v, want nil", s)
+	}
+}
+
+func TestIntervalFallback(t *testing.T) {
+	cases := []struct {
+		cfg      Config
+		fallback uint64
+		want     uint64
+	}{
+		{Config{Enabled: true, IntervalInstructions: 7}, 1000, 7},
+		{Config{Enabled: true}, 1000, 1000},
+		{Config{Enabled: true}, 0, 100_000},
+	}
+	for _, c := range cases {
+		if got := NewRecorder(c.cfg, c.fallback, EnergyRates{}).Interval(); got != c.want {
+			t.Errorf("interval(%+v, fallback %d) = %d, want %d", c.cfg, c.fallback, got, c.want)
+		}
+	}
+}
+
+// TestMergePreservesTotals drives many samples through a tightly capped
+// recorder and checks that the merged points still re-aggregate exactly to
+// the last sample's cumulative counters.
+func TestMergePreservesTotals(t *testing.T) {
+	const intervals = 1000
+	r := NewRecorder(Config{Enabled: true, IntervalInstructions: 100, MaxPoints: 16}, 0, EnergyRates{})
+	var last Sample
+	for i := uint64(0); i <= intervals; i++ {
+		last = synthSample(i * 100)
+		r.Record(last)
+	}
+	s := r.Series()
+	if s == nil {
+		t.Fatal("no series recorded")
+	}
+	if len(s.Points) > 16 {
+		t.Fatalf("series has %d points, cap is 16", len(s.Points))
+	}
+	if s.Merges == 0 {
+		t.Fatalf("expected merges with %d intervals into 16 points", intervals)
+	}
+	if s.Samples != intervals+1 {
+		t.Fatalf("samples = %d, want %d", s.Samples, intervals+1)
+	}
+
+	var sum Point
+	for _, p := range s.Points {
+		sum.Cycles += p.Cycles
+		sum.L1IAccesses += p.L1IAccesses
+		sum.L1IMisses += p.L1IMisses
+		sum.L2Accesses += p.L2Accesses
+		sum.L2Misses += p.L2Misses
+		sum.L2AccessesFromI += p.L2AccessesFromI
+		sum.MemAccesses += p.MemAccesses
+		sum.MemoHits += p.MemoHits
+		sum.Wakeups += p.Wakeups
+	}
+	if sum.Cycles != last.Cycles || sum.L1IAccesses != last.L1IAccesses ||
+		sum.L1IMisses != last.L1IMisses || sum.L2Accesses != last.L2Accesses ||
+		sum.L2Misses != last.L2Misses || sum.L2AccessesFromI != last.L2AccessesFromI ||
+		sum.MemAccesses != last.MemAccesses || sum.MemoHits != last.MemoHits ||
+		sum.Wakeups != last.Wakeups {
+		t.Fatalf("merged totals %+v do not re-aggregate to final sample %+v", sum, last)
+	}
+
+	// The points must tile the instruction range without gaps or overlap.
+	var prevEnd uint64
+	for i, p := range s.Points {
+		if p.StartInstructions != prevEnd {
+			t.Fatalf("point %d starts at %d, want %d", i, p.StartInstructions, prevEnd)
+		}
+		prevEnd = p.EndInstructions
+	}
+	if prevEnd != last.Instructions {
+		t.Fatalf("series ends at %d, want %d", prevEnd, last.Instructions)
+	}
+}
+
+// TestEqualInstructionFold checks that a flush at an already-recorded
+// instruction count folds trailing counter movement into the last point
+// instead of appending a zero-length interval.
+func TestEqualInstructionFold(t *testing.T) {
+	r := NewRecorder(Config{Enabled: true, IntervalInstructions: 100}, 0, EnergyRates{})
+	r.Record(synthSample(0))
+	r.Record(synthSample(100))
+	s2 := synthSample(200)
+	r.Record(s2)
+
+	// Trailing-tick movement: same instruction count, more memory traffic.
+	s3 := s2
+	s3.MemAccesses += 5
+	s3.ActiveSets = 1
+	r.Record(s3)
+
+	s := r.Series()
+	if len(s.Points) != 2 {
+		t.Fatalf("got %d points, want 2 (fold, not append)", len(s.Points))
+	}
+	last := s.Points[1]
+	if want := s2.MemAccesses - 1 + 5; last.MemAccesses != want {
+		t.Fatalf("folded MemAccesses = %d, want %d", last.MemAccesses, want)
+	}
+	if last.ActiveSets != 1 {
+		t.Fatalf("fold did not refresh end state: ActiveSets = %d, want 1", last.ActiveSets)
+	}
+}
+
+func TestRegressingSampleIgnored(t *testing.T) {
+	r := NewRecorder(Config{Enabled: true, IntervalInstructions: 100}, 0, EnergyRates{})
+	r.Record(synthSample(0))
+	r.Record(synthSample(100))
+	r.Record(synthSample(50)) // must be dropped
+	s := r.Series()
+	if len(s.Points) != 1 || s.Points[0].EndInstructions != 100 {
+		t.Fatalf("regressing sample altered the series: %+v", s.Points)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	rates := EnergyRates{
+		L1ILeakPerCycleNJ: 0.5,
+		BitlineNJ:         0.01,
+		L2AccessNJ:        2.0,
+		MemoSavedNJ:       0.25,
+		ResizingTagBits:   3,
+	}
+	r := NewRecorder(Config{Enabled: true, IntervalInstructions: 100}, 0, rates)
+	r.Record(Sample{})
+	r.Record(Sample{
+		Instructions: 100, Cycles: 200,
+		L1IAccesses: 100, L2AccessesFromI: 4, MemoHits: 8,
+		L1IActiveFraction: 0.25,
+	})
+	s := r.Series()
+	want := 0.5*0.25*200 + 0.01*3*100 + 2.0*4 - 0.25*8
+	if got := s.Points[0].EnergyNJ; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("EnergyNJ = %g, want %g", got, want)
+	}
+	if got := s.Points[0].IPC; math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("IPC = %g, want 0.5", got)
+	}
+}
+
+func TestOnPointSink(t *testing.T) {
+	r := NewRecorder(Config{Enabled: true, IntervalInstructions: 100, MaxPoints: 2}, 0, EnergyRates{})
+	var seen []uint64
+	r.OnPoint = func(p Point) { seen = append(seen, p.EndInstructions) }
+	for i := uint64(0); i <= 8; i++ {
+		r.Record(synthSample(i * 100))
+	}
+	// The sink observes every raw point, before and regardless of merging.
+	if len(seen) != 8 {
+		t.Fatalf("sink saw %d points, want 8", len(seen))
+	}
+	for i, end := range seen {
+		if want := uint64(i+1) * 100; end != want {
+			t.Fatalf("sink point %d ends at %d, want %d", i, end, want)
+		}
+	}
+	if got := len(r.Series().Points); got > 2 {
+		t.Fatalf("series kept %d points, cap is 2", got)
+	}
+}
+
+func TestMaxPointsFloor(t *testing.T) {
+	r := NewRecorder(Config{Enabled: true, MaxPoints: 1}, 10, EnergyRates{})
+	for i := uint64(0); i <= 5; i++ {
+		r.Record(synthSample(i * 10))
+	}
+	if got := len(r.Series().Points); got > 2 {
+		t.Fatalf("MaxPoints floor not applied: %d points", got)
+	}
+}
