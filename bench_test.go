@@ -11,13 +11,19 @@
 package dricache
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"dricache/internal/circuit"
+	"dricache/internal/cpu"
 	"dricache/internal/exp"
 	"dricache/internal/isa"
+	"dricache/internal/sim"
+	"dricache/internal/timeline"
 	"dricache/internal/trace"
 )
 
@@ -223,6 +229,43 @@ func BenchmarkLaneSweep(b *testing.B) {
 				"lane-instrs/s")
 		})
 	}
+}
+
+// BenchmarkLaneCancel measures mid-run cancellation on the lane executor:
+// each iteration starts the 8-lane sweep of BenchmarkLaneSweep with the
+// flight recorder attached, cancels at the first 50K-instruction interval
+// point, and runs to the abort. ns/op is the whole cancelled run (simulate
+// to the interval, then unwind); the settle-ns metric isolates the window
+// from cancel to RunLanesCtx returning — the chunk-boundary promptness
+// that bounds how long DELETE /v1/jobs/{id} leaves lanes running.
+func BenchmarkLaneCancel(b *testing.B) {
+	prog, err := BenchmarkByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const instrs = 1_000_000
+	cfgs := laneSweepConfigs(8, instrs)
+	for i := range cfgs {
+		cfgs[i].Timeline = TimelineConfig{Enabled: true, IntervalInstructions: 50_000}
+	}
+	RunLanes(laneSweepConfigs(8, instrs), prog) // prime the replay store
+	var settle time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, cancel := context.WithCancelCause(context.Background())
+		var at time.Time
+		ctx = timeline.WithSink(ctx, func(timeline.Point) {
+			if at.IsZero() {
+				at = time.Now()
+				cancel(errors.New("bench: first interval"))
+			}
+		})
+		if _, err := sim.RunLanesCtx(ctx, cfgs, prog); !errors.Is(err, cpu.ErrAborted) {
+			b.Fatalf("RunLanesCtx err = %v, want cpu.ErrAborted", err)
+		}
+		settle += time.Since(at)
+	}
+	b.ReportMetric(float64(settle.Nanoseconds())/float64(b.N), "settle-ns")
 }
 
 // BenchmarkFig4 measures the miss-bound sensitivity study (E4).

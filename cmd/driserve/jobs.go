@@ -1,0 +1,341 @@
+package main
+
+// The async job API (ROADMAP item 5). POST /v1/jobs wraps the same
+// run/compare/sweep payloads the synchronous endpoints take into jobs on
+// the admission-controlled manager: the submit returns 202 with a job ID
+// immediately, GET /v1/jobs/{id} serves status and (once done) the result,
+// DELETE /v1/jobs/{id} cancels for real — the simulation stack aborts at
+// the next chunk boundary, and aborted points are never cached — and
+// GET /v1/jobs/{id}/progress streams the job's SSE progress (the same
+// interval/sweep events as /v1/runs/{id}/progress, keyed by job ID, plus
+// per-state transition events). Rejections are structured 429s with a
+// Retry-After estimated from the queue depth and recent run times.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dricache/internal/exp"
+	"dricache/internal/jobs"
+	"dricache/internal/sim"
+)
+
+// jobSubmitRequest is the POST /v1/jobs envelope: exactly one payload
+// (run, compare, or sweep — the same shapes the synchronous endpoints
+// take) plus job-level knobs.
+type jobSubmitRequest struct {
+	// Kind optionally names the payload ("run", "compare", "sweep"); when
+	// set it must match the payload actually provided.
+	Kind string `json:"kind"`
+	// Priority orders the queue; higher runs first, ties are FIFO.
+	Priority int `json:"priority"`
+	// TimeoutSeconds bounds the job's total lifetime, queue wait included
+	// (0 = server default; ?timeout= on the submit URL overrides).
+	TimeoutSeconds float64 `json:"timeoutSeconds"`
+	// Timeline opts a run/compare job into interval recording, like
+	// ?timeline=1 on the synchronous endpoints.
+	Timeline bool `json:"timeline"`
+
+	Run     *runRequest   `json:"run"`
+	Compare *runRequest   `json:"compare"`
+	Sweep   *sweepRequest `json:"sweep"`
+}
+
+// jobView is the wire form of a job snapshot.
+type jobView struct {
+	ID               string    `json:"id"`
+	Kind             string    `json:"kind"`
+	State            string    `json:"state"`
+	Client           string    `json:"client,omitempty"`
+	Priority         int       `json:"priority,omitempty"`
+	Instructions     uint64    `json:"instructions,omitempty"`
+	SubmittedAt      time.Time `json:"submittedAt"`
+	StartedAt        time.Time `json:"startedAt,omitzero"`
+	FinishedAt       time.Time `json:"finishedAt,omitzero"`
+	Deadline         time.Time `json:"deadline,omitzero"`
+	QueueWaitSeconds float64   `json:"queueWaitSeconds"`
+	ProgressURL      string    `json:"progressUrl"`
+	Result           any       `json:"result,omitempty"`
+	Error            string    `json:"error,omitempty"`
+}
+
+func jobViewOf(snap jobs.Snapshot) jobView {
+	return jobView{
+		ID:               snap.ID,
+		Kind:             snap.Kind,
+		State:            string(snap.State),
+		Client:           snap.Client,
+		Priority:         snap.Priority,
+		Instructions:     snap.Instructions,
+		SubmittedAt:      snap.SubmittedAt,
+		StartedAt:        snap.StartedAt,
+		FinishedAt:       snap.FinishedAt,
+		Deadline:         snap.Deadline,
+		QueueWaitSeconds: snap.QueueWait().Seconds(),
+		ProgressURL:      "/v1/jobs/" + snap.ID + "/progress",
+		Result:           snap.Result,
+		Error:            snap.Error,
+	}
+}
+
+// clientID is the admission identity of one request: the X-API-Key header
+// when present, otherwise the remote host (port stripped, so one client's
+// connections share an account).
+func clientID(r *http.Request) string {
+	if key := r.Header.Get("X-API-Key"); key != "" {
+		return "key:" + key
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// parseTimeout parses a ?timeout= value: a Go duration ("30s", "2m") or a
+// bare number of seconds.
+func parseTimeout(v string) (time.Duration, error) {
+	if d, err := time.ParseDuration(v); err == nil {
+		if d < 0 {
+			return 0, fmt.Errorf("timeout %q is negative", v)
+		}
+		return d, nil
+	}
+	secs, err := strconv.ParseFloat(v, 64)
+	if err != nil || secs < 0 || math.IsNaN(secs) || math.IsInf(secs, 0) {
+		return 0, fmt.Errorf("invalid timeout %q (want a duration like 30s or a number of seconds)", v)
+	}
+	return time.Duration(secs * float64(time.Second)), nil
+}
+
+// buildJob validates a submit envelope into an admission request and the
+// job body. Validation is eager — a bad payload is a 400 at submit time,
+// never a failed job — and the body closes over fully-built configs, so
+// all it does under the job's context is simulate.
+func (s *server) buildJob(req jobSubmitRequest) (jobs.Request, error) {
+	kind, payloads := "", 0
+	if req.Run != nil {
+		kind, payloads = "run", payloads+1
+	}
+	if req.Compare != nil {
+		kind, payloads = "compare", payloads+1
+	}
+	if req.Sweep != nil {
+		kind, payloads = "sweep", payloads+1
+	}
+	if payloads != 1 {
+		return jobs.Request{}, fmt.Errorf("set exactly one of run, compare, or sweep (got %d)", payloads)
+	}
+	if req.Kind != "" && req.Kind != kind {
+		return jobs.Request{}, fmt.Errorf("kind %q does not match the %s payload", req.Kind, kind)
+	}
+
+	jr := jobs.Request{
+		Kind:     kind,
+		Priority: req.Priority,
+		Deadline: time.Duration(req.TimeoutSeconds * float64(time.Second)),
+	}
+	switch kind {
+	case "run":
+		cfg, prog, err := s.buildRun(*req.Run)
+		if err != nil {
+			return jobs.Request{}, err
+		}
+		if req.Timeline {
+			if err := checkTimeline(prog, cfg.Instructions); err != nil {
+				return jobs.Request{}, err
+			}
+			cfg.Timeline.Enabled = true
+		}
+		jr.Instructions = cfg.Instructions
+		jr.Run = func(ctx context.Context) (any, error) {
+			res, cached, err := s.eng.RunCachedCtx(ctx, cfg, prog)
+			if err != nil {
+				return nil, err
+			}
+			resp := map[string]any{"result": summarize(res), "cached": cached}
+			if cfg.Timeline.Enabled {
+				resp["timeline"] = res.Timeline
+			}
+			return resp, nil
+		}
+	case "compare":
+		cfg, prog, err := s.buildRun(*req.Compare)
+		if err != nil {
+			return jobs.Request{}, err
+		}
+		if req.Timeline {
+			if err := checkTimeline(prog, cfg.Instructions); err != nil {
+				return jobs.Request{}, err
+			}
+			cfg.Timeline.Enabled = true
+		}
+		if cfg == sim.BaselineSimConfig(cfg) {
+			return jobs.Request{}, errors.New(
+				"compare requires a DRI or policy configuration (set cache.dri and/or l2.dri, or a policy)")
+		}
+		// Both sides simulate, so the estimate is twice the run budget.
+		jr.Instructions = 2 * cfg.Instructions
+		jr.Run = func(ctx context.Context) (any, error) {
+			cmp, cacheOutcome, err := s.eng.CompareSimCachedCtx(ctx, cfg, prog)
+			if err != nil {
+				return nil, err
+			}
+			resp := map[string]any{
+				"comparison": summarizeComparison(cmp),
+				"cached": map[string]bool{
+					"baseline": cacheOutcome.BaselineCached,
+					"dri":      cacheOutcome.DRICached,
+				},
+			}
+			if cfg.Timeline.Enabled {
+				resp["timeline"] = map[string]any{
+					"baseline": cmp.Conv.Timeline,
+					"dri":      cmp.DRI.Timeline,
+				}
+			}
+			return resp, nil
+		}
+	case "sweep":
+		plan, err := s.buildSweep(*req.Sweep)
+		if err != nil {
+			return jobs.Request{}, err
+		}
+		s.httpm.sweepPoints.Observe(float64(plan.points))
+		// Each point compares against its baseline: two runs per point.
+		jr.Instructions = 2 * uint64(plan.points) * plan.scale.Instructions
+		jr.Run = func(ctx context.Context) (any, error) {
+			results, err := exp.NewRunnerOn(s.eng, plan.scale).RunAllCtx(ctx, plan.tasks)
+			if err != nil {
+				return nil, err
+			}
+			return map[string]any{"points": plan.points, "rows": sweepRows(results)}, nil
+		}
+	}
+	return jr, nil
+}
+
+// handleJobSubmit serves POST /v1/jobs: validate, admit, and return 202
+// with the queued snapshot — or a structured 429 carrying Retry-After.
+func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobSubmitRequest
+	if status, err := decodeBody(w, r, &req); status != 0 {
+		writeError(w, status, "%v", err)
+		return
+	}
+	jr, err := s.buildJob(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		d, err := parseTimeout(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		jr.Deadline = d
+	}
+	jr.Client = clientID(r)
+
+	// The body learns its job ID (assigned by the manager during Submit)
+	// through this channel, then publishes progress into the job's entry.
+	ids := make(chan string, 1)
+	body := jr.Run
+	jr.Run = func(ctx context.Context) (any, error) {
+		ent := s.progress.ensureJob(<-ids)
+		return body(withProgressSinks(ctx, ent))
+	}
+
+	snap, err := s.jobs.Submit(jr)
+	if err != nil {
+		var adm *jobs.AdmissionError
+		if errors.As(err, &adm) {
+			secs := int(math.Ceil(adm.RetryAfter.Seconds()))
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error":             adm.Error(),
+				"status":            http.StatusTooManyRequests,
+				"reason":            adm.Reason,
+				"retryAfterSeconds": secs,
+			})
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ids <- snap.ID
+	writeJSON(w, http.StatusAccepted, map[string]any{"job": jobViewOf(snap)})
+}
+
+// handleJobGet serves GET /v1/jobs/{id}: current status, and the result
+// once the job is done.
+func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, err := s.jobs.Get(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no job (retained) with id %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"job": jobViewOf(snap)})
+}
+
+// handleJobCancel serves DELETE /v1/jobs/{id}. A queued job settles
+// immediately; a running job's context is cancelled and the simulation
+// aborts at the next chunk boundary, so the returned snapshot may still
+// read "running" — poll GET until terminal.
+func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, err := s.jobs.Cancel(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no job (retained) with id %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"job": jobViewOf(snap)})
+}
+
+// handleJobList serves GET /v1/jobs: every retained job, newest first,
+// plus the manager's admission counters.
+func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	snaps := s.jobs.List()
+	views := make([]jobView, 0, len(snaps))
+	for _, snap := range snaps {
+		views = append(views, jobViewOf(snap))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"jobs":  views,
+		"stats": s.jobs.Stats(),
+	})
+}
+
+// handleJobProgress serves GET /v1/jobs/{id}/progress as an SSE stream of
+// state transitions plus the job's interval/sweep progress events.
+func (s *server) handleJobProgress(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ent := s.progress.lookup(id)
+	if ent == nil {
+		writeError(w, http.StatusNotFound, "no progress (retained) for job id %q", id)
+		return
+	}
+	streamProgress(w, r, ent)
+}
+
+// publishJobTransition is the manager's observer: every state change
+// becomes a "state" SSE event on the job's progress entry, and terminal
+// states close the entry with a "done" event.
+func (s *server) publishJobTransition(snap jobs.Snapshot) {
+	ent := s.progress.ensureJob(snap.ID)
+	payload := map[string]any{"state": string(snap.State), "kind": snap.Kind}
+	if snap.Error != "" {
+		payload["error"] = snap.Error
+	}
+	ent.publish("state", payload)
+	if snap.State.Terminal() {
+		ent.finish(map[string]any{"outcome": string(snap.State)})
+	}
+}

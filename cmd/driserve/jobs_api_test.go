@@ -1,0 +1,405 @@
+package main
+
+// httptest coverage of the async job API: the full lifecycle (submit →
+// progress stream → result pickup), true mid-sweep cancellation with a
+// wall-time bound on how fast the running simulation stops, deadline
+// expiry, and the admission-control rejections (queue full, per-client
+// limit) with their structured 429 + Retry-After responses.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dricache/internal/engine"
+	"dricache/internal/jobs"
+)
+
+// jobTestServer boots the full handler stack over a manager with the given
+// bounds.
+func jobTestServer(t *testing.T, jcfg jobs.Config) *httptest.Server {
+	t.Helper()
+	s := buildServer(engine.New(0), 50_000_000, jcfg)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// submitJob posts a job envelope (with an optional X-API-Key) and returns
+// the response status and decoded body.
+func submitJob(t *testing.T, ts *httptest.Server, body, apiKey string) (int, map[string]any, http.Header) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if apiKey != "" {
+		req.Header.Set("X-API-Key", apiKey)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out, resp.Header
+}
+
+// jobID extracts the job ID from a submit/get response body.
+func jobID(t *testing.T, body map[string]any) string {
+	t.Helper()
+	job, ok := body["job"].(map[string]any)
+	if !ok {
+		t.Fatalf("response has no job object: %v", body)
+	}
+	id, ok := job["id"].(string)
+	if !ok || id == "" {
+		t.Fatalf("job has no id: %v", job)
+	}
+	return id
+}
+
+// waitJobState polls GET /v1/jobs/{id} until the job reaches want (or any
+// terminal state, reported as a failure if it is not want).
+func waitJobState(t *testing.T, ts *httptest.Server, id, want string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		body := getJSON(t, ts.URL+"/v1/jobs/"+id, http.StatusOK)
+		job := body["job"].(map[string]any)
+		state := job["state"].(string)
+		if state == want {
+			return job
+		}
+		switch state {
+		case "done", "failed", "cancelled", "expired":
+			t.Fatalf("job %s reached terminal state %q, want %q (error: %v)",
+				id, state, want, job["error"])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not reach state %q in time", id, want)
+	return nil
+}
+
+func deleteJob(t *testing.T, ts *httptest.Server, id string, wantStatus int) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("DELETE /v1/jobs/%s = %d, want %d", id, resp.StatusCode, wantStatus)
+	}
+}
+
+// TestJobLifecycle walks the happy path: submit a timeline-enabled run job,
+// watch its result arrive, and replay its progress stream — state events,
+// interval heartbeats keyed by job ID, and a terminal done.
+func TestJobLifecycle(t *testing.T) {
+	ts := testServer(t)
+	status, body, _ := submitJob(t, ts,
+		`{"run":{"benchmark":"applu","instructions":400000},"timeline":true}`, "")
+	if status != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202 (%v)", status, body)
+	}
+	id := jobID(t, body)
+	if got := body["job"].(map[string]any)["progressUrl"]; got != "/v1/jobs/"+id+"/progress" {
+		t.Fatalf("progressUrl = %v", got)
+	}
+
+	job := waitJobState(t, ts, id, "done")
+	result, ok := job["result"].(map[string]any)
+	if !ok {
+		t.Fatalf("done job has no result: %v", job)
+	}
+	summary := result["result"].(map[string]any)
+	if summary["benchmark"] != "applu" {
+		t.Fatalf("result benchmark = %v, want applu", summary["benchmark"])
+	}
+	if summary["instructions"].(float64) != 400000 {
+		t.Fatalf("result instructions = %v, want 400000", summary["instructions"])
+	}
+
+	msgs := readSSE(t, ts.URL+"/v1/jobs/"+id+"/progress")
+	if len(msgs) < 3 {
+		t.Fatalf("got %d progress events, want states + intervals + done", len(msgs))
+	}
+	var states []string
+	var intervals int
+	for _, m := range msgs {
+		if m.data["jobId"] != id {
+			t.Fatalf("event %q carries jobId %v, want %q", m.event, m.data["jobId"], id)
+		}
+		switch m.event {
+		case "state":
+			states = append(states, m.data["state"].(string))
+		case "interval":
+			intervals++
+		}
+	}
+	wantStates := []string{"queued", "running", "done"}
+	if fmt.Sprint(states) != fmt.Sprint(wantStates) {
+		t.Fatalf("state events %v, want %v", states, wantStates)
+	}
+	if intervals == 0 {
+		t.Fatal("no interval heartbeats in job progress stream")
+	}
+	last := msgs[len(msgs)-1]
+	if last.event != "done" || last.data["outcome"] != "done" {
+		t.Fatalf("stream ended with %q %v, want done/done", last.event, last.data)
+	}
+}
+
+// TestJobCancelMidSweep is the acceptance check for true cancellation:
+// DELETE on a running 15-benchmark sweep must settle the job within a
+// chunk+batch boundary — bounded wall time — not after the sweep finishes.
+func TestJobCancelMidSweep(t *testing.T) {
+	ts := testServer(t)
+	status, body, _ := submitJob(t, ts,
+		`{"sweep":{"instructions":4000000,"missBounds":[64],"sizeBounds":[1024]}}`, "")
+	if status != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202 (%v)", status, body)
+	}
+	id := jobID(t, body)
+	waitJobState(t, ts, id, "running")
+	// Let the sweep get genuinely into simulation before cancelling.
+	time.Sleep(50 * time.Millisecond)
+
+	start := time.Now()
+	deleteJob(t, ts, id, http.StatusOK)
+	deadline := time.Now().Add(5 * time.Second)
+	var job map[string]any
+	for {
+		b := getJSON(t, ts.URL+"/v1/jobs/"+id, http.StatusOK)
+		job = b["job"].(map[string]any)
+		if s := job["state"].(string); s != "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled sweep still running after 5s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	settled := time.Since(start)
+	if job["state"] != "cancelled" {
+		t.Fatalf("state after cancel = %v (error: %v), want cancelled", job["state"], job["error"])
+	}
+	// One 256-instruction chunk plus batch teardown is well under 2s; a
+	// cancel that waited for the sweep to finish would blow far past this.
+	// Under the race detector every chunk step — and any stream-record pass
+	// already underway when the cancel lands — runs an order of magnitude
+	// slower, so the wall-time bound scales with it.
+	settleBound := 2 * time.Second
+	if raceEnabled {
+		settleBound = 30 * time.Second
+	}
+	if settled > settleBound {
+		t.Fatalf("cancel took %v to settle, want chunk-boundary promptness", settled)
+	}
+	if job["result"] != nil {
+		t.Fatalf("cancelled job has a result: %v", job["result"])
+	}
+}
+
+// TestJobDeadlineExpires submits a long sweep with a tight ?timeout= and
+// expects the deadline, not the sweep, to decide the outcome.
+func TestJobDeadlineExpires(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/v1/jobs?timeout=75ms", "application/json",
+		strings.NewReader(`{"sweep":{"instructions":4000000,"missBounds":[64],"sizeBounds":[1024]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202 (%v)", resp.StatusCode, body)
+	}
+	id := jobID(t, body)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		b := getJSON(t, ts.URL+"/v1/jobs/"+id, http.StatusOK)
+		job := b["job"].(map[string]any)
+		switch state := job["state"].(string); state {
+		case "expired":
+			return
+		case "queued", "running":
+		default:
+			t.Fatalf("job state = %q (error: %v), want expired", state, job["error"])
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job did not expire")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestJobQueueFullRejects fills a one-worker, one-slot queue and expects
+// the third submission to bounce with a structured 429 and Retry-After.
+func TestJobQueueFullRejects(t *testing.T) {
+	ts := jobTestServer(t, jobs.Config{Workers: 1, MaxQueue: 1})
+	sweep := `{"sweep":{"instructions":4000000,"missBounds":[64],"sizeBounds":[1024]}}`
+
+	status, running, _ := submitJob(t, ts, sweep, "")
+	if status != http.StatusAccepted {
+		t.Fatalf("first submit = %d, want 202", status)
+	}
+	waitJobState(t, ts, jobID(t, running), "running")
+	status, queued, _ := submitJob(t, ts, sweep, "")
+	if status != http.StatusAccepted {
+		t.Fatalf("second submit = %d, want 202", status)
+	}
+
+	status, rejected, hdr := submitJob(t, ts, sweep, "")
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("third submit = %d, want 429 (%v)", status, rejected)
+	}
+	if rejected["reason"] != "queue_full" {
+		t.Fatalf("rejection reason = %v, want queue_full", rejected["reason"])
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if rejected["retryAfterSeconds"].(float64) < 1 {
+		t.Fatalf("retryAfterSeconds = %v, want >= 1", rejected["retryAfterSeconds"])
+	}
+
+	deleteJob(t, ts, jobID(t, queued), http.StatusOK)
+	deleteJob(t, ts, jobID(t, running), http.StatusOK)
+}
+
+// TestJobPerClientLimit bounds one API key's jobs while other clients stay
+// admitted.
+func TestJobPerClientLimit(t *testing.T) {
+	ts := jobTestServer(t, jobs.Config{Workers: 1, MaxQueue: 16, MaxPerClient: 2})
+	sweep := `{"sweep":{"instructions":4000000,"missBounds":[64],"sizeBounds":[1024]}}`
+
+	var ids []string
+	for i := 0; i < 2; i++ {
+		status, body, _ := submitJob(t, ts, sweep, "tenant-a")
+		if status != http.StatusAccepted {
+			t.Fatalf("submit %d = %d, want 202 (%v)", i, status, body)
+		}
+		ids = append(ids, jobID(t, body))
+	}
+	status, rejected, hdr := submitJob(t, ts, sweep, "tenant-a")
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("over-limit submit = %d, want 429 (%v)", status, rejected)
+	}
+	if rejected["reason"] != "client_limit" {
+		t.Fatalf("rejection reason = %v, want client_limit", rejected["reason"])
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+
+	// A different client is unaffected by tenant-a's limit.
+	status, other, _ := submitJob(t, ts, sweep, "tenant-b")
+	if status != http.StatusAccepted {
+		t.Fatalf("other-client submit = %d, want 202 (%v)", status, other)
+	}
+	ids = append(ids, jobID(t, other))
+	for _, id := range ids {
+		deleteJob(t, ts, id, http.StatusOK)
+	}
+}
+
+// TestJobSubmitValidation exercises the envelope rules: exactly one
+// payload, kind agreement, and eager 400s for bad payloads.
+func TestJobSubmitValidation(t *testing.T) {
+	ts := testServer(t)
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"no payload", `{"priority":1}`},
+		{"two payloads", `{"run":{"benchmark":"applu"},"sweep":{}}`},
+		{"kind mismatch", `{"kind":"sweep","run":{"benchmark":"applu"}}`},
+		{"bad benchmark", `{"run":{"benchmark":"nope"}}`},
+		{"bad timeout", ""}, // handled below via query param
+	} {
+		if tc.body == "" {
+			resp, err := http.Post(ts.URL+"/v1/jobs?timeout=never", "application/json",
+				strings.NewReader(`{"run":{"benchmark":"applu"}}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("%s: status %d, want 400", tc.name, resp.StatusCode)
+			}
+			continue
+		}
+		status, body, _ := submitJob(t, ts, tc.body, "")
+		if status != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400 (%v)", tc.name, status, body)
+		}
+	}
+	// Unknown and missing jobs are 404s.
+	getJSON(t, ts.URL+"/v1/jobs/j-doesnotexist", http.StatusNotFound)
+	deleteJob(t, ts, "j-doesnotexist", http.StatusNotFound)
+}
+
+// TestJobStatsSurfaces checks the jobs block rides /healthz, /v1/stats,
+// and the jobs_* series ride /metrics.
+func TestJobStatsSurfaces(t *testing.T) {
+	ts := testServer(t)
+	status, body, _ := submitJob(t, ts, `{"run":{"benchmark":"applu","instructions":400000}}`, "")
+	if status != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", status)
+	}
+	waitJobState(t, ts, jobID(t, body), "done")
+
+	for _, url := range []string{ts.URL + "/healthz", ts.URL + "/v1/stats"} {
+		got := getJSON(t, url, http.StatusOK)
+		jb, ok := got["jobs"].(map[string]any)
+		if !ok {
+			t.Fatalf("%s has no jobs block: %v", url, got)
+		}
+		if jb["completed"].(float64) < 1 {
+			t.Fatalf("%s jobs.completed = %v, want >= 1", url, jb["completed"])
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		"jobs_queued_total", "jobs_running_total", "jobs_completed_total",
+		"jobs_cancelled_total", "jobs_rejected_total", "jobs_expired_total",
+		"jobs_queue_depth", "jobs_queue_wait_seconds",
+	} {
+		if !strings.Contains(string(text), series) {
+			t.Fatalf("/metrics missing %s", series)
+		}
+	}
+
+	list := getJSON(t, ts.URL+"/v1/jobs", http.StatusOK)
+	if n := len(list["jobs"].([]any)); n < 1 {
+		t.Fatalf("GET /v1/jobs lists %d jobs, want >= 1", n)
+	}
+}

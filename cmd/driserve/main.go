@@ -14,6 +14,20 @@
 //	POST /v1/run         one simulation (conventional, DRI, or policy)
 //	POST /v1/compare     vs the conventional baseline with §5.2 energy
 //	POST /v1/sweep       a (benchmark × miss-bound × size-bound) grid
+//	POST /v1/jobs        submit a run/compare/sweep as an async job (202)
+//	GET  /v1/jobs        retained jobs, newest first, plus queue stats
+//	GET  /v1/jobs/{id}   job status, and the result once done
+//	DELETE /v1/jobs/{id} cancel: queued jobs settle immediately, running
+//	                     simulations abort at the next chunk boundary
+//	GET  /v1/jobs/{id}/progress  the job's SSE progress stream
+//
+// Jobs pass admission control before queueing: -jobqueue bounds the queue,
+// -jobsperclient and -jobclientinstructions bound one client (X-API-Key
+// header, or remote host), and rejections are structured 429s with a
+// Retry-After estimated from queue depth and recent run times. Per-job
+// deadlines ("timeoutSeconds" or ?timeout=30s) cancel overdue work, queued
+// or mid-run. On shutdown the manager stops admitting, cancels queued
+// jobs, and drains running ones within -draintimeout.
 //
 // Appending ?trace=1 to /v1/run, /v1/compare, or /v1/sweep returns the
 // request's span tree (validate → cache lookup → batch grouping → stream
@@ -64,6 +78,7 @@ import (
 	"time"
 
 	"dricache/internal/engine"
+	"dricache/internal/jobs"
 	"dricache/internal/trace"
 )
 
@@ -76,6 +91,12 @@ func main() {
 		cacheLimit   = flag.Int("cachelimit", 65536, "max cached results (0 = unbounded)")
 		traceBudget  = flag.Int64("tracebudget", trace.DefaultStoreBudget, "trace replay store byte budget (0 = record nothing)")
 		drainTimeout = flag.Duration("draintimeout", 15*time.Second, "graceful-shutdown drain limit for in-flight requests")
+		jobWorkers   = flag.Int("jobworkers", 0, "max concurrently running jobs (0 = GOMAXPROCS)")
+		jobQueue     = flag.Int("jobqueue", 64, "max jobs waiting for a worker")
+		jobsPerCli   = flag.Int("jobsperclient", 4, "max queued+running jobs per client")
+		jobCliInstrs = flag.Uint64("jobclientinstructions", 0, "max summed instruction estimates queued per client (0 = unlimited)")
+		jobRetention = flag.Int("jobretention", 256, "finished jobs retained for result pickup")
+		jobDeadline  = flag.Duration("jobmaxdeadline", 0, "cap on per-job deadlines, applied to unbounded jobs too (0 = uncapped)")
 		pprofPort    = flag.Int("pprof", 0, "serve net/http/pprof on 127.0.0.1:<port> (0 = disabled)")
 		mutexProfile = flag.Int("mutexprofile", 0, "mutex contention profile sampling rate, 1/n events (0 = disabled)")
 		blockProfile = flag.Int("blockprofile", 0, "goroutine blocking profile sampling rate in ns (0 = disabled)")
@@ -106,8 +127,16 @@ func main() {
 	if *pprofPort > 0 {
 		go servePprof(*pprofPort)
 	}
+	app := buildServer(eng, *maxInstr, jobs.Config{
+		Workers:               *jobWorkers,
+		MaxQueue:              *jobQueue,
+		MaxPerClient:          *jobsPerCli,
+		MaxClientInstructions: *jobCliInstrs,
+		Retention:             *jobRetention,
+		MaxDeadline:           *jobDeadline,
+	})
 	srv := &http.Server{
-		Handler:           newServer(eng, *maxInstr),
+		Handler:           app.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ln, err := net.Listen("tcp", *addr)
@@ -122,7 +151,7 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := runServer(ctx, srv, ln, *drainTimeout); err != nil {
+	if err := runServer(ctx, srv, ln, *drainTimeout, app.jobs); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -130,11 +159,14 @@ func main() {
 }
 
 // runServer serves on ln until ctx is cancelled (SIGINT/SIGTERM in main),
-// then shuts down gracefully: the listener closes immediately, in-flight
-// requests get up to drain to finish, and whatever remains is forced
-// closed. It returns nil on a clean or drained shutdown, and the serve
+// then shuts down gracefully: the listener closes immediately, and within
+// one shared drain budget in-flight requests get to finish while the job
+// manager stops admitting, cancels queued jobs, and drains running ones —
+// past the budget, remaining connections are forced closed and remaining
+// jobs are cancelled mid-run (the chunk-boundary checks make the abort
+// prompt). It returns nil on a clean or drained shutdown, and the serve
 // error if the server fails before cancellation.
-func runServer(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+func runServer(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration, jm *jobs.Manager) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -142,14 +174,21 @@ func runServer(ctx context.Context, srv *http.Server, ln net.Listener, drain tim
 		return err
 	case <-ctx.Done():
 	}
-	slog.Info("shutting down; draining in-flight requests", "limit", drain)
+	slog.Info("shutting down; draining in-flight requests and jobs", "limit", drain)
 	sctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
+	jobsErrc := make(chan error, 1)
+	go func() { jobsErrc <- jm.Shutdown(sctx) }()
 	err := srv.Shutdown(sctx)
 	// Serve always returns ErrServerClosed after Shutdown; collect it so
 	// the goroutine does not leak.
 	if serveErr := <-errc; !errors.Is(serveErr, http.ErrServerClosed) {
 		return serveErr
+	}
+	if jobsErr := <-jobsErrc; jobsErr != nil {
+		// The drain budget expired with jobs still running; they were
+		// force-cancelled (cause: shutdown) and have settled by now.
+		slog.Warn("job drain limit reached; running jobs were cancelled", "err", jobsErr)
 	}
 	if err != nil {
 		// The drain timeout expired with requests still in flight; their

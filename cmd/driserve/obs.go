@@ -31,15 +31,23 @@ var servedPaths = []string{
 	"/healthz", "/metrics",
 	"/v1/stats", "/v1/metrics", "/v1/benchmarks", "/v1/policies",
 	"/v1/run", "/v1/compare", "/v1/sweep", "/v1/runs/:id/progress",
+	"/v1/jobs", "/v1/jobs/:id", "/v1/jobs/:id/progress",
 }
 
 // metricPath collapses parameterized routes to their pattern so per-path
-// metric cardinality stays bounded by servedPaths. The placeholder is
-// spelled :id (not {id}) to keep label values free of braces, which the
-// stricter exposition-format consumers reject.
+// metric cardinality stays bounded by servedPaths — job IDs, like request
+// IDs, must never become label values. The placeholder is spelled :id (not
+// {id}) to keep label values free of braces, which the stricter
+// exposition-format consumers reject.
 func metricPath(p string) string {
 	if strings.HasPrefix(p, "/v1/runs/") && strings.HasSuffix(p, "/progress") {
 		return "/v1/runs/:id/progress"
+	}
+	if rest, ok := strings.CutPrefix(p, "/v1/jobs/"); ok && rest != "" {
+		if strings.HasSuffix(rest, "/progress") {
+			return "/v1/jobs/:id/progress"
+		}
+		return "/v1/jobs/:id"
 	}
 	return p
 }

@@ -45,9 +45,12 @@ type sseEvent struct {
 }
 
 // progressEntry is the event history and live-subscriber set of one
-// request.
+// request or job.
 type progressEntry struct {
 	id string
+	// idKey names the identity field stamped on every event payload:
+	// "requestId" for synchronous requests, "jobId" for async jobs.
+	idKey string
 
 	mu      sync.Mutex
 	events  []sseEvent
@@ -58,7 +61,7 @@ type progressEntry struct {
 
 // publish appends one event and fans it out to live subscribers.
 func (e *progressEntry) publish(typ string, payload map[string]any) {
-	payload["requestId"] = e.id
+	payload[e.idKey] = e.id
 	data, err := json.Marshal(payload)
 	if err != nil {
 		return
@@ -103,19 +106,45 @@ func newProgressHub() *progressHub {
 // begin registers (or replaces) the entry for one request ID and evicts
 // the oldest entries beyond the retention bound.
 func (h *progressHub) begin(id string) *progressEntry {
-	e := &progressEntry{id: id, subs: make(map[chan sseEvent]struct{})}
+	return h.beginKeyed(id, "requestId")
+}
+
+// ensureJob returns the entry for one job ID, creating it (events carry
+// "jobId") if absent. Both the transition observer and the job body call
+// this, so creation must be get-or-create, not replace: whichever runs
+// first wins and the other publishes into the same entry.
+func (h *progressHub) ensureJob(id string) *progressEntry {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if e := h.entries[id]; e != nil {
+		return e
+	}
+	e := &progressEntry{id: id, idKey: "jobId", subs: make(map[chan sseEvent]struct{})}
+	h.entries[id] = e
+	h.order = append(h.order, id)
+	h.evictLocked()
+	return e
+}
+
+func (h *progressHub) beginKeyed(id, idKey string) *progressEntry {
+	e := &progressEntry{id: id, idKey: idKey, subs: make(map[chan sseEvent]struct{})}
 	h.mu.Lock()
 	if _, ok := h.entries[id]; !ok {
 		h.order = append(h.order, id)
 	}
 	h.entries[id] = e
+	h.evictLocked()
+	h.mu.Unlock()
+	return e
+}
+
+// evictLocked drops the oldest entries beyond the retention bound.
+func (h *progressHub) evictLocked() {
 	for len(h.order) > maxProgressEntries {
 		victim := h.order[0]
 		h.order = h.order[1:]
 		delete(h.entries, victim)
 	}
-	h.mu.Unlock()
-	return e
 }
 
 // lookup returns the entry for id, or nil.
@@ -165,6 +194,13 @@ func (e *progressEntry) unsubscribe(ch chan sseEvent) {
 func (s *server) progressCtx(r *http.Request) (context.Context, *progressEntry) {
 	ctx := r.Context()
 	ent := s.progress.begin(obs.RequestIDFrom(ctx))
+	return withProgressSinks(ctx, ent), ent
+}
+
+// withProgressSinks wires the interval and sweep-point hooks of one context
+// to publish into ent. Shared by synchronous requests (progressCtx) and job
+// bodies, whose context comes from the job manager instead of the request.
+func withProgressSinks(ctx context.Context, ent *progressEntry) context.Context {
 	ctx = timeline.WithSink(ctx, func(p timeline.Point) {
 		ent.publish("interval", map[string]any{
 			"endInstructions": p.EndInstructions,
@@ -183,7 +219,7 @@ func (s *server) progressCtx(r *http.Request) (context.Context, *progressEntry) 
 			"benchmark": benchmark,
 		})
 	})
-	return ctx, ent
+	return ctx
 }
 
 // handleProgress serves GET /v1/runs/{id}/progress as an SSE stream.
@@ -194,6 +230,12 @@ func (s *server) handleProgress(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no run or sweep in progress (or retained) with request id %q", id)
 		return
 	}
+	streamProgress(w, r, ent)
+}
+
+// streamProgress serves one progress entry as a Server-Sent Events stream:
+// buffered events replay first, then live events until done or disconnect.
+func streamProgress(w http.ResponseWriter, r *http.Request, ent *progressEntry) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported by connection")

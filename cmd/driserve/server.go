@@ -11,6 +11,7 @@ import (
 	"dricache/internal/energy"
 	"dricache/internal/engine"
 	"dricache/internal/exp"
+	"dricache/internal/jobs"
 	"dricache/internal/mem"
 	"dricache/internal/obs"
 	"dricache/internal/policy"
@@ -30,17 +31,29 @@ type server struct {
 	// maxSweepPoints caps benchmarks × miss-bounds × size-bounds per sweep.
 	maxSweepPoints int
 	// reg is the server's metrics registry: engine, lane, trace-store,
-	// simulation, runtime, and HTTP instruments; every stats surface is a
-	// view over it (see obs.go).
+	// simulation, jobs, runtime, and HTTP instruments; every stats surface
+	// is a view over it (see obs.go).
 	reg   *obs.Registry
 	httpm *httpInstruments
 	log   *slog.Logger
-	// progress tracks per-request progress entries for the SSE stream at
-	// /v1/runs/{id}/progress.
+	// progress tracks per-request and per-job progress entries for the SSE
+	// streams at /v1/runs/{id}/progress and /v1/jobs/{id}/progress.
 	progress *progressHub
+	// jobs is the async job manager behind /v1/jobs: bounded priority
+	// queue, per-client admission, real cancellation, drain on shutdown.
+	jobs *jobs.Manager
 }
 
+// newServer is the single-argument constructor the tests use; production
+// (main) calls buildServer to keep the *server for shutdown draining.
 func newServer(eng *engine.Engine, maxInstructions uint64) http.Handler {
+	s := buildServer(eng, maxInstructions, jobs.Config{})
+	return s.handler()
+}
+
+// buildServer assembles the server: one registry over every layer, the
+// progress hub, and the job manager (wired to publish SSE transitions).
+func buildServer(eng *engine.Engine, maxInstructions uint64, jcfg jobs.Config) *server {
 	s := &server{
 		eng:             eng,
 		maxInstructions: maxInstructions,
@@ -48,12 +61,19 @@ func newServer(eng *engine.Engine, maxInstructions uint64) http.Handler {
 		reg:             obs.NewRegistry(),
 		log:             slog.Default(),
 		progress:        newProgressHub(),
+		jobs:            jobs.NewManager(jcfg),
 	}
 	eng.RegisterMetrics(s.reg)
 	trace.SharedStore().RegisterMetrics(s.reg)
 	sim.RegisterMetrics(s.reg)
 	obs.RegisterRuntimeMetrics(s.reg)
+	s.jobs.RegisterMetrics(s.reg)
+	s.jobs.SetObserver(s.publishJobTransition)
 	s.httpm = newHTTPInstruments(s.reg)
+	return s
+}
+
+func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -65,6 +85,11 @@ func newServer(eng *engine.Engine, maxInstructions uint64) http.Handler {
 	mux.HandleFunc("POST /v1/compare", s.handleCompare)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/runs/{id}/progress", s.handleProgress)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleJobProgress)
 	return s.instrument(mux)
 }
 
@@ -153,6 +178,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"engine": engineMetricsFrom(snap),
 		"lanes":  laneMetricsFrom(snap),
 		"trace":  traceMetricsFrom(snap),
+		"jobs":   s.jobs.Stats(),
 	})
 }
 
@@ -168,6 +194,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"engine": engineMetricsFrom(snap),
 		"lanes":  laneMetricsFrom(snap),
 		"trace":  traceMetricsFrom(snap),
+		"jobs":   s.jobs.Stats(),
 		"runtime": map[string]any{
 			"goroutines": int(snap.Value("go_goroutines")),
 			"gomaxprocs": int(snap.Value("go_gomaxprocs")),
@@ -323,47 +350,57 @@ const maxBodyBytes = 1 << 20
 // decodeRun decodes and validates a run/compare request into a full system
 // configuration; a non-zero status is the HTTP error to report.
 func (s *server) decodeRun(w http.ResponseWriter, r *http.Request) (sim.Config, trace.Program, int, error) {
-	fail := func(status int, err error) (sim.Config, trace.Program, int, error) {
-		return sim.Config{}, trace.Program{}, status, err
-	}
 	var req runRequest
 	if status, err := decodeBody(w, r, &req); status != 0 {
-		return fail(status, err)
+		return sim.Config{}, trace.Program{}, status, err
+	}
+	cfg, prog, err := s.buildRun(req)
+	if err != nil {
+		return sim.Config{}, trace.Program{}, http.StatusBadRequest, err
+	}
+	return cfg, prog, 0, nil
+}
+
+// buildRun validates a decoded run/compare payload into a full system
+// configuration. It is pure — shared between the synchronous handlers and
+// the jobs API, whose payloads arrive inside a job envelope; every error
+// maps to HTTP 400.
+func (s *server) buildRun(req runRequest) (sim.Config, trace.Program, error) {
+	fail := func(err error) (sim.Config, trace.Program, error) {
+		return sim.Config{}, trace.Program{}, err
 	}
 	prog, err := trace.ByName(req.Benchmark)
 	if err != nil {
-		return fail(http.StatusBadRequest, err)
+		return fail(err)
 	}
 	instrs := req.Instructions
 	if instrs == 0 {
 		instrs = 4_000_000
 	}
 	if instrs > s.maxInstructions {
-		return fail(http.StatusBadRequest,
-			fmt.Errorf("instructions %d exceeds server limit %d", instrs, s.maxInstructions))
+		return fail(fmt.Errorf("instructions %d exceeds server limit %d", instrs, s.maxInstructions))
 	}
 	l1i, err := buildCacheConfig(req.Cache)
 	if err != nil {
-		return fail(http.StatusBadRequest, err)
+		return fail(err)
 	}
 	l2, err := buildL2Config(req.L2)
 	if err != nil {
-		return fail(http.StatusBadRequest, err)
+		return fail(err)
 	}
 	cfg := sim.Default(l1i, instrs).WithL2(l2)
 
 	polReq := req.Policy
 	if req.Cache.Policy != nil {
 		if polReq != nil {
-			return fail(http.StatusBadRequest,
-				fmt.Errorf("set either policy or cache.policy, not both"))
+			return fail(fmt.Errorf("set either policy or cache.policy, not both"))
 		}
 		polReq = req.Cache.Policy
 	}
 	if polReq != nil {
 		pol, err := buildPolicyConfig(polReq, 100_000)
 		if err != nil {
-			return fail(http.StatusBadRequest, err)
+			return fail(err)
 		}
 		switch {
 		case pol.Kind == policy.DRI && !cfg.Mem.L1I.Params.Enabled:
@@ -375,8 +412,7 @@ func (s *server) decodeRun(w http.ResponseWriter, r *http.Request) (sim.Config, 
 			// the contradiction, otherwise normalize it away so equivalent
 			// requests share one engine cache entry.
 			if cfg.Mem.L1I.Params.Enabled {
-				return fail(http.StatusBadRequest,
-					fmt.Errorf("policy kind conventional contradicts cache.dri"))
+				return fail(fmt.Errorf("policy kind conventional contradicts cache.dri"))
 			}
 			pol = policy.Config{}
 		}
@@ -385,16 +421,14 @@ func (s *server) decodeRun(w http.ResponseWriter, r *http.Request) (sim.Config, 
 	if req.L2 != nil && req.L2.Policy != nil {
 		pol, err := buildPolicyConfig(req.L2.Policy, 100_000)
 		if err != nil {
-			return fail(http.StatusBadRequest, fmt.Errorf("l2: %w", err))
+			return fail(fmt.Errorf("l2: %w", err))
 		}
 		switch {
 		case pol.Kind == policy.DRI && !cfg.Mem.L2.Params.Enabled:
-			return fail(http.StatusBadRequest,
-				fmt.Errorf("l2: policy kind dri requires l2.dri parameters"))
+			return fail(fmt.Errorf("l2: policy kind dri requires l2.dri parameters"))
 		case pol.Kind == policy.Conventional:
 			if cfg.Mem.L2.Params.Enabled {
-				return fail(http.StatusBadRequest,
-					fmt.Errorf("l2: policy kind conventional contradicts l2.dri"))
+				return fail(fmt.Errorf("l2: policy kind conventional contradicts l2.dri"))
 			}
 			pol = policy.Config{}
 		}
@@ -403,9 +437,9 @@ func (s *server) decodeRun(w http.ResponseWriter, r *http.Request) (sim.Config, 
 	// Policy/cache compatibility (e.g. waygate needs associativity, decay
 	// cannot ride on an enabled DRI controller) is the hierarchy's rule set.
 	if err := cfg.Mem.Check(); err != nil {
-		return fail(http.StatusBadRequest, err)
+		return fail(err)
 	}
-	return cfg, prog, 0, nil
+	return cfg, prog, nil
 }
 
 // buildPolicyConfig materializes a policy request over the kind's default
@@ -628,7 +662,12 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		cfg.Timeline.Enabled = true
 	}
-	res, cached := s.eng.RunCachedCtx(ctx, cfg, prog)
+	res, cached, err := s.eng.RunCachedCtx(ctx, cfg, prog)
+	if err != nil {
+		outcome = "aborted"
+		writeError(w, http.StatusServiceUnavailable, "run aborted: %v", err)
+		return
+	}
 	resp := map[string]any{
 		"result": summarize(res),
 		"cached": cached,
@@ -745,7 +784,12 @@ func (s *server) handleCompare(w http.ResponseWriter, r *http.Request) {
 			"compare requires a DRI or policy configuration (set cache.dri and/or l2.dri, or a policy)")
 		return
 	}
-	cmp, cacheOutcome := s.eng.CompareSimCachedCtx(ctx, cfg, prog)
+	cmp, cacheOutcome, err := s.eng.CompareSimCachedCtx(ctx, cfg, prog)
+	if err != nil {
+		outcome = "aborted"
+		writeError(w, http.StatusServiceUnavailable, "compare aborted: %v", err)
+		return
+	}
 	resp := map[string]any{
 		"comparison": summarizeComparison(cmp),
 		"cached": map[string]bool{
@@ -796,21 +840,19 @@ type sweepPoint struct {
 	Comparison comparisonSummary `json:"comparison"`
 }
 
-func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	ctx, ent := s.progressCtx(r)
-	outcome := "error"
-	defer func() { ent.finish(map[string]any{"outcome": outcome}) }()
-	// End is first-write-wins: the deferred call closes the span on every
-	// validation error return, the explicit call before RunAllCtx on the
-	// success path.
-	_, vsp := obs.StartSpan(ctx, "validate")
-	defer vsp.End()
-	var req sweepRequest
-	if status, err := decodeBody(w, r, &req); status != 0 {
-		writeError(w, status, "%v", err)
-		return
-	}
+// sweepPlan is a validated sweep: the scale every task shares and the task
+// list ready for the runner. Built by buildSweep, executed by handleSweep
+// and by sweep jobs.
+type sweepPlan struct {
+	scale  exp.Scale
+	tasks  []exp.Task
+	points int
+}
 
+// buildSweep validates a decoded sweep payload into an executable plan. It
+// is pure — shared between the synchronous handler and the jobs API; every
+// error maps to HTTP 400.
+func (s *server) buildSweep(req sweepRequest) (sweepPlan, error) {
 	scale := exp.Scale{Instructions: req.Instructions, SenseInterval: req.SenseInterval}
 	if scale.Instructions == 0 {
 		scale.Instructions = 4_000_000
@@ -819,11 +861,9 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		scale.SenseInterval = 100_000
 	}
 	if scale.Instructions > s.maxInstructions {
-		writeError(w, http.StatusBadRequest,
+		return sweepPlan{}, fmt.Errorf(
 			"instructions %d exceeds server limit %d", scale.Instructions, s.maxInstructions)
-		return
 	}
-	runner := exp.NewRunnerOn(s.eng, scale)
 
 	space := exp.SearchSpace{MissBounds: req.MissBounds, SizeBounds: req.SizeBounds}
 	if len(space.MissBounds) == 0 || len(space.SizeBounds) == 0 {
@@ -843,8 +883,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		for _, name := range req.Benchmarks {
 			p, err := trace.ByName(name)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, "%v", err)
-				return
+				return sweepPlan{}, err
 			}
 			progs = append(progs, p)
 		}
@@ -852,27 +891,23 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	geometry, err := buildCacheConfig(cacheRequest{SizeBytes: req.SizeBytes, Assoc: req.Assoc})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return sweepPlan{}, err
 	}
 	var l2Cfg *dri.Config
 	var l2Pol *policy.Config
 	if req.L2 != nil {
 		cfg, err := buildL2Config(req.L2)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
+			return sweepPlan{}, err
 		}
 		l2Cfg = &cfg
 		if req.L2.Policy != nil {
 			pol, err := buildPolicyConfig(req.L2.Policy, scale.SenseInterval)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, "l2: %v", err)
-				return
+				return sweepPlan{}, fmt.Errorf("l2: %w", err)
 			}
 			if pol.Kind == policy.DRI && !cfg.Params.Enabled {
-				writeError(w, http.StatusBadRequest, "l2: policy kind dri requires l2.dri parameters")
-				return
+				return sweepPlan{}, fmt.Errorf("l2: policy kind dri requires l2.dri parameters")
 			}
 			l2Pol = &pol
 		}
@@ -881,8 +916,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if req.Policy != nil {
 		pol, err := buildPolicyConfig(req.Policy, scale.SenseInterval)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
+			return sweepPlan{}, err
 		}
 		polCfg = &pol
 	}
@@ -895,20 +929,18 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		points = len(progs)
 	}
 	if points > s.maxSweepPoints {
-		writeError(w, http.StatusBadRequest,
+		return sweepPlan{}, fmt.Errorf(
 			"sweep of %d points exceeds server limit %d", points, s.maxSweepPoints)
-		return
 	}
 
 	var tasks []exp.Task
-	addTask := func(t exp.Task) bool {
+	addTask := func(t exp.Task) error {
 		cfg := t.SimConfig(scale.Instructions)
 		if err := cfg.Mem.Check(); err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return false
+			return err
 		}
 		tasks = append(tasks, t)
-		return true
+		return nil
 	}
 	if polCfg != nil && polCfg.Kind != policy.DRI {
 		// A conventional selector is the baseline itself; run it without
@@ -918,28 +950,30 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			taskPol = nil
 		}
 		for _, p := range progs {
-			if !addTask(exp.Task{Prog: p, Config: geometry, L2: l2Cfg, Policy: taskPol, L2Policy: l2Pol, Label: string(polCfg.Kind)}) {
-				return
+			if err := addTask(exp.Task{Prog: p, Config: geometry, L2: l2Cfg, Policy: taskPol, L2Policy: l2Pol, Label: string(polCfg.Kind)}); err != nil {
+				return sweepPlan{}, err
 			}
 		}
 	} else {
+		runner := exp.NewRunnerOn(s.eng, scale)
 		for _, p := range progs {
 			for _, mb := range space.MissBounds {
 				for _, sb := range space.SizeBounds {
 					cfg := geometry
 					cfg.Params = runner.Params(mb, sb)
-					if !addTask(exp.Task{Prog: p, Config: cfg, L2: l2Cfg, Policy: polCfg, L2Policy: l2Pol}) {
-						return
+					if err := addTask(exp.Task{Prog: p, Config: cfg, L2: l2Cfg, Policy: polCfg, L2Policy: l2Pol}); err != nil {
+						return sweepPlan{}, err
 					}
 				}
 			}
 		}
 	}
-	vsp.End()
-	s.httpm.sweepPoints.Observe(float64(points))
-	results := runner.RunAllCtx(ctx, tasks)
+	return sweepPlan{scale: scale, tasks: tasks, points: points}, nil
+}
 
-	rows := make(map[string][]sweepPoint, len(progs))
+// sweepRows folds task results into the response's per-benchmark rows.
+func sweepRows(results []exp.TaskResult) map[string][]sweepPoint {
+	rows := make(map[string][]sweepPoint)
 	for _, tr := range results {
 		rows[tr.Prog.Name] = append(rows[tr.Prog.Name], sweepPoint{
 			MissBound:  tr.Config.Params.MissBound,
@@ -948,9 +982,40 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			Comparison: summarizeComparison(tr.Cmp),
 		})
 	}
+	return rows
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	ctx, ent := s.progressCtx(r)
+	outcome := "error"
+	defer func() { ent.finish(map[string]any{"outcome": outcome}) }()
+	// End is first-write-wins: the deferred call closes the span on every
+	// validation error return, the explicit call before RunAllCtx on the
+	// success path.
+	_, vsp := obs.StartSpan(ctx, "validate")
+	defer vsp.End()
+	var req sweepRequest
+	if status, err := decodeBody(w, r, &req); status != 0 {
+		writeError(w, status, "%v", err)
+		return
+	}
+	plan, err := s.buildSweep(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	vsp.End()
+	s.httpm.sweepPoints.Observe(float64(plan.points))
+	results, err := exp.NewRunnerOn(s.eng, plan.scale).RunAllCtx(ctx, plan.tasks)
+	if err != nil {
+		outcome = "aborted"
+		writeError(w, http.StatusServiceUnavailable, "sweep aborted: %v", err)
+		return
+	}
+
 	resp := map[string]any{
-		"points": points,
-		"rows":   rows,
+		"points": plan.points,
+		"rows":   sweepRows(results),
 		"engine": s.metrics(),
 	}
 	outcome = "ok"

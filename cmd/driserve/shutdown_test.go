@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"dricache/internal/engine"
+	"dricache/internal/jobs"
 )
 
 // startRunServer launches runServer on a loopback listener and returns the
@@ -26,7 +27,7 @@ func startRunServer(t *testing.T, handler http.Handler, drain time.Duration) (st
 	ctx, cancel := context.WithCancel(context.Background())
 	srv := &http.Server{Handler: handler}
 	done := make(chan error, 1)
-	go func() { done <- runServer(ctx, srv, ln, drain) }()
+	go func() { done <- runServer(ctx, srv, ln, drain, jobs.NewManager(jobs.Config{})) }()
 	return "http://" + ln.Addr().String(), cancel, done
 }
 

@@ -22,6 +22,8 @@
 package cpu
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -30,6 +32,19 @@ import (
 	"dricache/internal/mem"
 	"dricache/internal/timeline"
 )
+
+// ErrAborted marks a run stopped mid-stream because its context was
+// cancelled or its deadline expired. The returned Result is partial —
+// timing state up to the last completed chunk — and must not be treated as
+// a finished simulation. Errors returned by RunCtx/RunLanesCtx wrap both
+// ErrAborted and the context's cancellation cause, so callers can match
+// either with errors.Is.
+var ErrAborted = errors.New("cpu: run aborted")
+
+// abortErr builds the partial-abort error for a run cut short at instrs.
+func abortErr(ctx context.Context, instrs uint64) error {
+	return fmt.Errorf("%w after %d instructions: %w", ErrAborted, instrs, context.Cause(ctx))
+}
 
 // IMem is the instruction-fetch side of the memory hierarchy. FetchBlock is
 // called once per fetch-group transition with the instruction block address
@@ -224,12 +239,24 @@ func putRings(r *rings) { ringPool.Put(r) }
 // dispatch per instruction. Both loops implement the identical timing
 // model; TestFusedMatchesGeneric and the golden suites pin them together.
 func (p *Pipeline) Run(stream isa.Stream) Result {
+	res, _ := p.RunCtx(context.Background(), stream)
+	return res
+}
+
+// RunCtx is Run under a context. Cancellation is checked once per
+// 256-instruction chunk boundary — never inside the per-instruction stage
+// advance — and a non-cancellable context (Done() == nil, e.g.
+// context.Background) costs nothing at all: the check is hoisted out
+// entirely. On cancellation the partial Result accumulated so far is
+// returned together with an error wrapping ErrAborted and the context's
+// cause; callers must discard the Result as unfinished.
+func (p *Pipeline) RunCtx(ctx context.Context, stream isa.Stream) (Result, error) {
 	if cur, ok := stream.(*isa.ReplayCursor); ok {
 		if h, ok := p.imem.(*mem.Hierarchy); ok && p.dmemIs(h) && p.tickIs(h) {
-			return p.runFused(cur, h)
+			return p.runFused(ctx, cur, h)
 		}
 	}
-	return p.runGeneric(stream)
+	return p.runGeneric(ctx, stream)
 }
 
 func (p *Pipeline) dmemIs(h *mem.Hierarchy) bool {
@@ -248,16 +275,19 @@ func (p *Pipeline) tickIs(h *mem.Hierarchy) bool {
 }
 
 // runGeneric is the interface-dispatched loop, used for foreign streams and
-// memory models.
+// memory models. Cancellation is polled at the same 256-instruction cadence
+// as the fused loop's chunk boundaries; with a non-cancellable context the
+// poll compiles down to one never-taken branch per instruction.
 //
 // NOTE: runGeneric and lane.step (lanes.go) must implement the identical
 // timing model line for line; any change to one must be mirrored in the
 // other (the lane copy differs only in its stream/memory/predictor call
 // sites).
-func (p *Pipeline) runGeneric(stream isa.Stream) Result {
+func (p *Pipeline) runGeneric(ctx context.Context, stream isa.Stream) (Result, error) {
 	cfg := p.cfg
 	rs := getRings(&cfg)
 	defer putRings(rs)
+	done := ctx.Done()
 	var (
 		res Result
 
@@ -301,6 +331,16 @@ func (p *Pipeline) runGeneric(stream isa.Stream) Result {
 	)
 
 	for stream.Next(&ins) {
+		if done != nil && i&(laneChunk-1) == 0 {
+			select {
+			case <-done:
+				res.Instructions = i
+				res.Cycles = cmt
+				res.BPredStats = p.bp.Stats()
+				return res, abortErr(ctx, i)
+			default:
+			}
+		}
 		// ---- Fetch ----
 		f := ft
 		if redirect > f {
@@ -447,7 +487,7 @@ func (p *Pipeline) runGeneric(stream isa.Stream) Result {
 	res.Instructions = i
 	res.Cycles = cmt
 	res.BPredStats = p.bp.Stats()
-	return res
+	return res, nil
 }
 
 // runFused is runGeneric specialized to the whole-system simulation shape:
@@ -456,12 +496,23 @@ func (p *Pipeline) runGeneric(stream isa.Stream) Result {
 // fetch/load/store/tick all resolve to one concrete mem.Hierarchy, so the
 // per-instruction calls dispatch directly instead of through interfaces. It
 // is the one-lane case of the lane executor (lanes.go): the stage advance
-// lives in lane.stepChunk, shared with RunLanes.
-func (p *Pipeline) runFused(cur *isa.ReplayCursor, h *mem.Hierarchy) Result {
+// lives in lane.stepChunk, shared with RunLanes. Cancellation is checked
+// once per chunk, before the decode, so an abort never pays for another
+// decode-plus-step pass; a non-cancellable context skips the check.
+func (p *Pipeline) runFused(ctx context.Context, cur *isa.ReplayCursor, h *mem.Hierarchy) (Result, error) {
 	g := predLane{bp: p.bp}
 	ln := newLane(p.cfg, h, p.tick != nil, &g, p.rec)
+	done := ctx.Done()
 	var buf [laneChunk]isa.DecodedInstr
 	for {
+		if done != nil {
+			select {
+			case <-done:
+				res := ln.finish()
+				return res, abortErr(ctx, res.Instructions)
+			default:
+			}
+		}
 		n := cur.NextChunk(buf[:])
 		if n == 0 {
 			break
@@ -469,5 +520,5 @@ func (p *Pipeline) runFused(cur *isa.ReplayCursor, h *mem.Hierarchy) Result {
 		g.predictChunk(buf[:n])
 		ln.stepChunk(buf[:n])
 	}
-	return ln.finish()
+	return ln.finish(), nil
 }

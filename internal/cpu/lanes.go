@@ -9,6 +9,8 @@
 package cpu
 
 import (
+	"context"
+
 	"dricache/internal/bpred"
 	"dricache/internal/dri"
 	"dricache/internal/isa"
@@ -401,8 +403,19 @@ func laneFor(p *Pipeline, pred *predLane) *lane {
 // predictor that has already consumed instructions would diverge from its
 // group.
 func RunLanes(cur *isa.ReplayCursor, pipes []*Pipeline) []Result {
+	out, _ := RunLanesCtx(context.Background(), cur, pipes)
+	return out
+}
+
+// RunLanesCtx is RunLanes under a context. Cancellation is checked once per
+// decoded chunk — before the decode, so an abort never pays for another
+// decode-plus-N-lane pass — and a non-cancellable context costs nothing.
+// On cancellation every lane is finished (partial results, rings returned
+// to the pool) and the error wraps ErrAborted with the context's cause;
+// the partial results must be discarded.
+func RunLanesCtx(ctx context.Context, cur *isa.ReplayCursor, pipes []*Pipeline) ([]Result, error) {
 	if len(pipes) == 0 {
-		return nil
+		return nil, nil
 	}
 	lanes := make([]*lane, len(pipes))
 	var groups []*predLane
@@ -416,8 +429,24 @@ func RunLanes(cur *isa.ReplayCursor, pipes []*Pipeline) []Result {
 		}
 		lanes[i] = laneFor(p, g)
 	}
+	finish := func() []Result {
+		out := make([]Result, len(lanes))
+		for i, ln := range lanes {
+			out[i] = ln.finish()
+		}
+		return out
+	}
+	done := ctx.Done()
 	var buf [laneChunk]isa.DecodedInstr
 	for {
+		if done != nil {
+			select {
+			case <-done:
+				out := finish()
+				return out, abortErr(ctx, out[0].Instructions)
+			default:
+			}
+		}
 		n := cur.NextChunk(buf[:])
 		if n == 0 {
 			break
@@ -429,9 +458,5 @@ func RunLanes(cur *isa.ReplayCursor, pipes []*Pipeline) []Result {
 			ln.stepChunk(buf[:n])
 		}
 	}
-	out := make([]Result, len(lanes))
-	for i, ln := range lanes {
-		out[i] = ln.finish()
-	}
-	return out
+	return finish(), nil
 }

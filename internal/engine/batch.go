@@ -86,17 +86,26 @@ type laneClaim struct {
 // uncached (so later requests retry) and the panic propagates to the
 // caller and to every coalesced waiter, matching Run's contract.
 func (e *Engine) RunMany(reqs []Request) []sim.Result {
-	return e.RunManyCtx(context.Background(), reqs)
+	// Background context: an abort error is impossible.
+	out, _ := e.RunManyCtx(context.Background(), reqs)
+	return out
 }
 
 // RunManyCtx is RunMany under a context: with an obs trace attached, the
 // cache-resolution pass, the batch-forming step, and every lane batch
 // (annotated with its benchmark and lane count) are recorded as child
 // spans. Results are identical to RunMany.
-func (e *Engine) RunManyCtx(ctx context.Context, reqs []Request) []sim.Result {
+//
+// Cancelling ctx aborts every batch this call claimed at its next chunk
+// boundary. Aborted claims are uncached exactly like panicked ones — the
+// cache never holds a partial result — and RunManyCtx returns the first
+// abort error (wrapping cpu.ErrAborted). Entries this call merely joined
+// that abort under their owner's cancellation are retried here as long as
+// this call's own context is live.
+func (e *Engine) RunManyCtx(ctx context.Context, reqs []Request) ([]sim.Result, error) {
 	out := make([]sim.Result, len(reqs))
 	if len(reqs) == 0 {
-		return out
+		return out, nil
 	}
 
 	type wait struct {
@@ -188,6 +197,7 @@ func (e *Engine) RunManyCtx(ctx context.Context, reqs []Request) []sim.Result {
 		wg       sync.WaitGroup
 		panicMu  sync.Mutex
 		panicVal any
+		abortErr error
 
 		// Sweep progress: report completed claims over total claims to a
 		// context-carried observer after each batch.
@@ -234,7 +244,29 @@ func (e *Engine) RunManyCtx(ctx context.Context, reqs []Request) []sim.Result {
 			for j, c := range b.claims {
 				cfgs[j] = c.cfg
 			}
-			rs, shared := runLanes(bctx, cfgs, b.prog)
+			rs, shared, err := runLanes(bctx, cfgs, b.prog)
+			if err != nil {
+				// Aborted mid-batch: uncache every claim (same treatment as
+				// a panic — the cache must never hold a partial result) and
+				// hand the abort error to the coalesced waiters.
+				sp.SetAttr("outcome", "aborted")
+				e.mu.Lock()
+				for _, c := range b.claims {
+					c.ent.err = err
+					delete(e.entries, c.key)
+					e.inFlight--
+				}
+				e.mu.Unlock()
+				for _, c := range b.claims {
+					close(c.ent.done)
+				}
+				panicMu.Lock()
+				if abortErr == nil {
+					abortErr = err
+				}
+				panicMu.Unlock()
+				return
+			}
 			e.mu.Lock()
 			e.laneBatches++
 			e.laneRuns += uint64(len(b.claims))
@@ -267,12 +299,25 @@ func (e *Engine) RunManyCtx(ctx context.Context, reqs []Request) []sim.Result {
 	if panicVal != nil {
 		panic(panicVal)
 	}
+	if abortErr != nil {
+		return out, abortErr
+	}
 	for _, w := range waits {
 		<-w.ent.done
 		if w.ent.panicVal != nil {
 			panic(w.ent.panicVal)
 		}
+		if w.ent.err != nil {
+			// Joined someone else's claim and that owner aborted. This
+			// call's context is (so far) live, so retry under a fresh claim.
+			res, _, err := e.RunCachedCtx(ctx, reqs[w.idx].Config, reqs[w.idx].Prog)
+			if err != nil {
+				return out, err
+			}
+			out[w.idx] = *res
+			continue
+		}
 		out[w.idx] = *w.ent.res
 	}
-	return out
+	return out, nil
 }

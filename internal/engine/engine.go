@@ -119,7 +119,7 @@ func (s Stats) HitRate() float64 {
 	return 0
 }
 
-// entry is one cache slot. done is closed once res (or panicVal) is
+// entry is one cache slot. done is closed once res (or panicVal/err) is
 // populated; waiters block on it without holding the engine lock.
 type entry struct {
 	done chan struct{}
@@ -127,6 +127,11 @@ type entry struct {
 	// panicVal carries a simulation panic to every coalesced waiter; the
 	// entry itself is removed from the cache so later requests retry.
 	panicVal any
+	// err marks an aborted simulation (claimer's context cancelled mid-run).
+	// Like a panic, the entry is uncached before done closes, so aborted
+	// work never poisons the cache — waiters whose own context is still
+	// live simply retry under a fresh claim.
+	err error
 }
 
 // Engine is a concurrency-safe batch simulation engine. The zero value is
@@ -159,12 +164,13 @@ type Engine struct {
 
 	// runFn executes one simulation and runLanesFn one lane batch; swapped
 	// together by tests (setRunFn) to count and stall executions. Default
-	// to sim.RunCtx / sim.RunLanesNotedCtx. runLanesFn's second result
+	// to sim.RunCtxE / sim.RunLanesNotedCtx. runLanesFn's bool result
 	// reports whether the batch actually shared one decode pass — false on
 	// the trace-store-bypass sequential fallback, where no decode saving
-	// may be credited.
-	runFn      func(context.Context, sim.Config, trace.Program) sim.Result
-	runLanesFn func(context.Context, []sim.Config, trace.Program) ([]sim.Result, bool)
+	// may be credited. A non-nil error means the run aborted on context
+	// cancellation and nothing may be cached or counted.
+	runFn      func(context.Context, sim.Config, trace.Program) (sim.Result, error)
+	runLanesFn func(context.Context, []sim.Config, trace.Program) ([]sim.Result, bool, error)
 }
 
 // New returns an engine whose worker pool is bounded at workers concurrent
@@ -173,7 +179,7 @@ func New(workers int) *Engine {
 	e := &Engine{
 		limit:      workers,
 		entries:    make(map[Key]*entry),
-		runFn:      sim.RunCtx,
+		runFn:      sim.RunCtxE,
 		runLanesFn: sim.RunLanesNotedCtx,
 	}
 	e.slot = sync.NewCond(&e.mu)
@@ -184,17 +190,17 @@ func New(workers int) *Engine {
 // directly and lane batches loop it, so counting/stalling stubs observe
 // every simulation regardless of how the scheduler partitions work.
 func (e *Engine) setRunFn(f func(sim.Config, trace.Program) sim.Result) {
-	e.runFn = func(_ context.Context, cfg sim.Config, p trace.Program) sim.Result {
-		return f(cfg, p)
+	e.runFn = func(_ context.Context, cfg sim.Config, p trace.Program) (sim.Result, error) {
+		return f(cfg, p), nil
 	}
-	e.runLanesFn = func(_ context.Context, cfgs []sim.Config, p trace.Program) ([]sim.Result, bool) {
+	e.runLanesFn = func(_ context.Context, cfgs []sim.Config, p trace.Program) ([]sim.Result, bool, error) {
 		out := make([]sim.Result, len(cfgs))
 		for i, c := range cfgs {
 			out[i] = f(c, p)
 		}
 		// The stub stands in for the lock-step executor, so a multi-lane
 		// batch counts as a shared decode pass.
-		return out, len(cfgs) > 1
+		return out, len(cfgs) > 1, nil
 	}
 }
 
@@ -299,43 +305,70 @@ func (e *Engine) Run(cfg sim.Config, prog trace.Program) sim.Result {
 // RunCached is Run reporting whether the result was served without
 // executing a new simulation (a completed cache hit or an in-flight join).
 func (e *Engine) RunCached(cfg sim.Config, prog trace.Program) (*sim.Result, bool) {
-	return e.RunCachedCtx(context.Background(), cfg, prog)
+	// A Background context cannot cancel, so an abort error is impossible.
+	res, cached, _ := e.RunCachedCtx(context.Background(), cfg, prog)
+	return res, cached
 }
 
 // RunCachedCtx is RunCached under a context: with an obs trace attached the
 // cache lookup (including any wait on an in-flight twin) and — on a miss —
 // the queue wait and simulation are recorded as child spans.
-func (e *Engine) RunCachedCtx(ctx context.Context, cfg sim.Config, prog trace.Program) (*sim.Result, bool) {
-	_, lookup := obs.StartSpan(ctx, "cache_lookup")
+//
+// Cancelling ctx aborts an owned simulation at the next chunk boundary; the
+// aborted entry is uncached (never served to anyone) and the error — which
+// wraps cpu.ErrAborted and the cancellation cause — is returned. Joining an
+// in-flight twin that aborts does not fail this request: if its own context
+// is still live it retries under a fresh claim.
+func (e *Engine) RunCachedCtx(ctx context.Context, cfg sim.Config, prog trace.Program) (*sim.Result, bool, error) {
 	key := KeyFor(cfg, prog)
-
-	e.mu.Lock()
-	if ent, ok := e.entries[key]; ok {
-		cached := "hit"
-		select {
-		case <-ent.done:
-			e.hits++
-		default:
-			e.deduped++
-			cached = "join"
+	for {
+		_, lookup := obs.StartSpan(ctx, "cache_lookup")
+		e.mu.Lock()
+		if ent, ok := e.entries[key]; ok {
+			cached := "hit"
+			select {
+			case <-ent.done:
+				e.hits++
+			default:
+				e.deduped++
+				cached = "join"
+			}
+			e.mu.Unlock()
+			<-ent.done
+			lookup.SetAttr("outcome", cached)
+			lookup.End()
+			if ent.panicVal != nil {
+				panic(ent.panicVal)
+			}
+			if ent.err != nil {
+				// The claimer aborted; its entry is already uncached. Retry
+				// unless this request's own context is dead too.
+				if ctx.Err() != nil {
+					return nil, false, ent.err
+				}
+				continue
+			}
+			return ent.res, true, nil
 		}
+		ent := &entry{done: make(chan struct{})}
+		e.entries[key] = ent
+		e.misses++
+		e.inFlight++
 		e.mu.Unlock()
-		<-ent.done
-		lookup.SetAttr("outcome", cached)
+		lookup.SetAttr("outcome", "miss")
 		lookup.End()
-		if ent.panicVal != nil {
-			panic(ent.panicVal)
-		}
-		return ent.res, true
-	}
-	ent := &entry{done: make(chan struct{})}
-	e.entries[key] = ent
-	e.misses++
-	e.inFlight++
-	e.mu.Unlock()
-	lookup.SetAttr("outcome", "miss")
-	lookup.End()
 
+		if err := e.runClaimed(ctx, key, ent, cfg, prog); err != nil {
+			return nil, false, err
+		}
+		return ent.res, false, nil
+	}
+}
+
+// runClaimed executes the simulation this goroutine holds the claim for and
+// settles the entry: caching on success, uncaching (with the panic value or
+// abort error attached for coalesced waiters) otherwise.
+func (e *Engine) runClaimed(ctx context.Context, key Key, ent *entry, cfg sim.Config, prog trace.Program) error {
 	// On a simulation panic, uncache the entry (so later requests retry),
 	// propagate the panic value to every coalesced waiter, and re-panic.
 	defer func() {
@@ -349,7 +382,16 @@ func (e *Engine) RunCachedCtx(ctx context.Context, cfg sim.Config, prog trace.Pr
 			panic(pv)
 		}
 	}()
-	res := e.execute(ctx, cfg, prog)
+	res, err := e.execute(ctx, cfg, prog)
+	if err != nil {
+		e.mu.Lock()
+		ent.err = err
+		delete(e.entries, key)
+		e.inFlight--
+		e.mu.Unlock()
+		close(ent.done)
+		return err
+	}
 
 	e.mu.Lock()
 	ent.res = &res
@@ -359,7 +401,7 @@ func (e *Engine) RunCachedCtx(ctx context.Context, cfg sim.Config, prog trace.Pr
 	e.evictLocked()
 	e.mu.Unlock()
 	close(ent.done)
-	return ent.res, false
+	return nil
 }
 
 // RunShared is Run returning the cache's shared pointer: repeated identical
@@ -391,7 +433,7 @@ func (e *Engine) releaseSlot() {
 // execute runs one simulation under the worker limit. Waiters coalesced on
 // an entry do not hold slots, so composite operations (Compare, sweeps) can
 // block on shared work without deadlocking the pool.
-func (e *Engine) execute(ctx context.Context, cfg sim.Config, prog trace.Program) sim.Result {
+func (e *Engine) execute(ctx context.Context, cfg sim.Config, prog trace.Program) (sim.Result, error) {
 	_, qs := obs.StartSpan(ctx, "queue_wait")
 	e.acquireSlot()
 	qs.End()
@@ -448,18 +490,22 @@ func (e *Engine) CompareSim(cfg sim.Config, prog trace.Program) sim.Comparison {
 // L1×L2 sweeps share their baseline and every repeated point, while runs
 // that differ only in L2 parameters are (correctly) distinct entries.
 func (e *Engine) CompareSimCached(cfg sim.Config, prog trace.Program) (sim.Comparison, CompareOutcome) {
-	return e.CompareSimCachedCtx(context.Background(), cfg, prog)
+	// Background context: an abort error is impossible.
+	cmp, oc, _ := e.CompareSimCachedCtx(context.Background(), cfg, prog)
+	return cmp, oc
 }
 
 // CompareSimCachedCtx is CompareSimCached under a context: the baseline and
 // DRI runs record their spans concurrently under the caller's trace (the
 // obs span tree is safe for parallel children), and the energy accounting
-// is recorded as a compare_assemble span.
-func (e *Engine) CompareSimCachedCtx(ctx context.Context, cfg sim.Config, prog trace.Program) (sim.Comparison, CompareOutcome) {
+// is recorded as a compare_assemble span. Cancellation aborts both runs;
+// the error wraps cpu.ErrAborted and neither run is cached.
+func (e *Engine) CompareSimCachedCtx(ctx context.Context, cfg sim.Config, prog trace.Program) (sim.Comparison, CompareOutcome, error) {
 	var (
 		conv       *sim.Result
 		convCached bool
 		convPanic  any
+		convErr    error
 		wg         sync.WaitGroup
 	)
 	wg.Add(1)
@@ -468,18 +514,24 @@ func (e *Engine) CompareSimCachedCtx(ctx context.Context, cfg sim.Config, prog t
 		// Re-raise a baseline panic on the caller's goroutine instead of
 		// crashing the process.
 		defer func() { convPanic = recover() }()
-		conv, convCached = e.RunCachedCtx(ctx, sim.BaselineSimConfig(cfg), prog)
+		conv, convCached, convErr = e.RunCachedCtx(ctx, sim.BaselineSimConfig(cfg), prog)
 	}()
-	driRes, driCached := e.RunCachedCtx(ctx, cfg, prog)
+	driRes, driCached, driErr := e.RunCachedCtx(ctx, cfg, prog)
 	wg.Wait()
 	if convPanic != nil {
 		panic(convPanic)
+	}
+	if driErr != nil {
+		return sim.Comparison{}, CompareOutcome{}, driErr
+	}
+	if convErr != nil {
+		return sim.Comparison{}, CompareOutcome{}, convErr
 	}
 
 	_, sp := obs.StartSpan(ctx, "compare_assemble")
 	cmp := sim.CompareSimResults(cfg, *conv, *driRes)
 	sp.End()
-	return cmp, CompareOutcome{BaselineCached: convCached, DRICached: driCached}
+	return cmp, CompareOutcome{BaselineCached: convCached, DRICached: driCached}, nil
 }
 
 // CompareOutcome reports the cache outcome of one Compare.

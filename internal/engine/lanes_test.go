@@ -80,7 +80,7 @@ func TestSetLanesCapsBatchSize(t *testing.T) {
 		mu    sync.Mutex
 		sizes []int
 	)
-	e.runLanesFn = func(_ context.Context, cfgs []sim.Config, p trace.Program) ([]sim.Result, bool) {
+	e.runLanesFn = func(_ context.Context, cfgs []sim.Config, p trace.Program) ([]sim.Result, bool, error) {
 		mu.Lock()
 		sizes = append(sizes, len(cfgs))
 		mu.Unlock()
@@ -88,7 +88,7 @@ func TestSetLanesCapsBatchSize(t *testing.T) {
 		for i := range out {
 			out[i] = sim.Result{Benchmark: p.Name}
 		}
-		return out, len(cfgs) > 1
+		return out, len(cfgs) > 1, nil
 	}
 	e.SetLanes(2)
 	if got := e.Lanes(); got != 2 {

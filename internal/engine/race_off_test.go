@@ -1,0 +1,7 @@
+//go:build !race
+
+package engine
+
+// raceEnabled reports whether the race detector is compiled in; wall-time
+// bounds scale up under -race (see race_on_test.go).
+const raceEnabled = false

@@ -197,13 +197,17 @@ type TaskResult struct {
 // survive the result cache execute as lanes over a single decode of their
 // benchmark's instruction stream instead of one replay pass per point.
 func (r *Runner) RunAll(tasks []Task) []TaskResult {
-	return r.RunAllCtx(context.Background(), tasks)
+	// Background context: an abort error is impossible.
+	out, _ := r.RunAllCtx(context.Background(), tasks)
+	return out
 }
 
 // RunAllCtx is RunAll under a context: the engine's batch stages and the
 // final energy-model accounting record spans when the context carries an
-// obs trace.
-func (r *Runner) RunAllCtx(ctx context.Context, tasks []Task) []TaskResult {
+// obs trace. Cancelling ctx aborts the in-flight batches at their next
+// chunk boundary; the error wraps cpu.ErrAborted, no partial comparisons
+// are assembled, and nothing aborted was cached.
+func (r *Runner) RunAllCtx(ctx context.Context, tasks []Task) ([]TaskResult, error) {
 	eng := r.Engine()
 	cfgs := make([]sim.Config, len(tasks))
 	reqs := make([]engine.Request, 0, 2*len(tasks))
@@ -217,14 +221,17 @@ func (r *Runner) RunAllCtx(ctx context.Context, tasks []Task) []TaskResult {
 			engine.Request{Config: sim.BaselineSimConfig(cfg), Prog: t.Prog},
 			engine.Request{Config: cfg, Prog: t.Prog})
 	}
-	results := eng.RunManyCtx(ctx, reqs)
+	results, err := eng.RunManyCtx(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
 	_, sp := obs.StartSpan(ctx, "compare_assemble")
 	out := make([]TaskResult, len(tasks))
 	for i, t := range tasks {
 		out[i] = TaskResult{Task: t, Cmp: sim.CompareSimResults(cfgs[i], results[2*i], results[2*i+1])}
 	}
 	sp.End()
-	return out
+	return out, nil
 }
 
 // driConfig builds a DRI cache config of the given geometry and parameters.

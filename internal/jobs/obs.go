@@ -1,0 +1,120 @@
+package jobs
+
+// Job telemetry: per-manager lifecycle counters, queue gauges, and the
+// queue-wait histogram, projected into an obs.Registry for /metrics and
+// snapshotted as Stats for /v1/stats and /healthz.
+
+import (
+	"sync/atomic"
+
+	"dricache/internal/obs"
+)
+
+// counters are the manager's lifecycle totals. queued counts admissions,
+// running counts dispatches minus settlements (a live gauge kept as an
+// atomic so Stats needs no lock).
+type counters struct {
+	queued     atomic.Uint64
+	dispatched atomic.Uint64
+	running    atomic.Uint64
+	completed  atomic.Uint64
+	failed     atomic.Uint64
+	cancelled  atomic.Uint64
+	rejected   atomic.Uint64
+	expired    atomic.Uint64
+}
+
+// histogram is a nil-safe obs.Histogram slot: observations before
+// RegisterMetrics (or without a registry at all) are dropped.
+type histogram struct {
+	h atomic.Pointer[obs.Histogram]
+}
+
+func (s *histogram) observe(v float64) {
+	if h := s.h.Load(); h != nil {
+		h.Observe(v)
+	}
+}
+
+// atomic64 is a CAS-able int64 (the run-time EWMA behind Retry-After).
+type atomic64 struct{ v atomic.Int64 }
+
+func (a *atomic64) load() int64           { return a.v.Load() }
+func (a *atomic64) cas(old, v int64) bool { return a.v.CompareAndSwap(old, v) }
+
+// Stats is a point-in-time view of the manager for /v1/stats and /healthz.
+type Stats struct {
+	// QueueDepth is the number of jobs waiting for a worker.
+	QueueDepth int `json:"queueDepth"`
+	// Running is the number of jobs currently executing.
+	Running int `json:"running"`
+	// Retained is the number of jobs (any state) addressable by ID.
+	Retained int `json:"retained"`
+	// Draining reports whether Shutdown has stopped admission.
+	Draining bool `json:"draining"`
+	// Lifecycle totals.
+	Queued    uint64 `json:"queued"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+	Rejected  uint64 `json:"rejected"`
+	Expired   uint64 `json:"expired"`
+}
+
+// Stats returns the manager's current counters and queue state.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	depth := len(m.queue)
+	running := m.running
+	retained := len(m.jobs)
+	draining := m.draining
+	m.mu.Unlock()
+	return Stats{
+		QueueDepth: depth,
+		Running:    running,
+		Retained:   retained,
+		Draining:   draining,
+		Queued:     m.counters.queued.Load(),
+		Completed:  m.counters.completed.Load(),
+		Failed:     m.counters.failed.Load(),
+		Cancelled:  m.counters.cancelled.Load(),
+		Rejected:   m.counters.rejected.Load(),
+		Expired:    m.counters.expired.Load(),
+	}
+}
+
+// RegisterMetrics registers the manager's job telemetry with the registry:
+// jobs_{queued,running,completed,failed,cancelled,rejected,expired}_total,
+// the queue-depth and running gauges, and the queue-wait histogram.
+func (m *Manager) RegisterMetrics(r *obs.Registry) {
+	counter := func(v *atomic.Uint64) func() float64 {
+		return func() float64 { return float64(v.Load()) }
+	}
+	r.NewCounterFunc("jobs_queued_total",
+		"Jobs admitted to the queue.", counter(&m.counters.queued))
+	r.NewCounterFunc("jobs_running_total",
+		"Jobs dispatched to a worker.", counter(&m.counters.dispatched))
+	r.NewCounterFunc("jobs_completed_total",
+		"Jobs finished successfully.", counter(&m.counters.completed))
+	r.NewCounterFunc("jobs_failed_total",
+		"Jobs finished with an error.", counter(&m.counters.failed))
+	r.NewCounterFunc("jobs_cancelled_total",
+		"Jobs cancelled (explicitly or by shutdown).", counter(&m.counters.cancelled))
+	r.NewCounterFunc("jobs_rejected_total",
+		"Submissions rejected by admission control.", counter(&m.counters.rejected))
+	r.NewCounterFunc("jobs_expired_total",
+		"Jobs that hit their deadline (queued or running).", counter(&m.counters.expired))
+	r.NewGaugeFunc("jobs_queue_depth",
+		"Jobs waiting for a worker.", func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(len(m.queue))
+		})
+	r.NewGaugeFunc("jobs_running",
+		"Jobs currently executing.", func() float64 {
+			return float64(m.counters.running.Load())
+		})
+	m.waitHist.h.Store(r.NewHistogram("jobs_queue_wait_seconds",
+		"Time jobs spent waiting for a worker.",
+		obs.ExponentialBuckets(0.001, 4, 10)))
+}

@@ -1,0 +1,38 @@
+package jobs
+
+// jobHeap is the admission queue: a max-heap on priority with FIFO order
+// inside one priority (submission sequence breaks ties), implementing
+// container/heap. Jobs track their index so Cancel and queued-deadline
+// expiry can remove from the middle.
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].snap.Priority != h[j].snap.Priority {
+		return h[i].snap.Priority > h[j].snap.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h jobHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *jobHeap) Push(x any) {
+	j := x.(*job)
+	j.index = len(*h)
+	*h = append(*h, j)
+}
+
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.index = -1
+	*h = old[:n-1]
+	return j
+}

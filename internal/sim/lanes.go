@@ -116,17 +116,19 @@ func releaseHierarchy(cfg mem.Config, h *mem.Hierarchy) {
 // the stream there is no shared decode to amortize and the configurations
 // run sequentially.
 func RunLanes(cfgs []Config, prog trace.Program) []Result {
-	return RunLanesCtx(context.Background(), cfgs, prog)
+	out, _, _ := RunLanesNotedCtx(context.Background(), cfgs, prog)
+	return out
 }
 
 // RunLanesCtx is RunLanes under a context: with an obs trace attached the
 // stream record/fetch, lock-step pipeline pass, and result assembly are
 // recorded as child spans, and the lane goroutine is labeled
 // (runtime/pprof) with the benchmark and lane count. Results are identical
-// to RunLanes.
-func RunLanesCtx(ctx context.Context, cfgs []Config, prog trace.Program) []Result {
-	out, _ := RunLanesNotedCtx(ctx, cfgs, prog)
-	return out
+// to RunLanes. Cancellation stops every lane at the same chunk boundary;
+// the error then wraps cpu.ErrAborted and no results are assembled.
+func RunLanesCtx(ctx context.Context, cfgs []Config, prog trace.Program) ([]Result, error) {
+	out, _, err := RunLanesNotedCtx(ctx, cfgs, prog)
+	return out, err
 }
 
 // RunLanesNotedCtx is RunLanesCtx that additionally reports whether the
@@ -134,11 +136,19 @@ func RunLanesCtx(ctx context.Context, cfgs []Config, prog trace.Program) []Resul
 // there was nothing to share (zero or one configuration) or when the trace
 // store could not hold the stream and the configurations ran sequentially —
 // callers accounting decode passes saved (the engine's batch scheduler)
-// must not credit those executions.
-func RunLanesNotedCtx(ctx context.Context, cfgs []Config, prog trace.Program) ([]Result, bool) {
+// must not credit those executions. A non-nil error means the context was
+// cancelled mid-run: the results are zero values, nothing was counted in
+// simulation telemetry, and the error wraps cpu.ErrAborted plus the cause.
+func RunLanesNotedCtx(ctx context.Context, cfgs []Config, prog trace.Program) ([]Result, bool, error) {
 	out := make([]Result, len(cfgs))
 	if len(cfgs) == 0 {
-		return out, false
+		return out, false, nil
+	}
+	// Check before touching the trace store: Replay records the stream on a
+	// miss (a full generate-and-encode pass), and a batch queued behind a
+	// cancelled sweep must not pay that just to abort at its first chunk.
+	if err := ctx.Err(); err != nil {
+		return out, false, abortedBeforeStart(ctx)
 	}
 	budget := cfgs[0].Instructions
 	for _, c := range cfgs[1:] {
@@ -147,8 +157,12 @@ func RunLanesNotedCtx(ctx context.Context, cfgs []Config, prog trace.Program) ([
 		}
 	}
 	if len(cfgs) == 1 {
-		out[0] = RunCtx(ctx, cfgs[0], prog)
-		return out, false
+		res, err := RunCtxE(ctx, cfgs[0], prog)
+		if err != nil {
+			return out, false, err
+		}
+		out[0] = res
+		return out, false, nil
 	}
 	_, sp := obs.StartSpan(ctx, "stream_decode")
 	sp.SetAttr("benchmark", prog.Name)
@@ -157,11 +171,16 @@ func RunLanesNotedCtx(ctx context.Context, cfgs []Config, prog trace.Program) ([
 	if rep == nil {
 		laneFallbacks.Add(uint64(len(cfgs)))
 		for i, c := range cfgs {
-			out[i] = RunCtx(ctx, c, prog)
+			res, err := RunCtxE(ctx, c, prog)
+			if err != nil {
+				return out, false, err
+			}
+			out[i] = res
 		}
-		return out, false
+		return out, false, nil
 	}
 
+	var abortErr error
 	pprof.Do(ctx, pprof.Labels("benchmark", prog.Name, "lanes", strconv.Itoa(len(cfgs))),
 		func(ctx context.Context) {
 			hs := make([]*mem.Hierarchy, len(cfgs))
@@ -186,8 +205,18 @@ func RunLanesNotedCtx(ctx context.Context, cfgs []Config, prog trace.Program) ([
 			_, sp := obs.StartSpan(ctx, "pipeline")
 			sp.SetAttr("lanes", strconv.Itoa(len(cfgs)))
 			cur := rep.Cursor()
-			cpuRes := cpu.RunLanes(&cur, pipes)
+			cpuRes, err := cpu.RunLanesCtx(ctx, &cur, pipes)
 			sp.End()
+			if err != nil {
+				// Aborted mid-batch: the hierarchies hold partial state, but
+				// Reset on the next acquire makes them safe to pool anyway.
+				for i, c := range cfgs {
+					releaseHierarchy(c.Mem, hs[i])
+					out[i] = Result{}
+				}
+				abortErr = err
+				return
+			}
 			_, sp = obs.StartSpan(ctx, "assemble")
 			for i, c := range cfgs {
 				hs[i].Finish(cpuRes[i].Cycles)
@@ -196,7 +225,10 @@ func RunLanesNotedCtx(ctx context.Context, cfgs []Config, prog trace.Program) ([
 			}
 			sp.End()
 		})
+	if abortErr != nil {
+		return out, false, abortErr
+	}
 	laneLanes.Add(uint64(len(cfgs)))
 	laneBatches.Add(1)
-	return out, true
+	return out, true, nil
 }

@@ -7,6 +7,7 @@ package sim
 
 import (
 	"context"
+	"fmt"
 	"runtime/pprof"
 
 	"dricache/internal/bpred"
@@ -159,9 +160,37 @@ func Run(cfg Config, prog trace.Program) Result {
 // run's stages (stream decode, pipeline, assemble) are recorded as child
 // spans, and the worker goroutine is labeled (runtime/pprof) with the
 // benchmark and policy so CPU profiles attribute samples per workload.
-// Results are identical to Run.
+// Results are identical to Run. Cancellation aborts mid-run; RunCtx
+// swallows the abort error (the Result is then partial) — callers that
+// must distinguish use RunCtxE.
 func RunCtx(ctx context.Context, cfg Config, prog trace.Program) Result {
-	var res Result
+	res, _ := RunCtxE(ctx, cfg, prog)
+	return res
+}
+
+// RunCtxE is RunCtx with the abort surfaced: when ctx cancels (or its
+// deadline expires) mid-run, the pipeline stops at the next 256-instruction
+// chunk boundary and RunCtxE returns a zero Result plus an error wrapping
+// cpu.ErrAborted and the cancellation cause. Aborted runs are never
+// assembled or counted in the process-wide simulation telemetry.
+// abortedBeforeStart is the abort error for work whose context was already
+// cancelled before its simulation started (zero instructions run). It wraps
+// cpu.ErrAborted so callers classify it like a mid-run abort.
+func abortedBeforeStart(ctx context.Context) error {
+	return fmt.Errorf("%w before start: %w", cpu.ErrAborted, context.Cause(ctx))
+}
+
+func RunCtxE(ctx context.Context, cfg Config, prog trace.Program) (Result, error) {
+	// Check before any stream recording or hierarchy setup: a run queued
+	// behind a cancelled batch must abort in microseconds, not after paying
+	// for a decode pass it is about to throw away.
+	if cerr := ctx.Err(); cerr != nil {
+		return Result{}, abortedBeforeStart(ctx)
+	}
+	var (
+		res Result
+		err error
+	)
 	pprof.Do(ctx, pprof.Labels("benchmark", prog.Name, "policy", policyLabel(cfg)),
 		func(ctx context.Context) {
 			h := acquireHierarchy(cfg.Mem)
@@ -173,15 +202,20 @@ func RunCtx(ctx context.Context, cfg Config, prog trace.Program) Result {
 			stream := trace.StreamFor(prog, cfg.Instructions)
 			sp.End()
 			_, sp = obs.StartSpan(ctx, "pipeline")
-			cpuRes := pipe.Run(stream)
+			var cpuRes cpu.Result
+			cpuRes, err = pipe.RunCtx(ctx, stream)
 			sp.End()
+			if err != nil {
+				releaseHierarchy(cfg.Mem, h)
+				return
+			}
 			h.Finish(cpuRes.Cycles)
 			_, sp = obs.StartSpan(ctx, "assemble")
 			res = assemble(cfg, prog, cpuRes, h, rec)
 			sp.End()
 			releaseHierarchy(cfg.Mem, h)
 		})
-	return res
+	return res, err
 }
 
 // policyLabel names the effective L1 i-cache leakage scheme of cfg for
