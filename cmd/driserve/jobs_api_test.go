@@ -24,7 +24,7 @@ import (
 // bounds.
 func jobTestServer(t *testing.T, jcfg jobs.Config) *httptest.Server {
 	t.Helper()
-	s := buildServer(engine.New(0), 50_000_000, jcfg)
+	s := buildServer(engine.New(0), 50_000_000, jcfg, nil)
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(ts.Close)
 	return ts

@@ -5,7 +5,7 @@
 //
 // Endpoints:
 //
-//	GET  /healthz        liveness + engine and trace-store metrics
+//	GET  /healthz        liveness, serving status (ok/degraded), layer metrics
 //	GET  /metrics        Prometheus text exposition of the full registry
 //	GET  /v1/stats       engine, trace replay store, and runtime counters
 //	GET  /v1/metrics     the same registry snapshot as JSON
@@ -36,6 +36,16 @@
 // (inbound value honored) through the structured access log. -mutexprofile
 // and -blockprofile enable the runtime contention profiles the -pprof
 // listener serves.
+//
+// -persistdir enables the crash-safe persistent store: simulation results
+// and trace recordings are written behind the in-memory caches as
+// checksummed, atomically renamed artifacts, and a restarted server serves
+// them as cache hits, bit-identical to fresh simulation. Corrupt or torn
+// files are quarantined (renamed .corrupt) and recomputed; persistent I/O
+// failure flips the store to memory-only degraded mode (surfaced as
+// "status":"degraded" on /healthz and persist_* metrics) with background
+// re-probing, never failing a request. -persistbudget bounds the on-disk
+// footprint with oldest-first eviction.
 //
 // Sweep traffic executes on the engine's lane scheduler: requests that
 // survive the result cache are grouped by (benchmark, budget) and each
@@ -79,6 +89,7 @@ import (
 
 	"dricache/internal/engine"
 	"dricache/internal/jobs"
+	"dricache/internal/persist"
 	"dricache/internal/trace"
 )
 
@@ -97,6 +108,8 @@ func main() {
 		jobCliInstrs = flag.Uint64("jobclientinstructions", 0, "max summed instruction estimates queued per client (0 = unlimited)")
 		jobRetention = flag.Int("jobretention", 256, "finished jobs retained for result pickup")
 		jobDeadline  = flag.Duration("jobmaxdeadline", 0, "cap on per-job deadlines, applied to unbounded jobs too (0 = uncapped)")
+		persistDir   = flag.String("persistdir", "", "directory for the crash-safe result/trace store (empty = memory-only)")
+		persistBudg  = flag.Int64("persistbudget", 2<<30, "persistent store byte budget, oldest artifacts evicted beyond it (0 = unbounded)")
 		pprofPort    = flag.Int("pprof", 0, "serve net/http/pprof on 127.0.0.1:<port> (0 = disabled)")
 		mutexProfile = flag.Int("mutexprofile", 0, "mutex contention profile sampling rate, 1/n events (0 = disabled)")
 		blockProfile = flag.Int("blockprofile", 0, "goroutine blocking profile sampling rate in ns (0 = disabled)")
@@ -116,6 +129,29 @@ func main() {
 	eng := engine.New(*workers)
 	eng.SetCacheLimit(*cacheLimit)
 	eng.SetLanes(*lanes)
+	// The persistence layer, when enabled, sits under both memoizing caches:
+	// results and trace recordings survive restarts, and any disk trouble
+	// degrades to memory-only serving rather than failing requests. Open
+	// never fails over disk state — a dead directory starts degraded and
+	// keeps re-probing.
+	var pstore *persist.Store
+	if *persistDir != "" {
+		var err error
+		pstore, err = persist.Open(persist.Config{
+			Dir:         *persistDir,
+			BudgetBytes: *persistBudg,
+			Log:         logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		eng.SetPersist(pstore)
+		trace.SharedStore().SetPersist(pstore)
+		h := pstore.Health()
+		logger.Info("persistence enabled",
+			"dir", *persistDir, "budgetBytes", *persistBudg, "status", h.Status)
+	}
 	// The pprof listener serves whatever the runtime samples; contention
 	// profiles stay empty unless these rates are set.
 	if *mutexProfile > 0 {
@@ -134,7 +170,7 @@ func main() {
 		MaxClientInstructions: *jobCliInstrs,
 		Retention:             *jobRetention,
 		MaxDeadline:           *jobDeadline,
-	})
+	}, pstore)
 	srv := &http.Server{
 		Handler:           app.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -154,6 +190,15 @@ func main() {
 	if err := runServer(ctx, srv, ln, *drainTimeout, app.jobs); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if pstore != nil {
+		// Drain the write-behind queue so results computed just before the
+		// signal survive the restart, then stop the committer.
+		fctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := pstore.Close(fctx); err != nil {
+			logger.Warn("persistent store close", "err", err)
+		}
+		cancel()
 	}
 	logger.Info("driserve stopped")
 }

@@ -197,6 +197,7 @@ func engineMetricsFrom(snap obs.Snapshot) engineMetrics {
 		Hits:        hits,
 		Misses:      misses,
 		Deduped:     deduped,
+		PersistHits: uint64(snap.Value("engine_persist_hits_total")),
 		HitRate:     hitRate,
 		Entries:     int(snap.Value("engine_cache_entries")),
 		InFlight:    int(snap.Value("engine_inflight")),
@@ -230,6 +231,7 @@ func traceMetricsFrom(snap obs.Snapshot) traceMetrics {
 		BudgetBytes: int64(snap.Value("trace_store_budget_bytes")),
 		Hits:        hits,
 		Misses:      misses,
+		PersistHits: uint64(snap.Value("trace_store_persist_hits_total")),
 		Evictions:   uint64(snap.Value("trace_store_evictions_total")),
 		Bypasses:    uint64(snap.Value("trace_store_bypasses_total")),
 		HitRate:     hitRate,

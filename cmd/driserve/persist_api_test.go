@@ -1,0 +1,177 @@
+package main
+
+// API-level persistence properties: a restarted server re-serves committed
+// results as cache hits, bit-identical to the original response; a dead
+// disk degrades /healthz but never a request; a corrupt artifact is
+// quarantined and recomputed with the health status staying "ok".
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"dricache/internal/engine"
+	"dricache/internal/jobs"
+	"dricache/internal/persist"
+)
+
+// persistTestServer boots the full handler stack over an engine wired to a
+// persistence store on fs — the production topology minus the process-global
+// trace store (kept detached so tests stay isolated from each other).
+func persistTestServer(t *testing.T, fs persist.FS) (*httptest.Server, *persist.Store) {
+	t.Helper()
+	p, err := persist.Open(persist.Config{
+		Dir: "/persist", FS: fs, Log: slog.New(slog.DiscardHandler),
+	})
+	if err != nil {
+		t.Fatalf("persist.Open: %v", err)
+	}
+	t.Cleanup(func() { p.Close(context.Background()) })
+	eng := engine.New(0)
+	eng.SetPersist(p)
+	s := buildServer(eng, 10_000_000, jobs.Config{}, p)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return ts, p
+}
+
+func flushStore(t *testing.T, p *persist.Store) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.Flush(ctx); err != nil {
+		t.Fatalf("persist.Flush: %v", err)
+	}
+}
+
+const persistRunBody = `{"benchmark":"li","instructions":300000,"cache":{"dri":{"missBound":64,"sizeBoundBytes":1024}}}`
+
+// TestPersistRestartServesWarmResult is the acceptance property end to end:
+// run against server A, "restart" (fresh engine + fresh store over the
+// surviving filesystem), and server B must answer the identical request with
+// "cached": true and a byte-identical result.
+func TestPersistRestartServesWarmResult(t *testing.T) {
+	mem := persist.NewMemFS()
+
+	tsA, pA := persistTestServer(t, mem)
+	cold := postJSON(t, tsA.URL+"/v1/run", persistRunBody, http.StatusOK)
+	if cold["cached"] != false {
+		t.Fatalf("cold run cached = %v, want false", cold["cached"])
+	}
+	flushStore(t, pA)
+
+	tsB, _ := persistTestServer(t, mem)
+	warm := postJSON(t, tsB.URL+"/v1/run", persistRunBody, http.StatusOK)
+	if warm["cached"] != true {
+		t.Fatalf("warm run after restart cached = %v, want true", warm["cached"])
+	}
+	if !reflect.DeepEqual(cold["result"], warm["result"]) {
+		t.Fatalf("restarted result diverges:\ncold: %v\nwarm: %v", cold["result"], warm["result"])
+	}
+	cb, _ := json.Marshal(cold["result"])
+	wb, _ := json.Marshal(warm["result"])
+	if string(cb) != string(wb) {
+		t.Fatal("restarted result not byte-identical under JSON")
+	}
+	if hits := engineField(t, warm, "persistHits"); hits != 1 {
+		t.Fatalf("persistHits = %v, want 1", hits)
+	}
+
+	health := getJSON(t, tsB.URL+"/healthz", http.StatusOK)
+	if health["status"] != "ok" {
+		t.Fatalf("healthz status = %v, want ok", health["status"])
+	}
+	pm := subMap(t, health, "persist")
+	if pm["status"] != "ok" {
+		t.Fatalf("persist block status = %v, want ok", pm["status"])
+	}
+	if pm["loads"].(float64) < 1 {
+		t.Fatalf("persist loads = %v, want >= 1", pm["loads"])
+	}
+}
+
+// TestPersistDegradedHealthzStillServes pins the degraded-mode surface: on a
+// disk that refuses every operation the health endpoint reports degraded
+// (with a reason) while simulations keep succeeding memory-only.
+func TestPersistDegradedHealthzStillServes(t *testing.T) {
+	ffs := persist.NewFaultFS(persist.NewMemFS())
+	ffs.SetErr(persist.ErrInjected)
+	p, err := persist.Open(persist.Config{
+		Dir: "/persist", FS: ffs, FailureThreshold: 1,
+		Log: slog.New(slog.DiscardHandler),
+	})
+	if err != nil {
+		t.Fatalf("persist.Open: %v", err)
+	}
+	t.Cleanup(func() { p.Close(context.Background()) })
+	eng := engine.New(0)
+	eng.SetPersist(p)
+	s := buildServer(eng, 10_000_000, jobs.Config{}, p)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+
+	health := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	if health["ok"] != true {
+		t.Fatal("degraded persistence must not fail liveness")
+	}
+	if health["status"] != "degraded" {
+		t.Fatalf("healthz status = %v, want degraded", health["status"])
+	}
+	if reason, _ := health["reason"].(string); reason == "" {
+		t.Fatal("degraded healthz carries no reason")
+	}
+	pm := subMap(t, health, "persist")
+	if pm["status"] != "degraded" {
+		t.Fatalf("persist block status = %v, want degraded", pm["status"])
+	}
+
+	out := postJSON(t, ts.URL+"/v1/run", persistRunBody, http.StatusOK)
+	if out["cached"] != false {
+		t.Fatalf("degraded store cannot have served a hit: %v", out["cached"])
+	}
+	stats := getJSON(t, ts.URL+"/v1/stats", http.StatusOK)
+	if subMap(t, stats, "persist")["status"] != "degraded" {
+		t.Fatal("stats persist block not degraded")
+	}
+}
+
+// TestPersistCorruptArtifactQuarantinedAndRecomputed damages the committed
+// artifact on "disk"; the restarted server must recompute (not an error, not
+// a wrong result), quarantine the corpse, and stay "ok".
+func TestPersistCorruptArtifactQuarantinedAndRecomputed(t *testing.T) {
+	mem := persist.NewMemFS()
+
+	tsA, pA := persistTestServer(t, mem)
+	cold := postJSON(t, tsA.URL+"/v1/run", persistRunBody, http.StatusOK)
+	flushStore(t, pA)
+
+	names, err := mem.ReadDir("/persist/results")
+	if err != nil || len(names) != 1 {
+		t.Fatalf("ReadDir = %v, %v; want exactly one artifact", names, err)
+	}
+	if err := mem.Corrupt("/persist/results/"+names[0], []byte("bitrot")); err != nil {
+		t.Fatalf("Corrupt: %v", err)
+	}
+
+	tsB, _ := persistTestServer(t, mem)
+	warm := postJSON(t, tsB.URL+"/v1/run", persistRunBody, http.StatusOK)
+	if warm["cached"] != false {
+		t.Fatal("corrupt artifact was served as a hit")
+	}
+	if !reflect.DeepEqual(cold["result"], warm["result"]) {
+		t.Fatal("recomputed result diverges from the original")
+	}
+	health := getJSON(t, tsB.URL+"/healthz", http.StatusOK)
+	if health["status"] != "ok" {
+		t.Fatalf("corruption degraded the server: %v", health["status"])
+	}
+	pm := subMap(t, health, "persist")
+	if pm["quarantined"].(float64) != 1 {
+		t.Fatalf("quarantined = %v, want 1", pm["quarantined"])
+	}
+}

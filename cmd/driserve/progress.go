@@ -33,8 +33,10 @@ const (
 	// event is always delivered.
 	maxProgressEvents = 1024
 	// subscriberBuffer is each live subscriber's channel depth; a
-	// subscriber that stalls past it misses intermediate events but still
-	// observes completion via the entry's done flag.
+	// subscriber that stalls past it is dropped from the fan-out (its
+	// channel closed) so one dead connection can never block the
+	// simulation or starve other subscribers. The replay buffer keeps the
+	// history, so a dropped client re-opens the stream and catches up.
 	subscriberBuffer = 64
 )
 
@@ -85,8 +87,13 @@ func (e *progressEntry) publish(typ string, payload map[string]any) {
 		select {
 		case ch <- ev:
 		default:
-			// A stalled subscriber misses this event; the replay buffer and
-			// done flag keep completion observable.
+			// The subscriber has not drained subscriberBuffer events: it is
+			// stalled (dead connection, blocked proxy). Drop it rather than
+			// skip events — a silently gapped stream is worse than a closed
+			// one the client re-opens against the replay buffer. The close
+			// is the stream handler's signal.
+			delete(e.subs, ch)
+			close(ch)
 		}
 	}
 	e.mu.Unlock()
@@ -262,7 +269,14 @@ func streamProgress(w http.ResponseWriter, r *http.Request, ent *progressEntry) 
 		select {
 		case <-r.Context().Done():
 			return
-		case ev := <-live:
+		case ev, ok := <-live:
+			if !ok {
+				// The hub dropped this subscriber for stalling. Say so and
+				// end the stream; the client re-opens and replays.
+				write(sseEvent{Type: "dropped", Data: []byte(`{"reason":"slow consumer"}`)})
+				fl.Flush()
+				return
+			}
 			write(ev)
 			fl.Flush()
 			if ev.Type == "done" {

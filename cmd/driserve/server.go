@@ -14,6 +14,7 @@ import (
 	"dricache/internal/jobs"
 	"dricache/internal/mem"
 	"dricache/internal/obs"
+	"dricache/internal/persist"
 	"dricache/internal/policy"
 	"dricache/internal/sim"
 	"dricache/internal/trace"
@@ -42,18 +43,24 @@ type server struct {
 	// jobs is the async job manager behind /v1/jobs: bounded priority
 	// queue, per-client admission, real cancellation, drain on shutdown.
 	jobs *jobs.Manager
+	// persist is the crash-safe disk layer under the result cache and trace
+	// store; nil when -persistdir is unset. Its health decides the top-level
+	// "status" on /healthz: a degraded store keeps serving (memory-only), so
+	// the process stays live but operators see the reason.
+	persist *persist.Store
 }
 
 // newServer is the single-argument constructor the tests use; production
 // (main) calls buildServer to keep the *server for shutdown draining.
 func newServer(eng *engine.Engine, maxInstructions uint64) http.Handler {
-	s := buildServer(eng, maxInstructions, jobs.Config{})
+	s := buildServer(eng, maxInstructions, jobs.Config{}, nil)
 	return s.handler()
 }
 
 // buildServer assembles the server: one registry over every layer, the
 // progress hub, and the job manager (wired to publish SSE transitions).
-func buildServer(eng *engine.Engine, maxInstructions uint64, jcfg jobs.Config) *server {
+// p is the optional persistence layer (nil = memory-only serving).
+func buildServer(eng *engine.Engine, maxInstructions uint64, jcfg jobs.Config, p *persist.Store) *server {
 	s := &server{
 		eng:             eng,
 		maxInstructions: maxInstructions,
@@ -62,9 +69,13 @@ func buildServer(eng *engine.Engine, maxInstructions uint64, jcfg jobs.Config) *
 		log:             slog.Default(),
 		progress:        newProgressHub(),
 		jobs:            jobs.NewManager(jcfg),
+		persist:         p,
 	}
 	eng.RegisterMetrics(s.reg)
 	trace.SharedStore().RegisterMetrics(s.reg)
+	if p != nil {
+		p.RegisterMetrics(s.reg)
+	}
 	sim.RegisterMetrics(s.reg)
 	obs.RegisterRuntimeMetrics(s.reg)
 	s.jobs.RegisterMetrics(s.reg)
@@ -95,9 +106,12 @@ func (s *server) handler() http.Handler {
 
 // engineMetrics is the cache/pool snapshot attached to every response.
 type engineMetrics struct {
-	Hits        uint64  `json:"hits"`
-	Misses      uint64  `json:"misses"`
-	Deduped     uint64  `json:"deduped"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Deduped uint64 `json:"deduped"`
+	// PersistHits counts hits served by loading a persisted result from
+	// disk instead of simulating (a subset of Hits; zero without -persistdir).
+	PersistHits uint64  `json:"persistHits"`
 	HitRate     float64 `json:"hitRate"`
 	Entries     int     `json:"entries"`
 	InFlight    int     `json:"inFlight"`
@@ -114,6 +128,7 @@ type traceMetrics struct {
 	BudgetBytes int64   `json:"budgetBytes"`
 	Hits        uint64  `json:"hits"`
 	Misses      uint64  `json:"misses"`
+	PersistHits uint64  `json:"persistHits"`
 	Evictions   uint64  `json:"evictions"`
 	Bypasses    uint64  `json:"bypasses"`
 	HitRate     float64 `json:"hitRate"`
@@ -121,6 +136,55 @@ type traceMetrics struct {
 
 func (s *server) metrics() engineMetrics {
 	return engineMetricsFrom(s.reg.Snapshot())
+}
+
+// persistMetrics is the wire form of the persistence layer's health and
+// counters: whether disk is being served at all (status/reason), what is
+// committed (files/bytes against the budget), and how the write-behind and
+// load paths are behaving — drops, quarantines, degradations, recoveries.
+type persistMetrics struct {
+	Status        string `json:"status"`
+	Reason        string `json:"reason,omitempty"`
+	Dir           string `json:"dir"`
+	Files         int    `json:"files"`
+	Bytes         int64  `json:"bytes"`
+	BudgetBytes   int64  `json:"budgetBytes"`
+	QueueDepth    int    `json:"queueDepth"`
+	Writes        uint64 `json:"writes"`
+	WriteErrors   uint64 `json:"writeErrors"`
+	DroppedWrites uint64 `json:"droppedWrites"`
+	Loads         uint64 `json:"loads"`
+	LoadMisses    uint64 `json:"loadMisses"`
+	LoadErrors    uint64 `json:"loadErrors"`
+	DegradedSkips uint64 `json:"degradedSkips"`
+	Quarantined   uint64 `json:"quarantined"`
+	Evictions     uint64 `json:"evictions"`
+	Degradations  uint64 `json:"degradations"`
+	Recoveries    uint64 `json:"recoveries"`
+}
+
+func (s *server) persistMetrics() persistMetrics {
+	st, h := s.persist.Stats(), s.persist.Health()
+	return persistMetrics{
+		Status:        h.Status,
+		Reason:        h.Reason,
+		Dir:           h.Dir,
+		Files:         st.Files,
+		Bytes:         st.Bytes,
+		BudgetBytes:   st.BudgetBytes,
+		QueueDepth:    st.QueueDepth,
+		Writes:        st.Writes,
+		WriteErrors:   st.WriteErrors,
+		DroppedWrites: st.DroppedWrites,
+		Loads:         st.Loads,
+		LoadMisses:    st.LoadMisses,
+		LoadErrors:    st.LoadErrors,
+		DegradedSkips: st.DegradedSkips,
+		Quarantined:   st.Quarantined,
+		Evictions:     st.Evictions,
+		Degradations:  st.DegradedEvents,
+		Recoveries:    st.Recoveries,
+	}
 }
 
 // laneMetrics is the wire form of the lane executor's counters: the
@@ -173,13 +237,26 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) (int, error) {
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.reg.Snapshot()
-	writeJSON(w, http.StatusOK, map[string]any{
+	// The process is live either way ("ok": true): a degraded persistence
+	// layer means memory-only serving, not an outage. "status" carries the
+	// distinction so probes can alert without failing the health check.
+	resp := map[string]any{
 		"ok":     true,
+		"status": "ok",
 		"engine": engineMetricsFrom(snap),
 		"lanes":  laneMetricsFrom(snap),
 		"trace":  traceMetricsFrom(snap),
 		"jobs":   s.jobs.Stats(),
-	})
+	}
+	if s.persist != nil {
+		pm := s.persistMetrics()
+		resp["persist"] = pm
+		if pm.Status != "ok" {
+			resp["status"] = pm.Status
+			resp["reason"] = pm.Reason
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleStats is the operational counters endpoint: the engine's result
@@ -190,7 +267,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // the surfaces cannot diverge.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.reg.Snapshot()
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"engine": engineMetricsFrom(snap),
 		"lanes":  laneMetricsFrom(snap),
 		"trace":  traceMetricsFrom(snap),
@@ -199,7 +276,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"goroutines": int(snap.Value("go_goroutines")),
 			"gomaxprocs": int(snap.Value("go_gomaxprocs")),
 		},
-	})
+	}
+	if s.persist != nil {
+		resp["persist"] = s.persistMetrics()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handlePolicies lists the leakage-control policies, each with its paper

@@ -250,6 +250,138 @@ func TestProgressClientDisconnect(t *testing.T) {
 	}
 }
 
+// TestSlowSubscriberDroppedWithoutBlocking pins the hub's slow-consumer
+// policy: a subscriber that stops draining is dropped (channel closed,
+// subscription removed) the moment its buffer overflows, publishers never
+// block on it, and healthy subscribers keep receiving every event.
+func TestSlowSubscriberDroppedWithoutBlocking(t *testing.T) {
+	hub := newProgressHub()
+	ent := hub.begin("slow-consumer")
+	_, slow, _ := ent.subscribe()
+	_, fast, _ := ent.subscribe()
+
+	// Fill every subscriber buffer to the brim, then drain only the healthy
+	// one so the next publish distinguishes the two.
+	for i := 0; i < subscriberBuffer; i++ {
+		ent.publish("interval", map[string]any{"i": i})
+	}
+	for i := 0; i < subscriberBuffer; i++ {
+		select {
+		case <-fast:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("healthy subscriber starved at event %d", i)
+		}
+	}
+
+	// The overflowing publish must return promptly (never block on the
+	// stalled channel) and must drop only the stalled subscriber.
+	published := make(chan struct{})
+	go func() {
+		ent.publish("interval", map[string]any{"i": subscriberBuffer})
+		close(published)
+	}()
+	select {
+	case <-published:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publish blocked on a stalled subscriber")
+	}
+
+	select {
+	case ev := <-fast:
+		if ev.Type != "interval" {
+			t.Fatalf("healthy subscriber got %q, want interval", ev.Type)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("healthy subscriber missed the event that dropped the slow one")
+	}
+
+	// The stalled subscriber keeps its buffered backlog, then sees the
+	// close — not a silent gap.
+	for i := 0; i < subscriberBuffer; i++ {
+		if _, ok := <-slow; !ok {
+			t.Fatalf("slow subscriber lost buffered event %d", i)
+		}
+	}
+	if _, ok := <-slow; ok {
+		t.Fatal("slow subscriber still receiving; want closed channel")
+	}
+	ent.mu.Lock()
+	_, slowSubbed := ent.subs[slow]
+	_, fastSubbed := ent.subs[fast]
+	subs := len(ent.subs)
+	ent.mu.Unlock()
+	if slowSubbed || !fastSubbed || subs != 1 {
+		t.Fatalf("subscriptions after drop: slow=%v fast=%v len=%d, want false/true/1",
+			slowSubbed, fastSubbed, subs)
+	}
+
+	// Dropping must not have marked the entry done; the history replays in
+	// full for a re-opened stream.
+	buffered, live, done := ent.subscribe()
+	if done {
+		t.Fatal("entry reported done after a subscriber drop")
+	}
+	ent.unsubscribe(live)
+	if len(buffered) != subscriberBuffer+1 {
+		t.Fatalf("replay buffer holds %d events, want %d", len(buffered), subscriberBuffer+1)
+	}
+}
+
+// TestSlowSubscriberStreamEndsWithDrop drives the HTTP handler over a
+// dropped subscription: the SSE stream must terminate with an explicit
+// "dropped" event instead of hanging or silently gapping.
+func TestSlowSubscriberStreamEndsWithDrop(t *testing.T) {
+	s := &server{progress: newProgressHub()}
+	ent := s.progress.begin("stall")
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/runs/stall/progress", nil)
+	req.SetPathValue("id", "stall")
+	rec := &syncRecorder{}
+	returned := make(chan struct{})
+	go func() {
+		s.handleProgress(rec, req)
+		close(returned)
+	}()
+
+	// Wait for the handler's subscription, then stall it: hold the
+	// recorder's lock so the handler blocks mid-write while events pile up
+	// past its channel buffer.
+	deadline := time.After(5 * time.Second)
+	for {
+		ent.mu.Lock()
+		n := len(ent.subs)
+		ent.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("handler never subscribed")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	rec.mu.Lock()
+	for i := 0; i < subscriberBuffer+2; i++ {
+		ent.publish("interval", map[string]any{"i": i})
+	}
+	rec.mu.Unlock()
+
+	select {
+	case <-returned:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler did not return after being dropped")
+	}
+	if !strings.Contains(rec.String(), "event: dropped") {
+		t.Fatal("stream ended without the dropped event")
+	}
+	ent.mu.Lock()
+	subs := len(ent.subs)
+	ent.mu.Unlock()
+	if subs != 0 {
+		t.Fatalf("drop left %d live subscriptions", subs)
+	}
+}
+
 // TestTimelineBypassRejected asks for interval recording on a stream the
 // trace replay store would refuse to admit; the request must fail up front
 // with a structured 400 rather than silently returning no timeline.

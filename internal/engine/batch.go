@@ -166,30 +166,61 @@ func (e *Engine) RunManyCtx(ctx context.Context, reqs []Request) ([]sim.Result, 
 	lookup.SetAttr("claimed", strconv.Itoa(len(claimed)))
 	lookup.End()
 
+	// Resolve claims against the persistence layer before forming batches:
+	// a claim whose result survives on disk settles immediately (its miss
+	// reclassified as a persist hit) and never occupies a lane.
+	persistSettled := 0
+	if e.persistStore() != nil {
+		for _, gk := range order {
+			g := groups[gk]
+			kept := g.claims[:0]
+			for _, c := range g.claims {
+				if res, ok := e.loadPersisted(c.key); ok {
+					e.settlePersisted(c.key, c.ent, res)
+					out[c.idx] = *res
+					persistSettled++
+					continue
+				}
+				kept = append(kept, c)
+			}
+			g.claims = kept
+		}
+	}
+
 	_, grouping := obs.StartSpan(ctx, "batch_grouping")
 	type batch struct {
 		prog   trace.Program
 		claims []*laneClaim
 	}
 	var batches []batch
+	nonEmpty := 0
+	for _, gk := range order {
+		if len(groups[gk].claims) > 0 {
+			nonEmpty++
+		}
+	}
 	for _, gk := range order {
 		g := groups[gk]
-		lanes := lanesFor(len(g.claims), len(groups), workers, limit)
+		if len(g.claims) == 0 {
+			continue // fully resolved from the persistence layer
+		}
+		lanes := lanesFor(len(g.claims), nonEmpty, workers, limit)
 		for start := 0; start < len(g.claims); start += lanes {
 			end := min(start+lanes, len(g.claims))
 			batches = append(batches, batch{prog: g.prog, claims: g.claims[start:end]})
 		}
 	}
-	// Groups are a batch-forming fact and counted here; batch and lane
-	// execution (and the decode passes they save) are counted when each
-	// batch completes, because only the executor knows whether a batch
+	// Groups are a batch-forming fact and counted here (only groups that
+	// still have work after cache and persistence resolution); batch and
+	// lane execution (and the decode passes they save) are counted when
+	// each batch completes, because only the executor knows whether a batch
 	// really shared one decode pass or fell back to sequential runs.
 	if len(batches) > 0 {
 		e.mu.Lock()
-		e.laneGroups += uint64(len(groups))
+		e.laneGroups += uint64(nonEmpty)
 		e.mu.Unlock()
 	}
-	grouping.SetAttr("groups", strconv.Itoa(len(groups)))
+	grouping.SetAttr("groups", strconv.Itoa(nonEmpty))
 	grouping.SetAttr("batches", strconv.Itoa(len(batches)))
 	grouping.End()
 
@@ -200,12 +231,16 @@ func (e *Engine) RunManyCtx(ctx context.Context, reqs []Request) ([]sim.Result, 
 		abortErr error
 
 		// Sweep progress: report completed claims over total claims to a
-		// context-carried observer after each batch.
+		// context-carried observer after each batch. Claims settled from
+		// the persistence layer are already done.
 		progress  = progressFrom(ctx)
 		progMu    sync.Mutex
-		progDone  int
+		progDone  = persistSettled
 		progTotal = len(claimed)
 	)
+	if progress != nil && persistSettled > 0 {
+		progress(persistSettled, progTotal, "")
+	}
 	for _, b := range batches {
 		wg.Add(1)
 		go func(b batch) {
@@ -285,6 +320,9 @@ func (e *Engine) RunManyCtx(ctx context.Context, reqs []Request) ([]sim.Result, 
 			e.mu.Unlock()
 			for _, c := range b.claims {
 				close(c.ent.done)
+			}
+			for _, c := range b.claims {
+				e.storePersisted(c.key, c.ent.res)
 			}
 			if progress != nil {
 				progMu.Lock()

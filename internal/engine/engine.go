@@ -36,6 +36,7 @@ import (
 
 	"dricache/internal/dri"
 	"dricache/internal/obs"
+	"dricache/internal/persist"
 	"dricache/internal/sim"
 	"dricache/internal/trace"
 )
@@ -88,6 +89,9 @@ type Stats struct {
 	// Deduped counts requests that joined an identical simulation already
 	// in flight (single-flight coalescing).
 	Deduped uint64
+	// PersistHits counts hits served by loading a persisted result instead
+	// of simulating (a subset of Hits).
+	PersistHits uint64
 	// Entries is the number of completed results held in the cache.
 	Entries int
 	// InFlight is the number of simulations currently executing or queued.
@@ -153,6 +157,12 @@ type Engine struct {
 	misses     uint64
 	deduped    uint64
 	inFlight   int
+
+	// persist, when non-nil, is the crash-safe disk layer under the result
+	// cache (see persist.go): claims consult it before simulating and
+	// completed results are written back through it.
+	persist     *persist.Store
+	persistHits uint64
 
 	// lanes is the lane-partition limit for RunMany batches; <= 0 selects
 	// the GOMAXPROCS-aware automatic policy (see planBatches).
@@ -280,6 +290,7 @@ func (e *Engine) Stats() Stats {
 		Hits:        e.hits,
 		Misses:      e.misses,
 		Deduped:     e.deduped,
+		PersistHits: e.persistHits,
 		Entries:     e.completed,
 		InFlight:    e.inFlight,
 		Running:     e.running,
@@ -358,17 +369,22 @@ func (e *Engine) RunCachedCtx(ctx context.Context, cfg sim.Config, prog trace.Pr
 		lookup.SetAttr("outcome", "miss")
 		lookup.End()
 
-		if err := e.runClaimed(ctx, key, ent, cfg, prog); err != nil {
+		fromPersist, err := e.runClaimed(ctx, key, ent, cfg, prog)
+		if err != nil {
 			return nil, false, err
 		}
-		return ent.res, false, nil
+		// A claim answered from the persistence layer counts as served
+		// without executing a simulation: report it cached.
+		return ent.res, fromPersist, nil
 	}
 }
 
 // runClaimed executes the simulation this goroutine holds the claim for and
 // settles the entry: caching on success, uncaching (with the panic value or
-// abort error attached for coalesced waiters) otherwise.
-func (e *Engine) runClaimed(ctx context.Context, key Key, ent *entry, cfg sim.Config, prog trace.Program) error {
+// abort error attached for coalesced waiters) otherwise. When a persistence
+// layer holds the result, the claim settles from disk without simulating
+// and fromPersist is true.
+func (e *Engine) runClaimed(ctx context.Context, key Key, ent *entry, cfg sim.Config, prog trace.Program) (fromPersist bool, err error) {
 	// On a simulation panic, uncache the entry (so later requests retry),
 	// propagate the panic value to every coalesced waiter, and re-panic.
 	defer func() {
@@ -382,6 +398,12 @@ func (e *Engine) runClaimed(ctx context.Context, key Key, ent *entry, cfg sim.Co
 			panic(pv)
 		}
 	}()
+
+	if res, ok := e.loadPersisted(key); ok {
+		e.settlePersisted(key, ent, res)
+		return true, nil
+	}
+
 	res, err := e.execute(ctx, cfg, prog)
 	if err != nil {
 		e.mu.Lock()
@@ -390,7 +412,7 @@ func (e *Engine) runClaimed(ctx context.Context, key Key, ent *entry, cfg sim.Co
 		e.inFlight--
 		e.mu.Unlock()
 		close(ent.done)
-		return err
+		return false, err
 	}
 
 	e.mu.Lock()
@@ -401,7 +423,8 @@ func (e *Engine) runClaimed(ctx context.Context, key Key, ent *entry, cfg sim.Co
 	e.evictLocked()
 	e.mu.Unlock()
 	close(ent.done)
-	return nil
+	e.storePersisted(key, &res)
+	return false, nil
 }
 
 // RunShared is Run returning the cache's shared pointer: repeated identical

@@ -23,6 +23,9 @@ func (e *Engine) RegisterMetrics(r *obs.Registry) {
 	r.NewCounterFunc("engine_cache_deduped_total",
 		"Requests that joined an identical in-flight simulation.",
 		stat(func(s Stats) float64 { return float64(s.Deduped) }))
+	r.NewCounterFunc("engine_persist_hits_total",
+		"Requests served by loading a persisted result instead of simulating.",
+		stat(func(s Stats) float64 { return float64(s.PersistHits) }))
 	r.NewGaugeFunc("engine_cache_entries",
 		"Completed results held in the cache.",
 		stat(func(s Stats) float64 { return float64(s.Entries) }))

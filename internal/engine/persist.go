@@ -1,0 +1,83 @@
+package engine
+
+// The engine's persistence hook: completed results are written through the
+// crash-safe disk layer keyed by the same canonical (config, program) hash
+// the in-memory cache uses, and claims consult the disk before paying for
+// a simulation. The disk is strictly a second-level cache — a missing,
+// corrupt, or undecodable artifact falls back to simulating, so
+// persistence can only ever remove work, never change results. Results are
+// serialized as JSON: sim.Result is plain exported data end to end, so the
+// round trip is lossless and the on-disk form is debuggable with jq.
+
+import (
+	"encoding/json"
+
+	"dricache/internal/persist"
+	"dricache/internal/sim"
+)
+
+// SetPersist attaches (or with nil detaches) a persistence layer under the
+// result cache. Safe to call at any time, but intended for process
+// start-up.
+func (e *Engine) SetPersist(p *persist.Store) {
+	e.mu.Lock()
+	e.persist = p
+	e.mu.Unlock()
+}
+
+func (e *Engine) persistStore() *persist.Store {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.persist
+}
+
+// loadPersisted fetches and decodes a result from the persistence layer. A
+// decode failure on a checksum-verified artifact means format drift, not
+// corruption; it is treated as a miss (the simulation reruns and the
+// artifact is rewritten).
+func (e *Engine) loadPersisted(key Key) (*sim.Result, bool) {
+	p := e.persistStore()
+	if p == nil {
+		return nil, false
+	}
+	b, ok := p.Load(persist.KindResult, string(key))
+	if !ok {
+		return nil, false
+	}
+	res := new(sim.Result)
+	if err := json.Unmarshal(b, res); err != nil {
+		return nil, false
+	}
+	return res, true
+}
+
+// storePersisted writes a completed result back to the persistence layer
+// (non-blocking; the store's write-behind queue does the committing).
+func (e *Engine) storePersisted(key Key, res *sim.Result) {
+	p := e.persistStore()
+	if p == nil {
+		return
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	p.Put(persist.KindResult, string(key), b)
+}
+
+// settlePersisted completes a claimed entry with a persisted result,
+// reclassifying the claim's miss as a (persist) hit. The caller must hold
+// the claim; the entry's done channel is closed here.
+func (e *Engine) settlePersisted(key Key, ent *entry, res *sim.Result) {
+	e.mu.Lock()
+	e.misses--
+	e.hits++
+	e.persistHits++
+	ent.res = res
+	e.inFlight--
+	e.completed++
+	e.order = append(e.order, key)
+	e.evictLocked()
+	e.mu.Unlock()
+	close(ent.done)
+}

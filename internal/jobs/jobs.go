@@ -333,11 +333,18 @@ func (m *Manager) Submit(req Request) (Snapshot, error) {
 // retryAfterLocked estimates how long until capacity frees: the queue's
 // worth of work at the recent average run time, spread over the workers.
 func (m *Manager) retryAfterLocked() time.Duration {
+	depth := time.Duration(len(m.queue) + m.running)
+	workers := time.Duration(m.cfg.workers())
 	avg := time.Duration(m.avgRunNanos.load())
 	if avg <= 0 {
-		avg = time.Second
+		// No run has completed yet, so there is no per-run estimate. The
+		// depth/workers clamp below would collapse every early rejection to
+		// the same flat 1s and synchronize their retries; instead scale a
+		// 1s-per-job guess by the backlog so deeper queues push clients
+		// further out even before the EWMA warms up.
+		return min(time.Second+time.Second*depth/workers, time.Minute)
 	}
-	est := avg * time.Duration(len(m.queue)+m.running) / time.Duration(m.cfg.workers())
+	est := avg * depth / workers
 	return min(max(est, time.Second), time.Minute)
 }
 

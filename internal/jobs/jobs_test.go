@@ -187,6 +187,55 @@ func TestQueueFullRejects(t *testing.T) {
 	}
 }
 
+// TestRetryAfterScalesWithDepthBeforeFirstCompletion pins the cold-start
+// Retry-After fallback: with no completed run (empty duration EWMA) the hint
+// must still grow with the current backlog, so a burst of early rejections
+// doesn't tell every client to come back at the same flat second.
+func TestRetryAfterScalesWithDepthBeforeFirstCompletion(t *testing.T) {
+	m := NewManager(Config{Workers: 1, MaxQueue: 64, MaxPerClient: 1})
+	block := make(chan struct{})
+	defer close(block)
+	started := make(chan struct{})
+	if _, err := m.Submit(Request{Client: "a", Run: func(ctx context.Context) (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	reject := func() time.Duration {
+		t.Helper()
+		_, err := m.Submit(Request{Client: "a", Run: func(ctx context.Context) (any, error) { return nil, nil }})
+		var adm *AdmissionError
+		if !errors.As(err, &adm) || adm.Reason != "client_limit" {
+			t.Fatalf("err = %v, want AdmissionError client_limit", err)
+		}
+		return adm.RetryAfter
+	}
+
+	shallow := reject() // depth 1: just the running job
+	if shallow <= time.Second {
+		t.Fatalf("shallow RetryAfter = %v, want > 1s (flat fallback resurfaced)", shallow)
+	}
+	// Deepen the backlog with other clients' queued jobs; nothing has
+	// completed, so the EWMA is still empty.
+	for i := 0; i < 8; i++ {
+		client := fmt.Sprintf("filler-%d", i)
+		if _, err := m.Submit(Request{Client: client, Run: func(ctx context.Context) (any, error) {
+			<-block
+			return nil, nil
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deep := reject() // depth 9: one running + eight queued
+	if deep <= shallow {
+		t.Fatalf("RetryAfter did not scale with depth: shallow %v, deep %v", shallow, deep)
+	}
+}
+
 func TestPerClientLimit(t *testing.T) {
 	m := NewManager(Config{Workers: 1, MaxPerClient: 1})
 	block := make(chan struct{})

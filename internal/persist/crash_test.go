@@ -1,0 +1,158 @@
+package persist
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The crash-recovery property (ISSUE 10, satellite 2): kill the process at
+// EVERY byte offset of a commit — the FaultFS persists exactly the prefix
+// the budget allowed and then fails every subsequent operation, including
+// the store's own cleanup — and a fresh store on the surviving bytes must
+// always serve the old value, the new value, or a clean miss. It must
+// never serve corrupt bytes, and the recovery scan itself must never
+// error out.
+
+// crashCommit opens a store over a FaultFS armed to die after budget more
+// durable bytes, attempts one Put, and abandons the store the way a dead
+// process would (no Flush-then-Close niceties beyond draining the queue).
+func crashCommit(t *testing.T, mem *MemFS, kind Kind, key string, payload []byte, budget int64) {
+	t.Helper()
+	ffs := NewFaultFS(mem)
+	s, err := Open(Config{Dir: "/store", FS: ffs, Log: quietLog()})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	ffs.CrashAfterWrites(budget)
+	s.Put(kind, key, payload)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Flush(ctx); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// verifyRecovery reboots a store on the post-crash filesystem and asserts
+// the property: Load(key) is bit-identical to one of want, or a clean
+// miss; scanning never trips the degraded mode.
+func verifyRecovery(t *testing.T, mem *MemFS, kind Kind, key string, want [][]byte, ctxMsg string) {
+	t.Helper()
+	s, err := Open(Config{Dir: "/store", FS: mem, Log: quietLog()})
+	if err != nil {
+		t.Fatalf("%s: Open: %v", ctxMsg, err)
+	}
+	defer s.Close(context.Background())
+	if h := s.Health(); h.Status != "ok" {
+		t.Fatalf("%s: recovery came up %q (%s)", ctxMsg, h.Status, h.Reason)
+	}
+	got, ok := s.Load(kind, key)
+	if !ok {
+		return // clean miss: always acceptable after a crash
+	}
+	for _, w := range want {
+		if bytes.Equal(got, w) {
+			return
+		}
+	}
+	t.Fatalf("%s: recovered %d corrupt bytes (%q...)", ctxMsg, len(got), truncate(got, 32))
+}
+
+func truncate(b []byte, n int) []byte {
+	if len(b) <= n {
+		return b
+	}
+	return b[:n]
+}
+
+// TestCrashAtEveryOffsetFreshKey kills the first-ever commit of a key at
+// every byte offset. Recovery must yield the new value (crash after the
+// rename's contents were durable) or a clean miss — never garbage.
+func TestCrashAtEveryOffsetFreshKey(t *testing.T) {
+	key := "deadbeef01"
+	payload := []byte(`{"ipc":1.25,"leakage_nj":3.75,"policy":"dri"}`)
+	envLen := int64(len(encodeEnvelope(KindResult, key, payload)))
+	for off := int64(0); off <= envLen+4; off++ {
+		mem := NewMemFS()
+		crashCommit(t, mem, KindResult, key, payload, off)
+		verifyRecovery(t, mem, KindResult, key, [][]byte{payload},
+			fmt.Sprintf("fresh key, crash at byte %d/%d", off, envLen))
+	}
+}
+
+// TestCrashAtEveryOffsetOverwrite commits an old value cleanly, then
+// kills the overwrite at every byte offset. Recovery must yield the old
+// value, the new value, or a clean miss.
+func TestCrashAtEveryOffsetOverwrite(t *testing.T) {
+	key := "cafef00d02"
+	oldVal := []byte(`{"ipc":1.00,"note":"the value before the crash"}`)
+	newVal := []byte(`{"ipc":2.00}`) // shorter: truncation must not expose old-tail bytes
+	envLen := int64(len(encodeEnvelope(KindResult, key, newVal)))
+	for off := int64(0); off <= envLen+4; off++ {
+		mem := NewMemFS()
+		// Clean first commit, no faults.
+		s, err := Open(Config{Dir: "/store", FS: mem, Log: quietLog()})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		s.Put(KindResult, key, oldVal)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := s.Flush(ctx); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		if err := s.Close(ctx); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		cancel()
+
+		crashCommit(t, mem, KindResult, key, newVal, off)
+		verifyRecovery(t, mem, KindResult, key, [][]byte{oldVal, newVal},
+			fmt.Sprintf("overwrite, crash at byte %d/%d", off, envLen))
+	}
+}
+
+// TestCrashThenBitRot stacks the two failure modes: crash mid-overwrite,
+// then flip one bit of whatever artifact file survived. Recovery must
+// still never serve corrupt bytes.
+func TestCrashThenBitRot(t *testing.T) {
+	key := "0123abcd"
+	oldVal := []byte("old-old-old-old-old")
+	newVal := []byte("new-new-new")
+	envLen := int64(len(encodeEnvelope(KindResult, key, newVal)))
+	path := "/store/results/" + key + artifactExt
+	for off := int64(0); off <= envLen+4; off += 7 { // stride: offsets × flips is big
+		mem := NewMemFS()
+		s, _ := Open(Config{Dir: "/store", FS: mem, Log: quietLog()})
+		s.Put(KindResult, key, oldVal)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		s.Flush(ctx)
+		s.Close(ctx)
+		cancel()
+		crashCommit(t, mem, KindResult, key, newVal, off)
+
+		surviving, err := mem.ReadFile(path)
+		if err != nil {
+			continue // nothing visible survived; plain-recovery tests cover this
+		}
+		for i := 0; i < len(surviving); i += 11 {
+			rotted := append([]byte(nil), surviving...)
+			rotted[i] ^= 1 << (i % 8)
+			if f, err := mem.Create(path); err != nil {
+				t.Fatalf("restore %s: %v", path, err)
+			} else {
+				f.Write(rotted)
+				f.Close()
+			}
+			verifyRecovery(t, mem, KindResult, key, [][]byte{oldVal, newVal},
+				fmt.Sprintf("crash at %d, bit rot at %d", off, i))
+			// Each recovery quarantines the rotted file; drop the corpse so
+			// the next restore starts clean.
+			mem.Remove(path + ".corrupt")
+		}
+	}
+}

@@ -1,0 +1,435 @@
+package persist
+
+// The filesystem seam. Every disk operation the store performs goes
+// through the FS interface, so each failure mode — a torn write, a failed
+// fsync, a rename that never happens, a directory that stops responding —
+// is injectable in unit tests without touching a real disk. Three
+// implementations live here: the production OS filesystem, an in-memory
+// filesystem whose files become durable byte-by-byte (the worst-case
+// torn-write model), and a fault wrapper that errors or "crashes" at a
+// chosen point in the operation sequence.
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// File is the writable handle the store commits through: write, force to
+// stable storage, close.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem the store runs on. Implementations must be safe
+// for concurrent use; paths are slash-separated and interpreted by the
+// implementation (the OS filesystem passes them through).
+type FS interface {
+	MkdirAll(dir string) error
+	// ReadDir returns the names (not paths) of the entries of dir in
+	// lexical order.
+	ReadDir(dir string) ([]string, error)
+	ReadFile(name string) ([]byte, error)
+	// Create truncates-or-creates name for writing.
+	Create(name string) (File, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	Remove(name string) error
+	// Stat returns the size and modification time of name.
+	Stat(name string) (size int64, mtime time.Time, err error)
+}
+
+// osFS is the production filesystem.
+type osFS struct{}
+
+// OSFS returns the real operating-system filesystem.
+func OSFS() FS { return osFS{} }
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+
+func (osFS) Stat(name string) (int64, time.Time, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, time.Time{}, err
+	}
+	return fi.Size(), fi.ModTime(), nil
+}
+
+// MemFS is an in-memory FS for tests. Writes become visible (durable)
+// byte by byte — deliberately the worst crash model: a writer that dies
+// mid-Write leaves a prefix of its bytes on "disk". A logical clock
+// stands in for modification time so ordering is deterministic.
+type MemFS struct {
+	mu    sync.Mutex
+	dirs  map[string]bool
+	files map[string][]byte
+	mtime map[string]int64
+	clock int64
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		dirs:  make(map[string]bool),
+		files: make(map[string][]byte),
+		mtime: make(map[string]int64),
+	}
+}
+
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for d := path.Clean(dir); d != "." && d != "/"; d = path.Dir(d) {
+		m.dirs[d] = true
+	}
+	return nil
+}
+
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = path.Clean(dir)
+	if !m.dirs[dir] {
+		return nil, &fs.PathError{Op: "readdir", Path: dir, Err: fs.ErrNotExist}
+	}
+	var names []string
+	for name := range m.files {
+		if path.Dir(name) == dir {
+			names = append(names, path.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[path.Clean(name)]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	return append([]byte(nil), b...), nil
+}
+
+func (m *MemFS) Create(name string) (File, error) {
+	name = path.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirs[path.Dir(name)] {
+		return nil, &fs.PathError{Op: "create", Path: name, Err: fs.ErrNotExist}
+	}
+	m.files[name] = nil
+	m.touchLocked(name)
+	return &memFile{fs: m, name: name}, nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	oldname, newname = path.Clean(oldname), path.Clean(newname)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[oldname]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	delete(m.files, oldname)
+	m.files[newname] = b
+	m.mtime[newname] = m.mtime[oldname]
+	delete(m.mtime, oldname)
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	name = path.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.files, name)
+	delete(m.mtime, name)
+	return nil
+}
+
+func (m *MemFS) Stat(name string) (int64, time.Time, error) {
+	name = path.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[name]
+	if !ok {
+		return 0, time.Time{}, &fs.PathError{Op: "stat", Path: name, Err: fs.ErrNotExist}
+	}
+	return int64(len(b)), time.Unix(m.mtime[name], 0), nil
+}
+
+func (m *MemFS) touchLocked(name string) {
+	m.clock++
+	m.mtime[name] = m.clock
+}
+
+// Corrupt overwrites name's contents in place (no mtime change) — the
+// bit-rot injection tests use it to damage committed files.
+func (m *MemFS) Corrupt(name string, b []byte) error {
+	name = path.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &fs.PathError{Op: "corrupt", Path: name, Err: fs.ErrNotExist}
+	}
+	m.files[name] = append([]byte(nil), b...)
+	return nil
+}
+
+type memFile struct {
+	fs   *MemFS
+	name string
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if _, ok := f.fs.files[f.name]; !ok {
+		// Removed or renamed while open; model the simple case as gone.
+		return 0, &fs.PathError{Op: "write", Path: f.name, Err: fs.ErrNotExist}
+	}
+	f.fs.files[f.name] = append(f.fs.files[f.name], p...)
+	f.fs.touchLocked(f.name)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error  { return nil }
+func (f *memFile) Close() error { return nil }
+
+// ErrInjected is the error FaultFS returns from operations it is set to
+// fail.
+var ErrInjected = errors.New("persist: injected fault")
+
+// ErrCrashed is the error every FaultFS operation returns after the crash
+// point: the simulated process is dead, so nothing else — not even the
+// cleanup path — reaches the disk.
+var ErrCrashed = errors.New("persist: crashed")
+
+// FaultFS wraps an FS with two failure models:
+//
+//   - SetErr installs a persistent error on every operation (a disk that
+//     stopped responding) until cleared with SetErr(nil) — the degraded-
+//     mode tests flip it on and off;
+//   - CrashAfterWrites arms a byte budget: once the wrapped writers have
+//     durably written that many bytes, the "process dies" — the write that
+//     crosses the budget persists only its prefix, and every subsequent
+//     operation (including cleanup renames and removes) fails with
+//     ErrCrashed. This is the kill-mid-write model the crash-recovery
+//     property test sweeps over every byte offset.
+type FaultFS struct {
+	inner FS
+
+	mu       sync.Mutex
+	err      error
+	budget   int64
+	armed    bool
+	crashed  bool
+	failSync bool
+}
+
+// NewFaultFS wraps inner.
+func NewFaultFS(inner FS) *FaultFS { return &FaultFS{inner: inner} }
+
+// SetErr installs (or with nil clears) a persistent error on every
+// operation.
+func (f *FaultFS) SetErr(err error) {
+	f.mu.Lock()
+	f.err = err
+	f.mu.Unlock()
+}
+
+// FailSync makes Sync (only) fail with ErrInjected while set — the
+// fsync-reports-EIO model.
+func (f *FaultFS) FailSync(fail bool) {
+	f.mu.Lock()
+	f.failSync = fail
+	f.mu.Unlock()
+}
+
+// CrashAfterWrites arms the crash budget: the process dies after n more
+// durably written bytes.
+func (f *FaultFS) CrashAfterWrites(n int64) {
+	f.mu.Lock()
+	f.budget = n
+	f.armed = true
+	f.crashed = false
+	f.mu.Unlock()
+}
+
+// Crashed reports whether the crash point has been reached.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// check returns the error (if any) every operation must fail with.
+func (f *FaultFS) check() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return f.err
+}
+
+func (f *FaultFS) MkdirAll(dir string) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(dir)
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) Rename(oldname, newname string) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) Stat(name string) (int64, time.Time, error) {
+	if err := f.check(); err != nil {
+		return 0, time.Time{}, err
+	}
+	return f.inner.Stat(name)
+}
+
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+// Write spends the crash budget: the write that crosses it persists only
+// the bytes the budget still allowed, then the filesystem is dead.
+func (w *faultFile) Write(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	if w.fs.crashed {
+		w.fs.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	if w.fs.err != nil {
+		err := w.fs.err
+		w.fs.mu.Unlock()
+		return 0, err
+	}
+	allowed := len(p)
+	crash := false
+	if w.fs.armed {
+		if int64(allowed) >= w.fs.budget {
+			allowed = int(w.fs.budget)
+			crash = true
+		}
+		w.fs.budget -= int64(allowed)
+	}
+	w.fs.mu.Unlock()
+
+	n := 0
+	if allowed > 0 {
+		var err error
+		n, err = w.inner.Write(p[:allowed])
+		if err != nil {
+			return n, err
+		}
+	}
+	if crash {
+		w.fs.mu.Lock()
+		w.fs.crashed = true
+		w.fs.mu.Unlock()
+		return n, ErrCrashed
+	}
+	return n, nil
+}
+
+func (w *faultFile) Sync() error {
+	w.fs.mu.Lock()
+	failSync := w.fs.failSync
+	w.fs.mu.Unlock()
+	if failSync {
+		return ErrInjected
+	}
+	if err := w.fs.check(); err != nil {
+		return err
+	}
+	return w.inner.Sync()
+}
+
+func (w *faultFile) Close() error {
+	// Closing is permitted even after a crash: the handle is process
+	// state, not disk state.
+	return w.inner.Close()
+}
+
+// isNotExist reports whether err is the FS's file-not-found.
+func isNotExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }
+
+// hasSuffixFold is a tiny helper for scan filtering.
+func hasSuffixFold(name, suffix string) bool {
+	return strings.HasSuffix(strings.ToLower(name), suffix)
+}

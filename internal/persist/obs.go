@@ -1,0 +1,72 @@
+package persist
+
+import "dricache/internal/obs"
+
+// RegisterMetrics registers the store's persistence counters and gauges
+// with the registry. Values are collected at scrape time from Stats(), so
+// the store keeps its single source of truth and the serving path pays
+// nothing.
+func (s *Store) RegisterMetrics(r *obs.Registry) {
+	stat := func(f func(Stats) float64) func() float64 {
+		return func() float64 { return f(s.Stats()) }
+	}
+	r.NewGaugeFunc("persist_files",
+		"Committed artifacts currently indexed on disk.",
+		stat(func(st Stats) float64 { return float64(st.Files) }))
+	r.NewGaugeFunc("persist_bytes",
+		"Total committed artifact bytes on disk.",
+		stat(func(st Stats) float64 { return float64(st.Bytes) }))
+	r.NewGaugeFunc("persist_budget_bytes",
+		"Byte budget beyond which the oldest artifacts are evicted (0 = unbounded).",
+		stat(func(st Stats) float64 { return float64(st.BudgetBytes) }))
+	r.NewGaugeFunc("persist_queue_depth",
+		"Writes waiting in the write-behind queue.",
+		stat(func(st Stats) float64 { return float64(st.QueueDepth) }))
+	r.NewGaugeFunc("persist_degraded",
+		"1 while the store is in memory-only degraded mode, else 0.",
+		stat(func(st Stats) float64 {
+			if st.Degraded {
+				return 1
+			}
+			return 0
+		}))
+	r.NewCounterFunc("persist_writes_total",
+		"Artifacts committed atomically to disk.",
+		stat(func(st Stats) float64 { return float64(st.Writes) }))
+	r.NewCounterFunc("persist_write_errors_total",
+		"Commit attempts that failed with an I/O error.",
+		stat(func(st Stats) float64 { return float64(st.WriteErrors) }))
+	r.NewCounterFunc("persist_dropped_writes_total",
+		"Writes dropped without an attempt (queue full, degraded, closed).",
+		stat(func(st Stats) float64 { return float64(st.DroppedWrites) }))
+	r.NewCounterFunc("persist_loads_total",
+		"Checksum-verified artifact loads served.",
+		stat(func(st Stats) float64 { return float64(st.Loads) }))
+	r.NewCounterFunc("persist_load_misses_total",
+		"Loads that found no artifact on disk.",
+		stat(func(st Stats) float64 { return float64(st.LoadMisses) }))
+	r.NewCounterFunc("persist_load_errors_total",
+		"Loads that failed with a real I/O error.",
+		stat(func(st Stats) float64 { return float64(st.LoadErrors) }))
+	r.NewCounterFunc("persist_degraded_skips_total",
+		"Loads skipped because the store was degraded or closed.",
+		stat(func(st Stats) float64 { return float64(st.DegradedSkips) }))
+	r.NewCounterFunc("persist_quarantined_total",
+		"Corrupt artifacts quarantined (renamed to .corrupt) instead of served.",
+		stat(func(st Stats) float64 { return float64(st.Quarantined) }))
+	r.NewCounterFunc("persist_evictions_total",
+		"Artifacts removed to respect the byte budget.",
+		stat(func(st Stats) float64 { return float64(st.Evictions) }))
+	r.NewCounterFunc("persist_degraded_events_total",
+		"Times the store flipped into memory-only degraded mode.",
+		stat(func(st Stats) float64 { return float64(st.DegradedEvents) }))
+	r.NewCounterFunc("persist_recoveries_total",
+		"Times a background probe healed the store out of degraded mode.",
+		stat(func(st Stats) float64 { return float64(st.Recoveries) }))
+	r.NewCounterFunc("persist_scanned_total",
+		"Artifacts verified by recovery scans.",
+		stat(func(st Stats) float64 { return float64(st.Scanned) }))
+	r.NewCounterFunc("persist_temp_cleaned_total",
+		"Leftover temp files deleted by recovery scans.",
+		stat(func(st Stats) float64 { return float64(st.TempCleaned) }))
+}

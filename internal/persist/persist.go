@@ -1,0 +1,924 @@
+// Package persist is the crash-safe disk layer under the engine result
+// cache and the trace replay store (ROADMAP item 2a): tiny JSON results
+// keyed by canonical config hash and ~5 B/instr recordings content-
+// addressed by sha256(program)+budget become durable, checksummed on-disk
+// artifacts, so a restarted driserve serves yesterday's sweeps from disk
+// instead of re-simulating them.
+//
+// The design goal is crash-safety, not just persistence:
+//
+//   - writes go through a bounded write-behind queue and commit atomically
+//     (temp file in the same directory, fsync, rename), so the hot path
+//     never waits on a disk and a kill at any byte offset leaves either
+//     the old file, the new file, or a removable temp — never a torn
+//     visible artifact;
+//   - every artifact is wrapped in a versioned envelope whose trailing
+//     SHA-256 covers the header, the key, and the payload; loads verify it
+//     and quarantine mismatches (rename to .corrupt, count, keep serving a
+//     miss) instead of crashing or returning wrong bits;
+//   - persistent I/O failure flips the store into memory-only degraded
+//     mode: writes drop, loads miss, and a background probe with
+//     exponential backoff keeps testing the disk until it heals;
+//   - startup runs a bounded-concurrency recovery scan that deletes
+//     leftover temp files, quarantines garbage, and rebuilds the size
+//     index that enforces the byte budget (oldest artifacts evicted
+//     first).
+//
+// Every disk operation goes through the injectable FS interface, so all
+// of the above is unit-testable — including kill-mid-write at every byte
+// offset (see FaultFS).
+package persist
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// Kind partitions the key space: each kind is a subdirectory with its own
+// payload format.
+type Kind uint8
+
+const (
+	// KindResult holds engine results: JSON-encoded sim.Result keyed by
+	// the engine's canonical (config, program) hash.
+	KindResult Kind = 1
+	// KindTrace holds trace recordings: binary-encoded isa.Replay keyed by
+	// sha256(program)+budget.
+	KindTrace Kind = 2
+)
+
+// dir returns the kind's subdirectory name.
+func (k Kind) dir() string {
+	switch k {
+	case KindResult:
+		return "results"
+	case KindTrace:
+		return "traces"
+	}
+	return fmt.Sprintf("kind%d", k)
+}
+
+// artifactExt is the committed-artifact suffix; anything else in a kind
+// directory is a leftover temp, a quarantined corpse, or garbage.
+const artifactExt = ".art"
+
+// Envelope layout (little-endian):
+//
+//	offset 0  magic "DRIP"
+//	offset 4  version (1)
+//	offset 5  kind
+//	offset 6  key length  (uint16)
+//	offset 8  payload length (uint64)
+//	offset 16 key bytes
+//	...       payload bytes
+//	trailer   SHA-256 over everything before it
+//
+// The checksum is written last, so a write cut short at any offset fails
+// verification.
+const (
+	envMagic     = "DRIP"
+	envVersion   = 1
+	envHeaderLen = 16
+	envSumLen    = sha256.Size
+)
+
+var errCorrupt = errors.New("persist: corrupt envelope")
+
+// encodeEnvelope wraps payload for disk.
+func encodeEnvelope(kind Kind, key string, payload []byte) []byte {
+	b := make([]byte, envHeaderLen+len(key)+len(payload)+envSumLen)
+	copy(b, envMagic)
+	b[4] = envVersion
+	b[5] = byte(kind)
+	binary.LittleEndian.PutUint16(b[6:8], uint16(len(key)))
+	binary.LittleEndian.PutUint64(b[8:16], uint64(len(payload)))
+	copy(b[envHeaderLen:], key)
+	copy(b[envHeaderLen+len(key):], payload)
+	sum := sha256.Sum256(b[: envHeaderLen+len(key)+len(payload) : envHeaderLen+len(key)+len(payload)])
+	copy(b[envHeaderLen+len(key)+len(payload):], sum[:])
+	return b
+}
+
+// decodeEnvelope verifies and unwraps one on-disk artifact. Any deviation
+// — short file, wrong magic or version, inconsistent lengths, checksum
+// mismatch — returns an error wrapping errCorrupt; the caller quarantines.
+func decodeEnvelope(b []byte) (Kind, string, []byte, error) {
+	fail := func(what string) (Kind, string, []byte, error) {
+		return 0, "", nil, fmt.Errorf("%w: %s", errCorrupt, what)
+	}
+	if len(b) < envHeaderLen+envSumLen {
+		return fail("short file")
+	}
+	if string(b[:4]) != envMagic {
+		return fail("bad magic")
+	}
+	if b[4] != envVersion {
+		return fail(fmt.Sprintf("unsupported version %d", b[4]))
+	}
+	keyLen := int(binary.LittleEndian.Uint16(b[6:8]))
+	payloadLen := binary.LittleEndian.Uint64(b[8:16])
+	body := len(b) - envHeaderLen - envSumLen
+	if uint64(keyLen)+payloadLen != uint64(body) {
+		return fail("length mismatch")
+	}
+	sum := sha256.Sum256(b[:envHeaderLen+body])
+	if string(sum[:]) != string(b[envHeaderLen+body:]) {
+		return fail("checksum mismatch")
+	}
+	key := string(b[envHeaderLen : envHeaderLen+keyLen])
+	payload := b[envHeaderLen+keyLen : envHeaderLen+body]
+	return Kind(b[5]), key, payload, nil
+}
+
+// Config bounds and parameterizes a Store. Zero values select the
+// documented defaults.
+type Config struct {
+	// Dir is the root directory; required.
+	Dir string
+	// FS is the filesystem; nil means the real one.
+	FS FS
+	// BudgetBytes caps total committed artifact bytes; beyond it the
+	// oldest artifacts are evicted. 0 means unbounded.
+	BudgetBytes int64
+	// QueueDepth bounds the write-behind queue; <= 0 means 256. A full
+	// queue drops writes (counted) rather than blocking the hot path.
+	QueueDepth int
+	// ScanWorkers bounds the recovery scan's concurrent file
+	// verifications; <= 0 means 4.
+	ScanWorkers int
+	// FailureThreshold is the consecutive-I/O-error count that flips the
+	// store into degraded mode; <= 0 means 3.
+	FailureThreshold int
+	// BackoffMin/BackoffMax bound the degraded-mode re-probe interval
+	// (exponential, doubling per failed probe); defaults 100ms / 30s.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// Log receives scan/degrade/recover events; nil means slog.Default.
+	Log *slog.Logger
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 256
+}
+
+func (c Config) scanWorkers() int {
+	if c.ScanWorkers > 0 {
+		return c.ScanWorkers
+	}
+	return 4
+}
+
+func (c Config) failureThreshold() int {
+	if c.FailureThreshold > 0 {
+		return c.FailureThreshold
+	}
+	return 3
+}
+
+func (c Config) backoffMin() time.Duration {
+	if c.BackoffMin > 0 {
+		return c.BackoffMin
+	}
+	return 100 * time.Millisecond
+}
+
+func (c Config) backoffMax() time.Duration {
+	if c.BackoffMax > 0 {
+		return c.BackoffMax
+	}
+	return 30 * time.Second
+}
+
+func (c Config) log() *slog.Logger {
+	if c.Log != nil {
+		return c.Log
+	}
+	return slog.Default()
+}
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	// Files and Bytes are the committed artifacts currently indexed;
+	// BudgetBytes the eviction limit (0 = unbounded).
+	Files       int
+	Bytes       int64
+	BudgetBytes int64
+	// QueueDepth is the write-behind queue's current length.
+	QueueDepth int
+
+	// Writes counts committed artifacts; WriteErrors failed commits.
+	Writes      uint64
+	WriteErrors uint64
+	// DroppedWrites counts writes dropped without an attempt: queue full,
+	// degraded mode, invalid key, or store closed.
+	DroppedWrites uint64
+	// Loads counts verified loads served; LoadMisses absent keys;
+	// LoadErrors reads that failed with a real I/O error; DegradedSkips
+	// loads skipped because the store was degraded.
+	Loads         uint64
+	LoadMisses    uint64
+	LoadErrors    uint64
+	DegradedSkips uint64
+	// Quarantined counts corrupt artifacts renamed to .corrupt (or, when
+	// even that fails, removed).
+	Quarantined uint64
+	// Evictions counts artifacts removed to respect the byte budget.
+	Evictions uint64
+	// Scanned counts artifacts verified by recovery scans; TempCleaned the
+	// leftover temp files they deleted.
+	Scanned     uint64
+	TempCleaned uint64
+	// DegradedEvents counts flips into degraded mode; Recoveries flips
+	// back after a successful probe.
+	DegradedEvents uint64
+	Recoveries     uint64
+
+	// Degraded and Reason mirror Health().
+	Degraded bool
+	Reason   string
+}
+
+// Health is the serving-status view /healthz exposes.
+type Health struct {
+	// Status is "ok" or "degraded".
+	Status string `json:"status"`
+	// Reason is the degradation cause (empty when ok).
+	Reason string `json:"reason,omitempty"`
+	// Dir is the persistence root.
+	Dir string `json:"dir"`
+}
+
+type fileRef struct {
+	kind Kind
+	key  string
+}
+
+type writeOp struct {
+	kind    Kind
+	key     string
+	payload []byte
+	// flush, when non-nil, marks a queue-drain sentinel: the writer
+	// replies on it instead of committing anything.
+	flush chan struct{}
+}
+
+// Store is a crash-safe, write-behind, checksummed artifact store. The
+// zero value is not usable; construct with Open. All methods are safe for
+// concurrent use.
+type Store struct {
+	cfg Config
+	fs  FS
+	dir string
+	log *slog.Logger
+
+	queue      chan writeOp
+	writerDone chan struct{}
+	stop       chan struct{}
+
+	mu      sync.Mutex
+	closed  bool
+	scanned bool // a recovery scan completed (possibly after a heal)
+
+	degraded bool
+	reason   string
+	consec   int
+	probing  bool
+	tmpSeq   uint64
+
+	index map[fileRef]int64 // committed artifact sizes
+	order []fileRef         // oldest-first, for budget eviction
+	bytes int64
+
+	writes, writeErrors, droppedWrites  uint64
+	loads, loadMisses, loadErrors       uint64
+	degradedSkips, quarantined          uint64
+	evictions, scannedCount, tmpCleaned uint64
+	degradedEvents, recoveries          uint64
+}
+
+// Open builds the store on cfg.Dir, runs the recovery scan, and starts
+// the write-behind committer. Open never fails the process over disk
+// state: if the directory cannot even be created the store comes up in
+// degraded (memory-only) mode and keeps re-probing in the background. The
+// only error returned is a programmer error (empty Dir).
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("persist: Config.Dir is required")
+	}
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = OSFS()
+	}
+	s := &Store{
+		cfg:        cfg,
+		fs:         fsys,
+		dir:        cfg.Dir,
+		log:        cfg.log(),
+		queue:      make(chan writeOp, cfg.queueDepth()),
+		writerDone: make(chan struct{}),
+		stop:       make(chan struct{}),
+		index:      make(map[fileRef]int64),
+	}
+	if err := s.prepareDirs(); err != nil {
+		s.forceDegraded(fmt.Errorf("creating %s: %w", s.dir, err))
+	} else {
+		s.scan()
+	}
+	go s.writer()
+	return s, nil
+}
+
+func (s *Store) prepareDirs() error {
+	for _, k := range []Kind{KindResult, KindTrace} {
+		if err := s.fs.MkdirAll(s.dir + "/" + k.dir()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// path returns the committed location of (kind, key).
+func (s *Store) path(kind Kind, key string) string {
+	return s.dir + "/" + kind.dir() + "/" + key + artifactExt
+}
+
+// validKey bounds keys to safe filename material. Callers key by hex
+// hashes, so anything else indicates a bug — drop it rather than let a
+// path separator escape the store's directory.
+func validKey(key string) bool {
+	if len(key) == 0 || len(key) > 200 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+			if c == '.' && (i == 0 || key[i-1] == '.') {
+				return false // no leading dot, no ".."
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Put enqueues (kind, key, payload) for asynchronous atomic commit. It
+// never blocks: a full queue, a degraded store, or an invalid key drops
+// the write (counted in DroppedWrites).
+func (s *Store) Put(kind Kind, key string, payload []byte) {
+	s.mu.Lock()
+	if s.closed || s.degraded || !validKey(key) {
+		s.droppedWrites++
+		s.mu.Unlock()
+		return
+	}
+	select {
+	case s.queue <- writeOp{kind: kind, key: key, payload: payload}:
+	default:
+		s.droppedWrites++
+	}
+	s.mu.Unlock()
+}
+
+// Load reads and verifies (kind, key). A missing key, a degraded store,
+// an I/O error, or a corrupt artifact all return ok=false — corruption is
+// additionally quarantined (renamed to .corrupt) so it is never re-read.
+// The caller always has a correct fallback: recompute.
+func (s *Store) Load(kind Kind, key string) ([]byte, bool) {
+	s.mu.Lock()
+	if s.closed || s.degraded || !validKey(key) {
+		s.degradedSkips++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Unlock()
+
+	path := s.path(kind, key)
+	b, err := s.fs.ReadFile(path)
+	if err != nil {
+		s.mu.Lock()
+		if isNotExist(err) {
+			s.loadMisses++
+			s.mu.Unlock()
+			return nil, false
+		}
+		s.loadErrors++
+		s.mu.Unlock()
+		s.noteFailure(fmt.Errorf("reading %s: %w", path, err))
+		return nil, false
+	}
+	gotKind, gotKey, payload, err := decodeEnvelope(b)
+	if err == nil && (gotKind != kind || gotKey != key) {
+		err = fmt.Errorf("%w: envelope names %s/%q", errCorrupt, gotKind.dir(), gotKey)
+	}
+	if err != nil {
+		s.quarantine(kind, key, err)
+		return nil, false
+	}
+	s.mu.Lock()
+	s.loads++
+	s.consec = 0
+	s.mu.Unlock()
+	return payload, true
+}
+
+// quarantine sidelines a corrupt artifact: rename to .corrupt (remove if
+// even the rename fails), drop it from the index, count it. Corruption is
+// a contained event, not an I/O failure — it does not push the store
+// toward degraded mode.
+func (s *Store) quarantine(kind Kind, key string, cause error) {
+	path := s.path(kind, key)
+	if err := s.fs.Rename(path, path+".corrupt"); err != nil {
+		// Renaming failed; removal is the last resort so the corpse cannot
+		// be served (or quarantined) again on every future load.
+		if rmErr := s.fs.Remove(path); rmErr != nil && !isNotExist(rmErr) {
+			s.noteFailure(fmt.Errorf("quarantining %s: %w", path, rmErr))
+		}
+	}
+	s.log.Warn("persist: quarantined corrupt artifact", "path", path, "cause", cause)
+	s.mu.Lock()
+	s.quarantined++
+	s.dropIndexLocked(fileRef{kind, key})
+	s.mu.Unlock()
+}
+
+// dropIndexLocked removes ref from the size index and eviction order.
+func (s *Store) dropIndexLocked(ref fileRef) {
+	if size, ok := s.index[ref]; ok {
+		delete(s.index, ref)
+		s.bytes -= size
+		for i, r := range s.order {
+			if r == ref {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// writer is the write-behind committer goroutine. The queue channel is
+// never closed (so senders can never panic); shutdown is the stop signal,
+// after which the writer drains what is already queued and exits.
+func (s *Store) writer() {
+	defer close(s.writerDone)
+	handle := func(op writeOp) {
+		if op.flush != nil {
+			close(op.flush)
+			return
+		}
+		s.commit(op)
+	}
+	for {
+		select {
+		case op := <-s.queue:
+			handle(op)
+		case <-s.stop:
+			for {
+				select {
+				case op := <-s.queue:
+					handle(op)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// commit atomically writes one artifact: temp file in the destination
+// directory, fsync, rename. Any failure removes the temp (best effort)
+// and counts toward the degraded-mode threshold.
+func (s *Store) commit(op writeOp) {
+	s.mu.Lock()
+	if s.degraded {
+		s.droppedWrites++
+		s.mu.Unlock()
+		return
+	}
+	s.tmpSeq++
+	seq := s.tmpSeq
+	s.mu.Unlock()
+
+	path := s.path(op.kind, op.key)
+	tmp := fmt.Sprintf("%s.%d.tmp", path, seq)
+	err := func() error {
+		f, err := s.fs.Create(tmp)
+		if err != nil {
+			return err
+		}
+		env := encodeEnvelope(op.kind, op.key, op.payload)
+		if _, err := f.Write(env); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return s.fs.Rename(tmp, path)
+	}()
+	if err != nil {
+		s.fs.Remove(tmp) // best effort; the scan reaps survivors
+		s.mu.Lock()
+		s.writeErrors++
+		s.mu.Unlock()
+		s.noteFailure(fmt.Errorf("committing %s: %w", path, err))
+		return
+	}
+
+	size := int64(envHeaderLen + len(op.key) + len(op.payload) + envSumLen)
+	ref := fileRef{op.kind, op.key}
+	var evict []fileRef
+	s.mu.Lock()
+	s.writes++
+	s.consec = 0
+	if old, ok := s.index[ref]; ok {
+		s.bytes += size - old
+		s.index[ref] = size
+		// Rewrites are rare (only recomputation after an abort); move the
+		// ref to the young end so the fresh bytes outlive stale siblings.
+		for i, r := range s.order {
+			if r == ref {
+				s.order = append(append(s.order[:i], s.order[i+1:]...), ref)
+				break
+			}
+		}
+	} else {
+		s.index[ref] = size
+		s.order = append(s.order, ref)
+		s.bytes += size
+	}
+	if budget := s.cfg.BudgetBytes; budget > 0 {
+		for s.bytes > budget && len(s.order) > 1 {
+			victim := s.order[0]
+			if victim == ref {
+				break // never evict the artifact just committed
+			}
+			evict = append(evict, victim)
+			s.order = s.order[1:]
+			s.bytes -= s.index[victim]
+			delete(s.index, victim)
+			s.evictions++
+		}
+	}
+	s.mu.Unlock()
+	for _, v := range evict {
+		if err := s.fs.Remove(s.path(v.kind, v.key)); err != nil && !isNotExist(err) {
+			s.noteFailure(fmt.Errorf("evicting %s: %w", s.path(v.kind, v.key), err))
+		}
+	}
+}
+
+// Flush blocks until every write enqueued before the call has been
+// committed (or dropped), or ctx is done. Tests and graceful shutdown use
+// it; the serving path never does.
+func (s *Store) Flush(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	op := writeOp{flush: make(chan struct{})}
+	select {
+	case s.queue <- op:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		// Queue full of real work; wait for room without holding the lock.
+		select {
+		case s.queue <- op:
+		case <-s.stop:
+			return nil // Close drains everything queued before it
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	select {
+	case <-op.flush:
+		return nil
+	case <-s.writerDone:
+		return nil // writer drained the queue (sentinel included) and exited
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close drains the queue (bounded by ctx), stops the committer and any
+// probe loop, and marks the store closed. Puts and Loads after Close are
+// misses/drops.
+func (s *Store) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.stop)
+	s.mu.Unlock()
+	select {
+	case <-s.writerDone:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// noteFailure counts one I/O failure and flips the store into degraded
+// mode at the configured consecutive-failure threshold, starting the
+// backoff probe loop.
+func (s *Store) noteFailure(err error) { s.fail(err, false) }
+
+// forceDegraded enters memory-only mode immediately, bypassing the
+// consecutive-failure threshold. Open uses it when the store's directories
+// cannot be created at all: nothing about that is transient, and every
+// load until a successful probe would miss anyway, so the store should
+// report degraded from its first Health() call.
+func (s *Store) forceDegraded(err error) { s.fail(err, true) }
+
+func (s *Store) fail(err error, force bool) {
+	s.mu.Lock()
+	s.consec++
+	if force && s.consec < s.cfg.failureThreshold() {
+		s.consec = s.cfg.failureThreshold()
+	}
+	flip := !s.degraded && s.consec >= s.cfg.failureThreshold()
+	if flip {
+		s.degraded = true
+		s.reason = err.Error()
+		s.degradedEvents++
+		if !s.probing {
+			s.probing = true
+			go s.probeLoop()
+		}
+	}
+	s.mu.Unlock()
+	if flip {
+		s.log.Warn("persist: degraded to memory-only mode", "cause", err)
+	} else {
+		s.log.Debug("persist: I/O failure", "err", err)
+	}
+}
+
+// probeLoop re-tests the disk with exponential backoff while the store is
+// degraded, and restores normal operation on the first success.
+func (s *Store) probeLoop() {
+	backoff := s.cfg.backoffMin()
+	for {
+		t := time.NewTimer(backoff)
+		select {
+		case <-s.stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		if err := s.probe(); err != nil {
+			s.log.Debug("persist: probe failed", "backoff", backoff, "err", err)
+			backoff = min(backoff*2, s.cfg.backoffMax())
+			continue
+		}
+		s.mu.Lock()
+		s.degraded = false
+		s.reason = ""
+		s.consec = 0
+		s.probing = false
+		s.recoveries++
+		rescan := !s.scanned
+		s.mu.Unlock()
+		s.log.Info("persist: disk healed; resuming persistence")
+		if rescan {
+			// The store came up degraded before its first scan completed
+			// (e.g. the root could not be created); index what survives.
+			if err := s.prepareDirs(); err == nil {
+				s.scan()
+			}
+		}
+		return
+	}
+}
+
+// probe attempts a full write/read/remove round trip of a tiny artifact.
+func (s *Store) probe() error {
+	if err := s.prepareDirs(); err != nil {
+		return err
+	}
+	path := s.dir + "/.probe.tmp"
+	f, err := s.fs.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(envMagic)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	b, err := s.fs.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if string(b) != envMagic {
+		return fmt.Errorf("probe read back %d unexpected bytes", len(b))
+	}
+	return s.fs.Remove(path)
+}
+
+// scan is the startup recovery pass: delete leftover temp files,
+// verify every artifact's envelope under bounded concurrency, quarantine
+// garbage, and rebuild the size index oldest-first.
+func (s *Store) scan() {
+	type found struct {
+		ref   fileRef
+		size  int64
+		mtime time.Time
+	}
+	var (
+		wg      sync.WaitGroup
+		work    = make(chan fileRef)
+		foundMu sync.Mutex
+		valid   []found
+	)
+	for range s.cfg.scanWorkers() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ref := range work {
+				path := s.path(ref.kind, ref.key)
+				b, err := s.fs.ReadFile(path)
+				if err != nil {
+					s.noteFailure(fmt.Errorf("scanning %s: %w", path, err))
+					continue
+				}
+				kind, key, _, derr := decodeEnvelope(b)
+				if derr == nil && (kind != ref.kind || key != ref.key) {
+					derr = fmt.Errorf("%w: envelope names %s/%q", errCorrupt, kind.dir(), key)
+				}
+				if derr != nil {
+					s.quarantine(ref.kind, ref.key, derr)
+					continue
+				}
+				_, mtime, _ := s.fs.Stat(path)
+				foundMu.Lock()
+				valid = append(valid, found{ref, int64(len(b)), mtime})
+				foundMu.Unlock()
+				s.mu.Lock()
+				s.scannedCount++
+				s.mu.Unlock()
+			}
+		}()
+	}
+
+	scanErr := false
+	for _, kind := range []Kind{KindResult, KindTrace} {
+		dir := s.dir + "/" + kind.dir()
+		names, err := s.fs.ReadDir(dir)
+		if err != nil {
+			s.noteFailure(fmt.Errorf("scanning %s: %w", dir, err))
+			scanErr = true
+			continue
+		}
+		for _, name := range names {
+			switch {
+			case hasSuffixFold(name, ".tmp"):
+				// A crash mid-commit left this; the rename never happened,
+				// so it holds no visible state.
+				if err := s.fs.Remove(dir + "/" + name); err == nil {
+					s.mu.Lock()
+					s.tmpCleaned++
+					s.mu.Unlock()
+				}
+			case hasSuffixFold(name, ".corrupt"):
+				// Already sidelined by a previous run; leave for operators.
+			case hasSuffixFold(name, artifactExt):
+				key := name[:len(name)-len(artifactExt)]
+				if !validKey(key) {
+					s.quarantine(kind, key, fmt.Errorf("%w: invalid key %q", errCorrupt, key))
+					continue
+				}
+				work <- fileRef{kind, key}
+			default:
+				// Garbage with an unknown suffix: quarantine by raw path so
+				// it stops showing up in every scan.
+				path := dir + "/" + name
+				if err := s.fs.Rename(path, path+".corrupt"); err == nil {
+					s.log.Warn("persist: quarantined unrecognized file", "path", path)
+					s.mu.Lock()
+					s.quarantined++
+					s.mu.Unlock()
+				}
+			}
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	// Oldest-first order so the budget evicts stale artifacts first.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.scanned = !scanErr
+	s.index = make(map[fileRef]int64, len(valid))
+	s.order = s.order[:0]
+	s.bytes = 0
+	sortFound(valid, func(f found) (time.Time, string) { return f.mtime, f.ref.key })
+	var evict []fileRef
+	for _, f := range valid {
+		s.index[f.ref] = f.size
+		s.order = append(s.order, f.ref)
+		s.bytes += f.size
+	}
+	if budget := s.cfg.BudgetBytes; budget > 0 {
+		for s.bytes > budget && len(s.order) > 1 {
+			victim := s.order[0]
+			evict = append(evict, victim)
+			s.order = s.order[1:]
+			s.bytes -= s.index[victim]
+			delete(s.index, victim)
+			s.evictions++
+		}
+	}
+	if len(evict) > 0 {
+		// Removal outside the lock is unnecessary here: scan runs before
+		// the store serves traffic, and eviction I/O failures only count.
+		go func() {
+			for _, v := range evict {
+				s.fs.Remove(s.path(v.kind, v.key))
+			}
+		}()
+	}
+	s.log.Info("persist: recovery scan complete",
+		"dir", s.dir, "artifacts", len(s.index), "bytes", s.bytes,
+		"quarantined", s.quarantined, "tempCleaned", s.tmpCleaned)
+}
+
+// sortFound orders by (mtime, key) without pulling in sort.Slice's
+// reflection on the hot path — scan is cold, this is just insertion sort
+// over what is typically a few hundred entries.
+func sortFound[T any](xs []T, keyOf func(T) (time.Time, string)) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0; j-- {
+			tj, kj := keyOf(xs[j])
+			tp, kp := keyOf(xs[j-1])
+			if tj.After(tp) || (tj.Equal(tp) && kj >= kp) {
+				break
+			}
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Files:          len(s.index),
+		Bytes:          s.bytes,
+		BudgetBytes:    s.cfg.BudgetBytes,
+		QueueDepth:     len(s.queue),
+		Writes:         s.writes,
+		WriteErrors:    s.writeErrors,
+		DroppedWrites:  s.droppedWrites,
+		Loads:          s.loads,
+		LoadMisses:     s.loadMisses,
+		LoadErrors:     s.loadErrors,
+		DegradedSkips:  s.degradedSkips,
+		Quarantined:    s.quarantined,
+		Evictions:      s.evictions,
+		Scanned:        s.scannedCount,
+		TempCleaned:    s.tmpCleaned,
+		DegradedEvents: s.degradedEvents,
+		Recoveries:     s.recoveries,
+		Degraded:       s.degraded,
+		Reason:         s.reason,
+	}
+}
+
+// Health returns the serving-status view.
+func (s *Store) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := Health{Status: "ok", Dir: s.dir}
+	if s.degraded {
+		h.Status = "degraded"
+		h.Reason = s.reason
+	}
+	return h
+}

@@ -1,0 +1,514 @@
+package persist
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func quietLog() *slog.Logger {
+	return slog.New(slog.NewTextHandler(discard{}, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func openMem(t *testing.T, fs FS, mut func(*Config)) *Store {
+	t.Helper()
+	cfg := Config{
+		Dir:        "/store",
+		FS:         fs,
+		BackoffMin: time.Millisecond,
+		BackoffMax: 10 * time.Millisecond,
+		Log:        quietLog(),
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close(context.Background()) })
+	return s
+}
+
+func flush(t *testing.T, s *Store) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Flush(ctx); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		kind    Kind
+		key     string
+		payload []byte
+	}{
+		{KindResult, "abc123", []byte(`{"ipc":1.5}`)},
+		{KindTrace, strings.Repeat("f", 64), bytes.Repeat([]byte{0x00, 0xff}, 1000)},
+		{KindResult, "k", nil},
+	} {
+		env := encodeEnvelope(tc.kind, tc.key, tc.payload)
+		kind, key, payload, err := decodeEnvelope(env)
+		if err != nil {
+			t.Fatalf("decode(%q): %v", tc.key, err)
+		}
+		if kind != tc.kind || key != tc.key || !bytes.Equal(payload, tc.payload) {
+			t.Fatalf("round trip mismatch: got (%v,%q,%d bytes)", kind, key, len(payload))
+		}
+	}
+}
+
+func TestEnvelopeRejectsDamage(t *testing.T) {
+	env := encodeEnvelope(KindResult, "somekey", []byte("payload-bytes"))
+	cases := map[string][]byte{
+		"empty":      nil,
+		"short":      env[:10],
+		"truncated":  env[:len(env)-1],
+		"oneByte":    env[:1],
+		"headerOnly": append([]byte(nil), env[:envHeaderLen]...),
+	}
+	// Every single-byte flip must fail the checksum (or an earlier check).
+	for i := range env {
+		mut := append([]byte(nil), env...)
+		mut[i] ^= 0x41
+		cases[fmt.Sprintf("flip@%d", i)] = mut
+	}
+	for name, b := range cases {
+		if _, _, _, err := decodeEnvelope(b); err == nil {
+			t.Errorf("%s: decode accepted damaged envelope", name)
+		}
+	}
+}
+
+func TestPutLoadAndRestart(t *testing.T) {
+	mem := NewMemFS()
+	s := openMem(t, mem, nil)
+	payload := []byte(`{"result":"alpha"}`)
+	s.Put(KindResult, "key1", payload)
+	s.Put(KindTrace, "key2", []byte{1, 2, 3})
+	flush(t, s)
+
+	if got, ok := s.Load(KindResult, "key1"); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Load(key1) = %q, %v", got, ok)
+	}
+	if _, ok := s.Load(KindResult, "missing"); ok {
+		t.Fatal("Load(missing) reported a hit")
+	}
+	if _, ok := s.Load(KindTrace, "key1"); ok {
+		t.Fatal("Load across kinds reported a hit")
+	}
+	st := s.Stats()
+	if st.Writes != 2 || st.Loads != 1 || st.LoadMisses != 2 || st.Files != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// A fresh store on the same filesystem recovers both artifacts.
+	s2 := openMem(t, mem, nil)
+	if got, ok := s2.Load(KindResult, "key1"); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("restart Load(key1) = %q, %v", got, ok)
+	}
+	if got, ok := s2.Load(KindTrace, "key2"); !ok || !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("restart Load(key2) = %q, %v", got, ok)
+	}
+	if st := s2.Stats(); st.Scanned != 2 || st.Files != 2 {
+		t.Fatalf("restart stats = %+v", st)
+	}
+}
+
+func TestCorruptArtifactQuarantined(t *testing.T) {
+	mem := NewMemFS()
+	s := openMem(t, mem, nil)
+	s.Put(KindResult, "victim", []byte("data"))
+	flush(t, s)
+
+	path := "/store/results/victim" + artifactExt
+	if err := mem.Corrupt(path, []byte("not an envelope at all")); err != nil {
+		t.Fatalf("Corrupt: %v", err)
+	}
+	if _, ok := s.Load(KindResult, "victim"); ok {
+		t.Fatal("Load served a corrupt artifact")
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1", st.Quarantined)
+	}
+	if h := s.Health(); h.Status != "ok" {
+		t.Fatalf("corruption degraded the store: %+v", h)
+	}
+	// Sidelined, not deleted: the corpse is at .corrupt and the original
+	// path is gone, so a re-load is a clean miss.
+	if _, err := mem.ReadFile(path + ".corrupt"); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if _, ok := s.Load(KindResult, "victim"); ok {
+		t.Fatal("Load after quarantine reported a hit")
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("re-load re-quarantined: %+v", st)
+	}
+}
+
+func TestWrongKeyEnvelopeQuarantined(t *testing.T) {
+	mem := NewMemFS()
+	s := openMem(t, mem, nil)
+	// An envelope that verifies but names a different key (e.g. a file
+	// renamed by hand) must not be served under this key.
+	env := encodeEnvelope(KindResult, "otherkey", []byte("data"))
+	mem.MkdirAll("/store/results")
+	f, _ := mem.Create("/store/results/victim" + artifactExt)
+	f.Write(env)
+	f.Close()
+	if _, ok := s.Load(KindResult, "victim"); ok {
+		t.Fatal("Load served an envelope keyed to a different artifact")
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestScanCleansTempAndQuarantinesGarbage(t *testing.T) {
+	mem := NewMemFS()
+	mem.MkdirAll("/store/results")
+	mem.MkdirAll("/store/traces")
+	write := func(name string, b []byte) {
+		f, err := mem.Create(name)
+		if err != nil {
+			t.Fatalf("create %s: %v", name, err)
+		}
+		f.Write(b)
+		f.Close()
+	}
+	good := encodeEnvelope(KindResult, "good", []byte("ok"))
+	write("/store/results/good"+artifactExt, good)
+	write("/store/results/left.7.tmp", []byte("partial"))
+	write("/store/results/torn"+artifactExt, good[:len(good)-5])
+	write("/store/results/README.txt", []byte("what is this"))
+
+	s := openMem(t, mem, nil)
+	st := s.Stats()
+	if st.TempCleaned != 1 {
+		t.Errorf("TempCleaned = %d, want 1", st.TempCleaned)
+	}
+	if st.Quarantined != 2 { // torn artifact + unknown-suffix garbage
+		t.Errorf("Quarantined = %d, want 2", st.Quarantined)
+	}
+	if st.Files != 1 || st.Scanned != 1 {
+		t.Errorf("Files=%d Scanned=%d, want 1/1", st.Files, st.Scanned)
+	}
+	if got, ok := s.Load(KindResult, "good"); !ok || !bytes.Equal(got, []byte("ok")) {
+		t.Fatalf("Load(good) = %q, %v", got, ok)
+	}
+	if _, err := mem.ReadFile("/store/results/left.7.tmp"); err == nil {
+		t.Error("temp file survived the scan")
+	}
+	// A second restart is quiet: corpses stay quarantined, nothing re-counts.
+	s.Close(context.Background())
+	s2 := openMem(t, mem, nil)
+	if st := s2.Stats(); st.Quarantined != 0 || st.Files != 1 {
+		t.Errorf("second scan stats = %+v", st)
+	}
+}
+
+func TestDegradedModeAndRecovery(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	s := openMem(t, ffs, func(c *Config) { c.FailureThreshold = 2 })
+	s.Put(KindResult, "pre", []byte("before faults"))
+	flush(t, s)
+
+	ffs.SetErr(ErrInjected)
+	for i := 0; i < 3; i++ {
+		s.Put(KindResult, fmt.Sprintf("w%d", i), []byte("x"))
+		flush(t, s)
+	}
+	if h := s.Health(); h.Status != "degraded" || h.Reason == "" {
+		t.Fatalf("health after faults = %+v", h)
+	}
+	st := s.Stats()
+	if !st.Degraded || st.DegradedEvents != 1 || st.WriteErrors == 0 {
+		t.Fatalf("stats after faults = %+v", st)
+	}
+	// Degraded mode: loads skip (even for artifacts that exist), writes drop.
+	if _, ok := s.Load(KindResult, "pre"); ok {
+		t.Fatal("degraded Load hit the disk")
+	}
+	dropped := st.DroppedWrites
+	s.Put(KindResult, "droppedkey", []byte("x"))
+	if st := s.Stats(); st.DroppedWrites != dropped+1 {
+		t.Fatalf("degraded Put not dropped: %+v", st)
+	}
+
+	// Heal the disk; the backoff probe restores service.
+	ffs.SetErr(nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Health().Status != "ok" {
+		if time.Now().After(deadline) {
+			t.Fatal("store never recovered after faults cleared")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := s.Stats(); st.Recoveries != 1 {
+		t.Fatalf("Recoveries = %d, want 1", st.Recoveries)
+	}
+	if got, ok := s.Load(KindResult, "pre"); !ok || !bytes.Equal(got, []byte("before faults")) {
+		t.Fatalf("post-recovery Load(pre) = %q, %v", got, ok)
+	}
+	s.Put(KindResult, "post", []byte("after recovery"))
+	flush(t, s)
+	if got, ok := s.Load(KindResult, "post"); !ok || !bytes.Equal(got, []byte("after recovery")) {
+		t.Fatalf("post-recovery Put/Load = %q, %v", got, ok)
+	}
+}
+
+func TestOpenOnDeadDiskStartsDegradedThenHeals(t *testing.T) {
+	mem := NewMemFS()
+	// Pre-seed an artifact the store should discover once the disk heals.
+	mem.MkdirAll("/store/results")
+	mem.MkdirAll("/store/traces")
+	f, _ := mem.Create("/store/results/seed" + artifactExt)
+	f.Write(encodeEnvelope(KindResult, "seed", []byte("seeded")))
+	f.Close()
+
+	ffs := NewFaultFS(mem)
+	ffs.SetErr(ErrInjected)
+	// No FailureThreshold override: a store that cannot even create its
+	// directories must report degraded from the first Health() call, not
+	// after threshold-many failed operations.
+	s := openMem(t, ffs, nil)
+	if h := s.Health(); h.Status != "degraded" {
+		t.Fatalf("open on dead disk: health = %+v", h)
+	}
+	ffs.SetErr(nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Health().Status != "ok" {
+		if time.Now().After(deadline) {
+			t.Fatal("store never recovered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The deferred recovery scan indexed what was already on disk.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if got, ok := s.Load(KindResult, "seed"); ok && bytes.Equal(got, []byte("seeded")) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healed store never indexed the pre-seeded artifact")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFailedSyncCountsTowardDegraded(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	s := openMem(t, ffs, func(c *Config) { c.FailureThreshold = 2 })
+	ffs.FailSync(true)
+	for i := 0; i < 2; i++ {
+		s.Put(KindResult, fmt.Sprintf("s%d", i), []byte("x"))
+		flush(t, s)
+	}
+	if h := s.Health(); h.Status != "degraded" {
+		t.Fatalf("fsync failures did not degrade: %+v", h)
+	}
+	if st := s.Stats(); st.Writes != 0 {
+		t.Fatalf("a commit succeeded despite failing fsync: %+v", st)
+	}
+	// Nothing visible was committed and no torn temp survives a rescan.
+	ffs.FailSync(false)
+	s.Close(context.Background())
+	s2 := openMem(t, mem, nil)
+	if st := s2.Stats(); st.Files != 0 {
+		t.Fatalf("fsync-failed commit became visible: %+v", st)
+	}
+}
+
+func TestBudgetEvictsOldestFirst(t *testing.T) {
+	mem := NewMemFS()
+	payload := bytes.Repeat([]byte("p"), 100)
+	one := int64(envHeaderLen + len("k0") + len(payload) + envSumLen)
+	s := openMem(t, mem, func(c *Config) { c.BudgetBytes = 3 * one })
+	for i := 0; i < 5; i++ {
+		s.Put(KindResult, fmt.Sprintf("k%d", i), payload)
+		flush(t, s)
+	}
+	st := s.Stats()
+	if st.Evictions != 2 || st.Files != 3 || st.Bytes != 3*one {
+		t.Fatalf("stats = %+v (one=%d)", st, one)
+	}
+	for i := 0; i < 5; i++ {
+		_, ok := s.Load(KindResult, fmt.Sprintf("k%d", i))
+		if want := i >= 2; ok != want {
+			t.Errorf("Load(k%d) = %v, want %v", i, ok, want)
+		}
+	}
+
+	// Restart with a tighter budget: the scan evicts down to it, keeping
+	// the youngest artifacts.
+	s.Close(context.Background())
+	s2 := openMem(t, mem, func(c *Config) { c.BudgetBytes = one })
+	if st := s2.Stats(); st.Files != 1 {
+		t.Fatalf("restart stats = %+v", st)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, ok := s2.Load(KindResult, "k3"); !ok {
+			break // evicted from disk too (removal is async after scan)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("scan eviction never removed k3 from disk")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got, ok := s2.Load(KindResult, "k4"); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("youngest artifact lost on restart eviction: %v", ok)
+	}
+}
+
+func TestRewriteSameKeyAccountsBytesOnce(t *testing.T) {
+	mem := NewMemFS()
+	s := openMem(t, mem, nil)
+	s.Put(KindResult, "k", []byte("short"))
+	flush(t, s)
+	s.Put(KindResult, "k", bytes.Repeat([]byte("l"), 500))
+	flush(t, s)
+	st := s.Stats()
+	want := int64(envHeaderLen + 1 + 500 + envSumLen)
+	if st.Files != 1 || st.Bytes != want {
+		t.Fatalf("Files=%d Bytes=%d, want 1/%d", st.Files, st.Bytes, want)
+	}
+	if got, ok := s.Load(KindResult, "k"); !ok || len(got) != 500 {
+		t.Fatalf("Load after rewrite = %d bytes, %v", len(got), ok)
+	}
+}
+
+func TestInvalidKeysDropped(t *testing.T) {
+	s := openMem(t, NewMemFS(), nil)
+	for _, key := range []string{"", "../escape", "a/b", "a b", ".hidden", "x..y", strings.Repeat("k", 201)} {
+		s.Put(KindResult, key, []byte("x"))
+		if _, ok := s.Load(KindResult, key); ok {
+			t.Errorf("Load(%q) reported a hit", key)
+		}
+	}
+	flush(t, s)
+	if st := s.Stats(); st.Writes != 0 || st.DroppedWrites != 7 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// blockingFS stalls Create until released, so tests can fill the
+// write-behind queue deterministically.
+type blockingFS struct {
+	FS
+	release chan struct{}
+	once    sync.Once
+}
+
+func (b *blockingFS) Create(name string) (File, error) {
+	<-b.release
+	return b.FS.Create(name)
+}
+
+func TestFullQueueDropsInsteadOfBlocking(t *testing.T) {
+	bfs := &blockingFS{FS: NewMemFS(), release: make(chan struct{})}
+	s := openMem(t, bfs, func(c *Config) { c.QueueDepth = 2 })
+	// One op stalls inside the writer; two fill the queue; the rest drop.
+	for i := 0; i < 8; i++ {
+		s.Put(KindResult, fmt.Sprintf("k%d", i), []byte("x"))
+	}
+	st := s.Stats()
+	if st.DroppedWrites < 5 {
+		t.Fatalf("DroppedWrites = %d, want >= 5", st.DroppedWrites)
+	}
+	close(bfs.release)
+	flush(t, s)
+	if st := s.Stats(); st.Writes+st.DroppedWrites != 8 || st.Writes < 1 {
+		t.Fatalf("stats after release = %+v", st)
+	}
+}
+
+func TestCloseDrainsQueue(t *testing.T) {
+	mem := NewMemFS()
+	s := openMem(t, mem, func(c *Config) { c.QueueDepth = 64 })
+	for i := 0; i < 32; i++ {
+		s.Put(KindResult, fmt.Sprintf("k%d", i), []byte("x"))
+	}
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s2 := openMem(t, mem, nil)
+	if st := s2.Stats(); st.Files != 32 {
+		t.Fatalf("Close lost queued writes: %+v", st)
+	}
+	// Post-close operations are clean no-ops.
+	s.Put(KindResult, "late", []byte("x"))
+	if _, ok := s.Load(KindResult, "k0"); ok {
+		t.Fatal("Load on a closed store hit")
+	}
+	if err := s.Flush(context.Background()); err != nil {
+		t.Fatalf("Flush on closed store: %v", err)
+	}
+	if err := s.Close(context.Background()); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestConcurrentPutLoad(t *testing.T) {
+	s := openMem(t, NewMemFS(), func(c *Config) { c.QueueDepth = 4096 })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("g%dk%d", g, i)
+				s.Put(KindResult, key, []byte(key))
+				s.Load(KindResult, key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	flush(t, s)
+	for g := 0; g < 8; g++ {
+		for i := 0; i < 50; i++ {
+			key := fmt.Sprintf("g%dk%d", g, i)
+			if got, ok := s.Load(KindResult, key); !ok || !bytes.Equal(got, []byte(key)) {
+				t.Fatalf("Load(%s) = %q, %v", key, got, ok)
+			}
+		}
+	}
+}
+
+func TestValidKey(t *testing.T) {
+	for key, want := range map[string]bool{
+		"abc":                    true,
+		strings.Repeat("a", 200): true,
+		"A-Z_0.9":                true,
+		"":                       false,
+		".dot":                   false,
+		"a..b":                   false,
+		"a/b":                    false,
+		"a\\b":                   false,
+		"a b":                    false,
+		strings.Repeat("a", 201): false,
+		"k\x00":                  false,
+	} {
+		if got := validKey(key); got != want {
+			t.Errorf("validKey(%q) = %v, want %v", key, got, want)
+		}
+	}
+}

@@ -31,4 +31,7 @@ func (s *Store) RegisterMetrics(r *obs.Registry) {
 	r.NewCounterFunc("trace_store_bypasses_total",
 		"Stream requests that skipped the store (budget too small).",
 		stat(func(st StoreStats) float64 { return float64(st.Bypasses) }))
+	r.NewCounterFunc("trace_store_persist_hits_total",
+		"Stream requests served by decoding a persisted recording.",
+		stat(func(st StoreStats) float64 { return float64(st.PersistHits) }))
 }

@@ -1,0 +1,59 @@
+package trace
+
+// The trace store's persistence hook: recordings are content-addressed by
+// sha256(program definition, instruction budget) — exactly the in-memory
+// store key — so the disk layer is a second-level cache with the same
+// identity. A replay served from disk skips the whole generator pass; a
+// corrupt or missing artifact falls back to recording, so persistence can
+// only ever remove work, never change results.
+
+import (
+	"encoding/hex"
+
+	"dricache/internal/isa"
+	"dricache/internal/persist"
+)
+
+// SetPersist attaches (or with nil detaches) a persistence layer: replay
+// misses consult it before recording, and fresh recordings are written
+// back through its write-behind queue. Safe to call at any time, but
+// intended for process start-up.
+func (s *Store) SetPersist(p *persist.Store) {
+	s.mu.Lock()
+	s.persist = p
+	s.mu.Unlock()
+}
+
+func (s *Store) persistStore() *persist.Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.persist
+}
+
+// loadPersisted fetches and decodes a recording from the persistence
+// layer. A decode failure on a checksum-verified artifact means format
+// drift, not corruption; it is treated as a miss (the recording is simply
+// redone and rewritten).
+func (s *Store) loadPersisted(key storeKey, totalInstrs uint64) *isa.Replay {
+	p := s.persistStore()
+	if p == nil {
+		return nil
+	}
+	b, ok := p.Load(persist.KindTrace, hex.EncodeToString(key[:]))
+	if !ok {
+		return nil
+	}
+	rep, err := isa.UnmarshalReplay(b)
+	if err != nil || rep.Len() != totalInstrs {
+		return nil
+	}
+	return rep
+}
+
+// storePersisted writes a fresh recording back to the persistence layer
+// (non-blocking; the store's write-behind queue does the committing).
+func (s *Store) storePersisted(key storeKey, rep *isa.Replay) {
+	if p := s.persistStore(); p != nil {
+		p.Put(persist.KindTrace, hex.EncodeToString(key[:]), rep.MarshalBinary())
+	}
+}

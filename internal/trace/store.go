@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"dricache/internal/isa"
+	"dricache/internal/persist"
 )
 
 // DefaultStoreBudget is the shared store's default byte budget: enough for
@@ -56,6 +57,9 @@ type StoreStats struct {
 	// Bypasses counts requests that skipped the store because the estimated
 	// recording could not fit the budget.
 	Bypasses uint64
+	// PersistHits counts hits served by decoding a persisted recording
+	// instead of regenerating the stream (a subset of Hits).
+	PersistHits uint64
 }
 
 // HitRate is the fraction of non-bypass requests served without recording.
@@ -110,6 +114,10 @@ type Store struct {
 	misses    uint64
 	evictions uint64
 	bypasses  uint64
+	// persist, when non-nil, is the disk layer consulted on replay misses
+	// and written back on fresh recordings (see persist.go).
+	persist     *persist.Store
+	persistHits uint64
 }
 
 // NewStore returns a store evicting least-recently-used recordings beyond
@@ -149,6 +157,7 @@ func (s *Store) Stats() StoreStats {
 		Misses:      s.misses,
 		Evictions:   s.evictions,
 		Bypasses:    s.bypasses,
+		PersistHits: s.persistHits,
 	}
 }
 
@@ -275,6 +284,25 @@ func (s *Store) replay(p Program, totalInstrs uint64) *isa.Replay {
 			close(ent.done)
 		}
 	}()
+
+	// Second-level cache: a persisted recording (same content address)
+	// skips the generator pass entirely. The claim counted as a miss;
+	// reclassify it as a (persist) hit.
+	if rep := s.loadPersisted(key, totalInstrs); rep != nil {
+		completed = true
+		s.mu.Lock()
+		s.misses--
+		s.hits++
+		s.persistHits++
+		ent.rep = rep
+		ent.elem = s.lru.PushFront(ent)
+		s.bytes += int64(rep.Bytes())
+		s.evictLocked()
+		s.mu.Unlock()
+		close(ent.done)
+		return rep
+	}
+
 	rep, exact := isa.RecordStream(p.Stream(totalInstrs), totalInstrs)
 	if !exact {
 		// The generator emitted something outside the encoding envelope;
@@ -290,5 +318,6 @@ func (s *Store) replay(p Program, totalInstrs uint64) *isa.Replay {
 	s.evictLocked()
 	s.mu.Unlock()
 	close(ent.done)
+	s.storePersisted(key, rep)
 	return rep
 }
